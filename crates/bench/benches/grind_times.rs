@@ -1,0 +1,101 @@
+//! Per-event grind-time micro-benchmarks (§VI-A).
+//!
+//! The paper reports ~18 ns per collision event (measured via the scatter
+//! problem) and ~3 ns per facet event (via the stream problem). These
+//! benches time the individual event handlers on realistic particle state;
+//! the absolute numbers are host-dependent, the *ratio* (collision is ~6x
+//! costlier, dominated by RNG + sqrt kinematics) is the reproducible shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutral_core::config::TransportConfig;
+use neutral_core::counters::EventCounters;
+use neutral_core::events::{
+    energy_deposition, facet_distance, handle_collision, handle_facet,
+};
+use neutral_core::particle::Particle;
+use neutral_mesh::{Facet, StructuredMesh2D};
+use neutral_rng::{CounterStream, Threefry2x64};
+use neutral_xs::{MicroXs, XsHints};
+use std::hint::black_box;
+
+fn particle() -> Particle {
+    Particle {
+        x: 0.5,
+        y: 0.5,
+        omega_x: std::f64::consts::FRAC_1_SQRT_2,
+        omega_y: std::f64::consts::FRAC_1_SQRT_2,
+        energy: 1.0e6,
+        weight: 1.0,
+        dt_to_census: 1.0e-7,
+        mfp_to_collision: 1.0,
+        cellx: 50,
+        celly: 50,
+        xs_hints: XsHints::default(),
+        key: 7,
+        rng_counter: 0,
+        dead: false,
+    }
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mesh = StructuredMesh2D::uniform(100, 100, 1.0, 1.0, 1.0e3);
+    let rng = Threefry2x64::new([1, 2]);
+    let cfg = TransportConfig::default();
+    let micro = MicroXs {
+        absorb_barns: 1.0e3,
+        scatter_barns: 1.0e4,
+    };
+
+    let mut group = c.benchmark_group("grind_times");
+
+    group.bench_function("collision_event", |b| {
+        let mut p = particle();
+        let mut counters = EventCounters::default();
+        let mut stream = CounterStream::new(&rng, p.key);
+        b.iter(|| {
+            // Keep the particle alive so every iteration does a collision.
+            p.weight = 1.0;
+            p.energy = 1.0e6;
+            p.dead = false;
+            let died =
+                handle_collision(black_box(&mut p), &mut stream, micro, &cfg, &mut counters);
+            black_box(died)
+        });
+    });
+
+    group.bench_function("facet_event", |b| {
+        let mut p = particle();
+        let mut counters = EventCounters::default();
+        b.iter(|| {
+            p.cellx = 50;
+            handle_facet(black_box(&mut p), Facet::XHigh, &mesh, &mut counters)
+        });
+    });
+
+    group.bench_function("facet_distance", |b| {
+        let p = particle();
+        let bounds = mesh.cell_bounds(50, 50);
+        b.iter(|| facet_distance(black_box(p.x), p.y, p.omega_x, p.omega_y, bounds));
+    });
+
+    group.bench_function("energy_deposition", |b| {
+        b.iter(|| {
+            energy_deposition(
+                black_box(1.0e6),
+                1.0,
+                2.5e-4,
+                neutral_xs::number_density(1.0e3),
+                micro,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_events
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Counter-based RNG throughput (§IV-F): Threefry-2x64-20 (the paper's
+//! generator) vs Philox-4x32-10, block and stream interfaces. RNG cost is
+//! a material part of the ~18 ns collision grind time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutral_rng::{CbRng, CounterStream, Philox4x32, Threefry2x64};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let threefry = Threefry2x64::new([42, 43]);
+    let philox = Philox4x32::new([42, 43]);
+
+    let mut group = c.benchmark_group("rng");
+    group.throughput(criterion::Throughput::Bytes(16));
+
+    group.bench_function("threefry2x64_block", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            black_box(threefry.block([ctr, 0]))
+        });
+    });
+
+    group.bench_function("philox4x32_block", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            black_box(philox.block([ctr, 0]))
+        });
+    });
+
+    group.bench_function("stream_next_f64", |b| {
+        let mut stream = CounterStream::new(&threefry, 9);
+        let mut counter = 0u64;
+        b.iter(|| black_box(stream.next_f64(&mut counter)));
+    });
+
+    group.bench_function("collision_draw_burst_4", |b| {
+        // The four draws of a scatter collision: select, mu, sign, mfp.
+        let mut stream = CounterStream::new(&threefry, 9);
+        let mut counter = 0u64;
+        b.iter(|| {
+            let a = stream.next_f64(&mut counter);
+            let m = stream.next_f64(&mut counter);
+            let s = stream.next_u64(&mut counter);
+            let f = stream.next_f64_open(&mut counter);
+            black_box((a, m, s, f))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_rng
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Cross-section lookup strategies (§VI-A): the cached linear search vs a
+//! fresh binary search, on post-collision energy walks (~2% energy steps,
+//! the realistic access pattern).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutral_xs::{CrossSectionLibrary, XsHints};
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let lib = CrossSectionLibrary::synthetic(30_000, 99);
+
+    // A realistic post-collision energy trajectory: 1 MeV decaying by ~2%
+    // per step to 1 eV (~680 lookups).
+    let mut energies = Vec::new();
+    let mut e = 1.0e6;
+    while e > 1.0 {
+        energies.push(e);
+        e *= 0.98;
+    }
+
+    let mut group = c.benchmark_group("xs_lookup");
+    group.throughput(criterion::Throughput::Elements(energies.len() as u64));
+
+    group.bench_function("cached_linear_walk", |b| {
+        b.iter(|| {
+            let mut hints = XsHints::default();
+            let _ = lib.lookup(energies[0], &mut hints);
+            let mut acc = 0.0;
+            for &e in &energies {
+                acc += lib.lookup(black_box(e), &mut hints).total_barns();
+            }
+            acc
+        });
+    });
+
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &e in &energies {
+                acc += lib.lookup_binary(black_box(e)).total_barns();
+            }
+            acc
+        });
+    });
+
+    // Large random jumps — the regime where the paper warns the cached
+    // walk "might suffer issues".
+    let jumps: Vec<f64> = (0..energies.len())
+        .map(|i| 10f64.powf((i * 7 % 11) as f64 - 4.0))
+        .collect();
+    group.bench_function("cached_linear_random_jumps", |b| {
+        b.iter(|| {
+            let mut hints = XsHints::default();
+            let mut acc = 0.0;
+            for &e in &jumps {
+                acc += lib.lookup(black_box(e), &mut hints).total_barns();
+            }
+            acc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lookup
+}
+criterion_main!(benches);

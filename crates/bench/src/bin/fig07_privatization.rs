@@ -1,0 +1,104 @@
+//! Figure 7: tally-mesh privatisation (removing the atomics).
+//!
+//! The paper privatised the energy-deposition tally per thread, removing
+//! the atomic read-modify-write at every facet encounter, and measured
+//! speedups of ~1.16x (Broadwell) and ~1.18x (KNL) on csp — less than the
+//! atomic share of the runtime suggested, because the footprint grows by
+//! a factor of the thread count (0.3 GB -> 31 GB at 256 KNL threads) and
+//! the cache suffers (§VI-F). Merging every timestep instead of once at
+//! the end made the solve *slower* than the atomics everywhere.
+//!
+//! This binary measures atomic vs privatised on this host for all three
+//! problems, reports the footprint arithmetic, and measures the
+//! merge-every-timestep variant.
+
+use neutral_bench::*;
+use neutral_core::prelude::*;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    banner(
+        "Figure 7",
+        "tally privatisation vs shared atomic tally",
+        "measured on this host",
+    );
+
+    let threads = host_threads();
+    let schedule = Schedule::Dynamic { chunk: 64 };
+
+    let mut rows = Vec::new();
+    for case in TestCase::ALL {
+        let atomic = run_median(
+            case,
+            RunOptions {
+                execution: Execution::Scheduled { threads, schedule },
+                ..Default::default()
+            },
+            &args,
+        );
+        let privatized = run_median(
+            case,
+            RunOptions {
+                execution: Execution::ScheduledPrivatized { threads, schedule },
+                ..Default::default()
+            },
+            &args,
+        );
+        let (ta, tp) = (
+            atomic.elapsed.as_secs_f64(),
+            privatized.elapsed.as_secs_f64(),
+        );
+        rows.push(vec![
+            case.name().to_owned(),
+            format!("{ta:.3}"),
+            format!("{tp:.3}"),
+            format!("{:.3}", ta / tp),
+            format!("{:.1} MB", atomic.tally_footprint_bytes as f64 / 1e6),
+            format!("{:.1} MB", privatized.tally_footprint_bytes as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        &[
+            "problem",
+            "atomic (s)",
+            "privatised (s)",
+            "speedup",
+            "atomic tally",
+            "privatised tally",
+        ],
+        &rows,
+    );
+
+    // Merge-every-timestep variant (the real-world caveat in §VI-F).
+    println!("\n-- merge-per-timestep variant (csp, 4 timesteps) --");
+    let mut problem = TestCase::Csp.build(args.scale, args.seed);
+    problem.n_timesteps = 4;
+    let sim = Simulation::new(problem);
+    let atomic = sim.run(RunOptions {
+        execution: Execution::Scheduled { threads, schedule },
+        ..Default::default()
+    });
+    // The privatised run merges at the end of every timestep by
+    // construction of the step loop.
+    let privatized = sim.run(RunOptions {
+        execution: Execution::ScheduledPrivatized { threads, schedule },
+        ..Default::default()
+    });
+    println!(
+        "  atomic {} s, privatised+merge-each-step {} s -> ratio {:.3} \
+         (paper: per-step merging made privatisation slower than atomics)",
+        secs(atomic.elapsed),
+        secs(privatized.elapsed),
+        privatized.elapsed.as_secs_f64() / atomic.elapsed.as_secs_f64()
+    );
+
+    // Footprint blow-up arithmetic at paper scale.
+    println!("\n-- paper-scale footprint arithmetic (4000^2 mesh) --");
+    let cells = 4000usize * 4000;
+    for t in [1usize, 44, 88, 256] {
+        println!(
+            "  {t:>3} threads: {:6.2} GB of privatised tally (paper quotes 0.3 GB -> 31 GB at 256)",
+            (cells * t * 8) as f64 / 1e9
+        );
+    }
+}

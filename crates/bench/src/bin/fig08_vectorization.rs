@@ -1,0 +1,101 @@
+//! Figure 8: per-method vectorisation of the Over-Events kernels.
+//!
+//! The paper restructured the Over-Events loops so the compiler could
+//! vectorise them — notably hoisting the atomic tally updates into a
+//! separate loop — and measured per-method speedups: on the Xeon only the
+//! facet events benefited; the KNL benefited for all methods (§VI-G).
+//!
+//! Part 1 measures the per-kernel wall-clock of the scalar vs restructured
+//! ("vectorizable") kernels on this host for a facet-heavy (stream) and a
+//! collision-heavy (scatter) problem. Part 2 models the KNL's AVX-512
+//! advantage with the architecture model's vector-efficiency term.
+
+use neutral_bench::*;
+use neutral_core::prelude::*;
+use neutral_perf::arch::{BROADWELL_2S, KNL_7210_MCDRAM};
+use neutral_perf::calibrate::ModelParams;
+use neutral_perf::model::predict;
+
+fn kernel_row(case: TestCase, args: &HarnessArgs) -> Vec<Vec<String>> {
+    let run = |style| {
+        run_median(
+            case,
+            RunOptions {
+                scheme: Scheme::OverEvents,
+                kernel_style: style,
+                execution: Execution::Rayon,
+                ..Default::default()
+            },
+            args,
+        )
+        .kernel_timings
+        .expect("OE reports timings")
+    };
+    let scalar = run(KernelStyle::Scalar);
+    let vector = run(KernelStyle::Vectorized);
+
+    let mut rows = Vec::new();
+    for (name, s, v) in [
+        ("decide (distances)", scalar.decide, vector.decide),
+        ("collision", scalar.collision, vector.collision),
+        ("facet", scalar.facet, vector.facet),
+        ("tally flush", scalar.tally, vector.tally),
+    ] {
+        rows.push(vec![
+            case.name().to_owned(),
+            name.to_owned(),
+            format!("{:.3}", s.as_secs_f64()),
+            format!("{:.3}", v.as_secs_f64()),
+            format!("{:.2}", s.as_secs_f64() / v.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    banner(
+        "Figure 8",
+        "vectorisation per method, Over Events",
+        "part 1 measured on this host; part 2 modeled (KNL AVX-512 vs scalar)",
+    );
+
+    println!("\n-- measured per-kernel times, scalar vs restructured --");
+    let mut rows = Vec::new();
+    rows.extend(kernel_row(TestCase::Stream, &args));
+    rows.extend(kernel_row(TestCase::Scatter, &args));
+    print_table(
+        &["problem", "kernel", "scalar (s)", "restructured (s)", "speedup"],
+        &rows,
+    );
+
+    println!("\n-- modeled whole-scheme vectorisation effect --");
+    let params = ModelParams::default();
+    let oe = paper_profile(TestCase::Csp, Scheme::OverEvents, &args);
+    let mut scalar_params = params;
+    scalar_params.oe_simd_fraction = 0.0;
+
+    let mut rows = Vec::new();
+    for arch in [&BROADWELL_2S, &KNL_7210_MCDRAM] {
+        let vec_t = predict(&oe, arch).total_s;
+        let scl_t = {
+            use neutral_perf::model::predict_with;
+            predict_with(&oe, arch, arch.max_threads(), &scalar_params, None).total_s
+        };
+        rows.push(vec![
+            arch.name.to_owned(),
+            format!("{scl_t:.2}"),
+            format!("{vec_t:.2}"),
+            format!("{:.2}", scl_t / vec_t),
+        ]);
+    }
+    print_table(
+        &["architecture", "unvectorised (s)", "vectorised (s)", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nShape: restructuring buys little on a 4-wide AVX2 CPU whose runs are\n\
+         latency-bound (paper: only facets improved), while the KNL's 8-wide\n\
+         AVX-512 with MCDRAM benefits substantially (paper: all methods)."
+    );
+}

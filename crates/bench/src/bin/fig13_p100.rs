@@ -1,0 +1,83 @@
+//! Figure 13: Over Particles vs Over Events on the NVIDIA P100 (Pascal).
+//!
+//! Paper observations reproduced (§VII-E, §VIII-A): Over Particles wins by
+//! 3.64x on csp; the P100 runs the Over-Particles kernel 4.5x faster than
+//! the K20X thanks to more SMs and more in-flight memory requests; the
+//! achieved bandwidth is ~125 GB/s (25% of peak); the hardware f64
+//! `atomicAdd` intrinsic is worth 1.20x over CAS emulation; and capping
+//! registers to 64 (occupancy 0.38 -> 0.49) makes the P100 *slower* by
+//! ~1.07x — Pascal no longer needs high occupancy to hide latency.
+
+use neutral_bench::*;
+use neutral_core::prelude::*;
+use neutral_perf::arch::{K20X, P100};
+use neutral_perf::calibrate::ModelParams;
+use neutral_perf::model::{predict, predict_with};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    banner(
+        "Figure 13",
+        "OP vs OE on P100 (Pascal, 128-wide blocks)",
+        "modeled from measured event counters + occupancy sub-model",
+    );
+
+    let params = ModelParams::default();
+    let mut rows = Vec::new();
+    for case in TestCase::ALL {
+        let op = paper_profile(case, Scheme::OverParticles, &args);
+        let oe = paper_profile(case, Scheme::OverEvents, &args);
+        let p_op = predict(&op, &P100);
+        let p_oe = predict(&oe, &P100);
+        let k20x = predict(&op, &K20X);
+        rows.push(vec![
+            case.name().to_owned(),
+            format!("{:.2}", p_op.total_s),
+            format!("{:.2}", p_oe.total_s),
+            format!("{:.2}", p_oe.total_s / p_op.total_s),
+            format!("{:.2}", k20x.total_s / p_op.total_s),
+            format!("{:.0}", p_op.implied_bw_gbs),
+        ]);
+    }
+    print_table(
+        &[
+            "problem",
+            "OP (s)",
+            "OE (s)",
+            "OE/OP",
+            "K20X/P100 (OP)",
+            "OP GB/s",
+        ],
+        &rows,
+    );
+
+    let csp = paper_profile(TestCase::Csp, Scheme::OverParticles, &args);
+
+    println!("\n-- f64 atomicAdd intrinsic study (csp, OP; §VII-A) --");
+    let native = predict(&csp, &P100);
+    let mut cas_arch = P100;
+    cas_arch.has_native_f64_atomic = false;
+    let cas = predict(&csp, &cas_arch);
+    println!(
+        "  CAS emulation {:.2} s, native atomicAdd {:.2} s -> gain {:.2}x (paper: 1.20x)",
+        cas.total_s,
+        native.total_s,
+        cas.total_s / native.total_s
+    );
+
+    println!("\n-- register-cap study (csp, OP; §VII-E) --");
+    let uncapped = predict_with(&csp, &P100, 0, &params, Some(255));
+    let capped = predict_with(&csp, &P100, 0, &params, Some(64));
+    println!(
+        "  79 regs/thread: occupancy {:.2}, {:.2} s\n  capped to 64:   occupancy {:.2}, {:.2} s  -> slowdown {:.2}x (paper: 1.07x)",
+        uncapped.occupancy,
+        uncapped.total_s,
+        capped.occupancy,
+        capped.total_s,
+        capped.total_s / uncapped.total_s
+    );
+    println!(
+        "\nPaper: occupancy rose 0.38 -> 0.49 yet wall-clock *increased* 1.07x:\n\
+         the P100 does not need high occupancy for peak performance."
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 14: the final cross-architecture comparison — Over Particles on
+//! every tested device, all three problems.
+//!
+//! Paper findings (§VIII): the P100 wins everywhere (3.2x over dual
+//! Broadwell on csp, 4.5x over its predecessor K20X); the Broadwell leads
+//! the CPUs (1.34x over POWER8); the KNL disappoints, landing near the
+//! POWER8; the K20X is the slowest device on csp by a small margin.
+
+use neutral_bench::*;
+use neutral_core::prelude::*;
+use neutral_perf::arch::{BROADWELL_2S, K20X, KNL_7210_MCDRAM, P100, POWER8_2S};
+use neutral_perf::model::predict;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    banner(
+        "Figure 14",
+        "all devices, Over Particles scheme",
+        "modeled from measured event counters",
+    );
+
+    let archs = [
+        &BROADWELL_2S,
+        &KNL_7210_MCDRAM,
+        &POWER8_2S,
+        &K20X,
+        &P100,
+    ];
+
+    let mut rows = Vec::new();
+    let mut csp_times = Vec::new();
+    for case in TestCase::ALL {
+        let profile = paper_profile(case, Scheme::OverParticles, &args);
+        let times: Vec<f64> = archs.iter().map(|a| predict(&profile, a).total_s).collect();
+        if case == TestCase::Csp {
+            csp_times = times.clone();
+        }
+        let mut row = vec![case.name().to_owned()];
+        row.extend(times.iter().map(|t| format!("{t:.1}")));
+        rows.push(row);
+    }
+    print_table(
+        &["problem", "BDW 2S", "KNL", "P8 2S", "K20X", "P100"],
+        &rows,
+    );
+
+    println!("\n-- csp speedups (paper values in parentheses) --");
+    let bdw = csp_times[0];
+    let knl = csp_times[1];
+    let p8 = csp_times[2];
+    let k20x = csp_times[3];
+    let p100 = csp_times[4];
+    println!("  P100 vs Broadwell: {:.2}x (3.2x)", bdw / p100);
+    println!("  P100 vs K20X:      {:.2}x (4.5x)", k20x / p100);
+    println!("  Broadwell vs P8:   {:.2}x (1.34x)", p8 / bdw);
+    println!("  Broadwell vs KNL:  {:.2}x (KNL 'beaten in almost all cases')", knl / bdw);
+    println!(
+        "  Device order on csp (fast->slow): {}",
+        {
+            let mut named: Vec<(&str, f64)> = archs
+                .iter()
+                .zip(&csp_times)
+                .map(|(a, &t)| (a.name, t))
+                .collect();
+            named.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            named
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" < ")
+        }
+    );
+}

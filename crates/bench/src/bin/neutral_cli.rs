@@ -1,0 +1,210 @@
+//! `neutral` command-line driver — the mini-app's front door, equivalent
+//! to the original C driver that reads a `.params` problem file.
+//!
+//! ```sh
+//! neutral_cli problem.params [--scheme op|oe] [--layout aos|soa|soa-stepped]
+//!             [--threads N] [--schedule static|dynamic,N|guided,N]
+//!             [--privatized] [--sequential] [--dump-tally FILE]
+//! ```
+//!
+//! With no file, the built-in default (a small csp) runs. The tally dump
+//! is a plain-text `ix iy value` triple per non-empty cell.
+
+use neutral_core::params::ProblemParams;
+use neutral_core::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+
+struct CliArgs {
+    params_file: Option<String>,
+    options: RunOptions,
+    dump_tally: Option<String>,
+}
+
+fn parse_schedule(s: &str) -> Result<Schedule, String> {
+    let (kind, arg) = match s.split_once(',') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let parse_n = |a: Option<&str>, default: usize| -> Result<usize, String> {
+        a.map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("bad chunk `{v}`"))
+        })
+    };
+    match kind {
+        "static" => Ok(Schedule::Static {
+            chunk: arg
+                .map(|v| v.parse().map_err(|_| format!("bad chunk `{v}`")))
+                .transpose()?,
+        }),
+        "dynamic" => Ok(Schedule::Dynamic {
+            chunk: parse_n(arg, 64)?,
+        }),
+        "guided" => Ok(Schedule::Guided {
+            min_chunk: parse_n(arg, 1)?,
+        }),
+        other => Err(format!("unknown schedule `{other}`")),
+    }
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut params_file = None;
+    let mut options = RunOptions::default();
+    let mut dump_tally = None;
+    let mut threads: Option<usize> = None;
+    let mut schedule: Option<Schedule> = None;
+    let mut privatized = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scheme" => {
+                i += 1;
+                options.scheme = match argv.get(i).map(String::as_str) {
+                    Some("op") => Scheme::OverParticles,
+                    Some("oe") => Scheme::OverEvents,
+                    other => return Err(format!("--scheme op|oe, got {other:?}")),
+                };
+            }
+            "--layout" => {
+                i += 1;
+                options.layout = match argv.get(i).map(String::as_str) {
+                    Some("aos") => Layout::Aos,
+                    Some("soa") => Layout::Soa,
+                    Some("soa-stepped") => Layout::SoaEventStepped,
+                    other => return Err(format!("--layout aos|soa|soa-stepped, got {other:?}")),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    argv.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads N")?,
+                );
+            }
+            "--schedule" => {
+                i += 1;
+                schedule = Some(parse_schedule(argv.get(i).ok_or("--schedule ...")?)?);
+            }
+            "--privatized" => privatized = true,
+            "--sequential" => options.execution = Execution::Sequential,
+            "--vectorized" => options.kernel_style = KernelStyle::Vectorized,
+            "--dump-tally" => {
+                i += 1;
+                dump_tally = Some(argv.get(i).ok_or("--dump-tally FILE")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => {
+                if params_file.replace(file.to_owned()).is_some() {
+                    return Err("more than one params file given".into());
+                }
+            }
+        }
+        i += 1;
+    }
+
+    if threads.is_some() || schedule.is_some() || privatized {
+        let threads = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let schedule = schedule.unwrap_or(Schedule::Dynamic { chunk: 64 });
+        options.execution = if privatized {
+            Execution::ScheduledPrivatized { threads, schedule }
+        } else {
+            Execution::Scheduled { threads, schedule }
+        };
+    }
+
+    Ok(CliArgs {
+        params_file,
+        options,
+        dump_tally,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let params = match &args.params_file {
+        None => ProblemParams::default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ProblemParams::parse(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let problem = params.build();
+    println!(
+        "neutral: {}x{} mesh, {} particles, {} timestep(s), dt {:.2e} s, seed {}",
+        problem.mesh.nx(),
+        problem.mesh.ny(),
+        problem.n_particles,
+        problem.n_timesteps,
+        problem.dt,
+        problem.seed,
+    );
+    println!("options: {:?}", args.options);
+
+    let sim = Simulation::new(problem);
+    let report = sim.run(args.options);
+    println!("{}", report.summary());
+    let balance = report.energy_balance();
+    println!(
+        "energy: source {:.4e} eV, deposited {:.4e} eV, residual {:.4e} eV, lost {:.4e} eV",
+        balance.initial_ev,
+        balance.deposited_ev,
+        balance.census_residual_ev,
+        balance.cutoff_residual_ev
+    );
+    if let Some(t) = report.kernel_timings {
+        println!(
+            "kernels: {} rounds; decide {:?}, collision {:?}, facet {:?}, tally {:?} ({:.0}%), census {:?}",
+            t.rounds,
+            t.decide,
+            t.collision,
+            t.facet,
+            t.tally,
+            100.0 * t.tally_fraction(),
+            t.census
+        );
+    }
+
+    if let Some(path) = args.dump_tally {
+        let nx = sim.problem().mesh.nx();
+        let mut out = match std::fs::File::create(&path) {
+            Ok(f) => std::io::BufWriter::new(f),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, &v) in report.tally.iter().enumerate() {
+            if v != 0.0 {
+                let _ = writeln!(out, "{} {} {v:e}", i % nx, i / nx);
+            }
+        }
+        println!("tally written to {path}");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Event instrumentation.
+//!
+//! Every transport driver counts the events it processes. The counters
+//! serve three purposes:
+//!
+//! 1. **Validation** — e.g. the `stream` problem must produce ~7000 facet
+//!    events per particle (paper §IV-B) and essentially zero collisions;
+//! 2. **Profiling** — the per-method grind times and tally-share numbers
+//!    of §VI-A are ratios of these counters and timed sections;
+//! 3. **Architecture modelling** — `neutral-perf` maps the counters onto
+//!    machine descriptors to reproduce the paper's cross-architecture
+//!    figures (the hardware-substitution strategy of DESIGN.md §5).
+//!
+//! Counters are accumulated thread-locally as plain integers and merged
+//! after the parallel region — they never touch the hot path with atomics.
+
+/// Counts of everything that happened during a transport solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EventCounters {
+    /// Collision events handled (absorption + elastic scatter).
+    pub collisions: u64,
+    /// Facet (cell-boundary) events handled.
+    pub facets: u64,
+    /// Census events (histories that reached the end of the timestep).
+    pub census: u64,
+    /// Collisions resolved as absorption.
+    pub absorptions: u64,
+    /// Collisions resolved as elastic scattering.
+    pub scatters: u64,
+    /// Boundary reflections (subset of facet events).
+    pub reflections: u64,
+    /// Histories terminated by the energy or weight cutoff.
+    pub deaths: u64,
+    /// Histories abandoned by the runaway guard (should be zero).
+    pub stuck: u64,
+    /// Flushes of the register-accumulated deposit onto the tally mesh —
+    /// each one is an atomic read-modify-write in the shared-tally
+    /// configuration (paper §V-C).
+    pub tally_flushes: u64,
+    /// Grid steps walked by the hinted cross-section searches (§VI-A).
+    pub cs_search_steps: u64,
+    /// Cross-section table lookups performed.
+    pub cs_lookups: u64,
+    /// Cell-centred density reads (the random mesh access, §VI-A).
+    pub density_reads: u64,
+    /// Weighted energy (eV) carried by particles terminated at a cutoff.
+    pub lost_energy_ev: f64,
+    /// Weighted energy (eV) still in flight at the end of the solve.
+    pub census_energy_ev: f64,
+}
+
+impl EventCounters {
+    /// Merge another counter set into this one (used to reduce per-thread
+    /// counters after a parallel region).
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.collisions += other.collisions;
+        self.facets += other.facets;
+        self.census += other.census;
+        self.absorptions += other.absorptions;
+        self.scatters += other.scatters;
+        self.reflections += other.reflections;
+        self.deaths += other.deaths;
+        self.stuck += other.stuck;
+        self.tally_flushes += other.tally_flushes;
+        self.cs_search_steps += other.cs_search_steps;
+        self.cs_lookups += other.cs_lookups;
+        self.density_reads += other.density_reads;
+        self.lost_energy_ev += other.lost_energy_ev;
+        self.census_energy_ev += other.census_energy_ev;
+    }
+
+    /// Total of the three tracked event types.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.collisions + self.facets + self.census
+    }
+
+    /// Facet events per census-reaching or terminated history.
+    #[must_use]
+    pub fn facets_per_history(&self) -> f64 {
+        let histories = self.census + self.deaths;
+        if histories == 0 {
+            0.0
+        } else {
+            self.facets as f64 / histories as f64
+        }
+    }
+
+    /// Collision events per history.
+    #[must_use]
+    pub fn collisions_per_history(&self) -> f64 {
+        let histories = self.census + self.deaths;
+        if histories == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / histories as f64
+        }
+    }
+
+    /// Mean hinted-search walk length per cross-section lookup.
+    #[must_use]
+    pub fn mean_search_steps(&self) -> f64 {
+        if self.cs_lookups == 0 {
+            0.0
+        } else {
+            self.cs_search_steps as f64 / self.cs_lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EventCounters {
+            collisions: 1,
+            facets: 2,
+            census: 3,
+            lost_energy_ev: 0.5,
+            ..Default::default()
+        };
+        let b = EventCounters {
+            collisions: 10,
+            facets: 20,
+            census: 30,
+            lost_energy_ev: 1.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.collisions, 11);
+        assert_eq!(a.facets, 22);
+        assert_eq!(a.census, 33);
+        assert!((a.lost_energy_ev - 2.0).abs() < 1e-12);
+        assert_eq!(a.total_events(), 66);
+    }
+
+    #[test]
+    fn per_history_ratios() {
+        let c = EventCounters {
+            facets: 700,
+            collisions: 70,
+            census: 8,
+            deaths: 2,
+            ..Default::default()
+        };
+        assert!((c.facets_per_history() - 70.0).abs() < 1e-12);
+        assert!((c.collisions_per_history() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero_histories() {
+        let c = EventCounters::default();
+        assert_eq!(c.facets_per_history(), 0.0);
+        assert_eq!(c.mean_search_steps(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # neutral-core
+//!
+//! A Rust reproduction of **neutral**, the Monte Carlo neutral particle
+//! transport mini-app of Martineau & McIntosh-Smith, *Exploring On-Node
+//! Parallelism with Neutral, a Monte Carlo Neutral Particle Transport
+//! Mini-App* (IEEE CLUSTER 2017).
+//!
+//! The mini-app tracks particles through a 2D structured mesh under three
+//! event types — collisions (absorption / elastic scatter), facet
+//! crossings, and census — tallying energy deposition per mesh cell with a
+//! track-length estimator. Although Monte Carlo transport is nominally
+//! embarrassingly parallel, the mesh dependency (random density reads,
+//! atomic tally writes) makes it memory-latency bound, and the paper's
+//! central question is how best to parallelise it on a node. Two schemes
+//! are implemented:
+//!
+//! * **Over Particles** ([`over_particles`], §V-A) — a thread follows each
+//!   history from birth to census, caching cross sections and densities in
+//!   registers;
+//! * **Over Events** ([`over_events`], §V-B) — all histories advance one
+//!   event at a time through tight per-event kernels.
+//!
+//! Supporting machinery reproduces the paper's ablations: AoS vs SoA
+//! particle storage ([`soa`], §VI-D), OpenMP-style loop schedules
+//! ([`scheduler`], §VI-C), shared-atomic vs privatised tallies (§VI-F,
+//! via [`neutral_mesh::tally`]), scalar vs vectorisable kernels (§VI-G),
+//! and full event instrumentation ([`counters`]) feeding the
+//! `neutral-perf` architecture model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use neutral_core::prelude::*;
+//!
+//! // The paper's "center square problem" at test scale.
+//! let problem = TestCase::Csp.build(ProblemScale::tiny(), 42);
+//! let sim = Simulation::new(problem);
+//! let report = sim.run(RunOptions::default());
+//! println!("{}", report.summary());
+//! assert!(report.counters.collisions > 0);
+//! assert!(report.counters.facets > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod counters;
+pub mod events;
+pub mod history;
+pub mod over_events;
+pub mod over_particles;
+pub mod params;
+pub mod particle;
+pub mod scheduler;
+pub mod sim;
+pub mod soa;
+pub mod validate;
+
+/// The things almost every user of the crate needs.
+pub mod prelude {
+    pub use crate::config::{
+        CollisionModel, LowWeightPolicy, Problem, ProblemScale, TestCase, TransportConfig,
+        XsSearch,
+    };
+    pub use crate::counters::EventCounters;
+    pub use crate::over_events::{KernelStyle, KernelTimings};
+    pub use crate::scheduler::Schedule;
+    pub use crate::sim::{Execution, Layout, RunOptions, RunReport, Scheme, Simulation};
+    pub use crate::validate::EnergyBalance;
+}
+
+pub use prelude::*;

@@ -1,0 +1,759 @@
+//! Drivers for the **Over Events** parallelisation scheme (paper §V-B,
+//! Listing 2): progress *all* particle histories one event at a time, with
+//! one kernel per event class.
+//!
+//! Properties the paper attributes to this scheme, all reproduced here:
+//!
+//! * tight, vectorisable loops — kernels exist in a [`KernelStyle::Scalar`]
+//!   and a [`KernelStyle::Vectorized`] form (restructured branch-light
+//!   loops the auto-vectoriser can digest, §VI-G);
+//! * no register caching — the state the Over-Particles loop keeps in
+//!   registers (microscopic cross sections, local number density) lives in
+//!   per-particle arrays and is streamed from memory every round;
+//! * gathered access — every kernel visits the whole particle list and
+//!   checks a predicate, rather than iterating a compacted index list;
+//! * batched atomics — deposits accumulate in a per-particle pending array
+//!   and a *separate* tally loop flushes them, which is the workaround the
+//!   paper used to get the other loops to vectorise (§VI-G);
+//! * per-kernel wall-clock timings ([`KernelTimings`]) — the data behind
+//!   the tally-share and vectorisation figures.
+
+use crate::counters::EventCounters;
+use crate::events::{
+    energy_deposition, handle_collision, handle_facet, move_particle, next_event, NextEvent,
+    TallySink,
+};
+use crate::history::TransportCtx;
+use crate::particle::Particle;
+use neutral_mesh::tally::AtomicTally;
+use neutral_mesh::{Facet, StructuredMesh2D};
+use neutral_rng::{CbRng, CounterStream};
+use neutral_xs::constants::speed_m_per_s;
+use neutral_xs::{macroscopic_per_m, number_density, MicroXs};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// How the event kernels are written (paper §VI-G).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelStyle {
+    /// Straightforward per-particle loops with early predicate exits.
+    #[default]
+    Scalar,
+    /// Restructured loops: branch-light arithmetic passes over the whole
+    /// array (auto-vectorisable), followed by short scalar fix-up passes
+    /// for the inherently branchy work (RNG, table walks, cell updates).
+    Vectorized,
+}
+
+/// Wall-clock time spent in each kernel, summed over rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelTimings {
+    /// Initial population of the per-particle cache arrays.
+    pub init: Duration,
+    /// Distance calculation + event selection kernel.
+    pub decide: Duration,
+    /// Collision kernel.
+    pub collision: Duration,
+    /// Facet kernel.
+    pub facet: Duration,
+    /// The separated atomic tally-flush kernel.
+    pub tally: Duration,
+    /// Final census kernel.
+    pub census: Duration,
+    /// Number of breadth-first rounds executed.
+    pub rounds: u64,
+}
+
+impl KernelTimings {
+    /// Total time across all kernels.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.init + self.decide + self.collision + self.facet + self.tally + self.census
+    }
+
+    /// Fraction of kernel time spent flushing tallies — the paper's ~22%
+    /// observation for this scheme (§VI-A).
+    #[must_use]
+    pub fn tally_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.tally.as_secs_f64() / total
+        }
+    }
+}
+
+/// Per-particle event tag for the current round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum Tag {
+    None = 0,
+    Collision = 1,
+    FacetXLow = 2,
+    FacetXHigh = 3,
+    FacetYLow = 4,
+    FacetYHigh = 5,
+}
+
+impl Tag {
+    fn facet(f: Facet) -> Self {
+        match f {
+            Facet::XLow => Tag::FacetXLow,
+            Facet::XHigh => Tag::FacetXHigh,
+            Facet::YLow => Tag::FacetYLow,
+            Facet::YHigh => Tag::FacetYHigh,
+        }
+    }
+
+    fn to_facet(self) -> Option<Facet> {
+        match self {
+            Tag::FacetXLow => Some(Facet::XLow),
+            Tag::FacetXHigh => Some(Facet::XHigh),
+            Tag::FacetYLow => Some(Facet::YLow),
+            Tag::FacetYHigh => Some(Facet::YHigh),
+            _ => None,
+        }
+    }
+}
+
+/// Per-particle history status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum Status {
+    Active = 0,
+    AtCensus = 1,
+    Dead = 2,
+}
+
+/// The per-particle state arrays of the breadth-first driver — the data
+/// that the Over-Particles scheme would have kept in registers ("Any time
+/// data is to be cached, it must be stored per particle", §V-B).
+struct EventState {
+    micro_a: Vec<f64>,
+    micro_s: Vec<f64>,
+    n_dens: Vec<f64>,
+    dist: Vec<f64>,
+    pending: Vec<f64>,
+    pending_cell: Vec<u32>,
+    tag: Vec<Tag>,
+    status: Vec<Status>,
+}
+
+impl EventState {
+    fn new(n: usize) -> Self {
+        Self {
+            micro_a: vec![0.0; n],
+            micro_s: vec![0.0; n],
+            n_dens: vec![0.0; n],
+            dist: vec![0.0; n],
+            pending: vec![0.0; n],
+            pending_cell: vec![0; n],
+            tag: vec![Tag::None; n],
+            status: vec![Status::Active; n],
+        }
+    }
+}
+
+/// A disjoint mutable window across the particle list and all state arrays.
+struct Window<'a> {
+    particles: &'a mut [Particle],
+    micro_a: &'a mut [f64],
+    micro_s: &'a mut [f64],
+    n_dens: &'a mut [f64],
+    dist: &'a mut [f64],
+    pending: &'a mut [f64],
+    pending_cell: &'a mut [u32],
+    tag: &'a mut [Tag],
+    status: &'a mut [Status],
+}
+
+fn windows<'a>(
+    particles: &'a mut [Particle],
+    st: &'a mut EventState,
+    chunk: usize,
+) -> Vec<Window<'a>> {
+    let mut out = Vec::new();
+    let mut w = Window {
+        particles,
+        micro_a: &mut st.micro_a,
+        micro_s: &mut st.micro_s,
+        n_dens: &mut st.n_dens,
+        dist: &mut st.dist,
+        pending: &mut st.pending,
+        pending_cell: &mut st.pending_cell,
+        tag: &mut st.tag,
+        status: &mut st.status,
+    };
+    while w.particles.len() > chunk {
+        let (p0, p1) = w.particles.split_at_mut(chunk);
+        let (a0, a1) = w.micro_a.split_at_mut(chunk);
+        let (s0, s1) = w.micro_s.split_at_mut(chunk);
+        let (n0, n1) = w.n_dens.split_at_mut(chunk);
+        let (d0, d1) = w.dist.split_at_mut(chunk);
+        let (pe0, pe1) = w.pending.split_at_mut(chunk);
+        let (pc0, pc1) = w.pending_cell.split_at_mut(chunk);
+        let (t0, t1) = w.tag.split_at_mut(chunk);
+        let (st0, st1) = w.status.split_at_mut(chunk);
+        out.push(Window {
+            particles: p0,
+            micro_a: a0,
+            micro_s: s0,
+            n_dens: n0,
+            dist: d0,
+            pending: pe0,
+            pending_cell: pc0,
+            tag: t0,
+            status: st0,
+        });
+        w = Window {
+            particles: p1,
+            micro_a: a1,
+            micro_s: s1,
+            n_dens: n1,
+            dist: d1,
+            pending: pe1,
+            pending_cell: pc1,
+            tag: t1,
+            status: st1,
+        };
+    }
+    if !w.particles.is_empty() {
+        out.push(w);
+    }
+    out
+}
+
+/// Run the Over-Events scheme to census for the whole population.
+///
+/// `parallel` selects Rayon-parallel kernels (current thread pool) versus
+/// sequential execution of the same kernels. Returns the merged event
+/// counters and the per-kernel timings.
+pub fn run_over_events<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    tally: &AtomicTally,
+    style: KernelStyle,
+    parallel: bool,
+) -> (EventCounters, KernelTimings) {
+    let n = particles.len();
+    let mut st = EventState::new(n);
+    let mut timings = KernelTimings::default();
+    let mut counters = EventCounters::default();
+    let chunk = if parallel {
+        (n / (rayon::current_num_threads() * 8)).max(256)
+    } else {
+        n.max(1)
+    };
+
+    // --- init kernel: populate the per-particle cache arrays.
+    let t0 = Instant::now();
+    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        init_kernel(w, ctx)
+    }));
+    timings.init = t0.elapsed();
+
+    // --- breadth-first rounds.
+    let max_rounds = ctx.cfg.max_events_per_history;
+    loop {
+        timings.rounds += 1;
+        if timings.rounds > max_rounds {
+            // Runaway guard: abandon whatever is still active.
+            let mut stuck = 0;
+            for (i, s) in st.status.iter_mut().enumerate() {
+                if *s == Status::Active {
+                    *s = Status::Dead;
+                    particles[i].dead = true;
+                    stuck += 1;
+                }
+            }
+            counters.stuck += stuck;
+            break;
+        }
+
+        // Kernel 1: distances + event selection.
+        let t = Instant::now();
+        let decide = for_windows(particles, &mut st, chunk, parallel, |w| match style {
+            KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
+            KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
+        });
+        timings.decide += t.elapsed();
+        // `decide` abuses a counter struct: collisions field carries the
+        // number of still-active particles this round.
+        let active = decide.collisions;
+        if active == 0 {
+            break;
+        }
+
+        // Kernel 2: collisions.
+        let t = Instant::now();
+        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+            collision_kernel(w, ctx, style)
+        }));
+        timings.collision += t.elapsed();
+
+        // Kernel 3: facets.
+        let t = Instant::now();
+        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+            facet_kernel(w, ctx, style)
+        }));
+        timings.facet += t.elapsed();
+
+        // Kernel 4: the separated atomic tally flush (§VI-G).
+        let t = Instant::now();
+        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+            tally_kernel(w, tally)
+        }));
+        timings.tally += t.elapsed();
+    }
+
+    // --- census kernel (Listing 2: handled once, after the event loop).
+    let t = Instant::now();
+    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        census_kernel(w, ctx)
+    }));
+    // Flush the census deposits.
+    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        tally_kernel(w, tally)
+    }));
+    timings.census += t.elapsed();
+
+    counters.census_energy_ev = crate::particle::total_weighted_energy(particles);
+    (counters, timings)
+}
+
+/// Apply `kernel` to every window, sequentially or in parallel, merging the
+/// per-window counters.
+fn for_windows<F>(
+    particles: &mut [Particle],
+    st: &mut EventState,
+    chunk: usize,
+    parallel: bool,
+    kernel: F,
+) -> EventCounters
+where
+    F: Fn(&mut Window<'_>) -> EventCounters + Sync,
+{
+    let ws = windows(particles, st, chunk);
+    if parallel {
+        ws.into_par_iter()
+            .map(|mut w| kernel(&mut w))
+            .reduce(EventCounters::default, |mut a, b| {
+                a.merge(&b);
+                a
+            })
+    } else {
+        let mut acc = EventCounters::default();
+        for mut w in ws {
+            acc.merge(&kernel(&mut w));
+        }
+        acc
+    }
+}
+
+fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
+    let mut c = EventCounters::default();
+    for i in 0..w.particles.len() {
+        let p = &mut w.particles[i];
+        if p.dead {
+            w.status[i] = Status::Dead;
+            continue;
+        }
+        w.status[i] = Status::Active;
+        let micro = crate::history::lookup_micro(p, ctx, &mut c);
+        w.micro_a[i] = micro.absorb_barns;
+        w.micro_s[i] = micro.scatter_barns;
+        c.density_reads += 1;
+        w.n_dens[i] =
+            number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+    }
+    c
+}
+
+/// Scalar event selection: per-particle call into the shared
+/// [`next_event`] physics.
+fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+    let mut c = EventCounters::default();
+    for i in 0..w.particles.len() {
+        if w.status[i] != Status::Active {
+            w.tag[i] = Tag::None;
+            continue;
+        }
+        let p = &w.particles[i];
+        let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
+        let bounds = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
+        match next_event(p, sigma_t, bounds) {
+            NextEvent::Census(_) => {
+                w.status[i] = Status::AtCensus;
+                w.tag[i] = Tag::None;
+            }
+            NextEvent::Facet(d, f) => {
+                w.tag[i] = Tag::facet(f);
+                w.dist[i] = d;
+                c.collisions += 1; // "active" count (see caller)
+            }
+            NextEvent::Collision(d) => {
+                w.tag[i] = Tag::Collision;
+                w.dist[i] = d;
+                c.collisions += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Vectorisable event selection: a branch-light arithmetic pass computes
+/// the three candidate distances for *every* particle (the paper's
+/// "kernels visit the entire list" gather behaviour), then a short scalar
+/// pass assigns tags. The physics is identical to the scalar kernel.
+fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+    let n = w.particles.len();
+    let mut d_census = vec![0.0f64; n];
+    let mut d_coll = vec![0.0f64; n];
+    let mut d_facet = vec![0.0f64; n];
+    let mut facet_is_x = vec![false; n];
+
+    // Pass 1: pure arithmetic, no calls, no data-dependent branches beyond
+    // selects — the loop the auto-vectoriser gets to chew on.
+    for i in 0..n {
+        let p = &w.particles[i];
+        let speed = speed_m_per_s(p.energy);
+        let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
+        d_census[i] = speed * p.dt_to_census;
+        d_coll[i] = if sigma_t > 0.0 {
+            p.mfp_to_collision / sigma_t
+        } else {
+            f64::INFINITY
+        };
+        let (x0, x1, y0, y1) = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
+        let dx = if p.omega_x > 0.0 {
+            (x1 - p.x) / p.omega_x
+        } else if p.omega_x < 0.0 {
+            (x0 - p.x) / p.omega_x
+        } else {
+            f64::INFINITY
+        };
+        let dy = if p.omega_y > 0.0 {
+            (y1 - p.y) / p.omega_y
+        } else if p.omega_y < 0.0 {
+            (y0 - p.y) / p.omega_y
+        } else {
+            f64::INFINITY
+        };
+        facet_is_x[i] = dx <= dy;
+        d_facet[i] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
+    }
+
+    // Pass 2: tag assignment (scalar fix-up).
+    let mut c = EventCounters::default();
+    for i in 0..n {
+        if w.status[i] != Status::Active {
+            w.tag[i] = Tag::None;
+            continue;
+        }
+        if d_census[i] <= d_coll[i] && d_census[i] <= d_facet[i] {
+            w.status[i] = Status::AtCensus;
+            w.tag[i] = Tag::None;
+        } else if d_facet[i] <= d_coll[i] {
+            let p = &w.particles[i];
+            let f = if facet_is_x[i] {
+                if p.omega_x >= 0.0 {
+                    Facet::XHigh
+                } else {
+                    Facet::XLow
+                }
+            } else if p.omega_y >= 0.0 {
+                Facet::YHigh
+            } else {
+                Facet::YLow
+            };
+            w.tag[i] = Tag::facet(f);
+            w.dist[i] = d_facet[i];
+            c.collisions += 1;
+        } else {
+            w.tag[i] = Tag::Collision;
+            w.dist[i] = d_coll[i];
+            c.collisions += 1;
+        }
+    }
+    c
+}
+
+fn collision_kernel<R: CbRng>(
+    w: &mut Window<'_>,
+    ctx: &TransportCtx<'_, R>,
+    style: KernelStyle,
+) -> EventCounters {
+    let mut c = EventCounters::default();
+    let nx = ctx.mesh.nx();
+
+    if style == KernelStyle::Vectorized {
+        // Vectorisable pre-pass: movement + deposit arithmetic for all
+        // colliding particles, hoisted out of the branchy handler.
+        for i in 0..w.particles.len() {
+            if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
+                continue;
+            }
+            let micro = MicroXs {
+                absorb_barns: w.micro_a[i],
+                scatter_barns: w.micro_s[i],
+            };
+            let p = &mut w.particles[i];
+            let d = w.dist[i];
+            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+            w.pending_cell[i] = p.cell_index(nx) as u32;
+            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+            move_particle(p, d, sigma_t);
+        }
+    }
+
+    for i in 0..w.particles.len() {
+        if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
+            continue;
+        }
+        let micro = MicroXs {
+            absorb_barns: w.micro_a[i],
+            scatter_barns: w.micro_s[i],
+        };
+        if style == KernelStyle::Scalar {
+            let p = &mut w.particles[i];
+            let d = w.dist[i];
+            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+            w.pending_cell[i] = p.cell_index(nx) as u32;
+            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+            move_particle(p, d, sigma_t);
+        }
+        let p = &mut w.particles[i];
+        let mut stream = CounterStream::new(ctx.rng, p.key);
+        let died = handle_collision(p, &mut stream, micro, ctx.cfg, &mut c);
+        if died {
+            w.status[i] = Status::Dead;
+        } else {
+            let micro = crate::history::lookup_micro(p, ctx, &mut c);
+            w.micro_a[i] = micro.absorb_barns;
+            w.micro_s[i] = micro.scatter_barns;
+        }
+    }
+    c
+}
+
+fn facet_kernel<R: CbRng>(
+    w: &mut Window<'_>,
+    ctx: &TransportCtx<'_, R>,
+    style: KernelStyle,
+) -> EventCounters {
+    let mut c = EventCounters::default();
+    let nx = ctx.mesh.nx();
+
+    if style == KernelStyle::Vectorized {
+        // Vectorisable pre-pass: movement + deposit for all facet-bound
+        // particles.
+        for i in 0..w.particles.len() {
+            if w.status[i] != Status::Active || w.tag[i].to_facet().is_none() {
+                continue;
+            }
+            let micro = MicroXs {
+                absorb_barns: w.micro_a[i],
+                scatter_barns: w.micro_s[i],
+            };
+            let p = &mut w.particles[i];
+            let d = w.dist[i];
+            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+            w.pending_cell[i] = p.cell_index(nx) as u32;
+            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+            move_particle(p, d, sigma_t);
+        }
+    }
+
+    for i in 0..w.particles.len() {
+        if w.status[i] != Status::Active {
+            continue;
+        }
+        let Some(facet) = w.tag[i].to_facet() else {
+            continue;
+        };
+        if style == KernelStyle::Scalar {
+            let micro = MicroXs {
+                absorb_barns: w.micro_a[i],
+                scatter_barns: w.micro_s[i],
+            };
+            let p = &mut w.particles[i];
+            let d = w.dist[i];
+            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+            w.pending_cell[i] = p.cell_index(nx) as u32;
+            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+            move_particle(p, d, sigma_t);
+        }
+        let p = &mut w.particles[i];
+        handle_facet(p, facet, ctx.mesh, &mut c);
+        c.density_reads += 1;
+        w.n_dens[i] =
+            number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+    }
+    c
+}
+
+fn tally_kernel(w: &mut Window<'_>, tally: &AtomicTally) -> EventCounters {
+    let mut c = EventCounters::default();
+    let mut sink = tally;
+    for i in 0..w.particles.len() {
+        if w.pending[i] != 0.0 {
+            sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
+            w.pending[i] = 0.0;
+            c.tally_flushes += 1;
+        }
+    }
+    c
+}
+
+fn census_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
+    let mut c = EventCounters::default();
+    let nx = ctx.mesh.nx();
+    for i in 0..w.particles.len() {
+        if w.status[i] != Status::AtCensus {
+            continue;
+        }
+        let micro = MicroXs {
+            absorb_barns: w.micro_a[i],
+            scatter_barns: w.micro_s[i],
+        };
+        let p = &mut w.particles[i];
+        let speed = speed_m_per_s(p.energy);
+        let d = speed * p.dt_to_census;
+        w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+        w.pending_cell[i] = p.cell_index(nx) as u32;
+        let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+        move_particle(p, d, sigma_t);
+        p.dt_to_census = 0.0;
+        c.census += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+    use crate::over_particles::run_sequential;
+    use crate::particle::spawn_particles;
+    use neutral_mesh::tally::SequentialTally;
+    use neutral_rng::Threefry2x64;
+
+    fn fixture(case: TestCase) -> (crate::config::Problem, Threefry2x64) {
+        let problem = case.build(ProblemScale::tiny(), 17);
+        let rng = Threefry2x64::new([problem.seed, 1]);
+        (problem, rng)
+    }
+
+    fn ctx<'a>(
+        problem: &'a crate::config::Problem,
+        rng: &'a Threefry2x64,
+    ) -> TransportCtx<'a, Threefry2x64> {
+        TransportCtx {
+            mesh: &problem.mesh,
+            xs: &problem.xs,
+            rng,
+            cfg: &problem.transport,
+        }
+    }
+
+    /// The headline validation property: Over Events computes the exact
+    /// same particle trajectories as Over Particles, for every test case
+    /// and both kernel styles.
+    #[test]
+    fn over_events_matches_over_particles() {
+        for case in TestCase::ALL {
+            let (problem, rng) = fixture(case);
+            let c = ctx(&problem, &rng);
+
+            let mut op_particles = spawn_particles(&problem);
+            let mut op_tally = SequentialTally::new(problem.mesh.num_cells());
+            let op_counters = run_sequential(&mut op_particles, &c, &mut op_tally);
+
+            for style in [KernelStyle::Scalar, KernelStyle::Vectorized] {
+                for parallel in [false, true] {
+                    let mut oe_particles = spawn_particles(&problem);
+                    let oe_tally = AtomicTally::new(problem.mesh.num_cells());
+                    let (oe_counters, _t) = run_over_events(
+                        &mut oe_particles,
+                        &c,
+                        &oe_tally,
+                        style,
+                        parallel,
+                    );
+                    assert_eq!(
+                        op_particles, oe_particles,
+                        "{case:?}/{style:?}/parallel={parallel}: trajectories"
+                    );
+                    assert_eq!(op_counters.collisions, oe_counters.collisions);
+                    assert_eq!(op_counters.facets, oe_counters.facets);
+                    assert_eq!(op_counters.census, oe_counters.census);
+                    assert_eq!(op_counters.deaths, oe_counters.deaths);
+                    assert_eq!(op_counters.cs_lookups, oe_counters.cs_lookups);
+                    assert_eq!(op_counters.density_reads, oe_counters.density_reads);
+                    let a = op_tally.total();
+                    let b = oe_tally.total();
+                    assert!(
+                        ((a - b) / a.abs().max(1e-30)).abs() < 1e-9,
+                        "{case:?}/{style:?}: tally {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_cell_tallies_match_schemes() {
+        let (problem, rng) = fixture(TestCase::Csp);
+        let c = ctx(&problem, &rng);
+
+        let mut op_particles = spawn_particles(&problem);
+        let mut op_tally = SequentialTally::new(problem.mesh.num_cells());
+        run_sequential(&mut op_particles, &c, &mut op_tally);
+
+        let mut oe_particles = spawn_particles(&problem);
+        let oe_tally = AtomicTally::new(problem.mesh.num_cells());
+        run_over_events(&mut oe_particles, &c, &oe_tally, KernelStyle::Scalar, false);
+
+        let total = op_tally.total();
+        for (i, (a, b)) in op_tally
+            .values()
+            .iter()
+            .zip(oe_tally.snapshot())
+            .enumerate()
+        {
+            let scale = a.abs().max(total * 1e-12).max(1e-30);
+            assert!(
+                ((a - b) / scale).abs() < 1e-6,
+                "cell {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (problem, rng) = fixture(TestCase::Csp);
+        let c = ctx(&problem, &rng);
+        let mut particles = spawn_particles(&problem);
+        let tally = AtomicTally::new(problem.mesh.num_cells());
+        let (_counters, t) =
+            run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
+        assert!(t.rounds > 1);
+        assert!(t.total() > Duration::ZERO);
+        let f = t.tally_fraction();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn runaway_guard_fires() {
+        let (mut problem, rng) = fixture(TestCase::Stream);
+        problem.transport.max_events_per_history = 3;
+        let c = ctx(&problem, &rng);
+        let mut particles = spawn_particles(&problem);
+        let tally = AtomicTally::new(problem.mesh.num_cells());
+        let (counters, _) =
+            run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
+        assert!(counters.stuck > 0);
+        assert!(particles.iter().all(|p| p.dead || p.dt_to_census == 0.0));
+    }
+}

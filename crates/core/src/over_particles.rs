@@ -1,0 +1,280 @@
+//! Drivers for the **Over Particles** parallelisation scheme (paper §V-A):
+//! each worker follows whole particle histories from birth to census.
+//!
+//! Three drivers share the same inner loop ([`crate::history`]):
+//!
+//! * [`run_sequential`] — the single-threaded baseline, generic over any
+//!   tally sink;
+//! * [`run_rayon`] — work-stealing data parallelism over particles via
+//!   Rayon (the idiomatic Rust equivalent of `#pragma omp parallel for`),
+//!   atomic tally;
+//! * [`run_scheduled`] — explicit threads with OpenMP-style
+//!   static/dynamic/guided scheduling (for the Fig 4/6 studies), with
+//!   either the shared atomic tally or per-thread privatised tallies
+//!   (Fig 7).
+
+use crate::counters::EventCounters;
+use crate::events::TallySink;
+use crate::history::{track_to_census, TransportCtx};
+use crate::particle::{total_weighted_energy, Particle};
+use crate::scheduler::{parallel_for_stateful, Schedule, SharedSliceMut};
+use neutral_mesh::tally::{AtomicTally, PrivatizedTally};
+use neutral_rng::CbRng;
+use rayon::prelude::*;
+
+/// Track every particle to census on the current thread.
+pub fn run_sequential<R: CbRng, T: TallySink>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    tally: &mut T,
+) -> EventCounters {
+    let mut counters = EventCounters::default();
+    for p in particles.iter_mut() {
+        track_to_census(p, ctx, tally, &mut counters);
+    }
+    counters.census_energy_ev = total_weighted_energy(particles);
+    counters
+}
+
+/// Track every particle to census on Rayon's current thread pool, tallying
+/// into the shared atomic mesh.
+///
+/// Counters are folded per worker task and reduced — nothing but the tally
+/// itself is shared between threads, mirroring the OpenMP implementation
+/// where the tally atomics are the only synchronisation (§V-A: "Thread
+/// synchronisation is minimised"). Work is dealt in contiguous chunks with
+/// the same policy as the SoA driver, so the Figure 5 layout comparison
+/// isolates the layout and not the scheduling granularity.
+pub fn run_rayon<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    tally: &AtomicTally,
+) -> EventCounters {
+    let chunk = rayon_chunk_size(particles.len());
+    let mut counters = particles
+        .par_chunks_mut(chunk)
+        .fold(EventCounters::default, |mut local, chunk| {
+            let mut sink = tally;
+            for p in chunk {
+                track_to_census(p, ctx, &mut sink, &mut local);
+            }
+            local
+        })
+        .reduce(EventCounters::default, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    counters.census_energy_ev = total_weighted_energy(particles);
+    counters
+}
+
+/// Chunk size shared by the Rayon AoS and SoA drivers: ~8 chunks per
+/// worker for stealing slack, but never so small that per-chunk overhead
+/// dominates.
+#[must_use]
+pub fn rayon_chunk_size(n: usize) -> usize {
+    (n / (rayon::current_num_threads() * 8)).max(64)
+}
+
+/// Tally backend for the scheduled driver.
+pub enum ScheduledTally<'a> {
+    /// Shared mesh with atomic read-modify-write updates.
+    Atomic(&'a AtomicTally),
+    /// One private mesh per thread, merged after the solve (§VI-F). The
+    /// tally must have been created with `n_threads` slots.
+    Privatized(&'a mut PrivatizedTally),
+}
+
+/// Track every particle on `n_threads` explicit threads under the given
+/// OpenMP-style schedule.
+pub fn run_scheduled<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    tally: ScheduledTally<'_>,
+    n_threads: usize,
+    schedule: Schedule,
+) -> EventCounters {
+    assert!(n_threads > 0, "need at least one thread");
+    let n = particles.len();
+    let shared = SharedSliceMut::new(particles);
+
+    let mut merged = EventCounters::default();
+    match tally {
+        ScheduledTally::Atomic(tally) => {
+            let mut states: Vec<EventCounters> =
+                vec![EventCounters::default(); n_threads];
+            parallel_for_stateful(n, schedule, &mut states, |local, range| {
+                // SAFETY: scheduler ranges are disjoint (see SharedSliceMut).
+                let chunk = unsafe { shared.range_mut(range) };
+                let mut sink = tally;
+                for p in chunk {
+                    track_to_census(p, ctx, &mut sink, local);
+                }
+            });
+            for s in &states {
+                merged.merge(s);
+            }
+        }
+        ScheduledTally::Privatized(tally) => {
+            assert_eq!(
+                tally.num_slots(),
+                n_threads,
+                "privatised tally must have one slot per thread"
+            );
+            let mut states: Vec<(EventCounters, &mut neutral_mesh::tally::TallySlot)> = tally
+                .slots_mut()
+                .map(|slot| (EventCounters::default(), slot))
+                .collect();
+            parallel_for_stateful(n, schedule, &mut states, |(local, slot), range| {
+                // SAFETY: scheduler ranges are disjoint (see SharedSliceMut).
+                let chunk = unsafe { shared.range_mut(range) };
+                for p in chunk {
+                    track_to_census(p, ctx, &mut *slot, local);
+                }
+            });
+            for (s, _) in &states {
+                merged.merge(s);
+            }
+        }
+    }
+    merged.census_energy_ev = total_weighted_energy(particles);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+    use crate::particle::spawn_particles;
+    use neutral_mesh::tally::SequentialTally;
+    use neutral_rng::Threefry2x64;
+
+    struct Fixture {
+        problem: crate::config::Problem,
+        rng: Threefry2x64,
+    }
+
+    impl Fixture {
+        fn new(case: TestCase) -> Self {
+            let problem = case.build(ProblemScale::tiny(), 99);
+            let rng = Threefry2x64::new([problem.seed, 1]);
+            Self { problem, rng }
+        }
+
+        fn ctx(&self) -> TransportCtx<'_, Threefry2x64> {
+            TransportCtx {
+                mesh: &self.problem.mesh,
+                xs: &self.problem.xs,
+                rng: &self.rng,
+                cfg: &self.problem.transport,
+            }
+        }
+    }
+
+    /// All drivers must produce identical particle states and counters,
+    /// and tallies equal up to floating-point summation order.
+    #[test]
+    fn drivers_agree_with_sequential() {
+        for case in TestCase::ALL {
+            let fx = Fixture::new(case);
+            let cells = fx.problem.mesh.num_cells();
+
+            let mut seq_particles = spawn_particles(&fx.problem);
+            let mut seq_tally = SequentialTally::new(cells);
+            let seq_counters =
+                run_sequential(&mut seq_particles, &fx.ctx(), &mut seq_tally);
+
+            // Rayon driver.
+            let mut ray_particles = spawn_particles(&fx.problem);
+            let ray_tally = AtomicTally::new(cells);
+            let ray_counters = run_rayon(&mut ray_particles, &fx.ctx(), &ray_tally);
+            assert_eq!(seq_particles, ray_particles, "{case:?}: particle states");
+            assert_eq!(
+                seq_counters.total_events(),
+                ray_counters.total_events(),
+                "{case:?}: event counts"
+            );
+            assert_tallies_close(seq_tally.values(), &ray_tally.snapshot(), case);
+
+            // Scheduled driver, dynamic schedule, atomic tally.
+            let mut sch_particles = spawn_particles(&fx.problem);
+            let sch_tally = AtomicTally::new(cells);
+            let sch_counters = run_scheduled(
+                &mut sch_particles,
+                &fx.ctx(),
+                ScheduledTally::Atomic(&sch_tally),
+                4,
+                Schedule::Dynamic { chunk: 16 },
+            );
+            assert_eq!(seq_particles, sch_particles, "{case:?}: scheduled states");
+            assert_eq!(seq_counters.collisions, sch_counters.collisions);
+            assert_tallies_close(seq_tally.values(), &sch_tally.snapshot(), case);
+
+            // Scheduled driver, privatised tally.
+            let mut prv_particles = spawn_particles(&fx.problem);
+            let mut prv_tally = PrivatizedTally::new(3, cells);
+            let prv_counters = run_scheduled(
+                &mut prv_particles,
+                &fx.ctx(),
+                ScheduledTally::Privatized(&mut prv_tally),
+                3,
+                Schedule::Static { chunk: Some(8) },
+            );
+            assert_eq!(seq_particles, prv_particles, "{case:?}: privatised states");
+            assert_eq!(seq_counters.facets, prv_counters.facets);
+            assert_tallies_close(seq_tally.values(), &prv_tally.merge(), case);
+        }
+    }
+
+    fn assert_tallies_close(a: &[f64], b: &[f64], case: TestCase) {
+        assert_eq!(a.len(), b.len());
+        let total_a: f64 = a.iter().sum();
+        let total_b: f64 = b.iter().sum();
+        let scale = total_a.abs().max(1e-30);
+        assert!(
+            ((total_a - total_b) / scale).abs() < 1e-9,
+            "{case:?}: tally totals differ: {total_a} vs {total_b}"
+        );
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let cell_scale = x.abs().max(scale * 1e-12);
+            assert!(
+                ((x - y) / cell_scale).abs() < 1e-6,
+                "{case:?}: cell {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn privatised_run_is_bitwise_reproducible() {
+        let fx = Fixture::new(TestCase::Csp);
+        let cells = fx.problem.mesh.num_cells();
+        let run = || {
+            let mut particles = spawn_particles(&fx.problem);
+            let mut tally = PrivatizedTally::new(4, cells);
+            run_scheduled(
+                &mut particles,
+                &fx.ctx(),
+                ScheduledTally::Privatized(&mut tally),
+                4,
+                Schedule::Static { chunk: None },
+            );
+            tally.merge()
+        };
+        let a = run();
+        let b = run();
+        // Static schedule + fixed thread count + deterministic merge order
+        // => bitwise identical results.
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn census_energy_reported() {
+        let fx = Fixture::new(TestCase::Stream);
+        let mut particles = spawn_particles(&fx.problem);
+        let mut tally = SequentialTally::new(fx.problem.mesh.num_cells());
+        let counters = run_sequential(&mut particles, &fx.ctx(), &mut tally);
+        // Vacuum: all particles survive at full energy.
+        let expect = fx.problem.n_particles as f64 * fx.problem.initial_energy_ev;
+        assert!((counters.census_energy_ev - expect).abs() / expect < 1e-12);
+    }
+}

@@ -1,0 +1,379 @@
+//! Problem-parameter files.
+//!
+//! The original mini-app (like the rest of the `arch` project) is driven
+//! by small `key value` parameter files (`neutral.params`). This module
+//! provides the same workflow: a forgiving line-oriented parser and a
+//! builder that turns the parsed keys into a [`Problem`].
+//!
+//! # Format
+//!
+//! One `key value` pair per line; `#` starts a comment; unknown keys are
+//! an error (typos should not silently change the physics). Keys:
+//!
+//! ```text
+//! # geometry / discretisation
+//! nx 1000              # cells along x
+//! ny 1000              # cells along y
+//! width 1.0            # domain width (m)
+//! height 1.0           # domain height (m)
+//!
+//! # material field
+//! density 0.05                 # background density (kg/m^3)
+//! region 0.375 0.625 0.375 0.625 1000.0   # x0 x1 y0 y1 rho (repeatable)
+//!
+//! # source + run controls
+//! source 0.0 0.1 0.0 0.1       # x0 x1 y0 y1
+//! particles 100000
+//! dt 1.0e-7
+//! timesteps 1
+//! seed 20170905
+//! initial_energy 1.0e6         # eV
+//!
+//! # transport controls
+//! xs_points 30000
+//! min_energy 1.0               # eV cutoff
+//! weight_cutoff 1.0e-6
+//! collision_model analogue     # or implicit_capture
+//! ```
+//!
+//! Any key may be omitted; defaults reproduce the paper's `csp` problem at
+//! `ProblemScale::small()`.
+
+use crate::config::{CollisionModel, Problem, TransportConfig};
+use neutral_mesh::{Rect, StructuredMesh2D};
+use neutral_xs::{constants, CrossSectionLibrary};
+use std::fmt;
+
+/// A parse or validation failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamsError {
+    /// 1-based line of the failure (0 = file-level).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "params: {}", self.message)
+        } else {
+            write!(f, "params line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParamsError {
+    ParamsError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parsed parameter set; [`ProblemParams::build`] turns it into a
+/// [`Problem`].
+#[derive(Debug, Clone)]
+pub struct ProblemParams {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Domain width (m).
+    pub width: f64,
+    /// Domain height (m).
+    pub height: f64,
+    /// Background density (kg/m^3).
+    pub density: f64,
+    /// Density override regions `(rect, rho)`.
+    pub regions: Vec<(Rect, f64)>,
+    /// Source region.
+    pub source: Rect,
+    /// Histories per timestep.
+    pub particles: usize,
+    /// Timestep (s).
+    pub dt: f64,
+    /// Number of timesteps.
+    pub timesteps: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Birth energy (eV).
+    pub initial_energy: f64,
+    /// Cross-section table points.
+    pub xs_points: usize,
+    /// Energy cutoff (eV).
+    pub min_energy: f64,
+    /// Weight cutoff fraction.
+    pub weight_cutoff: f64,
+    /// Collision resolution model.
+    pub collision_model: CollisionModel,
+}
+
+impl Default for ProblemParams {
+    fn default() -> Self {
+        Self {
+            nx: 1000,
+            ny: 1000,
+            width: 1.0,
+            height: 1.0,
+            density: 0.05,
+            regions: vec![(Rect::new(0.375, 0.625, 0.375, 0.625), 1.0e3)],
+            source: Rect::new(0.0, 0.1, 0.0, 0.1),
+            particles: 10_000,
+            dt: 1.0e-7,
+            timesteps: 1,
+            seed: 20_170_905,
+            initial_energy: constants::INITIAL_ENERGY_EV,
+            xs_points: 30_000,
+            min_energy: constants::MIN_ENERGY_OF_INTEREST_EV,
+            weight_cutoff: 1.0e-6,
+            collision_model: CollisionModel::Analogue,
+        }
+    }
+}
+
+impl ProblemParams {
+    /// Parse a parameter file's contents.
+    pub fn parse(text: &str) -> Result<Self, ParamsError> {
+        let mut p = Self {
+            regions: Vec::new(), // an explicit file defines its own regions
+            ..Self::default()
+        };
+        let mut explicit_regions = false;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line has a token");
+            let rest: Vec<&str> = it.collect();
+
+            let one = |rest: &[&str]| -> Result<String, ParamsError> {
+                if rest.len() != 1 {
+                    return Err(err(lineno, format!("`{key}` takes exactly one value")));
+                }
+                Ok(rest[0].to_owned())
+            };
+            let parse_f64 = |s: &str| -> Result<f64, ParamsError> {
+                s.parse()
+                    .map_err(|_| err(lineno, format!("`{s}` is not a number")))
+            };
+            let parse_usize = |s: &str| -> Result<usize, ParamsError> {
+                s.parse()
+                    .map_err(|_| err(lineno, format!("`{s}` is not a positive integer")))
+            };
+
+            match key {
+                "nx" => p.nx = parse_usize(&one(&rest)?)?,
+                "ny" => p.ny = parse_usize(&one(&rest)?)?,
+                "width" => p.width = parse_f64(&one(&rest)?)?,
+                "height" => p.height = parse_f64(&one(&rest)?)?,
+                "density" => p.density = parse_f64(&one(&rest)?)?,
+                "particles" => p.particles = parse_usize(&one(&rest)?)?,
+                "dt" => p.dt = parse_f64(&one(&rest)?)?,
+                "timesteps" => p.timesteps = parse_usize(&one(&rest)?)?,
+                "seed" => {
+                    p.seed = one(&rest)?
+                        .parse()
+                        .map_err(|_| err(lineno, "seed must be a u64"))?;
+                }
+                "initial_energy" => p.initial_energy = parse_f64(&one(&rest)?)?,
+                "xs_points" => p.xs_points = parse_usize(&one(&rest)?)?,
+                "min_energy" => p.min_energy = parse_f64(&one(&rest)?)?,
+                "weight_cutoff" => p.weight_cutoff = parse_f64(&one(&rest)?)?,
+                "collision_model" => {
+                    p.collision_model = match one(&rest)?.as_str() {
+                        "analogue" => CollisionModel::Analogue,
+                        "implicit_capture" => CollisionModel::ImplicitCapture,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown collision model `{other}`"),
+                            ))
+                        }
+                    };
+                }
+                "source" | "region" => {
+                    let need = if key == "source" { 4 } else { 5 };
+                    if rest.len() != need {
+                        return Err(err(lineno, format!("`{key}` takes {need} values")));
+                    }
+                    let v: Result<Vec<f64>, _> = rest.iter().map(|s| parse_f64(s)).collect();
+                    let v = v?;
+                    if v[0] >= v[1] || v[2] >= v[3] {
+                        return Err(err(lineno, "rectangle bounds inverted"));
+                    }
+                    let rect = Rect::new(v[0], v[1], v[2], v[3]);
+                    if key == "source" {
+                        p.source = rect;
+                    } else {
+                        explicit_regions = true;
+                        p.regions.push((rect, v[4]));
+                    }
+                }
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+
+        if !explicit_regions && p.regions.is_empty() {
+            // No region lines: keep a homogeneous field (background only).
+        }
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), ParamsError> {
+        let check = |ok: bool, msg: &str| if ok { Ok(()) } else { Err(err(0, msg)) };
+        check(self.nx > 0 && self.ny > 0, "mesh must have cells")?;
+        check(self.width > 0.0 && self.height > 0.0, "domain must have extent")?;
+        check(self.density >= 0.0, "density must be non-negative")?;
+        check(self.particles > 0, "need at least one particle")?;
+        check(self.dt > 0.0, "dt must be positive")?;
+        check(self.timesteps > 0, "need at least one timestep")?;
+        check(self.initial_energy > self.min_energy, "birth energy below cutoff")?;
+        check(
+            (0.0..1.0).contains(&self.weight_cutoff),
+            "weight cutoff must be in [0, 1)",
+        )?;
+        check(self.xs_points >= 2, "cross-section table needs >= 2 points")?;
+        let inside = |r: &Rect| {
+            r.x0 >= 0.0 && r.x1 <= self.width && r.y0 >= 0.0 && r.y1 <= self.height
+        };
+        check(inside(&self.source), "source region outside the domain")?;
+        for (r, rho) in &self.regions {
+            check(inside(r), "density region outside the domain")?;
+            check(*rho >= 0.0, "region density must be non-negative")?;
+        }
+        Ok(())
+    }
+
+    /// Materialise the problem: build the mesh, apply regions, generate
+    /// the cross-section tables.
+    #[must_use]
+    pub fn build(&self) -> Problem {
+        let mut mesh =
+            StructuredMesh2D::uniform(self.nx, self.ny, self.width, self.height, self.density);
+        for (rect, rho) in &self.regions {
+            let _ = mesh.set_region(*rect, *rho);
+        }
+        Problem {
+            mesh,
+            xs: CrossSectionLibrary::synthetic(self.xs_points, self.seed ^ 0xc5_0dd),
+            source: self.source,
+            n_particles: self.particles,
+            dt: self.dt,
+            n_timesteps: self.timesteps,
+            seed: self.seed,
+            initial_energy_ev: self.initial_energy,
+            transport: TransportConfig {
+                min_energy_ev: self.min_energy,
+                weight_cutoff: self.weight_cutoff,
+                collision_model: self.collision_model,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_a_csp_like_problem() {
+        let p = ProblemParams::default().build();
+        assert_eq!(p.mesh.nx(), 1000);
+        let (cx, cy) = p.mesh.locate(0.5, 0.5);
+        assert_eq!(p.mesh.density(cx, cy), 1.0e3);
+    }
+
+    #[test]
+    fn parses_a_full_file() {
+        let text = "\
+# a scatter-like problem
+nx 64          # small mesh
+ny 32
+width 2.0
+height 1.0
+density 1000.0
+source 0.9 1.1 0.4 0.6
+particles 500
+dt 2.0e-7
+timesteps 3
+seed 7
+initial_energy 5.0e5
+xs_points 512
+min_energy 2.0
+weight_cutoff 1e-5
+collision_model implicit_capture
+";
+        let p = ProblemParams::parse(text).unwrap();
+        assert_eq!((p.nx, p.ny), (64, 32));
+        assert_eq!(p.timesteps, 3);
+        assert_eq!(p.collision_model, CollisionModel::ImplicitCapture);
+        let problem = p.build();
+        assert_eq!(problem.n_particles, 500);
+        assert_eq!(problem.mesh.density(0, 0), 1000.0);
+        assert_eq!(problem.transport.min_energy_ev, 2.0);
+    }
+
+    #[test]
+    fn regions_override_background() {
+        let text = "\
+nx 10
+ny 10
+density 1.0
+region 0.0 0.5 0.0 1.0 42.0
+region 0.5 1.0 0.0 0.5 7.0
+";
+        let problem = ProblemParams::parse(text).unwrap().build();
+        assert_eq!(problem.mesh.density(1, 5), 42.0);
+        assert_eq!(problem.mesh.density(8, 1), 7.0);
+        assert_eq!(problem.mesh.density(8, 8), 1.0);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let e = ProblemParams::parse("nx 10\nbogus 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(ProblemParams::parse("nx ten\n").is_err());
+        assert!(ProblemParams::parse("source 0 1 0\n").is_err());
+        assert!(ProblemParams::parse("region 1 0 0 1 5\n").is_err());
+        assert!(ProblemParams::parse("collision_model magic\n").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_setups() {
+        // Source outside the domain.
+        let e = ProblemParams::parse("width 1.0\nsource 0.5 1.5 0.0 0.5\n").unwrap_err();
+        assert!(e.message.contains("source"));
+        // Birth energy below cutoff.
+        assert!(ProblemParams::parse("initial_energy 0.5\nmin_energy 1.0\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = ProblemParams::parse("\n# just a comment\n\nnx 5\n").unwrap();
+        assert_eq!(p.nx, 5);
+    }
+
+    #[test]
+    fn parsed_problem_runs() {
+        let text = "nx 32\nny 32\ndensity 1e3\nparticles 50\nsource 0.4 0.6 0.4 0.6\nxs_points 256\n";
+        let problem = ProblemParams::parse(text).unwrap().build();
+        let report = crate::sim::Simulation::new(problem).run(crate::sim::RunOptions {
+            execution: crate::sim::Execution::Sequential,
+            ..Default::default()
+        });
+        assert!(report.counters.total_events() > 0);
+    }
+}

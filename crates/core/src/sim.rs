@@ -1,0 +1,478 @@
+//! The top-level simulation facade: configure a problem, pick a
+//! parallelisation scheme / tally / threading combination, run timesteps,
+//! and collect a [`RunReport`].
+//!
+//! This is the API the examples and the figure-regeneration harness drive;
+//! it wires together the drivers in [`crate::over_particles`],
+//! [`crate::over_events`] and [`crate::soa`].
+
+use crate::config::Problem;
+use crate::counters::EventCounters;
+use crate::history::TransportCtx;
+use crate::over_events::{run_over_events, KernelStyle, KernelTimings};
+use crate::over_particles::{run_rayon, run_scheduled, run_sequential, ScheduledTally};
+use crate::particle::{spawn_particles, Particle};
+use crate::scheduler::Schedule;
+use crate::soa::{run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
+use crate::validate::{population_balance, EnergyBalance};
+use neutral_mesh::tally::{AtomicTally, PrivatizedTally, SequentialTally};
+use neutral_rng::Threefry2x64;
+use std::time::{Duration, Instant};
+
+/// Which parallelisation scheme to run (paper §V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Depth-first: a thread follows a particle from birth to census.
+    #[default]
+    OverParticles,
+    /// Breadth-first: all histories advance one event class at a time.
+    OverEvents,
+}
+
+/// Particle storage layout (paper §VI-D). Only meaningful for
+/// [`Scheme::OverParticles`]; Over Events manages its own state arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Array of Structures — the paper's fastest CPU layout.
+    #[default]
+    Aos,
+    /// Structure of Arrays, gathered once per history (register-cached
+    /// tracking; Rust's `noalias` slices permit this, unlike the C code).
+    Soa,
+    /// Structure of Arrays with event-granular gather/scatter and no
+    /// register caching — the memory behaviour that produced the paper's
+    /// SoA penalty (see `soa::run_rayon_soa_stepped`).
+    SoaEventStepped,
+}
+
+/// Threading and tally configuration of a run.
+#[derive(Clone, Copy, Debug)]
+pub enum Execution {
+    /// Single-threaded, plain `Vec<f64>` tally.
+    Sequential,
+    /// Rayon work-stealing pool (global pool, or a pool the caller
+    /// installed), shared atomic tally.
+    Rayon,
+    /// Explicit threads with an OpenMP-style schedule and the shared
+    /// atomic tally (paper §VI-C/E).
+    Scheduled {
+        /// Number of worker threads.
+        threads: usize,
+        /// Loop schedule.
+        schedule: Schedule,
+    },
+    /// Explicit threads with one private tally mesh per thread (§VI-F).
+    ScheduledPrivatized {
+        /// Number of worker threads.
+        threads: usize,
+        /// Loop schedule.
+        schedule: Schedule,
+    },
+}
+
+/// Full options of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Parallelisation scheme.
+    pub scheme: Scheme,
+    /// Particle storage layout (Over Particles only).
+    pub layout: Layout,
+    /// Threading + tally configuration.
+    pub execution: Execution,
+    /// Kernel style for Over Events (§VI-G).
+    pub kernel_style: KernelStyle,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scheme: Scheme::OverParticles,
+            layout: Layout::Aos,
+            execution: Execution::Rayon,
+            kernel_style: KernelStyle::Scalar,
+        }
+    }
+}
+
+/// Everything a completed run reports.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Wall-clock time of the transport solve (excludes problem setup).
+    pub elapsed: Duration,
+    /// Merged event counters.
+    pub counters: EventCounters,
+    /// The energy-deposition tally, merged ("compressed") to one mesh.
+    pub tally: Vec<f64>,
+    /// Per-kernel timings (Over Events only).
+    pub kernel_timings: Option<KernelTimings>,
+    /// Number of histories that survived to the final census.
+    pub alive: usize,
+    /// Total source energy (weighted eV).
+    pub initial_energy_ev: f64,
+    /// Tally memory footprint in bytes (includes all private copies for
+    /// the privatised configuration — the §VI-F blow-up).
+    pub tally_footprint_bytes: usize,
+    /// Timesteps executed.
+    pub timesteps: usize,
+}
+
+impl RunReport {
+    /// Total deposited energy.
+    #[must_use]
+    pub fn tally_total(&self) -> f64 {
+        self.tally.iter().sum()
+    }
+
+    /// Energy balance of the run.
+    #[must_use]
+    pub fn energy_balance(&self) -> EnergyBalance {
+        EnergyBalance::new(self.initial_energy_ev, self.tally_total(), &self.counters)
+    }
+
+    /// Events processed per second of solve time.
+    #[must_use]
+    pub fn events_per_second(&self) -> f64 {
+        self.counters.total_events() as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.3}s | {} events ({} collisions, {} facets, {} census) | {:.2e} events/s | deposit {:.3e} eV | {} alive",
+            self.elapsed.as_secs_f64(),
+            self.counters.total_events(),
+            self.counters.collisions,
+            self.counters.facets,
+            self.counters.census,
+            self.events_per_second(),
+            self.tally_total(),
+            self.alive,
+        )
+    }
+}
+
+/// A configured simulation: problem + spawned particle population.
+pub struct Simulation {
+    problem: Problem,
+    rng: Threefry2x64,
+}
+
+impl Simulation {
+    /// Set up a simulation for `problem`.
+    #[must_use]
+    pub fn new(problem: Problem) -> Self {
+        let rng = Threefry2x64::new([problem.seed, 1]);
+        Self { problem, rng }
+    }
+
+    /// The underlying problem.
+    #[must_use]
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Run the configured number of timesteps with `options`, returning
+    /// the report. Each call spawns a fresh particle population, so
+    /// repeated calls with the same options are reproducible.
+    #[must_use]
+    pub fn run(&self, options: RunOptions) -> RunReport {
+        let problem = &self.problem;
+        let ctx = TransportCtx {
+            mesh: &problem.mesh,
+            xs: &problem.xs,
+            rng: &self.rng,
+            cfg: &problem.transport,
+        };
+        let mut particles = spawn_particles(problem);
+        let initial_energy_ev =
+            particles.len() as f64 * problem.initial_energy_ev;
+        let cells = problem.mesh.num_cells();
+
+        let mut counters = EventCounters::default();
+        let mut kernel_timings: Option<KernelTimings> = None;
+        let mut tally_vec: Vec<f64> = vec![0.0; cells];
+        let mut tally_footprint = 0usize;
+
+        let start = Instant::now();
+        for step in 0..problem.n_timesteps {
+            if step > 0 {
+                for p in particles.iter_mut().filter(|p| !p.dead) {
+                    p.dt_to_census = problem.dt;
+                }
+            }
+            let step_counters = self.run_step(
+                &mut particles,
+                &ctx,
+                options,
+                &mut tally_vec,
+                &mut kernel_timings,
+                &mut tally_footprint,
+            );
+            counters.merge(&step_counters);
+            // The residual is a snapshot, not a sum across steps.
+            counters.census_energy_ev = step_counters.census_energy_ev;
+        }
+        let elapsed = start.elapsed();
+
+        let alive = particles.iter().filter(|p| !p.dead).count();
+        // Per-step population balance: step k processes the histories that
+        // were alive at its start, so census + deaths + stuck across the
+        // whole run equals n_particles plus one extra census per survivor
+        // per additional timestep.
+        debug_assert!(
+            problem.n_timesteps > 1
+                || population_balance(problem.n_particles as u64, &counters)
+        );
+
+        RunReport {
+            elapsed,
+            counters,
+            tally: tally_vec,
+            kernel_timings,
+            alive,
+            initial_energy_ev,
+            tally_footprint_bytes: tally_footprint,
+            timesteps: problem.n_timesteps,
+        }
+    }
+
+    fn run_step(
+        &self,
+        particles: &mut [Particle],
+        ctx: &TransportCtx<'_, Threefry2x64>,
+        options: RunOptions,
+        tally_vec: &mut [f64],
+        kernel_timings: &mut Option<KernelTimings>,
+        tally_footprint: &mut usize,
+    ) -> EventCounters {
+        let cells = tally_vec.len();
+        match options.scheme {
+            Scheme::OverEvents => {
+                let tally = AtomicTally::new(cells);
+                *tally_footprint = tally.footprint_bytes();
+                let parallel = !matches!(options.execution, Execution::Sequential);
+                let (counters, timings) = run_over_events(
+                    particles,
+                    ctx,
+                    &tally,
+                    options.kernel_style,
+                    parallel,
+                );
+                accumulate(tally_vec, &tally.snapshot());
+                *kernel_timings = Some(match kernel_timings.take() {
+                    None => timings,
+                    Some(prev) => KernelTimings {
+                        init: prev.init + timings.init,
+                        decide: prev.decide + timings.decide,
+                        collision: prev.collision + timings.collision,
+                        facet: prev.facet + timings.facet,
+                        tally: prev.tally + timings.tally,
+                        census: prev.census + timings.census,
+                        rounds: prev.rounds + timings.rounds,
+                    },
+                });
+                counters
+            }
+            Scheme::OverParticles => match (options.layout, options.execution) {
+                (Layout::Aos, Execution::Sequential) => {
+                    let mut tally = SequentialTally::new(cells);
+                    *tally_footprint = cells * 8;
+                    let counters = run_sequential(particles, ctx, &mut tally);
+                    accumulate(tally_vec, tally.values());
+                    counters
+                }
+                (Layout::Aos, Execution::Rayon) => {
+                    let tally = AtomicTally::new(cells);
+                    *tally_footprint = tally.footprint_bytes();
+                    let counters = run_rayon(particles, ctx, &tally);
+                    accumulate(tally_vec, &tally.snapshot());
+                    counters
+                }
+                (Layout::Aos, Execution::Scheduled { threads, schedule }) => {
+                    let tally = AtomicTally::new(cells);
+                    *tally_footprint = tally.footprint_bytes();
+                    let counters = run_scheduled(
+                        particles,
+                        ctx,
+                        ScheduledTally::Atomic(&tally),
+                        threads,
+                        schedule,
+                    );
+                    accumulate(tally_vec, &tally.snapshot());
+                    counters
+                }
+                (Layout::Aos, Execution::ScheduledPrivatized { threads, schedule }) => {
+                    let mut tally = PrivatizedTally::new(threads, cells);
+                    *tally_footprint = tally.footprint_bytes();
+                    let counters = run_scheduled(
+                        particles,
+                        ctx,
+                        ScheduledTally::Privatized(&mut tally),
+                        threads,
+                        schedule,
+                    );
+                    accumulate(tally_vec, &tally.merge());
+                    counters
+                }
+                (layout @ (Layout::Soa | Layout::SoaEventStepped), execution) => {
+                    // SoA is driven through the Rayon chunked drivers; the
+                    // explicit-scheduler combinations are an AoS study in
+                    // the paper.
+                    assert!(
+                        matches!(execution, Execution::Rayon | Execution::Sequential),
+                        "SoA layouts support Sequential/Rayon execution"
+                    );
+                    let tally = AtomicTally::new(cells);
+                    *tally_footprint = tally.footprint_bytes();
+                    let mut soa = ParticleSoA::from_aos(particles);
+                    let chunk = crate::over_particles::rayon_chunk_size(soa.len());
+                    let counters = if layout == Layout::Soa {
+                        run_rayon_soa(&mut soa, ctx, &tally, chunk)
+                    } else {
+                        run_rayon_soa_stepped(&mut soa, ctx, &tally, chunk)
+                    };
+                    let back = soa.to_aos();
+                    particles.copy_from_slice(&back);
+                    accumulate(tally_vec, &tally.snapshot());
+                    counters
+                }
+            },
+        }
+    }
+}
+
+fn accumulate(acc: &mut [f64], step: &[f64]) {
+    for (a, s) in acc.iter_mut().zip(step) {
+        *a += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+
+    fn sim(case: TestCase) -> Simulation {
+        Simulation::new(case.build(ProblemScale::tiny(), 3))
+    }
+
+    #[test]
+    fn sequential_run_reports() {
+        let s = sim(TestCase::Csp);
+        let r = s.run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        assert!(r.elapsed > Duration::ZERO);
+        assert!(r.counters.total_events() > 0);
+        assert_eq!(r.tally.len(), s.problem().mesh.num_cells());
+        assert!(r.tally_total() > 0.0);
+        assert!(!r.summary().is_empty());
+        assert!(population_balance(
+            s.problem().n_particles as u64,
+            &r.counters
+        ));
+    }
+
+    #[test]
+    fn all_executions_agree_on_physics() {
+        let s = sim(TestCase::Csp);
+        let base = s.run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        let combos = [
+            RunOptions {
+                execution: Execution::Rayon,
+                ..Default::default()
+            },
+            RunOptions {
+                execution: Execution::Scheduled {
+                    threads: 3,
+                    schedule: Schedule::Dynamic { chunk: 8 },
+                },
+                ..Default::default()
+            },
+            RunOptions {
+                execution: Execution::ScheduledPrivatized {
+                    threads: 2,
+                    schedule: Schedule::Static { chunk: None },
+                },
+                ..Default::default()
+            },
+            RunOptions {
+                scheme: Scheme::OverEvents,
+                execution: Execution::Rayon,
+                ..Default::default()
+            },
+            RunOptions {
+                layout: Layout::Soa,
+                execution: Execution::Rayon,
+                ..Default::default()
+            },
+        ];
+        for opts in combos {
+            let r = s.run(opts);
+            assert_eq!(
+                r.counters.collisions, base.counters.collisions,
+                "{opts:?}"
+            );
+            assert_eq!(r.counters.facets, base.counters.facets, "{opts:?}");
+            let (a, b) = (base.tally_total(), r.tally_total());
+            assert!(
+                ((a - b) / a.abs().max(1e-30)).abs() < 1e-9,
+                "{opts:?}: tally {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn over_events_reports_kernel_timings() {
+        let s = sim(TestCase::Scatter);
+        let r = s.run(RunOptions {
+            scheme: Scheme::OverEvents,
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        let t = r.kernel_timings.expect("OE must report kernel timings");
+        assert!(t.rounds > 0);
+    }
+
+    #[test]
+    fn privatized_footprint_scales() {
+        let s = sim(TestCase::Csp);
+        let r2 = s.run(RunOptions {
+            execution: Execution::ScheduledPrivatized {
+                threads: 2,
+                schedule: Schedule::Static { chunk: None },
+            },
+            ..Default::default()
+        });
+        let r4 = s.run(RunOptions {
+            execution: Execution::ScheduledPrivatized {
+                threads: 4,
+                schedule: Schedule::Static { chunk: None },
+            },
+            ..Default::default()
+        });
+        assert_eq!(r4.tally_footprint_bytes, 2 * r2.tally_footprint_bytes);
+    }
+
+    #[test]
+    fn multi_timestep_runs() {
+        let mut problem = TestCase::Stream.build(ProblemScale::tiny(), 3);
+        problem.n_timesteps = 3;
+        let s = Simulation::new(problem);
+        let r = s.run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        assert_eq!(r.timesteps, 3);
+        // Stream particles all survive, so census fires every step.
+        assert_eq!(
+            r.counters.census as usize,
+            3 * s.problem().n_particles
+        );
+    }
+}

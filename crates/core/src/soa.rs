@@ -1,0 +1,519 @@
+//! Structure-of-Arrays particle storage (paper §VI-D).
+//!
+//! The paper compares AoS and SoA particle layouts for the Over-Particles
+//! scheme on CPUs and finds AoS faster everywhere: with one thread per
+//! history, "each thread loads a cache line for each particle field, and
+//! only uses a single item" under SoA, while AoS loads the whole particle
+//! with one or two adjacent lines. This module provides the SoA layout and
+//! a chunked parallel driver so that Figure 5 can be reproduced with real
+//! measurements: histories `load` the particle (the per-field gather that
+//! costs SoA its performance), track it entirely in registers, and `store`
+//! it back.
+
+use crate::counters::EventCounters;
+use crate::history::{step_particle_uncached, track_to_census, StepOutcome, TransportCtx};
+use crate::particle::Particle;
+use neutral_mesh::tally::AtomicTally;
+use neutral_rng::CbRng;
+use neutral_xs::XsHints;
+use rayon::prelude::*;
+
+/// Particle population stored as one array per field.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParticleSoA {
+    /// x positions (m).
+    pub x: Vec<f64>,
+    /// y positions (m).
+    pub y: Vec<f64>,
+    /// x direction cosines.
+    pub omega_x: Vec<f64>,
+    /// y direction cosines.
+    pub omega_y: Vec<f64>,
+    /// Kinetic energies (eV).
+    pub energy: Vec<f64>,
+    /// Statistical weights.
+    pub weight: Vec<f64>,
+    /// Remaining times to census (s).
+    pub dt_to_census: Vec<f64>,
+    /// Remaining mean-free-paths to collision.
+    pub mfp_to_collision: Vec<f64>,
+    /// Containing cell x indices.
+    pub cellx: Vec<u32>,
+    /// Containing cell y indices.
+    pub celly: Vec<u32>,
+    /// Cached capture-table hints.
+    pub absorb_hint: Vec<u32>,
+    /// Cached scatter-table hints.
+    pub scatter_hint: Vec<u32>,
+    /// RNG stream ids.
+    pub key: Vec<u64>,
+    /// RNG draw counters.
+    pub rng_counter: Vec<u64>,
+    /// Termination flags.
+    pub dead: Vec<bool>,
+}
+
+impl ParticleSoA {
+    /// Convert from the AoS layout.
+    #[must_use]
+    pub fn from_aos(particles: &[Particle]) -> Self {
+        let n = particles.len();
+        let mut soa = Self {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            omega_x: Vec::with_capacity(n),
+            omega_y: Vec::with_capacity(n),
+            energy: Vec::with_capacity(n),
+            weight: Vec::with_capacity(n),
+            dt_to_census: Vec::with_capacity(n),
+            mfp_to_collision: Vec::with_capacity(n),
+            cellx: Vec::with_capacity(n),
+            celly: Vec::with_capacity(n),
+            absorb_hint: Vec::with_capacity(n),
+            scatter_hint: Vec::with_capacity(n),
+            key: Vec::with_capacity(n),
+            rng_counter: Vec::with_capacity(n),
+            dead: Vec::with_capacity(n),
+        };
+        for p in particles {
+            soa.x.push(p.x);
+            soa.y.push(p.y);
+            soa.omega_x.push(p.omega_x);
+            soa.omega_y.push(p.omega_y);
+            soa.energy.push(p.energy);
+            soa.weight.push(p.weight);
+            soa.dt_to_census.push(p.dt_to_census);
+            soa.mfp_to_collision.push(p.mfp_to_collision);
+            soa.cellx.push(p.cellx);
+            soa.celly.push(p.celly);
+            soa.absorb_hint.push(p.xs_hints.absorb);
+            soa.scatter_hint.push(p.xs_hints.scatter);
+            soa.key.push(p.key);
+            soa.rng_counter.push(p.rng_counter);
+            soa.dead.push(p.dead);
+        }
+        soa
+    }
+
+    /// Convert back to the AoS layout.
+    #[must_use]
+    pub fn to_aos(&self) -> Vec<Particle> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the population is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Gather particle `i` from the field arrays — under SoA this is the
+    /// fifteen-array gather whose cache behaviour the paper discusses.
+    #[inline]
+    #[must_use]
+    pub fn load(&self, i: usize) -> Particle {
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            omega_x: self.omega_x[i],
+            omega_y: self.omega_y[i],
+            energy: self.energy[i],
+            weight: self.weight[i],
+            dt_to_census: self.dt_to_census[i],
+            mfp_to_collision: self.mfp_to_collision[i],
+            cellx: self.cellx[i],
+            celly: self.celly[i],
+            xs_hints: XsHints {
+                absorb: self.absorb_hint[i],
+                scatter: self.scatter_hint[i],
+            },
+            key: self.key[i],
+            rng_counter: self.rng_counter[i],
+            dead: self.dead[i],
+        }
+    }
+
+    /// Scatter particle `i` back into the field arrays.
+    #[inline]
+    pub fn store(&mut self, i: usize, p: &Particle) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.omega_x[i] = p.omega_x;
+        self.omega_y[i] = p.omega_y;
+        self.energy[i] = p.energy;
+        self.weight[i] = p.weight;
+        self.dt_to_census[i] = p.dt_to_census;
+        self.mfp_to_collision[i] = p.mfp_to_collision;
+        self.cellx[i] = p.cellx;
+        self.celly[i] = p.celly;
+        self.absorb_hint[i] = p.xs_hints.absorb;
+        self.scatter_hint[i] = p.xs_hints.scatter;
+        self.key[i] = p.key;
+        self.rng_counter[i] = p.rng_counter;
+        self.dead[i] = p.dead;
+    }
+
+    /// Split the population into disjoint mutable chunk views of at most
+    /// `chunk` particles each.
+    pub fn chunks_mut(&mut self, chunk: usize) -> Vec<SoAChunkMut<'_>> {
+        assert!(chunk > 0);
+        let mut out = Vec::new();
+        let mut view = SoAChunkMut {
+            x: &mut self.x,
+            y: &mut self.y,
+            omega_x: &mut self.omega_x,
+            omega_y: &mut self.omega_y,
+            energy: &mut self.energy,
+            weight: &mut self.weight,
+            dt_to_census: &mut self.dt_to_census,
+            mfp_to_collision: &mut self.mfp_to_collision,
+            cellx: &mut self.cellx,
+            celly: &mut self.celly,
+            absorb_hint: &mut self.absorb_hint,
+            scatter_hint: &mut self.scatter_hint,
+            key: &mut self.key,
+            rng_counter: &mut self.rng_counter,
+            dead: &mut self.dead,
+        };
+        while view.len() > chunk {
+            let (head, tail) = view.split_at_mut(chunk);
+            out.push(head);
+            view = tail;
+        }
+        if !view.is_empty() {
+            out.push(view);
+        }
+        out
+    }
+}
+
+/// A disjoint mutable window over every field array of a [`ParticleSoA`].
+pub struct SoAChunkMut<'a> {
+    x: &'a mut [f64],
+    y: &'a mut [f64],
+    omega_x: &'a mut [f64],
+    omega_y: &'a mut [f64],
+    energy: &'a mut [f64],
+    weight: &'a mut [f64],
+    dt_to_census: &'a mut [f64],
+    mfp_to_collision: &'a mut [f64],
+    cellx: &'a mut [u32],
+    celly: &'a mut [u32],
+    absorb_hint: &'a mut [u32],
+    scatter_hint: &'a mut [u32],
+    key: &'a mut [u64],
+    rng_counter: &'a mut [u64],
+    dead: &'a mut [bool],
+}
+
+impl<'a> SoAChunkMut<'a> {
+    /// Particles in this chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether this chunk is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    fn split_at_mut(self, mid: usize) -> (SoAChunkMut<'a>, SoAChunkMut<'a>) {
+        macro_rules! split {
+            ($field:ident) => {{
+                self.$field.split_at_mut(mid)
+            }};
+        }
+        let (x0, x1) = split!(x);
+        let (y0, y1) = split!(y);
+        let (ox0, ox1) = split!(omega_x);
+        let (oy0, oy1) = split!(omega_y);
+        let (e0, e1) = split!(energy);
+        let (w0, w1) = split!(weight);
+        let (dt0, dt1) = split!(dt_to_census);
+        let (m0, m1) = split!(mfp_to_collision);
+        let (cx0, cx1) = split!(cellx);
+        let (cy0, cy1) = split!(celly);
+        let (ah0, ah1) = split!(absorb_hint);
+        let (sh0, sh1) = split!(scatter_hint);
+        let (k0, k1) = split!(key);
+        let (rc0, rc1) = split!(rng_counter);
+        let (d0, d1) = split!(dead);
+        (
+            SoAChunkMut {
+                x: x0,
+                y: y0,
+                omega_x: ox0,
+                omega_y: oy0,
+                energy: e0,
+                weight: w0,
+                dt_to_census: dt0,
+                mfp_to_collision: m0,
+                cellx: cx0,
+                celly: cy0,
+                absorb_hint: ah0,
+                scatter_hint: sh0,
+                key: k0,
+                rng_counter: rc0,
+                dead: d0,
+            },
+            SoAChunkMut {
+                x: x1,
+                y: y1,
+                omega_x: ox1,
+                omega_y: oy1,
+                energy: e1,
+                weight: w1,
+                dt_to_census: dt1,
+                mfp_to_collision: m1,
+                cellx: cx1,
+                celly: cy1,
+                absorb_hint: ah1,
+                scatter_hint: sh1,
+                key: k1,
+                rng_counter: rc1,
+                dead: d1,
+            },
+        )
+    }
+
+    /// Gather local particle `i` from the chunk's field slices.
+    #[inline]
+    #[must_use]
+    pub fn load(&self, i: usize) -> Particle {
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            omega_x: self.omega_x[i],
+            omega_y: self.omega_y[i],
+            energy: self.energy[i],
+            weight: self.weight[i],
+            dt_to_census: self.dt_to_census[i],
+            mfp_to_collision: self.mfp_to_collision[i],
+            cellx: self.cellx[i],
+            celly: self.celly[i],
+            xs_hints: XsHints {
+                absorb: self.absorb_hint[i],
+                scatter: self.scatter_hint[i],
+            },
+            key: self.key[i],
+            rng_counter: self.rng_counter[i],
+            dead: self.dead[i],
+        }
+    }
+
+    /// Scatter local particle `i` back.
+    #[inline]
+    pub fn store(&mut self, i: usize, p: &Particle) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.omega_x[i] = p.omega_x;
+        self.omega_y[i] = p.omega_y;
+        self.energy[i] = p.energy;
+        self.weight[i] = p.weight;
+        self.dt_to_census[i] = p.dt_to_census;
+        self.mfp_to_collision[i] = p.mfp_to_collision;
+        self.cellx[i] = p.cellx;
+        self.celly[i] = p.celly;
+        self.absorb_hint[i] = p.xs_hints.absorb;
+        self.scatter_hint[i] = p.xs_hints.scatter;
+        self.key[i] = p.key;
+        self.rng_counter[i] = p.rng_counter;
+        self.dead[i] = p.dead;
+    }
+}
+
+/// Over-Particles driver for the SoA layout: Rayon-parallel over chunks,
+/// gather → track → scatter per history (§VI-D).
+pub fn run_rayon_soa<R: CbRng>(
+    soa: &mut ParticleSoA,
+    ctx: &TransportCtx<'_, R>,
+    tally: &AtomicTally,
+    chunk: usize,
+) -> EventCounters {
+    let chunks = soa.chunks_mut(chunk);
+    let mut counters = chunks
+        .into_par_iter()
+        .fold(EventCounters::default, |mut local, mut chunk| {
+            let mut sink = tally;
+            for i in 0..chunk.len() {
+                let mut p = chunk.load(i);
+                track_to_census(&mut p, ctx, &mut sink, &mut local);
+                chunk.store(i, &p);
+            }
+            local
+        })
+        .reduce(EventCounters::default, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    counters.census_energy_ev = (0..soa.len())
+        .filter(|&i| !soa.dead[i])
+        .map(|i| soa.weight[i] * soa.energy[i])
+        .sum();
+    counters
+}
+
+/// Over-Particles driver for the SoA layout with **event-granular**
+/// loads and stores: every event gathers the particle from the field
+/// arrays, steps it once without cached state, and scatters it back.
+///
+/// This reproduces the memory behaviour behind the paper's Figure 5 SoA
+/// penalty: in the original C code, aliasing between the SoA field arrays
+/// prevents the compiler from keeping history state in registers, so
+/// every event pays array traffic. (Rust's `&mut` slices are `noalias`,
+/// so the *cached* SoA driver above does not exhibit the penalty — a
+/// reproduction finding documented in EXPERIMENTS.md.)
+pub fn run_rayon_soa_stepped<R: CbRng>(
+    soa: &mut ParticleSoA,
+    ctx: &TransportCtx<'_, R>,
+    tally: &AtomicTally,
+    chunk: usize,
+) -> EventCounters {
+    let max_events = ctx.cfg.max_events_per_history;
+    let chunks = soa.chunks_mut(chunk);
+    let mut counters = chunks
+        .into_par_iter()
+        .fold(EventCounters::default, |mut local, mut chunk| {
+            let mut sink = tally;
+            for i in 0..chunk.len() {
+                let mut events = 0u64;
+                loop {
+                    // Gather -> one event -> scatter: the per-event array
+                    // traffic is the point of this driver.
+                    let mut p = chunk.load(i);
+                    let outcome = step_particle_uncached(&mut p, ctx, &mut sink, &mut local);
+                    chunk.store(i, &p);
+                    if outcome != StepOutcome::Continue {
+                        break;
+                    }
+                    events += 1;
+                    if events > max_events {
+                        local.stuck += 1;
+                        chunk.store(
+                            i,
+                            &Particle {
+                                dead: true,
+                                ..chunk.load(i)
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+            local
+        })
+        .reduce(EventCounters::default, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    counters.census_energy_ev = (0..soa.len())
+        .filter(|&i| !soa.dead[i])
+        .map(|i| soa.weight[i] * soa.energy[i])
+        .sum();
+    counters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+    use crate::over_particles::run_sequential;
+    use crate::particle::spawn_particles;
+    use neutral_mesh::tally::SequentialTally;
+    use neutral_rng::Threefry2x64;
+
+    #[test]
+    fn aos_soa_roundtrip() {
+        let problem = TestCase::Csp.build(ProblemScale::tiny(), 5);
+        let particles = spawn_particles(&problem);
+        let soa = ParticleSoA::from_aos(&particles);
+        assert_eq!(soa.len(), particles.len());
+        assert_eq!(soa.to_aos(), particles);
+    }
+
+    #[test]
+    fn chunks_cover_population() {
+        let problem = TestCase::Csp.build(ProblemScale::tiny(), 5);
+        let particles = spawn_particles(&problem);
+        let mut soa = ParticleSoA::from_aos(&particles);
+        let n = soa.len();
+        let chunks = soa.chunks_mut(7);
+        let total: usize = chunks.iter().map(SoAChunkMut::len).sum();
+        assert_eq!(total, n);
+        assert!(chunks.iter().all(|c| c.len() <= 7));
+    }
+
+    #[test]
+    fn stepped_soa_driver_matches_trajectories() {
+        let problem = TestCase::Csp.build(ProblemScale::tiny(), 31);
+        let rng = Threefry2x64::new([problem.seed, 1]);
+        let ctx = TransportCtx {
+            mesh: &problem.mesh,
+            xs: &problem.xs,
+            rng: &rng,
+            cfg: &problem.transport,
+        };
+
+        let mut aos = spawn_particles(&problem);
+        let mut seq_tally = SequentialTally::new(problem.mesh.num_cells());
+        run_sequential(&mut aos, &ctx, &mut seq_tally);
+
+        let mut soa = ParticleSoA::from_aos(&spawn_particles(&problem));
+        let tally = AtomicTally::new(problem.mesh.num_cells());
+        let counters = run_rayon_soa_stepped(&mut soa, &ctx, &tally, 16);
+
+        // Same trajectories, same physics...
+        let stepped = soa.to_aos();
+        for (a, b) in aos.iter().zip(&stepped) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(a.rng_counter, b.rng_counter);
+            assert_eq!(a.dead, b.dead);
+        }
+        let (a, b) = (seq_tally.total(), tally.total());
+        assert!(((a - b) / a.abs().max(1e-30)).abs() < 1e-9);
+        // ...but strictly more memory traffic: a lookup + density read
+        // per event instead of per collision/facet.
+        assert!(counters.cs_lookups > counters.collisions);
+        assert!(counters.tally_flushes >= counters.facets);
+        assert_eq!(counters.stuck, 0);
+    }
+
+    #[test]
+    fn soa_driver_matches_aos_physics() {
+        let problem = TestCase::Csp.build(ProblemScale::tiny(), 31);
+        let rng = Threefry2x64::new([problem.seed, 1]);
+        let ctx = TransportCtx {
+            mesh: &problem.mesh,
+            xs: &problem.xs,
+            rng: &rng,
+            cfg: &problem.transport,
+        };
+
+        let mut aos = spawn_particles(&problem);
+        let mut seq_tally = SequentialTally::new(problem.mesh.num_cells());
+        let seq_counters = run_sequential(&mut aos, &ctx, &mut seq_tally);
+
+        let mut soa = ParticleSoA::from_aos(&spawn_particles(&problem));
+        let tally = AtomicTally::new(problem.mesh.num_cells());
+        let soa_counters = run_rayon_soa(&mut soa, &ctx, &tally, 16);
+
+        assert_eq!(soa.to_aos(), aos, "SoA trajectories must match AoS");
+        assert_eq!(seq_counters.collisions, soa_counters.collisions);
+        assert_eq!(seq_counters.facets, soa_counters.facets);
+
+        let a = seq_tally.total();
+        let b = tally.total();
+        assert!(((a - b) / a.abs().max(1e-30)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Physics validation: conservation accounting and population bookkeeping.
+//!
+//! The mini-app tracks "the conservation of the particle population"
+//! (paper §IV-C) and validates the compressed energy-deposition tally at
+//! the end of the solve (§VI-F). This module provides both checks:
+//!
+//! * [`population_balance`] — every spawned history must be accounted for
+//!   as census, death or (never, in practice) stuck;
+//! * [`EnergyBalance`] — source energy versus deposited energy plus the
+//!   residual energy still carried by the population. The track-length
+//!   estimator matches the population energy loss *in expectation* under
+//!   [`crate::config::CollisionModel::ImplicitCapture`] (see DESIGN.md
+//!   §3/§10); under `Analogue` the estimator is a response proxy, exactly
+//!   as in the original mini-app, and only the weaker bounds hold.
+
+use crate::counters::EventCounters;
+
+/// Energy bookkeeping of a completed solve, all in weighted eV.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyBalance {
+    /// Total source energy (`n_particles * E0 * w0`).
+    pub initial_ev: f64,
+    /// Sum of the energy-deposition tally.
+    pub deposited_ev: f64,
+    /// Energy still carried by particles alive at census.
+    pub census_residual_ev: f64,
+    /// Energy carried by particles terminated at a cutoff.
+    pub cutoff_residual_ev: f64,
+}
+
+impl EnergyBalance {
+    /// Assemble the balance from a run's outputs.
+    #[must_use]
+    pub fn new(initial_ev: f64, tally_total_ev: f64, counters: &EventCounters) -> Self {
+        Self {
+            initial_ev,
+            deposited_ev: tally_total_ev,
+            census_residual_ev: counters.census_energy_ev,
+            cutoff_residual_ev: counters.lost_energy_ev,
+        }
+    }
+
+    /// `initial - deposited - census residual - cutoff residual`, as a
+    /// fraction of the initial energy. Zero in expectation under the
+    /// implicit-capture collision model.
+    #[must_use]
+    pub fn relative_defect(&self) -> f64 {
+        (self.initial_ev
+            - self.deposited_ev
+            - self.census_residual_ev
+            - self.cutoff_residual_ev)
+            / self.initial_ev
+    }
+
+    /// Weak invariants that hold under *both* collision models: every
+    /// component is non-negative, and the population residuals can never
+    /// exceed the source energy.
+    #[must_use]
+    pub fn weak_invariants_hold(&self) -> bool {
+        self.initial_ev > 0.0
+            && self.deposited_ev >= 0.0
+            && self.census_residual_ev >= -1e-12
+            && self.cutoff_residual_ev >= -1e-12
+            && self.census_residual_ev + self.cutoff_residual_ev
+                <= self.initial_ev * (1.0 + 1e-9)
+    }
+}
+
+/// Check that every history is accounted for: `census + deaths + stuck`
+/// must equal the number of histories launched in the step.
+#[must_use]
+pub fn population_balance(n_particles: u64, counters: &EventCounters) -> bool {
+    counters.census + counters.deaths + counters.stuck == n_particles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defect_is_zero_when_balanced() {
+        let c = EventCounters {
+            census_energy_ev: 30.0,
+            lost_energy_ev: 20.0,
+            ..Default::default()
+        };
+        let b = EnergyBalance::new(100.0, 50.0, &c);
+        assert!(b.relative_defect().abs() < 1e-12);
+        assert!(b.weak_invariants_hold());
+    }
+
+    #[test]
+    fn defect_signals_imbalance() {
+        let c = EventCounters {
+            census_energy_ev: 10.0,
+            lost_energy_ev: 0.0,
+            ..Default::default()
+        };
+        let b = EnergyBalance::new(100.0, 50.0, &c);
+        assert!((b.relative_defect() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_accounting() {
+        let c = EventCounters {
+            census: 90,
+            deaths: 9,
+            stuck: 1,
+            ..Default::default()
+        };
+        assert!(population_balance(100, &c));
+        assert!(!population_balance(101, &c));
+    }
+}

@@ -1,0 +1,283 @@
+//! Architecture descriptors for the paper's five evaluation machines.
+//!
+//! Every number here is a public datasheet or well-known measured value
+//! (STREAM bandwidths, load-to-use latencies, register-file sizes); the
+//! model never uses proprietary data. Where the paper names the exact SKU
+//! we use it (E5-2699 v4, Xeon Phi 7210, K20X, P100); the POWER8 system is
+//! the paper's dual-socket 10-core machine.
+
+/// CPU or GPU execution style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArchKind {
+    /// Latency-optimised cores, SMT threading, cache hierarchy.
+    Cpu,
+    /// Throughput-optimised SMs, occupancy-driven latency hiding.
+    Gpu,
+}
+
+/// A machine descriptor consumed by [`crate::model::predict`].
+#[derive(Clone, Copy, Debug)]
+pub struct Architecture {
+    /// Display name used in figures.
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub kind: ArchKind,
+    /// Physical cores (CPU) or streaming multiprocessors (GPU).
+    pub cores: u32,
+    /// Hardware threads per core (SMT ways); 1 for GPUs (occupancy covers
+    /// thread residency there).
+    pub smt: u32,
+    /// Cores per socket/NUMA domain (CPU); used by the thread-scaling
+    /// model to place the NUMA step in Figure 3.
+    pub cores_per_socket: u32,
+    /// On-chip core cluster size (POWER8 pairs of 5-core chiplets produce
+    /// the step functions the paper observed); 0 = no clustering.
+    pub cluster_size: u32,
+    /// Sustained clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle per core for scalar integer/FP
+    /// soup (not peak issue width).
+    pub ipc: f64,
+    /// f64 SIMD lanes per core (AVX2 = 4, AVX-512 = 8; GPUs use warp
+    /// lanes).
+    pub vector_width_f64: u32,
+    /// Random-access (cache-miss) latency to memory in ns.
+    pub mem_latency_ns: f64,
+    /// Achievable memory bandwidth in GB/s (STREAM-like).
+    pub peak_bw_gbs: f64,
+    /// Maximum outstanding memory requests per core (line-fill buffers /
+    /// LMQ entries) or per SM (MSHR-equivalent).
+    pub inflight_per_core: f64,
+    /// SMT threads per core needed to reach the core's sustained issue
+    /// rate (in-order-leaning cores like KNL need 2, POWER8's issue queues
+    /// fill around 4; big OoO cores reach it with 1).
+    pub smt_for_full_issue: f64,
+    /// Outstanding memory requests one resident warp sustains (GPU only);
+    /// Pascal's reworked memory system sustains more per warp than Kepler
+    /// — the paper's "more in-flight memory requests" (§VIII-A).
+    pub warp_mlp: f64,
+    /// Cost of an f64 atomic add implemented with a CAS loop, ns
+    /// (uncontended).
+    pub atomic_cas_ns: f64,
+    /// Cost of a hardware f64 atomic add, ns; only meaningful when
+    /// `has_native_f64_atomic`.
+    pub atomic_native_ns: f64,
+    /// Whether the machine has a native double-precision atomic add
+    /// (P100 does; K20X must emulate — paper §VII-A).
+    pub has_native_f64_atomic: bool,
+    /// NUMA remote-access latency multiplier once threads span sockets.
+    pub numa_latency_factor: f64,
+    /// 32-bit registers per SM (GPU only).
+    pub regs_per_sm: u32,
+    /// Maximum resident warps per SM (GPU only).
+    pub max_warps_per_sm: u32,
+    /// Threads per warp (GPU only).
+    pub warp_size: u32,
+}
+
+impl Architecture {
+    /// Total hardware threads (CPU) or maximum resident warps (GPU).
+    #[must_use]
+    pub fn max_threads(&self) -> u32 {
+        match self.kind {
+            ArchKind::Cpu => self.cores * self.smt,
+            ArchKind::Gpu => self.cores * self.max_warps_per_sm,
+        }
+    }
+}
+
+/// Dual-socket Intel Xeon E5-2699 v4 "Broadwell": 2 x 22 cores, SMT2,
+/// 2.2 GHz, AVX2. STREAM ~ 130 GB/s across both sockets; ~85 ns local
+/// DRAM latency; 10 line-fill buffers per core.
+pub const BROADWELL_2S: Architecture = Architecture {
+    name: "Broadwell 2S (E5-2699 v4)",
+    kind: ArchKind::Cpu,
+    cores: 44,
+    smt: 2,
+    cores_per_socket: 22,
+    cluster_size: 0,
+    clock_ghz: 2.2,
+    ipc: 1.6,
+    vector_width_f64: 4,
+    mem_latency_ns: 85.0,
+    peak_bw_gbs: 130.0,
+    inflight_per_core: 10.0,
+    atomic_cas_ns: 12.0,
+    atomic_native_ns: 12.0,
+    has_native_f64_atomic: false,
+    numa_latency_factor: 1.5,
+    smt_for_full_issue: 1.0,
+    warp_mlp: 0.0,
+    regs_per_sm: 0,
+    max_warps_per_sm: 0,
+    warp_size: 0,
+};
+
+/// Intel Xeon Phi 7210 "Knights Landing" with data in MCDRAM: 64 cores,
+/// SMT4, 1.3 GHz, AVX-512. MCDRAM ~ 400+ GB/s but *higher* latency than
+/// DDR (~160 ns); weak scalar cores (2-wide in-order-ish behaviour for
+/// latency-bound soup).
+pub const KNL_7210_MCDRAM: Architecture = Architecture {
+    name: "KNL 7210 (MCDRAM)",
+    kind: ArchKind::Cpu,
+    cores: 64,
+    smt: 4,
+    cores_per_socket: 64,
+    cluster_size: 0,
+    clock_ghz: 1.3,
+    ipc: 0.8,
+    vector_width_f64: 8,
+    mem_latency_ns: 160.0,
+    peak_bw_gbs: 420.0,
+    inflight_per_core: 12.0,
+    atomic_cas_ns: 30.0,
+    atomic_native_ns: 30.0,
+    has_native_f64_atomic: false,
+    numa_latency_factor: 1.0,
+    smt_for_full_issue: 2.0,
+    warp_mlp: 0.0,
+    regs_per_sm: 0,
+    max_warps_per_sm: 0,
+    warp_size: 0,
+};
+
+/// The same KNL with data in DDR4: ~80 GB/s, slightly lower latency
+/// (~130 ns) — the paper notes DRAM is *faster* for this latency-bound
+/// application (§VI-F) while MCDRAM wins for the streaming scheme (§VII-B).
+pub const KNL_7210_DRAM: Architecture = Architecture {
+    name: "KNL 7210 (DRAM)",
+    mem_latency_ns: 130.0,
+    peak_bw_gbs: 80.0,
+    ..KNL_7210_MCDRAM
+};
+
+/// Dual-socket 10-core POWER8, SMT8, ~3.5 GHz. Very high bandwidth
+/// through the Centaur buffers (~200 GB/s), 5-core on-chip clusters
+/// (the paper's step functions at threads 6 and 11), deep SMT.
+pub const POWER8_2S: Architecture = Architecture {
+    name: "POWER8 2S (2x10c)",
+    kind: ArchKind::Cpu,
+    cores: 20,
+    smt: 8,
+    cores_per_socket: 10,
+    cluster_size: 5,
+    clock_ghz: 3.5,
+    ipc: 1.3,
+    vector_width_f64: 2,
+    mem_latency_ns: 95.0,
+    peak_bw_gbs: 200.0,
+    inflight_per_core: 10.0,
+    atomic_cas_ns: 18.0,
+    atomic_native_ns: 18.0,
+    has_native_f64_atomic: false,
+    numa_latency_factor: 1.4,
+    smt_for_full_issue: 4.0,
+    warp_mlp: 0.0,
+    regs_per_sm: 0,
+    max_warps_per_sm: 0,
+    warp_size: 0,
+};
+
+/// NVIDIA K20X (Kepler GK110): 14 SMX, 732 MHz, 250 GB/s GDDR5,
+/// ~500 ns memory latency, 64K 32-bit registers per SM, 64 resident
+/// warps. No hardware f64 atomicAdd — emulated with a CAS loop
+/// (paper §VII-A).
+pub const K20X: Architecture = Architecture {
+    name: "K20X",
+    kind: ArchKind::Gpu,
+    cores: 14,
+    smt: 1,
+    cores_per_socket: 14,
+    cluster_size: 0,
+    clock_ghz: 0.732,
+    ipc: 4.0,
+    vector_width_f64: 32,
+    mem_latency_ns: 400.0,
+    peak_bw_gbs: 250.0,
+    inflight_per_core: 96.0,
+    atomic_cas_ns: 150.0,
+    atomic_native_ns: 150.0,
+    has_native_f64_atomic: false,
+    numa_latency_factor: 1.0,
+    smt_for_full_issue: 1.0,
+    warp_mlp: 2.0,
+    regs_per_sm: 65536,
+    max_warps_per_sm: 64,
+    warp_size: 32,
+};
+
+/// NVIDIA P100 (Pascal GP100): 56 SMs, ~1.33 GHz, 732 GB/s HBM2,
+/// ~400 ns latency, native f64 atomicAdd (the paper measured the
+/// intrinsic to be worth 1.20x, §VII-A). More, smaller SMs allow more
+/// in-flight requests — the root cause the paper identifies for its win.
+pub const P100: Architecture = Architecture {
+    name: "P100",
+    kind: ArchKind::Gpu,
+    cores: 56,
+    smt: 1,
+    cores_per_socket: 56,
+    cluster_size: 0,
+    clock_ghz: 1.328,
+    ipc: 2.0,
+    vector_width_f64: 32,
+    mem_latency_ns: 400.0,
+    peak_bw_gbs: 732.0,
+    inflight_per_core: 72.0,
+    atomic_cas_ns: 150.0,
+    atomic_native_ns: 25.0,
+    has_native_f64_atomic: true,
+    numa_latency_factor: 1.0,
+    smt_for_full_issue: 1.0,
+    warp_mlp: 3.0,
+    regs_per_sm: 65536,
+    max_warps_per_sm: 64,
+    warp_size: 32,
+};
+
+/// All five machines in the order the paper presents them (Figure 14).
+pub const ALL: [&Architecture; 6] = [
+    &BROADWELL_2S,
+    &KNL_7210_MCDRAM,
+    &KNL_7210_DRAM,
+    &POWER8_2S,
+    &K20X,
+    &P100,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_match_paper_configurations() {
+        // The paper runs 88 threads on Broadwell, 256 on KNL, 160 on
+        // POWER8 (§VII-A/B/C).
+        assert_eq!(BROADWELL_2S.max_threads(), 88);
+        assert_eq!(KNL_7210_MCDRAM.max_threads(), 256);
+        assert_eq!(POWER8_2S.max_threads(), 160);
+    }
+
+    #[test]
+    fn knl_variants_share_core_config() {
+        let (dram, mcdram) = (KNL_7210_DRAM, KNL_7210_MCDRAM);
+        assert_eq!(dram.cores, mcdram.cores);
+        assert!(dram.peak_bw_gbs < mcdram.peak_bw_gbs);
+        assert!(dram.mem_latency_ns < mcdram.mem_latency_ns);
+    }
+
+    #[test]
+    fn p100_has_native_atomics_k20x_does_not() {
+        let (p100, k20x) = (P100, K20X);
+        assert!(p100.has_native_f64_atomic);
+        assert!(!k20x.has_native_f64_atomic);
+        assert!(p100.atomic_native_ns < p100.atomic_cas_ns);
+    }
+
+    #[test]
+    fn gpus_have_register_files() {
+        for a in [&K20X, &P100] {
+            assert_eq!(a.kind, ArchKind::Gpu);
+            assert!(a.regs_per_sm > 0 && a.max_warps_per_sm > 0);
+        }
+    }
+}

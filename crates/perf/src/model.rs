@@ -1,0 +1,489 @@
+//! The analytic performance model.
+//!
+//! A measured run is condensed into a [`KernelProfile`]; [`predict`] maps
+//! it onto an [`Architecture`]. The model computes four component times:
+//!
+//! * **latency** — `(random reads x latency + atomic RMWs x atomic cost)
+//!   / total concurrent requests`. Concurrency is `cores x
+//!   min(inflight_per_core, ilp x threads_per_core)` on CPUs (SMT raises
+//!   the second argument: Figure 6) and `SMs x min(inflight, active_warps
+//!   x ilp)` on GPUs (occupancy raises it: §VI-H/§VII-E).
+//! * **compute** — instruction estimates over sustained issue rate, with
+//!   an Amdahl-style vector-efficiency factor (Figure 8) and a divergence
+//!   multiplier on GPUs.
+//! * **bandwidth** — streamed bytes (the Over-Events scheme's per-round
+//!   scans and state traffic) plus the line/sector traffic of the random
+//!   reads, over achievable bandwidth (Figure 10's MCDRAM/DRAM split).
+//! * the components combine through a power mean (p ~ 2.5), which behaves
+//!   like `max` but lets a near-tied second term push the total up — the
+//!   behaviour real pipelines exhibit.
+
+use crate::arch::{ArchKind, Architecture};
+use crate::calibrate::ModelParams;
+use crate::occupancy::register_occupancy;
+use neutral_core::counters::EventCounters;
+
+/// Which parallelisation scheme a profile describes (the two schemes
+/// differ in instruction overhead, streaming traffic and GPU register
+/// pressure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Depth-first history tracking.
+    OverParticles,
+    /// Breadth-first event kernels.
+    OverEvents,
+}
+
+/// Architecture-independent description of one transport solve.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelProfile {
+    /// Scheme the run used.
+    pub scheme: SchemeKind,
+    /// Histories launched.
+    pub n_particles: f64,
+    /// Collision events.
+    pub collisions: f64,
+    /// Facet events.
+    pub facets: f64,
+    /// Census events.
+    pub census: f64,
+    /// Cross-section lookups.
+    pub cs_lookups: f64,
+    /// Hinted-search steps.
+    pub cs_search_steps: f64,
+    /// Random density reads.
+    pub density_reads: f64,
+    /// Atomic tally flushes.
+    pub tally_flushes: f64,
+    /// Breadth-first rounds (0 for Over Particles).
+    pub oe_rounds: f64,
+}
+
+impl KernelProfile {
+    /// Build a profile from a run's counters.
+    #[must_use]
+    pub fn from_counters(
+        scheme: SchemeKind,
+        counters: &EventCounters,
+        n_particles: usize,
+        oe_rounds: u64,
+    ) -> Self {
+        Self {
+            scheme,
+            n_particles: n_particles as f64,
+            collisions: counters.collisions as f64,
+            facets: counters.facets as f64,
+            census: counters.census as f64,
+            cs_lookups: counters.cs_lookups as f64,
+            cs_search_steps: counters.cs_search_steps as f64,
+            density_reads: counters.density_reads as f64,
+            tally_flushes: counters.tally_flushes as f64,
+            oe_rounds: oe_rounds as f64,
+        }
+    }
+
+    /// Extrapolate a scaled-down measurement to a larger problem:
+    /// `particle_mult` multiplies the population (all counters scale
+    /// linearly in particles); `mesh_axis_mult` multiplies the mesh
+    /// resolution per axis. Facet-class counters scale with resolution
+    /// (a straight track crosses proportionally more cells); collision
+    /// counts are resolution-independent. Derived counters (flushes,
+    /// density reads, rounds) scale with their parent event class:
+    /// Over-Particles flushes happen at facets and history ends, while
+    /// Over-Events flushes one pending deposit per processed event.
+    #[must_use]
+    pub fn scaled(&self, particle_mult: f64, mesh_axis_mult: f64) -> Self {
+        let p = particle_mult;
+        let m = mesh_axis_mult;
+        let events_old = self.events().max(1.0);
+        let events_new = self.collisions * p + self.facets * p * m + self.census * p;
+
+        let flush_ratio = match self.scheme {
+            // Facet flushes dominate; the remainder (death/census
+            // flushes) scales with particles only.
+            SchemeKind::OverParticles => {
+                let facet_like = self.facets.min(self.tally_flushes);
+                let rest = self.tally_flushes - facet_like;
+                (facet_like * p * m + rest * p) / self.tally_flushes.max(1.0)
+            }
+            // One pending flush per processed event.
+            SchemeKind::OverEvents => events_new / events_old,
+        };
+
+        // Density reads: one at history start plus one per facet.
+        let facet_reads = self.facets.min(self.density_reads);
+        let init_reads = self.density_reads - facet_reads;
+        let density_reads = facet_reads * p * m + init_reads * p;
+
+        Self {
+            scheme: self.scheme,
+            n_particles: self.n_particles * p,
+            collisions: self.collisions * p,
+            facets: self.facets * p * m,
+            census: self.census * p,
+            cs_lookups: self.cs_lookups * p,
+            cs_search_steps: self.cs_search_steps * p,
+            density_reads,
+            tally_flushes: self.tally_flushes * flush_ratio,
+            // Rounds track the longest history's event count, which grows
+            // with the mean events per history.
+            oe_rounds: self.oe_rounds * events_new / (events_old * p),
+        }
+    }
+
+    /// Total tracked events.
+    #[must_use]
+    pub fn events(&self) -> f64 {
+        self.collisions + self.facets + self.census
+    }
+
+    /// Random-access memory operations on the critical path.
+    #[must_use]
+    pub fn random_reads(&self) -> f64 {
+        self.density_reads + self.cs_lookups
+    }
+
+    /// Estimated instruction count.
+    #[must_use]
+    pub fn instructions(&self, params: &ModelParams) -> f64 {
+        let base = self.collisions * params.instr_collision
+            + self.facets * params.instr_facet
+            + self.census * params.instr_census
+            + self.cs_search_steps * params.instr_search_step;
+        match self.scheme {
+            SchemeKind::OverParticles => base,
+            SchemeKind::OverEvents => base + self.events() * params.instr_oe_event_overhead,
+        }
+    }
+
+    /// Streamed (prefetchable) bytes.
+    #[must_use]
+    pub fn streamed_bytes(&self, params: &ModelParams) -> f64 {
+        match self.scheme {
+            SchemeKind::OverParticles => self.n_particles * params.op_history_bytes,
+            SchemeKind::OverEvents => {
+                self.oe_rounds * self.n_particles * params.oe_scan_bytes
+                    + self.events() * params.oe_event_bytes
+            }
+        }
+    }
+
+    /// SIMD-expressible fraction of the instruction work.
+    #[must_use]
+    pub fn simd_fraction(&self, params: &ModelParams) -> f64 {
+        match self.scheme {
+            SchemeKind::OverParticles => params.op_simd_fraction,
+            SchemeKind::OverEvents => params.oe_simd_fraction,
+        }
+    }
+}
+
+/// Component and total times predicted for one run on one machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Prediction {
+    /// Latency-bound component (random reads + atomics over concurrency).
+    pub latency_s: f64,
+    /// Instruction-throughput component.
+    pub compute_s: f64,
+    /// Bandwidth component.
+    pub bandwidth_s: f64,
+    /// Power-mean combination of the three.
+    pub total_s: f64,
+    /// Total bytes moved / total time — comparable to the paper's
+    /// achieved-bandwidth observations (§VII-D/E).
+    pub implied_bw_gbs: f64,
+    /// Concurrent memory requests the machine sustained in the model.
+    pub concurrency: f64,
+    /// GPU occupancy fraction (1.0 reported for CPUs).
+    pub occupancy: f64,
+}
+
+/// Predict with the machine's full thread complement and default
+/// parameters.
+#[must_use]
+pub fn predict(profile: &KernelProfile, arch: &Architecture) -> Prediction {
+    predict_with(
+        profile,
+        arch,
+        arch.max_threads(),
+        &ModelParams::default(),
+        None,
+    )
+}
+
+/// Full-control prediction: explicit thread count (CPUs; ignored for
+/// GPUs), parameters, and an optional GPU register cap
+/// (`maxrregcount`-style) for the §VI-H register study.
+#[must_use]
+pub fn predict_with(
+    profile: &KernelProfile,
+    arch: &Architecture,
+    threads: u32,
+    params: &ModelParams,
+    gpu_reg_cap: Option<u32>,
+) -> Prediction {
+    match arch.kind {
+        ArchKind::Cpu => predict_cpu(profile, arch, threads, params),
+        ArchKind::Gpu => predict_gpu(profile, arch, params, gpu_reg_cap),
+    }
+}
+
+fn power_mean(terms: &[f64], p: f64) -> f64 {
+    terms
+        .iter()
+        .map(|t| t.max(0.0).powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+fn predict_cpu(
+    profile: &KernelProfile,
+    arch: &Architecture,
+    threads: u32,
+    params: &ModelParams,
+) -> Prediction {
+    assert!(threads > 0, "need at least one thread");
+    let threads = f64::from(threads);
+    let cores = f64::from(arch.cores);
+    let cores_used = threads.min(cores);
+    let hw_threads = f64::from(arch.max_threads());
+
+    // Threads per core, counting oversubscription with diminishing
+    // returns on memory-level parallelism.
+    let tpc = threads / cores_used;
+    let hw_tpc = tpc.min(f64::from(arch.smt));
+    let oversub = (tpc / hw_tpc).max(1.0);
+    let effective_tpc = hw_tpc * oversub.powf(params.oversub_mlp_exponent);
+
+    // Memory-level parallelism per core, capped by the line-fill buffers.
+    let mlp = (params.ilp_per_thread * effective_tpc).min(arch.inflight_per_core);
+    let concurrency = cores_used * mlp;
+
+    // NUMA: once threads span sockets, a share of accesses goes remote.
+    let sockets_used = (threads / f64::from(arch.cores_per_socket).min(cores)).ceil();
+    let latency = if sockets_used > 1.0 {
+        let remote_fraction = 1.0 - 1.0 / sockets_used;
+        arch.mem_latency_ns * (1.0 + (arch.numa_latency_factor - 1.0) * remote_fraction)
+    } else {
+        arch.mem_latency_ns
+    };
+
+    // Latency term. Random reads miss cache per the scheme's locality
+    // (§V-A vs §VII-A-2). A tally flush under Over Particles hits the
+    // line the deposit segment just touched, so it costs only the atomic
+    // RMW; under Over Events the flush arrives after the whole population
+    // was streamed through cache, so it pays full memory latency too.
+    let miss = match profile.scheme {
+        SchemeKind::OverParticles => params.op_miss_fraction,
+        SchemeKind::OverEvents => params.oe_miss_fraction,
+    };
+    let flush_cost = match profile.scheme {
+        SchemeKind::OverParticles => arch.atomic_cas_ns,
+        SchemeKind::OverEvents => latency + arch.atomic_cas_ns,
+    };
+    let missed_reads = profile.random_reads() * miss;
+    let latency_work_ns = missed_reads * latency + profile.tally_flushes * flush_cost;
+    let latency_s = latency_work_ns * 1e-9 / concurrency;
+
+    // Compute term. In-order-leaning cores (KNL) and deep-SMT designs
+    // (POWER8) need several threads per core to reach their sustained
+    // issue rate — the other half of the Figure 6 hyperthreading story.
+    let simd = profile.simd_fraction(params);
+    let vec_eff = 1.0 / (simd / f64::from(arch.vector_width_f64) + (1.0 - simd));
+    let issue_fill = (tpc / arch.smt_for_full_issue).min(1.0);
+    let oversub_penalty =
+        1.0 + params.oversub_compute_penalty * (threads / hw_threads - 1.0).max(0.0);
+    let issue_rate = cores_used * arch.clock_ghz * 1e9 * arch.ipc * vec_eff * issue_fill;
+    let compute_s = profile.instructions(params) * oversub_penalty / issue_rate;
+
+    // Bandwidth term: streamed state plus the cache-line traffic of the
+    // misses and flush write-backs.
+    let bytes = profile.streamed_bytes(params)
+        + missed_reads * params.bytes_random_cpu
+        + profile.tally_flushes * params.flush_bytes;
+    // Bandwidth ramps with cores until the controllers saturate.
+    let bw = arch.peak_bw_gbs * (cores_used / cores).clamp(0.25, 1.0) * 1e9;
+    let bandwidth_s = bytes / bw;
+
+    let total_s = power_mean(&[latency_s, compute_s, bandwidth_s], params.softmax_p);
+    Prediction {
+        latency_s,
+        compute_s,
+        bandwidth_s,
+        total_s,
+        implied_bw_gbs: bytes / total_s / 1e9,
+        concurrency,
+        occupancy: 1.0,
+    }
+}
+
+fn predict_gpu(
+    profile: &KernelProfile,
+    arch: &Architecture,
+    params: &ModelParams,
+    reg_cap: Option<u32>,
+) -> Prediction {
+    let kepler = arch.name.contains("K20X");
+    let regs_needed = match profile.scheme {
+        SchemeKind::OverParticles if kepler => params.op_gpu_regs_kepler,
+        SchemeKind::OverParticles => params.op_gpu_regs_pascal,
+        SchemeKind::OverEvents => params.oe_gpu_regs,
+    };
+    // The paper's published K20X Over-Particles numbers include the
+    // maxrregcount=64 optimisation (§VI-H); predictions default to it.
+    // P100 numbers do not (the cap slowed the P100 down, §VII-E).
+    let cap = reg_cap.unwrap_or(if kepler && regs_needed > 64 { 64 } else { 255 });
+    let occ = register_occupancy(arch, regs_needed, cap, params.gpu_block_size);
+
+    let sms = f64::from(arch.cores);
+    // In-flight memory requests per SM: each resident warp sustains
+    // `warp_mlp` outstanding transactions (Pascal sustains more per warp
+    // than Kepler), capped by the SM's miss-handling resources.
+    let mlp_per_sm =
+        (f64::from(occ.active_warps) * arch.warp_mlp).min(arch.inflight_per_core);
+    let concurrency = sms * mlp_per_sm;
+
+    let atomic_ns = if arch.has_native_f64_atomic {
+        arch.atomic_native_ns
+    } else {
+        arch.atomic_cas_ns
+    };
+    // GPU atomics resolve in L2: roughly half the memory round-trip plus
+    // the atomic unit's cost.
+    let flush_cost = 0.5 * arch.mem_latency_ns + atomic_ns;
+    let missed_reads = profile.random_reads() * params.gpu_miss_fraction;
+    // Register spills add local-memory traffic on the latency path too.
+    let latency_work_ns = (missed_reads * arch.mem_latency_ns
+        + profile.tally_flushes * flush_cost)
+        * occ.spill_penalty;
+    let latency_s = latency_work_ns * 1e-9 / concurrency;
+
+    // Compute: warp-wide issue scaled by occupancy; divergence multiplies
+    // the instruction count for branchy kernels.
+    let divergence = match profile.scheme {
+        SchemeKind::OverParticles => params.op_gpu_divergence,
+        SchemeKind::OverEvents => params.oe_gpu_divergence,
+    };
+    let issue_rate = sms
+        * arch.clock_ghz
+        * 1e9
+        * arch.ipc
+        * f64::from(arch.warp_size)
+        * occ.fraction.clamp(0.25, 1.0);
+    let compute_s = profile.instructions(params) * divergence * occ.spill_penalty / issue_rate;
+
+    let bytes = (profile.streamed_bytes(params)
+        + missed_reads * params.bytes_random_gpu
+        + profile.tally_flushes * params.bytes_random_gpu)
+        * occ.spill_penalty;
+    let bandwidth_s = bytes / (arch.peak_bw_gbs * 1e9);
+
+    let total_s = power_mean(&[latency_s, compute_s, bandwidth_s], params.softmax_p);
+    Prediction {
+        latency_s,
+        compute_s,
+        bandwidth_s,
+        total_s,
+        implied_bw_gbs: bytes / total_s / 1e9,
+        concurrency,
+        occupancy: occ.fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+
+    /// A csp-like paper-scale profile: 1e6 particles, ~5000 facets and a
+    /// few hundred collisions per history (mixed problem).
+    fn csp_op() -> KernelProfile {
+        let n = 1.0e6;
+        KernelProfile {
+            scheme: SchemeKind::OverParticles,
+            n_particles: n,
+            collisions: 120.0 * n,
+            facets: 5000.0 * n,
+            census: 0.6 * n,
+            cs_lookups: 120.6 * n,
+            cs_search_steps: 1500.0 * n,
+            density_reads: 5000.6 * n,
+            tally_flushes: 5000.0 * n,
+            oe_rounds: 0.0,
+        }
+    }
+
+    fn csp_oe() -> KernelProfile {
+        KernelProfile {
+            scheme: SchemeKind::OverEvents,
+            oe_rounds: 6000.0,
+            ..csp_op()
+        }
+    }
+
+    #[test]
+    fn all_components_positive() {
+        for a in arch::ALL {
+            for p in [csp_op(), csp_oe()] {
+                let r = predict(&p, a);
+                assert!(r.latency_s > 0.0, "{}", a.name);
+                assert!(r.compute_s > 0.0);
+                assert!(r.bandwidth_s > 0.0);
+                assert!(r.total_s >= r.latency_s.max(r.compute_s).max(r.bandwidth_s) * 0.99);
+                assert!(r.implied_bw_gbs > 0.0 && r.implied_bw_gbs <= a.peak_bw_gbs * 1.01);
+            }
+        }
+    }
+
+    #[test]
+    fn more_latency_means_more_time() {
+        let p = csp_op();
+        let mut slow = arch::BROADWELL_2S;
+        slow.mem_latency_ns *= 2.0;
+        assert!(predict(&p, &slow).total_s > predict(&p, &arch::BROADWELL_2S).total_s);
+    }
+
+    #[test]
+    fn more_inflight_means_less_time() {
+        let p = csp_op();
+        let mut wide = arch::BROADWELL_2S;
+        wide.inflight_per_core *= 4.0;
+        wide.smt = 8; // let threads use the extra buffers
+        assert!(predict(&p, &wide).total_s < predict(&p, &arch::BROADWELL_2S).total_s);
+    }
+
+    #[test]
+    fn smt_helps_latency_bound_runs() {
+        let p = csp_op();
+        let params = ModelParams::default();
+        let one = predict_with(&p, &arch::BROADWELL_2S, 44, &params, None);
+        let two = predict_with(&p, &arch::BROADWELL_2S, 88, &params, None);
+        assert!(two.total_s < one.total_s, "SMT must help");
+    }
+
+    #[test]
+    fn scaled_profile_scales_counters() {
+        let p = csp_op().scaled(100.0, 4.0);
+        let base = csp_op();
+        assert!((p.collisions / base.collisions - 100.0).abs() < 1e-9);
+        assert!((p.facets / base.facets - 400.0).abs() < 1e-9);
+        assert!((p.n_particles / base.n_particles - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_from_counters_roundtrip() {
+        let c = EventCounters {
+            collisions: 10,
+            facets: 20,
+            census: 5,
+            cs_lookups: 11,
+            cs_search_steps: 30,
+            density_reads: 21,
+            tally_flushes: 20,
+            ..Default::default()
+        };
+        let p = KernelProfile::from_counters(SchemeKind::OverParticles, &c, 5, 0);
+        assert_eq!(p.events(), 35.0);
+        assert_eq!(p.random_reads(), 32.0);
+    }
+}

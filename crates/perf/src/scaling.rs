@@ -1,0 +1,202 @@
+//! Thread-scaling curves (Figures 3 and 6) and the bandwidth-bound proxy
+//! model for `flow`.
+//!
+//! [`efficiency_curve`] sweeps the CPU model over thread counts and
+//! converts to parallel efficiency `T(1) / (t x T(t))`; the NUMA and
+//! cluster terms produce the socket-crossing drop the paper highlights on
+//! Broadwell and the POWER8 step functions (§VI-B).
+//!
+//! `flow` is modelled separately ([`flow_time`]) because its behaviour is
+//! the textbook opposite of neutral's: perfectly streaming, so runtime is
+//! `max(compute/t, bytes/bw(t))` with bandwidth saturating at a fraction
+//! of the cores — efficiency decays once the memory controllers saturate,
+//! and hyperthreads only add scheduling overhead (the 1.2x penalty in
+//! §VI-E).
+
+use crate::arch::Architecture;
+use crate::calibrate::ModelParams;
+use crate::model::{predict_with, KernelProfile};
+
+/// Predicted wall-clock for `profile` at each thread count in `threads`.
+#[must_use]
+pub fn time_curve(
+    profile: &KernelProfile,
+    arch: &Architecture,
+    threads: &[u32],
+    params: &ModelParams,
+) -> Vec<f64> {
+    threads
+        .iter()
+        .map(|&t| {
+            let mut s = predict_with(profile, arch, t, params, None).total_s;
+            // POWER8-style core clusters: crossing a cluster boundary adds
+            // on-chip interconnect latency for shared data (the paper's
+            // step functions at threads 6 and 11).
+            if arch.cluster_size > 0 {
+                let cores_used = t.min(arch.cores);
+                let clusters = cores_used.div_ceil(arch.cluster_size);
+                if clusters > 1 {
+                    s *= 1.0 + 0.05 * f64::from(clusters - 1);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Parallel efficiency at each thread count: `T(1) / (t * T(t))`.
+#[must_use]
+pub fn efficiency_curve(
+    profile: &KernelProfile,
+    arch: &Architecture,
+    threads: &[u32],
+    params: &ModelParams,
+) -> Vec<f64> {
+    let times = time_curve(profile, arch, threads, params);
+    let t1 = predict_with(profile, arch, 1, params, None).total_s;
+    threads
+        .iter()
+        .zip(&times)
+        .map(|(&t, &tt)| t1 / (f64::from(t) * tt))
+        .collect()
+}
+
+/// Bandwidth-bound proxy for the `flow` mini-app: `work_flops` of
+/// perfectly-parallel arithmetic and `work_bytes` of streaming traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowWorkload {
+    /// Total floating-point work.
+    pub flops: f64,
+    /// Total streamed bytes.
+    pub bytes: f64,
+}
+
+impl FlowWorkload {
+    /// A representative large hydro step set: ~2 flops per byte streamed.
+    #[must_use]
+    pub fn representative() -> Self {
+        Self {
+            flops: 2.0e11,
+            bytes: 1.0e11,
+        }
+    }
+}
+
+/// `flow` runtime at `t` threads on `arch`.
+#[must_use]
+pub fn flow_time(work: &FlowWorkload, arch: &Architecture, t: u32, params: &ModelParams) -> f64 {
+    let cores = f64::from(arch.cores);
+    let threads = f64::from(t);
+    let cores_used = threads.min(cores);
+    let hw_threads = f64::from(arch.max_threads());
+
+    // Streaming bandwidth saturates once about half the cores are active.
+    let saturation_cores = (cores * 0.5).max(1.0);
+    let bw = arch.peak_bw_gbs * 1e9 * (cores_used / saturation_cores).min(1.0);
+
+    // Vectorised streaming arithmetic.
+    let flops_rate =
+        cores_used * arch.clock_ghz * 1e9 * arch.ipc * f64::from(arch.vector_width_f64) * 2.0;
+
+    // Hyperthreads and oversubscription only add overhead to a
+    // bandwidth-bound code (§VI-E: flow saw no improvement from
+    // hyperthreads and a ~1.2x penalty when oversubscribed).
+    let extra = (threads - cores).max(0.0) / cores;
+    let oversub_extra = (threads - hw_threads).max(0.0) / hw_threads;
+    let overhead = 1.0 + 0.02 * extra.min(f64::from(arch.smt)) + params.oversub_compute_penalty * oversub_extra;
+
+    (work.bytes / bw).max(work.flops / flops_rate) * overhead
+}
+
+/// Parallel efficiency of `flow`.
+#[must_use]
+pub fn flow_efficiency_curve(
+    work: &FlowWorkload,
+    arch: &Architecture,
+    threads: &[u32],
+    params: &ModelParams,
+) -> Vec<f64> {
+    let t1 = flow_time(work, arch, 1, params);
+    threads
+        .iter()
+        .map(|&t| t1 / (f64::from(t) * flow_time(work, arch, t, params)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{BROADWELL_2S, POWER8_2S};
+    use crate::model::SchemeKind;
+
+    fn profile() -> KernelProfile {
+        let n = 1.0e6;
+        KernelProfile {
+            scheme: SchemeKind::OverParticles,
+            n_particles: n,
+            collisions: 120.0 * n,
+            facets: 5000.0 * n,
+            census: 0.6 * n,
+            cs_lookups: 120.6 * n,
+            cs_search_steps: 1500.0 * n,
+            density_reads: 5000.6 * n,
+            tally_flushes: 5000.0 * n,
+            oe_rounds: 0.0,
+        }
+    }
+
+    #[test]
+    fn efficiency_starts_at_one_and_decays() {
+        let params = ModelParams::default();
+        let threads: Vec<u32> = (1..=44).collect();
+        let eff = efficiency_curve(&profile(), &BROADWELL_2S, &threads, &params);
+        assert!((eff[0] - 1.0).abs() < 1e-9);
+        assert!(eff.iter().all(|&e| e <= 1.0 + 1e-9));
+        assert!(eff.last().unwrap() < &1.0);
+    }
+
+    #[test]
+    fn numa_crossing_drops_efficiency() {
+        let params = ModelParams::default();
+        // Efficiency just before and just after the second socket engages.
+        let eff = efficiency_curve(&profile(), &BROADWELL_2S, &[22, 23], &params);
+        assert!(
+            eff[1] < eff[0],
+            "crossing the socket must drop efficiency: {eff:?}"
+        );
+    }
+
+    #[test]
+    fn power8_cluster_steps_exist() {
+        let params = ModelParams::default();
+        let t = time_curve(&profile(), &POWER8_2S, &[5, 6], &params);
+        // Per-thread-normalised work jumps when the second cluster engages.
+        let per5 = t[0] * 5.0;
+        let per6 = t[1] * 6.0;
+        assert!(per6 > per5 * 1.01, "cluster step missing: {t:?}");
+    }
+
+    #[test]
+    fn flow_scales_then_saturates() {
+        let params = ModelParams::default();
+        let w = FlowWorkload::representative();
+        let threads: Vec<u32> = vec![1, 2, 4, 8, 16, 22, 44];
+        let eff = flow_efficiency_curve(&w, &BROADWELL_2S, &threads, &params);
+        // Near-ideal at low counts, decayed at full socket pair.
+        assert!(eff[1] > 0.9);
+        assert!(eff.last().unwrap() < &0.6);
+    }
+
+    #[test]
+    fn flow_dislikes_oversubscription() {
+        let params = ModelParams::default();
+        let w = FlowWorkload::representative();
+        let at_hw = flow_time(&w, &BROADWELL_2S, 88, &params);
+        let over = flow_time(&w, &BROADWELL_2S, 176, &params);
+        let penalty = over / at_hw;
+        assert!(
+            penalty > 1.1 && penalty < 1.4,
+            "oversubscription penalty {penalty} outside the paper's ~1.2x"
+        );
+    }
+}

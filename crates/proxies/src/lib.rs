@@ -1,0 +1,24 @@
+//! Comparator mini-apps from the `arch` project.
+//!
+//! The paper measures neutral's parallel efficiency against two other
+//! mini-apps from the same suite (§VI-B):
+//!
+//! * [`flow`] — "a highly optimised hydrodynamics application": here a 2D
+//!   compressible-Euler finite-volume solver with dimension-split Rusanov
+//!   fluxes. Its sweeps are long streaming passes over large arrays, so it
+//!   is **memory-bandwidth bound** — the property that makes its scaling
+//!   curve the foil for neutral's latency-bound curve in Figure 3, and
+//!   that makes it *lose* from hyperthreading in Figure 6.
+//! * [`hot`] — "a conjugate gradient based heat conduction linear solver":
+//!   an implicit heat-conduction step solved by CG on a 5-point stencil,
+//!   dominated by SpMV and dot-product streams (also bandwidth bound).
+//!
+//! Both are real solvers with physics validation tests (Sod shock tube,
+//! manufactured diffusion solutions), not stubs — the reproduction treats
+//! the baselines as first-class systems.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod flow;
+pub mod hot;

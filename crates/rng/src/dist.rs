@@ -1,0 +1,141 @@
+//! Distributions required by neutral particle transport.
+//!
+//! Everything here is a pure function of uniforms drawn from a
+//! [`crate::CounterStream`], so the physics kernels stay deterministic and
+//! scheme-independent.
+
+use crate::{CbRng, CounterStream};
+
+/// Sample an exponentially distributed number of mean-free-paths,
+/// `-ln(u)` with `u ~ U(0,1]` — the distance (in mean-free-path units) to
+/// the next collision (paper §IV-F).
+#[inline]
+pub fn exponential_mfp<R: CbRng>(stream: &mut CounterStream<'_, R>, counter: &mut u64) -> f64 {
+    -stream.next_f64_open(counter).ln()
+}
+
+/// Sample a uniform value on `[lo, hi)`.
+#[inline]
+pub fn uniform_range<R: CbRng>(
+    stream: &mut CounterStream<'_, R>,
+    counter: &mut u64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    lo + (hi - lo) * stream.next_f64(counter)
+}
+
+/// Sample an isotropic unit direction in the 2D plane (paper §IV-F:
+/// "random numbers determine the initial particle locations and directions").
+#[inline]
+pub fn isotropic_direction<R: CbRng>(
+    stream: &mut CounterStream<'_, R>,
+    counter: &mut u64,
+) -> (f64, f64) {
+    let theta = 2.0 * std::f64::consts::PI * stream.next_f64(counter);
+    let (s, c) = theta.sin_cos();
+    (c, s)
+}
+
+/// Sample a cosine `μ ~ U(-1, 1)` — the centre-of-mass scattering angle
+/// for isotropic elastic scattering.
+#[inline]
+pub fn scattering_cosine<R: CbRng>(stream: &mut CounterStream<'_, R>, counter: &mut u64) -> f64 {
+    2.0 * stream.next_f64(counter) - 1.0
+}
+
+/// Sample a random sign (`+1.0` or `-1.0`) — used to pick the rotation
+/// direction of the in-plane scattering angle.
+#[inline]
+pub fn random_sign<R: CbRng>(stream: &mut CounterStream<'_, R>, counter: &mut u64) -> f64 {
+    if stream.next_u64(counter) & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Threefry2x64;
+
+    fn stream_and_counter() -> (Threefry2x64, u64) {
+        (Threefry2x64::new([99, 0]), 0)
+    }
+
+    #[test]
+    fn exponential_is_positive_and_mean_one() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exponential_mfp(&mut s, &mut c);
+            assert!(x > 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn direction_is_unit() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 1);
+        for _ in 0..1000 {
+            let (x, y) = isotropic_direction(&mut s, &mut c);
+            let norm = x.hypot(y);
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn direction_covers_all_quadrants() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 2);
+        let mut quadrants = [false; 4];
+        for _ in 0..1000 {
+            let (x, y) = isotropic_direction(&mut s, &mut c);
+            let q = usize::from(x < 0.0) | (usize::from(y < 0.0) << 1);
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&q| q), "{quadrants:?}");
+    }
+
+    #[test]
+    fn cosine_bounds_and_mean() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 3);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let mu = scattering_cosine(&mut s, &mut c);
+            assert!((-1.0..=1.0).contains(&mu));
+            sum += mu;
+        }
+        assert!((sum / f64::from(n)).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 4);
+        for _ in 0..1000 {
+            let v = uniform_range(&mut s, &mut c, -3.0, 7.5);
+            assert!((-3.0..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let (rng, mut c) = stream_and_counter();
+        let mut s = CounterStream::new(&rng, 5);
+        let n = 10_000;
+        let pos: u32 = (0..n)
+            .map(|_| u32::from(random_sign(&mut s, &mut c) > 0.0))
+            .sum();
+        let frac = f64::from(pos) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.03, "sign fraction {frac}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Physical constants of the transport model.
+//!
+//! CODATA-2018 values for universal constants; material parameters follow
+//! the original mini-app's single homogeneous non-multiplying medium with
+//! mass number 100.
+
+/// Neutron rest mass in kg (CODATA 2018).
+pub const NEUTRON_MASS_KG: f64 = 1.674_927_498_04e-27;
+
+/// One electronvolt in joules (exact, SI 2019).
+pub const EV_TO_J: f64 = 1.602_176_634e-19;
+
+/// Avogadro's number (exact, SI 2019).
+pub const AVOGADRO: f64 = 6.022_140_76e23;
+
+/// One barn in square metres.
+pub const BARN_M2: f64 = 1.0e-28;
+
+/// Mass number `A` of the (single) target nuclide.
+///
+/// Controls elastic-scattering kinematics: the maximum fractional energy
+/// loss per collision is `1 - ((A-1)/(A+1))^2 ~ 3.9%` and the mean loss for
+/// isotropic centre-of-mass scattering is `2A/(A+1)^2 ~ 1.96%`.
+pub const MASS_NO: f64 = 100.0;
+
+/// Molar mass of the target material in kg/mol (A = 100 -> 100 g/mol).
+pub const MOLAR_MASS_KG_MOL: f64 = 0.1;
+
+/// Initial particle energy in eV (1 MeV), giving a speed of ~1.38e7 m/s
+/// and therefore ~1.38 m of track per 1e-7 s timestep — which yields the
+/// ~7000 facet events per streaming particle quoted in the paper (§IV-B).
+pub const INITIAL_ENERGY_EV: f64 = 1.0e6;
+
+/// Particles below this energy are terminated ("reached a low enough
+/// energy", §IV-E).
+pub const MIN_ENERGY_OF_INTEREST_EV: f64 = 1.0;
+
+/// Speed (m/s) of a non-relativistic neutron with kinetic energy
+/// `energy_ev`: `v = sqrt(2 E / m)`.
+#[inline]
+#[must_use]
+pub fn speed_m_per_s(energy_ev: f64) -> f64 {
+    (2.0 * energy_ev * EV_TO_J / NEUTRON_MASS_KG).sqrt()
+}
+
+/// Mean fraction of its energy a particle retains after one isotropic
+/// centre-of-mass elastic scatter off a nucleus of mass number `a`:
+/// `(a^2 + 1) / (a + 1)^2`.
+#[inline]
+#[must_use]
+pub fn mean_elastic_retention(a: f64) -> f64 {
+    (a * a + 1.0) / ((a + 1.0) * (a + 1.0))
+}
+
+/// Minimum possible retained energy fraction after one elastic scatter
+/// (backscatter, `mu = -1`): `((a - 1)/(a + 1))^2`.
+#[inline]
+#[must_use]
+pub fn min_elastic_retention(a: f64) -> f64 {
+    let r = (a - 1.0) / (a + 1.0);
+    r * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mev_neutron_speed() {
+        let v = speed_m_per_s(INITIAL_ENERGY_EV);
+        assert!((v / 1.383e7 - 1.0).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn speed_scales_with_sqrt_energy() {
+        let v1 = speed_m_per_s(1.0e4);
+        let v2 = speed_m_per_s(4.0e4);
+        assert!((v2 / v1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_retention_bounds() {
+        let mean = mean_elastic_retention(MASS_NO);
+        let min = min_elastic_retention(MASS_NO);
+        assert!(min < mean && mean < 1.0);
+        // A = 100: mean loss ~ 2A/(A+1)^2 = 1.96%.
+        assert!((1.0 - mean - 0.0196).abs() < 1e-3);
+        // Max loss ~ 4A/(A+1)^2 = 3.92%.
+        assert!((1.0 - min - 0.0392).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic ("dummy") cross-section table generation.
+//!
+//! The paper's tables "mimic the capture and scatter cross sections for a
+//! single material" (§IV-D) without being real nuclear data. The shapes
+//! generated here follow the textbook behaviour of neutron cross sections:
+//!
+//! * **capture**: a `1/v` (i.e. `1/sqrt(E)`) baseline with a forest of
+//!   resonance peaks in the epithermal range — large at thermal energies,
+//!   small in the MeV range;
+//! * **elastic scatter**: approximately flat with gentle structure.
+//!
+//! Magnitudes are calibrated (see `DESIGN.md` §4) so the paper's test
+//! problems behave as described: with the `scatter` problem's density of
+//! 1e3 kg/m^3 the mean free path at 1 MeV is smaller than a 4000^2-mesh
+//! cell, making the problem collision-dominated, while the `stream`
+//! density of 1e-30 kg/m^3 makes collisions unobservable.
+//!
+//! Generation is deterministic: the resonance structure comes from the
+//! Threefry CBRNG, so a `(n_points, seed)` pair always produces the same
+//! table on every platform.
+
+use crate::table::CrossSection;
+use neutral_rng::{CounterStream, Threefry2x64};
+
+/// Parameters of the synthetic tables.
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Lowest tabulated energy (eV).
+    pub e_min_ev: f64,
+    /// Highest tabulated energy (eV).
+    pub e_max_ev: f64,
+    /// Capture cross section at 1 MeV (barns) before resonances.
+    pub capture_at_1mev_barns: f64,
+    /// Elastic scatter baseline (barns).
+    pub scatter_base_barns: f64,
+    /// Number of capture resonances.
+    pub n_resonances: usize,
+    /// Resonances are placed log-uniformly within `[res_lo_ev, res_hi_ev]`.
+    pub res_lo_ev: f64,
+    /// Upper end of the resonance region (eV).
+    pub res_hi_ev: f64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self {
+            e_min_ev: 1.0e-5,
+            e_max_ev: 2.0e7,
+            capture_at_1mev_barns: 1.0e3,
+            scatter_base_barns: 1.0e4,
+            n_resonances: 24,
+            res_lo_ev: 1.0,
+            res_hi_ev: 1.0e5,
+        }
+    }
+}
+
+/// Log-spaced energy grid with `n` points over the parameterised range.
+fn energy_grid(n: usize, p: &SynthParams) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid points");
+    let l0 = p.e_min_ev.ln();
+    let l1 = p.e_max_ev.ln();
+    (0..n)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// One Lorentzian resonance in log-energy space.
+struct Resonance {
+    /// log of the resonance energy
+    log_e: f64,
+    /// peak amplitude as a multiple of the local baseline
+    amplitude: f64,
+    /// width in log-energy units
+    width: f64,
+}
+
+fn resonance_forest(seed: u64, p: &SynthParams) -> Vec<Resonance> {
+    let rng = Threefry2x64::new([seed, 0x007e_507a_6ce5]);
+    let mut counter = 0u64;
+    let mut stream = CounterStream::new(&rng, 0);
+    let (lo, hi) = (p.res_lo_ev.ln(), p.res_hi_ev.ln());
+    (0..p.n_resonances)
+        .map(|_| {
+            let u_pos = stream.next_f64(&mut counter);
+            let u_amp = stream.next_f64(&mut counter);
+            let u_wid = stream.next_f64(&mut counter);
+            Resonance {
+                log_e: lo + (hi - lo) * u_pos,
+                amplitude: 5.0 + 95.0 * u_amp * u_amp, // 5x..100x, skewed low
+                width: 0.02 + 0.1 * u_wid,
+            }
+        })
+        .collect()
+}
+
+/// Generate the synthetic capture (absorption) table.
+#[must_use]
+pub fn synthetic_capture(n_points: usize, seed: u64, p: &SynthParams) -> CrossSection {
+    let grid = energy_grid(n_points, p);
+    let resonances = resonance_forest(seed, p);
+    let points = grid
+        .into_iter()
+        .map(|e| {
+            // 1/v baseline anchored at 1 MeV.
+            let base = p.capture_at_1mev_barns * (1.0e6 / e).sqrt();
+            let log_e = e.ln();
+            let resonance_boost: f64 = resonances
+                .iter()
+                .map(|r| {
+                    let d = (log_e - r.log_e) / r.width;
+                    r.amplitude / (1.0 + d * d)
+                })
+                .sum();
+            (e, base * (1.0 + resonance_boost))
+        })
+        .collect();
+    CrossSection::new(points)
+}
+
+/// Generate the synthetic elastic-scatter table: flat baseline with a mild
+/// deterministic ripple and a gentle high-energy roll-off.
+#[must_use]
+pub fn synthetic_scatter(n_points: usize, seed: u64, p: &SynthParams) -> CrossSection {
+    let grid = energy_grid(n_points, p);
+    let rng = Threefry2x64::new([seed, 0x05ca_77e2]);
+    let mut counter = 0u64;
+    let mut stream = CounterStream::new(&rng, 0);
+    // A handful of smooth ripple modes shared across the table.
+    let modes: Vec<(f64, f64)> = (0..6)
+        .map(|_| {
+            let phase = 2.0 * std::f64::consts::PI * stream.next_f64(&mut counter);
+            let freq = 0.3 + 1.2 * stream.next_f64(&mut counter);
+            (phase, freq)
+        })
+        .collect();
+    let points = grid
+        .into_iter()
+        .map(|e| {
+            let log_e = e.ln();
+            let ripple: f64 = modes
+                .iter()
+                .map(|&(phase, freq)| 0.03 * (freq * log_e + phase).sin())
+                .sum();
+            // Roll off above ~5 MeV, as real elastic cross sections do.
+            let rolloff = 1.0 / (1.0 + (e / 5.0e6).powi(2));
+            let v = p.scatter_base_barns * (1.0 + ripple) * (0.25 + 0.75 * rolloff);
+            (e, v.max(1.0))
+        })
+        .collect();
+    CrossSection::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{macroscopic_per_m, number_density};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SynthParams::default();
+        let a = synthetic_capture(512, 42, &p);
+        let b = synthetic_capture(512, 42, &p);
+        assert_eq!(a, b);
+        let c = synthetic_capture(512, 43, &p);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn capture_follows_one_over_v_envelope() {
+        let p = SynthParams::default();
+        let t = synthetic_capture(4096, 1, &p);
+        // Above the resonance region the 1/v trend must dominate: compare
+        // 1 MeV and 16 MeV (factor 4 in sqrt).
+        let v1 = t.value_binary(1.0e6);
+        let v16 = t.value_binary(1.6e7);
+        let ratio = v1 / v16;
+        assert!((3.0..5.0).contains(&ratio), "1/v ratio {ratio}");
+        // Thermal capture is much larger than MeV capture.
+        assert!(t.value_binary(1e-3) > 100.0 * v1);
+    }
+
+    #[test]
+    fn scatter_is_flat_ish() {
+        let p = SynthParams::default();
+        let t = synthetic_scatter(4096, 1, &p);
+        let lo = t.value_binary(1.0);
+        let hi = t.value_binary(1.0e6);
+        let ratio = lo / hi;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "scatter table not flat-ish: {ratio}"
+        );
+    }
+
+    #[test]
+    fn all_values_positive() {
+        let p = SynthParams::default();
+        for t in [synthetic_capture(2048, 9, &p), synthetic_scatter(2048, 9, &p)] {
+            assert!(t.values().iter().all(|&v| v > 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn scatter_problem_is_collision_dominated() {
+        // DESIGN.md §4 calibration: at the `scatter` problem's density the
+        // 1 MeV mean free path must be no larger than a 4000^2 cell of a
+        // 1 m domain (0.25 mm).
+        let p = SynthParams::default();
+        let a = synthetic_capture(2048, 5, &p).value_binary(1.0e6);
+        let s = synthetic_scatter(2048, 5, &p).value_binary(1.0e6);
+        let sigma_t = macroscopic_per_m(a + s, number_density(1.0e3));
+        let mfp = 1.0 / sigma_t;
+        assert!(mfp < 2.5e-4 * 1.5, "scatter-problem mfp {mfp} m too long");
+    }
+
+    #[test]
+    fn stream_problem_is_collisionless() {
+        let p = SynthParams::default();
+        let a = synthetic_capture(2048, 5, &p).value_binary(1.0e6);
+        let s = synthetic_scatter(2048, 5, &p).value_binary(1.0e6);
+        let sigma_t = macroscopic_per_m(a + s, number_density(1.0e-30));
+        let mfp = 1.0 / sigma_t;
+        assert!(mfp > 1.0e20, "stream-problem mfp {mfp} m too short");
+    }
+}

@@ -1,0 +1,245 @@
+//! Continuous-energy cross-section tables.
+//!
+//! A table is a strictly-increasing energy grid with one cross-section
+//! value per point; evaluation finds the containing energy bin and linearly
+//! interpolates (paper §IV-D-1: "a search is performed to find the energy
+//! bin for the particle's continuous energy, and a linear interpolation
+//! gives an accurate approximation to the true microscopic cross section").
+//!
+//! Two search strategies are provided, because their difference is one of
+//! the paper's measured optimisations (§VI-A):
+//!
+//! * [`CrossSection::value_binary`] — `O(log n)` binary search, the
+//!   obvious baseline;
+//! * [`CrossSection::value_hinted`] — a linear walk from the caller's
+//!   cached index. Between consecutive collisions a particle's energy
+//!   changes by at most ~4% (elastic scattering off A=100), so the walk is
+//!   short and touches adjacent cache lines, "instead of performing a more
+//!   expensive binary search at each step. This particular optimisation
+//!   improved the performance of the csp problem by 1.3x".
+
+/// A continuous-energy cross-section table (energies in eV, values in
+/// barns), linearly interpolated between grid points and clamped to the
+/// end values outside the tabulated range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossSection {
+    energy: Vec<f64>,
+    value: Vec<f64>,
+}
+
+impl CrossSection {
+    /// Build a table from `(energy, value)` pairs.
+    ///
+    /// # Panics
+    /// If fewer than two points are given, energies are not strictly
+    /// increasing, or any value is negative or non-finite.
+    #[must_use]
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two table points");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "energy grid must be strictly increasing ({} !< {})",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for &(e, v) in &points {
+            assert!(e.is_finite() && e > 0.0, "energies must be positive");
+            assert!(v.is_finite() && v >= 0.0, "values must be non-negative");
+        }
+        let (energy, value) = points.into_iter().unzip();
+        Self { energy, value }
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.energy.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.energy.is_empty()
+    }
+
+    /// The energy grid.
+    #[must_use]
+    pub fn energies(&self) -> &[f64] {
+        &self.energy
+    }
+
+    /// The tabulated values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.value
+    }
+
+    /// Lowest and highest tabulated energies.
+    #[must_use]
+    pub fn energy_range(&self) -> (f64, f64) {
+        (self.energy[0], *self.energy.last().unwrap())
+    }
+
+    /// Interpolate within bin `i` (callers guarantee `e` has been clamped
+    /// into the table range and `i < len-1`).
+    #[inline]
+    fn lerp(&self, i: usize, e: f64) -> f64 {
+        let (e0, e1) = (self.energy[i], self.energy[i + 1]);
+        let (v0, v1) = (self.value[i], self.value[i + 1]);
+        let t = ((e - e0) / (e1 - e0)).clamp(0.0, 1.0);
+        v0 + t * (v1 - v0)
+    }
+
+    /// Index of the energy bin containing `energy_ev` (clamped to the
+    /// table), found by binary search. Used to seed a particle's cached
+    /// lookup hint at birth, where there is no previous lookup to walk
+    /// from.
+    #[inline]
+    #[must_use]
+    pub fn bin_index_binary(&self, energy_ev: f64) -> usize {
+        let n = self.energy.len();
+        if energy_ev <= self.energy[0] {
+            return 0;
+        }
+        if energy_ev >= self.energy[n - 1] {
+            return n - 2;
+        }
+        self.energy.partition_point(|&g| g <= energy_ev) - 1
+    }
+
+    /// Evaluate by binary search.
+    #[inline]
+    #[must_use]
+    pub fn value_binary(&self, energy_ev: f64) -> f64 {
+        let n = self.energy.len();
+        if energy_ev <= self.energy[0] {
+            return self.value[0];
+        }
+        if energy_ev >= self.energy[n - 1] {
+            return self.value[n - 1];
+        }
+        // partition_point returns the first index with energy > e; the
+        // containing bin starts one before it.
+        let hi = self.energy.partition_point(|&g| g <= energy_ev);
+        self.lerp(hi - 1, energy_ev)
+    }
+
+    /// Evaluate by a linear walk from `*hint`, updating the hint to the
+    /// containing bin.
+    #[inline]
+    #[must_use]
+    pub fn value_hinted(&self, energy_ev: f64, hint: &mut usize) -> f64 {
+        self.value_hinted_counted(energy_ev, hint).0
+    }
+
+    /// As [`Self::value_hinted`] but also reporting the number of grid
+    /// steps walked (instrumentation for the performance model).
+    #[inline]
+    pub fn value_hinted_counted(&self, energy_ev: f64, hint: &mut usize) -> (f64, u32) {
+        let n = self.energy.len();
+        let mut i = (*hint).min(n - 2);
+        let mut steps = 0u32;
+        if energy_ev <= self.energy[0] {
+            *hint = 0;
+            return (self.value[0], steps);
+        }
+        if energy_ev >= self.energy[n - 1] {
+            *hint = n - 2;
+            return (self.value[n - 1], steps);
+        }
+        // Walk up while the bin is below the energy...
+        while self.energy[i + 1] <= energy_ev {
+            i += 1;
+            steps += 1;
+        }
+        // ...or down while the bin is above it.
+        while self.energy[i] > energy_ev {
+            i -= 1;
+            steps += 1;
+        }
+        *hint = i;
+        (self.lerp(i, energy_ev), steps)
+    }
+
+    /// Resident bytes of the table data.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        (self.energy.len() + self.value.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CrossSection {
+        CrossSection::new(vec![(1.0, 10.0), (2.0, 20.0), (4.0, 10.0), (8.0, 40.0)])
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let t = table();
+        for (i, &e) in t.energies().iter().enumerate() {
+            assert_eq!(t.value_binary(e), t.values()[i]);
+        }
+    }
+
+    #[test]
+    fn interpolates_midpoints() {
+        let t = table();
+        assert_eq!(t.value_binary(1.5), 15.0);
+        assert_eq!(t.value_binary(3.0), 15.0);
+        assert_eq!(t.value_binary(6.0), 25.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let t = table();
+        assert_eq!(t.value_binary(0.5), 10.0);
+        assert_eq!(t.value_binary(100.0), 40.0);
+        let mut hint = 2;
+        assert_eq!(t.value_hinted(0.5, &mut hint), 10.0);
+        assert_eq!(hint, 0);
+        assert_eq!(t.value_hinted(100.0, &mut hint), 40.0);
+        assert_eq!(hint, t.len() - 2);
+    }
+
+    #[test]
+    fn hinted_agrees_with_binary_from_any_hint() {
+        let t = table();
+        for e in [1.0, 1.3, 2.0, 2.7, 3.99, 4.0, 5.5, 7.9, 8.0] {
+            for h in 0..t.len() {
+                let mut hint = h;
+                assert_eq!(
+                    t.value_hinted(e, &mut hint),
+                    t.value_binary(e),
+                    "e={e} hint={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hint_is_updated_to_containing_bin() {
+        let t = table();
+        let mut hint = 0;
+        let _ = t.value_hinted(6.0, &mut hint);
+        assert_eq!(hint, 2);
+        let (_, steps) = t.value_hinted_counted(6.5, &mut hint);
+        assert_eq!(steps, 0, "nearby lookup should not walk");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_grid() {
+        let _ = CrossSection::new(vec![(2.0, 1.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_values() {
+        let _ = CrossSection::new(vec![(1.0, -1.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Radiation dose mapping: the medical-physics use case from the paper's
+//! introduction ("for medical sciences the algorithms can be used to
+//! determine radiation dosages", §III-A).
+//!
+//! A collimated source irradiates a water-like phantom containing a denser
+//! inclusion; the energy-deposition tally *is* the dose map. The example
+//! prints an ASCII isodose chart and checks the statistical energy
+//! balance.
+//!
+//! ```sh
+//! cargo run --release --example dose_map
+//! ```
+
+use neutral_core::prelude::*;
+use neutral_mesh::{Rect, StructuredMesh2D};
+use neutral_xs::CrossSectionLibrary;
+
+fn main() {
+    let n = 256;
+    // Tissue-like phantom with a denser inclusion ("tumour") off-centre,
+    // in a near-vacuum surround. Densities are scaled to the synthetic
+    // cross sections (sigma_t ~ 1.1e4 barn at 1 MeV) so that the phantom
+    // is a few mean free paths across (mfp ~ 10 cm at rho = 1.5) and the
+    // inclusion is locally optically thick (mfp ~ 1 cm at rho = 15).
+    let mut mesh = StructuredMesh2D::uniform(n, n, 1.0, 1.0, 1.0e-6);
+    mesh.set_region(Rect::new(0.30, 0.70, 0.30, 0.70), 1.5);
+    mesh.set_region(Rect::new(0.50, 0.64, 0.44, 0.58), 15.0);
+
+    let problem = Problem {
+        mesh,
+        xs: CrossSectionLibrary::synthetic(30_000, 0xd05e),
+        // Narrow source below the phantom, beaming upward-ish
+        // (directions are isotropic; collimation comes from geometry).
+        source: Rect::new(0.45, 0.55, 0.02, 0.06),
+        n_particles: 30_000,
+        dt: 1.0e-7,
+        n_timesteps: 1,
+        seed: 2026,
+        initial_energy_ev: 1.0e6,
+        transport: TransportConfig {
+            collision_model: CollisionModel::ImplicitCapture,
+            ..Default::default()
+        },
+    };
+    let sim = Simulation::new(problem);
+    let report = sim.run(RunOptions::default());
+    println!("{}", report.summary());
+
+    // Energy accounting: with implicit capture the track-length estimator
+    // matches the population energy loss in expectation.
+    let balance = report.energy_balance();
+    println!(
+        "energy balance defect: {:+.2}% (statistical; ~0 in expectation)",
+        100.0 * balance.relative_defect()
+    );
+
+    // ASCII isodose chart: 10 dose deciles on a coarse grid.
+    let nx = sim.problem().mesh.nx();
+    let ny = sim.problem().mesh.ny();
+    let coarse = 32;
+    let mut dose = vec![0.0f64; coarse * coarse];
+    for (i, &v) in report.tally.iter().enumerate() {
+        let (ix, iy) = (i % nx, i / nx);
+        let (cx, cy) = (ix * coarse / nx, iy * coarse / ny);
+        dose[cy * coarse + cx] += v;
+    }
+    let max = dose.iter().cloned().fold(0.0, f64::max);
+    println!("\nisodose map (0-9 = dose deciles of log scale, '.' = none):");
+    const RAMP: &[u8] = b"0123456789";
+    for cy in (0..coarse).rev() {
+        let mut line = String::from("  ");
+        for cx in 0..coarse {
+            let v = dose[cy * coarse + cx];
+            if v <= 0.0 || v < max * 1e-4 {
+                line.push('.');
+            } else {
+                // log scale over 4 decades of dynamic range.
+                let rel = ((v / max).log10() / 4.0 + 1.0).clamp(0.0, 0.999);
+                line.push(RAMP[(rel * 10.0) as usize] as char);
+            }
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nThe beam deposits heavily at the phantom entry surface and inside\n\
+         the dense inclusion — the build-up/attenuation structure a dose\n\
+         planning calculation looks for."
+    );
+}

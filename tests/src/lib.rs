@@ -1,0 +1,16 @@
+//! Support library for the `neutral-integration` test package.
+//!
+//! The actual integration tests live in `tests/tests/*.rs`; this crate
+//! only provides shared fixtures.
+
+use neutral_core::prelude::*;
+
+/// Standard tiny-scale fixture used across the integration suite.
+pub fn tiny(case: TestCase, seed: u64) -> Simulation {
+    Simulation::new(case.build(ProblemScale::tiny(), seed))
+}
+
+/// Relative difference |a-b| / max(|a|, floor).
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(1e-30)
+}

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) across the workspace: randomised
+//! problems and inputs, invariant assertions.
+
+use neutral_core::prelude::*;
+use neutral_core::scheduler::{parallel_for, Schedule};
+use neutral_core::validate::population_balance;
+use neutral_mesh::{Rect, StructuredMesh2D};
+use neutral_xs::{CrossSectionLibrary, SynthParams, XsHints};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn arbitrary_problem() -> impl Strategy<Value = Problem> {
+    (
+        8usize..40,           // mesh cells per axis
+        0usize..3,            // density regime
+        1u64..1000,           // seed
+        20usize..120,         // particles
+        (0.05f64..0.7, 0.05f64..0.7), // source origin
+    )
+        .prop_map(|(n, regime, seed, particles, (sx, sy))| {
+            let rho = match regime {
+                0 => 1.0e-30,
+                1 => 1.0e3,
+                _ => 0.05,
+            };
+            let mut mesh = StructuredMesh2D::uniform(n, n, 1.0, 1.0, rho);
+            if regime == 2 {
+                mesh.set_region(Rect::new(0.4, 0.6, 0.4, 0.6), 1.0e3);
+            }
+            Problem {
+                mesh,
+                xs: CrossSectionLibrary::synthetic(512, seed),
+                source: Rect::new(sx, sx + 0.2, sy, sy + 0.2),
+                n_particles: particles,
+                dt: 1.0e-7,
+                n_timesteps: 1,
+                seed,
+                initial_energy_ev: 1.0e6,
+                transport: TransportConfig::default(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random problem conserves its population, keeps particles in
+    /// the domain, deposits non-negative energy and never trips the
+    /// runaway guard.
+    #[test]
+    fn random_problems_hold_invariants(problem in arbitrary_problem()) {
+        let n = problem.n_particles;
+        let r = Simulation::new(problem).run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        prop_assert!(population_balance(n as u64, &r.counters));
+        prop_assert_eq!(r.counters.stuck, 0);
+        prop_assert!(r.tally.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        let b = r.energy_balance();
+        prop_assert!(b.weak_invariants_hold());
+    }
+
+    /// Scheme equivalence holds for random problems, not just the three
+    /// canonical cases.
+    #[test]
+    fn random_problems_scheme_equivalence(problem in arbitrary_problem()) {
+        let sim = Simulation::new(problem);
+        let op = sim.run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        let oe = sim.run(RunOptions {
+            scheme: Scheme::OverEvents,
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        prop_assert_eq!(op.counters.collisions, oe.counters.collisions);
+        prop_assert_eq!(op.counters.facets, oe.counters.facets);
+        prop_assert_eq!(op.counters.deaths, oe.counters.deaths);
+        let (a, b) = (op.tally_total(), oe.tally_total());
+        prop_assert!(((a - b).abs() <= 1e-9 * a.abs().max(1e-30)),
+            "tallies {} vs {}", a, b);
+    }
+
+    /// The hinted cross-section lookup equals the binary lookup for any
+    /// table and any energy/hint.
+    #[test]
+    fn hinted_lookup_equals_binary(
+        points in 8usize..600,
+        seed in 0u64..5000,
+        exp in -6.0f64..7.5,
+        hint in 0u32..600,
+    ) {
+        let lib = CrossSectionLibrary::synthetic(points, seed);
+        let e = 10f64.powf(exp);
+        let mut hints = XsHints { absorb: hint, scatter: hint / 2 };
+        let hinted = lib.lookup(e, &mut hints);
+        let binary = lib.lookup_binary(e);
+        prop_assert_eq!(hinted, binary);
+    }
+
+    /// Synthetic tables are strictly positive and monotone-graded: capture
+    /// at thermal energies exceeds capture at MeV energies.
+    #[test]
+    fn synthetic_tables_shape(points in 64usize..512, seed in 0u64..1000) {
+        let p = SynthParams::default();
+        let capture = neutral_xs::synthetic_capture(points, seed, &p);
+        prop_assert!(capture.values().iter().all(|&v| v > 0.0));
+        prop_assert!(capture.value_binary(1e-3) > capture.value_binary(1e6));
+    }
+
+    /// Every schedule policy covers every index exactly once for random
+    /// shapes.
+    #[test]
+    fn scheduler_exact_coverage(
+        n in 0usize..3000,
+        threads in 1usize..9,
+        which in 0usize..5,
+        chunk in 1usize..100,
+    ) {
+        let schedule = match which {
+            0 => Schedule::Static { chunk: None },
+            1 => Schedule::Static { chunk: Some(chunk) },
+            2 => Schedule::Dynamic { chunk },
+            3 => Schedule::Guided { min_chunk: chunk },
+            _ => Schedule::Dynamic { chunk: 1 },
+        };
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        parallel_for(threads, n, schedule, |_t, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Mesh point-location and facet-crossing arithmetic agree for random
+    /// geometry.
+    #[test]
+    fn mesh_locate_and_crossing(
+        nx in 1usize..50,
+        ny in 1usize..50,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+    ) {
+        let mesh = StructuredMesh2D::uniform(nx, ny, 2.0, 3.0, 1.0);
+        let x = 2.0 * fx;
+        let y = 3.0 * fy;
+        let (ix, iy) = mesh.locate(x, y);
+        prop_assert!(ix < nx && iy < ny);
+        let (x0, x1, y0, y1) = mesh.cell_bounds(ix, iy);
+        prop_assert!(x >= x0 - 1e-12 && x <= x1 + 1e-12);
+        prop_assert!(y >= y0 - 1e-12 && y <= y1 + 1e-12);
+
+        // Crossing out and back returns to the same cell.
+        for facet in [
+            neutral_mesh::Facet::XLow,
+            neutral_mesh::Facet::XHigh,
+            neutral_mesh::Facet::YLow,
+            neutral_mesh::Facet::YHigh,
+        ] {
+            let (jx, jy, reflected) = mesh.cross_facet(ix, iy, facet);
+            prop_assert!(jx < nx && jy < ny);
+            if !reflected {
+                let opposite = match facet {
+                    neutral_mesh::Facet::XLow => neutral_mesh::Facet::XHigh,
+                    neutral_mesh::Facet::XHigh => neutral_mesh::Facet::XLow,
+                    neutral_mesh::Facet::YLow => neutral_mesh::Facet::YHigh,
+                    neutral_mesh::Facet::YHigh => neutral_mesh::Facet::YLow,
+                };
+                let (kx, ky, _) = mesh.cross_facet(jx, jy, opposite);
+                prop_assert_eq!((kx, ky), (ix, iy));
+            }
+        }
+    }
+
+    /// Fixed-key Threefry is a bijection: distinct counters can never
+    /// produce the same block.
+    #[test]
+    fn threefry_injective(
+        key in any::<[u64; 2]>(),
+        a in any::<[u64; 2]>(),
+        b in any::<[u64; 2]>(),
+    ) {
+        use neutral_rng::{CbRng, Threefry2x64};
+        prop_assume!(a != b);
+        let rng = Threefry2x64::new(key);
+        prop_assert_ne!(rng.block(a), rng.block(b));
+    }
+
+    /// The perf model is monotone: more particles can never take less
+    /// predicted time on any machine.
+    #[test]
+    fn model_monotone_in_work(mult in 1.0f64..50.0) {
+        use neutral_perf::model::{predict, KernelProfile, SchemeKind};
+        let n = 1.0e4;
+        let base = KernelProfile {
+            scheme: SchemeKind::OverParticles,
+            n_particles: n,
+            collisions: 50.0 * n,
+            facets: 300.0 * n,
+            census: n,
+            cs_lookups: 51.0 * n,
+            cs_search_steps: 500.0 * n,
+            density_reads: 301.0 * n,
+            tally_flushes: 300.0 * n,
+            oe_rounds: 0.0,
+        };
+        let bigger = base.scaled(mult, 1.0);
+        for arch in neutral_perf::arch::ALL {
+            let t0 = predict(&base, arch).total_s;
+            let t1 = predict(&bigger, arch).total_s;
+            prop_assert!(t1 >= t0 * 0.999, "{}: {} vs {}", arch.name, t0, t1);
+        }
+    }
+}
