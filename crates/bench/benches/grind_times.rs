@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use neutral_core::config::TransportConfig;
 use neutral_core::counters::EventCounters;
-use neutral_core::events::{
-    energy_deposition, facet_distance, handle_collision, handle_facet,
-};
+use neutral_core::events::{energy_deposition, facet_distance, handle_collision, handle_facet};
 use neutral_core::particle::Particle;
 use neutral_mesh::{Facet, StructuredMesh2D};
 use neutral_rng::{CounterStream, Threefry2x64};
@@ -57,8 +55,7 @@ fn bench_events(c: &mut Criterion) {
             p.weight = 1.0;
             p.energy = 1.0e6;
             p.dead = false;
-            let died =
-                handle_collision(black_box(&mut p), &mut stream, micro, &cfg, &mut counters);
+            let died = handle_collision(black_box(&mut p), &mut stream, micro, &cfg, &mut counters);
             black_box(died)
         });
     });

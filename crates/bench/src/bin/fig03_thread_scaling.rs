@@ -91,7 +91,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["threads", "neutral-OP eff", "neutral-OE eff", "flow eff", "hot eff"],
+        &[
+            "threads",
+            "neutral-OP eff",
+            "neutral-OE eff",
+            "flow eff",
+            "hot eff",
+        ],
         &rows,
     );
 

@@ -42,21 +42,12 @@ fn main() {
         times.push((schedule.label(), r.elapsed.as_secs_f64()));
     }
 
-    let best = times
-        .iter()
-        .map(|(_, t)| *t)
-        .fold(f64::INFINITY, f64::min);
+    let best = times.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
     let worst = times.iter().map(|(_, t)| *t).fold(0.0, f64::max);
 
     let rows: Vec<Vec<String>> = times
         .iter()
-        .map(|(label, t)| {
-            vec![
-                label.clone(),
-                format!("{t:.3}"),
-                format!("{:.3}", t / best),
-            ]
-        })
+        .map(|(label, t)| vec![label.clone(), format!("{t:.3}"), format!("{:.3}", t / best)])
         .collect();
     print_table(&["schedule", "time (s)", "vs best"], &rows);
 

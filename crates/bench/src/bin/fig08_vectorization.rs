@@ -65,7 +65,13 @@ fn main() {
     rows.extend(kernel_row(TestCase::Stream, &args));
     rows.extend(kernel_row(TestCase::Scatter, &args));
     print_table(
-        &["problem", "kernel", "scalar (s)", "restructured (s)", "speedup"],
+        &[
+            "problem",
+            "kernel",
+            "scalar (s)",
+            "restructured (s)",
+            "speedup",
+        ],
         &rows,
     );
 
@@ -90,7 +96,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["architecture", "unvectorised (s)", "vectorised (s)", "speedup"],
+        &[
+            "architecture",
+            "unvectorised (s)",
+            "vectorised (s)",
+            "speedup",
+        ],
         &rows,
     );
     println!(

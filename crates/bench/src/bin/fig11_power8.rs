@@ -34,13 +34,7 @@ fn main() {
         ]);
     }
     print_table(
-        &[
-            "problem",
-            "OP (s)",
-            "OE (s)",
-            "OE/OP",
-            "P8/BDW (OP)",
-        ],
+        &["problem", "OP (s)", "OE (s)", "OE/OP", "P8/BDW (OP)"],
         &rows,
     );
     println!(

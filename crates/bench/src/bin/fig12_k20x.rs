@@ -38,14 +38,7 @@ fn main() {
         ]);
     }
     print_table(
-        &[
-            "problem",
-            "OP (s)",
-            "OE (s)",
-            "OE/OP",
-            "OP GB/s",
-            "OE GB/s",
-        ],
+        &["problem", "OP (s)", "OE (s)", "OE/OP", "OP GB/s", "OE GB/s"],
         &rows,
     );
 

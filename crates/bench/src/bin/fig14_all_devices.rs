@@ -19,13 +19,7 @@ fn main() {
         "modeled from measured event counters",
     );
 
-    let archs = [
-        &BROADWELL_2S,
-        &KNL_7210_MCDRAM,
-        &POWER8_2S,
-        &K20X,
-        &P100,
-    ];
+    let archs = [&BROADWELL_2S, &KNL_7210_MCDRAM, &POWER8_2S, &K20X, &P100];
 
     let mut rows = Vec::new();
     let mut csp_times = Vec::new();
@@ -53,21 +47,21 @@ fn main() {
     println!("  P100 vs Broadwell: {:.2}x (3.2x)", bdw / p100);
     println!("  P100 vs K20X:      {:.2}x (4.5x)", k20x / p100);
     println!("  Broadwell vs P8:   {:.2}x (1.34x)", p8 / bdw);
-    println!("  Broadwell vs KNL:  {:.2}x (KNL 'beaten in almost all cases')", knl / bdw);
     println!(
-        "  Device order on csp (fast->slow): {}",
-        {
-            let mut named: Vec<(&str, f64)> = archs
-                .iter()
-                .zip(&csp_times)
-                .map(|(a, &t)| (a.name, t))
-                .collect();
-            named.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            named
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(" < ")
-        }
+        "  Broadwell vs KNL:  {:.2}x (KNL 'beaten in almost all cases')",
+        knl / bdw
     );
+    println!("  Device order on csp (fast->slow): {}", {
+        let mut named: Vec<(&str, f64)> = archs
+            .iter()
+            .zip(&csp_times)
+            .map(|(a, &t)| (a.name, t))
+            .collect();
+        named.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        named
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" < ")
+    });
 }

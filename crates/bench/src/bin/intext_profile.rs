@@ -27,7 +27,10 @@ fn main() {
 
     // -- grind times: sequential run, events/second.
     println!("\n-- event grind times --");
-    for (case, event_kind) in [(TestCase::Scatter, "collision"), (TestCase::Stream, "facet")] {
+    for (case, event_kind) in [
+        (TestCase::Scatter, "collision"),
+        (TestCase::Stream, "facet"),
+    ] {
         let r = run_median(
             case,
             RunOptions {
@@ -46,7 +49,11 @@ fn main() {
             case.name(),
             events,
             secs(r.elapsed),
-            if event_kind == "collision" { "~18 ns" } else { "~3 ns" },
+            if event_kind == "collision" {
+                "~18 ns"
+            } else {
+                "~3 ns"
+            },
         );
     }
 
@@ -123,7 +130,10 @@ fn main() {
         energies.push(e);
         e *= 0.98;
     }
-    for (label, points, reps) in [("30k-point table", 30_000usize, 2000u32), ("2M-point table", 2_000_000, 400)] {
+    for (label, points, reps) in [
+        ("30k-point table", 30_000usize, 2000u32),
+        ("2M-point table", 2_000_000, 400),
+    ] {
         let xs = neutral_xs::CrossSectionLibrary::synthetic(points, 99);
         let mut acc = 0.0;
         let t0 = Instant::now();
@@ -168,12 +178,17 @@ fn main() {
         times.sort_by(f64::total_cmp);
         times[times.len() / 2]
     };
-    let hinted = run_search(XsSearch::CachedLinear);
     let binary = run_search(XsSearch::Binary);
+    for strategy in [XsSearch::Hinted, XsSearch::Unionized, XsSearch::Hashed] {
+        let t = run_search(strategy);
+        println!(
+            "  end-to-end scatter solve: {} {t:.3} s vs binary {binary:.3} s -> {:.2}x",
+            strategy.name(),
+            binary / t
+        );
+    }
     println!(
-        "  end-to-end scatter solve: cached {hinted:.3} s, binary {binary:.3} s -> {:.2}x\n\
-         (paper: the cached search bought 1.3x end-to-end; the effect needs a\n\
-         table larger than the cache left over by the transport working set)",
-        binary / hinted
+        "  (paper: the cached search bought 1.3x end-to-end; the effect needs a\n\
+         table larger than the cache left over by the transport working set)"
     );
 }

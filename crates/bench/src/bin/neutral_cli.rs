@@ -4,6 +4,7 @@
 //! ```sh
 //! neutral_cli problem.params [--scheme op|oe] [--layout aos|soa|soa-stepped]
 //!             [--threads N] [--schedule static|dynamic,N|guided,N]
+//!             [--lookup binary|hinted|unionized|hashed]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //! ```
 //!
@@ -18,6 +19,7 @@ use std::process::ExitCode;
 struct CliArgs {
     params_file: Option<String>,
     options: RunOptions,
+    lookup: Option<LookupStrategy>,
     dump_tally: Option<String>,
 }
 
@@ -51,6 +53,7 @@ fn parse_args() -> Result<CliArgs, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut params_file = None;
     let mut options = RunOptions::default();
+    let mut lookup = None;
     let mut dump_tally = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
@@ -88,6 +91,14 @@ fn parse_args() -> Result<CliArgs, String> {
                 i += 1;
                 schedule = Some(parse_schedule(argv.get(i).ok_or("--schedule ...")?)?);
             }
+            "--lookup" => {
+                i += 1;
+                lookup = Some(
+                    argv.get(i)
+                        .ok_or("--lookup binary|hinted|unionized|hashed")?
+                        .parse::<LookupStrategy>()?,
+                );
+            }
             "--privatized" => privatized = true,
             "--sequential" => options.execution = Execution::Sequential,
             "--vectorized" => options.kernel_style = KernelStyle::Vectorized,
@@ -120,6 +131,7 @@ fn parse_args() -> Result<CliArgs, String> {
     Ok(CliArgs {
         params_file,
         options,
+        lookup,
         dump_tally,
     })
 }
@@ -153,7 +165,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let problem = params.build();
+    let mut problem = params.build();
+    if let Some(lookup) = args.lookup {
+        problem.transport.xs_search = lookup;
+    }
     println!(
         "neutral: {}x{} mesh, {} particles, {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
@@ -163,7 +178,11 @@ fn main() -> ExitCode {
         problem.dt,
         problem.seed,
     );
-    println!("options: {:?}", args.options);
+    println!(
+        "options: {:?}, lookup: {}",
+        args.options,
+        problem.transport.xs_search.name()
+    );
 
     let sim = Simulation::new(problem);
     let report = sim.run(args.options);

@@ -21,17 +21,15 @@ pub enum CollisionModel {
     ImplicitCapture,
 }
 
-/// How microscopic cross sections are looked up during tracking
-/// (paper §VI-A's cached-index optimisation and its baseline).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum XsSearch {
-    /// Linear walk from the particle's cached bin index (the paper's
-    /// optimisation, worth 1.3x end-to-end on csp).
-    #[default]
-    CachedLinear,
-    /// Fresh binary search per lookup (the baseline it replaced).
-    Binary,
-}
+/// How microscopic cross sections are looked up during tracking: the
+/// paper's two strategies (§VI-A) plus the unionized-grid and hashed-grid
+/// accelerations. Re-exported from `neutral_xs`; see
+/// [`neutral_xs::XsLookup`] for the backend contract.
+pub use neutral_xs::LookupStrategy;
+
+/// Pre-subsystem name of [`LookupStrategy`] (kept for compatibility; the
+/// old `CachedLinear` variant is now called `Hinted`).
+pub type XsSearch = LookupStrategy;
 
 /// What happens when a particle's weight falls below the cutoff
 /// (variance-reduction policy, paper §IV-E).
@@ -61,8 +59,9 @@ pub struct TransportConfig {
     pub weight_cutoff: f64,
     /// Collision resolution model.
     pub collision_model: CollisionModel,
-    /// Cross-section search strategy (§VI-A).
-    pub xs_search: XsSearch,
+    /// Cross-section lookup strategy (§VI-A and the unionized/hashed
+    /// accelerations).
+    pub xs_search: LookupStrategy,
     /// Low-weight policy (termination vs Russian roulette).
     pub low_weight: LowWeightPolicy,
     /// Safety valve: abandon a history after this many events and count it
@@ -76,7 +75,7 @@ impl Default for TransportConfig {
             min_energy_ev: constants::MIN_ENERGY_OF_INTEREST_EV,
             weight_cutoff: 1.0e-6,
             collision_model: CollisionModel::Analogue,
-            xs_search: XsSearch::CachedLinear,
+            xs_search: LookupStrategy::Hinted,
             low_weight: LowWeightPolicy::Terminate,
             max_events_per_history: 1_000_000,
         }

@@ -41,6 +41,9 @@ pub struct EventCounters {
     pub cs_search_steps: u64,
     /// Cross-section table lookups performed.
     pub cs_lookups: u64,
+    /// Subset of `cs_lookups` resolved through the batched
+    /// `lookup_many` lane-block API (event-based and SoA drivers).
+    pub batched_lookups: u64,
     /// Cell-centred density reads (the random mesh access, §VI-A).
     pub density_reads: u64,
     /// Weighted energy (eV) carried by particles terminated at a cutoff.
@@ -64,6 +67,7 @@ impl EventCounters {
         self.tally_flushes += other.tally_flushes;
         self.cs_search_steps += other.cs_search_steps;
         self.cs_lookups += other.cs_lookups;
+        self.batched_lookups += other.batched_lookups;
         self.density_reads += other.density_reads;
         self.lost_energy_ev += other.lost_energy_ev;
         self.census_energy_ev += other.census_energy_ev;

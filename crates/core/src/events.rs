@@ -15,7 +15,7 @@ use neutral_mesh::tally::{SequentialTally, TallySlot};
 use neutral_mesh::{tally::AtomicTally, Facet, StructuredMesh2D};
 use neutral_rng::{dist, CbRng, CounterStream};
 use neutral_xs::constants::{mean_elastic_retention, speed_m_per_s, MASS_NO};
-use neutral_xs::{macroscopic_per_m, MicroXs};
+use neutral_xs::{macroscopic_per_m, CrossSectionLibrary, LookupStrategy, MicroXs, XsHints};
 
 /// Where energy deposits go. Implemented by all three tally variants plus
 /// [`NullTally`] (used to measure the tally share of runtime, §VI-A).
@@ -62,6 +62,54 @@ impl<T: TallySink + ?Sized> TallySink for &mut T {
     fn deposit(&mut self, cell: usize, value: f64) {
         (**self).deposit(cell, value);
     }
+}
+
+/// Resolve both microscopic cross sections at `energy_ev` with the
+/// configured lookup strategy, updating the caller's cached table hints
+/// and the instrumentation counters.
+///
+/// This is the single seam between the transport kernels and the
+/// `neutral_xs` lookup-backend layer: every driver (history loop,
+/// event kernels, SoA trackers) funnels through here, so switching
+/// [`LookupStrategy`] retunes all of them at once.
+#[inline]
+pub fn resolve_micro_xs(
+    xs: &CrossSectionLibrary,
+    strategy: LookupStrategy,
+    energy_ev: f64,
+    hints: &mut XsHints,
+    counters: &mut EventCounters,
+) -> MicroXs {
+    counters.cs_lookups += 1;
+    let (micro, steps) = xs.lookup_with(strategy, energy_ev, hints);
+    counters.cs_search_steps += u64::from(steps);
+    micro
+}
+
+/// Batched [`resolve_micro_xs`]: resolve a whole lane block of energies
+/// in one call through the backend's `lookup_many`, updating the SoA
+/// hint lanes in place. Slices must have equal lengths.
+#[allow(clippy::too_many_arguments)] // mirrors the five parallel SoA lanes
+pub fn resolve_micro_xs_many(
+    xs: &CrossSectionLibrary,
+    strategy: LookupStrategy,
+    energies: &[f64],
+    hints_absorb: &mut [u32],
+    hints_scatter: &mut [u32],
+    out_absorb: &mut [f64],
+    out_scatter: &mut [f64],
+    counters: &mut EventCounters,
+) {
+    counters.cs_lookups += energies.len() as u64;
+    counters.batched_lookups += energies.len() as u64;
+    counters.cs_search_steps += xs.lookup_many_with(
+        strategy,
+        energies,
+        hints_absorb,
+        hints_scatter,
+        out_absorb,
+        out_scatter,
+    );
 }
 
 /// The event a particle will encounter next.
@@ -295,8 +343,7 @@ fn elastic_scatter<R: CbRng>(p: &mut Particle, stream: &mut CounterStream<'_, R>
     let e_new = e_old * (A * A + 2.0 * A * mu_cm + 1.0) / ((A + 1.0) * (A + 1.0));
     // cos(theta_lab) = ((A+1) sqrt(E'/E) - (A-1) sqrt(E/E')) / 2
     //               = (1 + A mu_cm) / sqrt(A^2 + 2 A mu_cm + 1).
-    let cos_lab = 0.5
-        * ((A + 1.0) * (e_new / e_old).sqrt() - (A - 1.0) * (e_old / e_new).sqrt());
+    let cos_lab = 0.5 * ((A + 1.0) * (e_new / e_old).sqrt() - (A - 1.0) * (e_old / e_new).sqrt());
     let cos_lab = cos_lab.clamp(-1.0, 1.0);
     let sin_lab = sign * (1.0 - cos_lab * cos_lab).max(0.0).sqrt();
 
@@ -317,8 +364,7 @@ pub fn handle_facet(
     counters: &mut EventCounters,
 ) -> bool {
     counters.facets += 1;
-    let (nx, ny, reflected) =
-        mesh.cross_facet(p.cellx as usize, p.celly as usize, facet);
+    let (nx, ny, reflected) = mesh.cross_facet(p.cellx as usize, p.celly as usize, facet);
     if reflected {
         counters.reflections += 1;
         match facet {
@@ -459,7 +505,10 @@ mod tests {
             let e_before = p.energy;
             elastic_scatter(&mut p, &mut stream);
             assert!(p.energy <= e_before);
-            assert!(p.energy >= e_before * neutral_xs::constants::min_elastic_retention(MASS_NO) * 0.999_999);
+            assert!(
+                p.energy
+                    >= e_before * neutral_xs::constants::min_elastic_retention(MASS_NO) * 0.999_999
+            );
             let norm = p.omega_x.hypot(p.omega_y);
             assert!((norm - 1.0).abs() < 1e-9);
         }

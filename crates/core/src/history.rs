@@ -9,11 +9,11 @@
 //! that is flushed to the tally mesh only at facet encounters and at the
 //! end of the history (§VI-A).
 
-use crate::config::{TransportConfig, XsSearch};
+use crate::config::TransportConfig;
 use crate::counters::EventCounters;
 use crate::events::{
-    energy_deposition, handle_collision, handle_facet, move_particle, next_event, NextEvent,
-    TallySink,
+    energy_deposition, handle_collision, handle_facet, move_particle, next_event, resolve_micro_xs,
+    NextEvent, TallySink,
 };
 use crate::particle::Particle;
 use neutral_mesh::StructuredMesh2D;
@@ -58,6 +58,32 @@ pub fn track_to_census<R: CbRng, T: TallySink>(
     tally: &mut T,
     counters: &mut EventCounters,
 ) -> HistoryEnd {
+    track_to_census_inner(p, ctx, tally, counters, None)
+}
+
+/// As [`track_to_census`], but the caller has already resolved the
+/// particle's microscopic cross sections (e.g. through the batched
+/// `lookup_many` lane-block API) — the initial lookup is skipped and
+/// `micro` is used in its place. The caller must also have updated the
+/// particle's hints, so the trajectory is bitwise identical to the
+/// unprimed loop.
+pub fn track_to_census_primed<R: CbRng, T: TallySink>(
+    p: &mut Particle,
+    ctx: &TransportCtx<'_, R>,
+    tally: &mut T,
+    counters: &mut EventCounters,
+    micro: neutral_xs::MicroXs,
+) -> HistoryEnd {
+    track_to_census_inner(p, ctx, tally, counters, Some(micro))
+}
+
+fn track_to_census_inner<R: CbRng, T: TallySink>(
+    p: &mut Particle,
+    ctx: &TransportCtx<'_, R>,
+    tally: &mut T,
+    counters: &mut EventCounters,
+    primed: Option<neutral_xs::MicroXs>,
+) -> HistoryEnd {
     if p.dead {
         return HistoryEnd::Died;
     }
@@ -65,7 +91,10 @@ pub fn track_to_census<R: CbRng, T: TallySink>(
 
     // State cached "in registers" between events (§V-A): refreshed only by
     // the event that invalidates it.
-    let mut micro = lookup_micro(p, ctx, counters);
+    let mut micro = match primed {
+        Some(m) => m,
+        None => lookup_micro(p, ctx, counters),
+    };
     let mut local_n = {
         counters.density_reads += 1;
         number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize))
@@ -105,8 +134,7 @@ pub fn track_to_census<R: CbRng, T: TallySink>(
                 // The cached local density must be updated: the random
                 // read from the cell-centred density mesh.
                 counters.density_reads += 1;
-                local_n =
-                    number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+                local_n = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
             }
             NextEvent::Collision(d) => {
                 deposit_acc += energy_deposition(p.energy, p.weight, d, local_n, micro);
@@ -124,26 +152,22 @@ pub fn track_to_census<R: CbRng, T: TallySink>(
     }
 }
 
-/// Look up the microscopic cross sections with the configured strategy
-/// (§VI-A): hinted linear walk (default) or fresh binary search.
+/// Look up the microscopic cross sections with the configured
+/// [`crate::config::LookupStrategy`] (§VI-A plus the unionized/hashed
+/// accelerations), through the shared [`resolve_micro_xs`] seam.
 #[inline]
 pub(crate) fn lookup_micro<R: CbRng>(
     p: &mut Particle,
     ctx: &TransportCtx<'_, R>,
     counters: &mut EventCounters,
 ) -> neutral_xs::MicroXs {
-    counters.cs_lookups += 1;
-    match ctx.cfg.xs_search {
-        XsSearch::CachedLinear => {
-            let ((a, s), steps) = ctx.xs.lookup_counted(p.energy, &mut p.xs_hints);
-            counters.cs_search_steps += u64::from(steps);
-            neutral_xs::MicroXs {
-                absorb_barns: a,
-                scatter_barns: s,
-            }
-        }
-        XsSearch::Binary => ctx.xs.lookup_binary(p.energy),
-    }
+    resolve_micro_xs(
+        ctx.xs,
+        ctx.cfg.xs_search,
+        p.energy,
+        &mut p.xs_hints,
+        counters,
+    )
 }
 
 #[inline]

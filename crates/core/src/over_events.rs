@@ -20,8 +20,8 @@
 
 use crate::counters::EventCounters;
 use crate::events::{
-    energy_deposition, handle_collision, handle_facet, move_particle, next_event, NextEvent,
-    TallySink,
+    energy_deposition, handle_collision, handle_facet, move_particle, next_event,
+    resolve_micro_xs_many, NextEvent, TallySink,
 };
 use crate::history::TransportCtx;
 use crate::particle::Particle;
@@ -351,21 +351,50 @@ where
     }
 }
 
+/// Populate the per-particle cache arrays. The cross sections of the
+/// whole window resolve through one batched `lookup_many` call — the
+/// lane-block shape the unionized/hashed backends are built for.
 fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
-    for i in 0..w.particles.len() {
-        let p = &mut w.particles[i];
+    let n = w.particles.len();
+    let mut alive = Vec::with_capacity(n);
+    let mut energies = Vec::with_capacity(n);
+    let mut ha = Vec::with_capacity(n);
+    let mut hs = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = &w.particles[i];
         if p.dead {
             w.status[i] = Status::Dead;
             continue;
         }
         w.status[i] = Status::Active;
-        let micro = crate::history::lookup_micro(p, ctx, &mut c);
-        w.micro_a[i] = micro.absorb_barns;
-        w.micro_s[i] = micro.scatter_barns;
+        alive.push(i);
+        energies.push(p.energy);
+        ha.push(p.xs_hints.absorb);
+        hs.push(p.xs_hints.scatter);
+    }
+
+    let mut out_a = vec![0.0; alive.len()];
+    let mut out_s = vec![0.0; alive.len()];
+    resolve_micro_xs_many(
+        ctx.xs,
+        ctx.cfg.xs_search,
+        &energies,
+        &mut ha,
+        &mut hs,
+        &mut out_a,
+        &mut out_s,
+        &mut c,
+    );
+
+    for (j, &i) in alive.iter().enumerate() {
+        w.micro_a[i] = out_a[j];
+        w.micro_s[i] = out_s[j];
+        let p = &mut w.particles[i];
+        p.xs_hints.absorb = ha[j];
+        p.xs_hints.scatter = hs[j];
         c.density_reads += 1;
-        w.n_dens[i] =
-            number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+        w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
     }
     c
 }
@@ -587,8 +616,7 @@ fn facet_kernel<R: CbRng>(
         let p = &mut w.particles[i];
         handle_facet(p, facet, ctx.mesh, &mut c);
         c.density_reads += 1;
-        w.n_dens[i] =
-            number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+        w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
     }
     c
 }
@@ -674,13 +702,8 @@ mod tests {
                 for parallel in [false, true] {
                     let mut oe_particles = spawn_particles(&problem);
                     let oe_tally = AtomicTally::new(problem.mesh.num_cells());
-                    let (oe_counters, _t) = run_over_events(
-                        &mut oe_particles,
-                        &c,
-                        &oe_tally,
-                        style,
-                        parallel,
-                    );
+                    let (oe_counters, _t) =
+                        run_over_events(&mut oe_particles, &c, &oe_tally, style, parallel);
                     assert_eq!(
                         op_particles, oe_particles,
                         "{case:?}/{style:?}/parallel={parallel}: trajectories"
@@ -723,10 +746,7 @@ mod tests {
             .enumerate()
         {
             let scale = a.abs().max(total * 1e-12).max(1e-30);
-            assert!(
-                ((a - b) / scale).abs() < 1e-6,
-                "cell {i}: {a} vs {b}"
-            );
+            assert!(((a - b) / scale).abs() < 1e-6, "cell {i}: {a} vs {b}");
         }
     }
 
@@ -751,8 +771,7 @@ mod tests {
         let c = ctx(&problem, &rng);
         let mut particles = spawn_particles(&problem);
         let tally = AtomicTally::new(problem.mesh.num_cells());
-        let (counters, _) =
-            run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
+        let (counters, _) = run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
         assert!(counters.stuck > 0);
         assert!(particles.iter().all(|p| p.dead || p.dt_to_census == 0.0));
     }

@@ -12,6 +12,11 @@
 //!   static/dynamic/guided scheduling (for the Fig 4/6 studies), with
 //!   either the shared atomic tally or per-thread privatised tallies
 //!   (Fig 7).
+//!
+//! All three resolve cross sections through the configured
+//! [`crate::config::LookupStrategy`] (via the history loop's shared
+//! `resolve_micro_xs` seam), so the lookup backend is swappable without
+//! touching any driver.
 
 use crate::counters::EventCounters;
 use crate::events::TallySink;
@@ -101,8 +106,7 @@ pub fn run_scheduled<R: CbRng>(
     let mut merged = EventCounters::default();
     match tally {
         ScheduledTally::Atomic(tally) => {
-            let mut states: Vec<EventCounters> =
-                vec![EventCounters::default(); n_threads];
+            let mut states: Vec<EventCounters> = vec![EventCounters::default(); n_threads];
             parallel_for_stateful(n, schedule, &mut states, |local, range| {
                 // SAFETY: scheduler ranges are disjoint (see SharedSliceMut).
                 let chunk = unsafe { shared.range_mut(range) };
@@ -181,8 +185,7 @@ mod tests {
 
             let mut seq_particles = spawn_particles(&fx.problem);
             let mut seq_tally = SequentialTally::new(cells);
-            let seq_counters =
-                run_sequential(&mut seq_particles, &fx.ctx(), &mut seq_tally);
+            let seq_counters = run_sequential(&mut seq_particles, &fx.ctx(), &mut seq_tally);
 
             // Rayon driver.
             let mut ray_particles = spawn_particles(&fx.problem);

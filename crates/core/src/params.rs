@@ -34,12 +34,13 @@
 //! min_energy 1.0               # eV cutoff
 //! weight_cutoff 1.0e-6
 //! collision_model analogue     # or implicit_capture
+//! lookup_strategy hinted       # or binary | unionized | hashed
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
 //! `ProblemScale::small()`.
 
-use crate::config::{CollisionModel, Problem, TransportConfig};
+use crate::config::{CollisionModel, LookupStrategy, Problem, TransportConfig};
 use neutral_mesh::{Rect, StructuredMesh2D};
 use neutral_xs::{constants, CrossSectionLibrary};
 use std::fmt;
@@ -108,6 +109,8 @@ pub struct ProblemParams {
     pub weight_cutoff: f64,
     /// Collision resolution model.
     pub collision_model: CollisionModel,
+    /// Cross-section lookup strategy.
+    pub lookup_strategy: LookupStrategy,
 }
 
 impl Default for ProblemParams {
@@ -129,6 +132,7 @@ impl Default for ProblemParams {
             min_energy: constants::MIN_ENERGY_OF_INTEREST_EV,
             weight_cutoff: 1.0e-6,
             collision_model: CollisionModel::Analogue,
+            lookup_strategy: LookupStrategy::default(),
         }
     }
 }
@@ -185,15 +189,15 @@ impl ProblemParams {
                 "xs_points" => p.xs_points = parse_usize(&one(&rest)?)?,
                 "min_energy" => p.min_energy = parse_f64(&one(&rest)?)?,
                 "weight_cutoff" => p.weight_cutoff = parse_f64(&one(&rest)?)?,
+                "lookup_strategy" => {
+                    p.lookup_strategy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {
                         "analogue" => CollisionModel::Analogue,
                         "implicit_capture" => CollisionModel::ImplicitCapture,
                         other => {
-                            return Err(err(
-                                lineno,
-                                format!("unknown collision model `{other}`"),
-                            ))
+                            return Err(err(lineno, format!("unknown collision model `{other}`")))
                         }
                     };
                 }
@@ -229,20 +233,25 @@ impl ProblemParams {
     fn validate(&self) -> Result<(), ParamsError> {
         let check = |ok: bool, msg: &str| if ok { Ok(()) } else { Err(err(0, msg)) };
         check(self.nx > 0 && self.ny > 0, "mesh must have cells")?;
-        check(self.width > 0.0 && self.height > 0.0, "domain must have extent")?;
+        check(
+            self.width > 0.0 && self.height > 0.0,
+            "domain must have extent",
+        )?;
         check(self.density >= 0.0, "density must be non-negative")?;
         check(self.particles > 0, "need at least one particle")?;
         check(self.dt > 0.0, "dt must be positive")?;
         check(self.timesteps > 0, "need at least one timestep")?;
-        check(self.initial_energy > self.min_energy, "birth energy below cutoff")?;
+        check(
+            self.initial_energy > self.min_energy,
+            "birth energy below cutoff",
+        )?;
         check(
             (0.0..1.0).contains(&self.weight_cutoff),
             "weight cutoff must be in [0, 1)",
         )?;
         check(self.xs_points >= 2, "cross-section table needs >= 2 points")?;
-        let inside = |r: &Rect| {
-            r.x0 >= 0.0 && r.x1 <= self.width && r.y0 >= 0.0 && r.y1 <= self.height
-        };
+        let inside =
+            |r: &Rect| r.x0 >= 0.0 && r.x1 <= self.width && r.y0 >= 0.0 && r.y1 <= self.height;
         check(inside(&self.source), "source region outside the domain")?;
         for (r, rho) in &self.regions {
             check(inside(r), "density region outside the domain")?;
@@ -273,6 +282,7 @@ impl ProblemParams {
                 min_energy_ev: self.min_energy,
                 weight_cutoff: self.weight_cutoff,
                 collision_model: self.collision_model,
+                xs_search: self.lookup_strategy,
                 ..Default::default()
             },
         }
@@ -361,6 +371,23 @@ region 0.5 1.0 0.0 0.5 7.0
     }
 
     #[test]
+    fn parses_lookup_strategy() {
+        for (name, expect) in [
+            ("binary", LookupStrategy::Binary),
+            ("hinted", LookupStrategy::Hinted),
+            ("unionized", LookupStrategy::Unionized),
+            ("hashed", LookupStrategy::Hashed),
+        ] {
+            let p = ProblemParams::parse(&format!("lookup_strategy {name}\n")).unwrap();
+            assert_eq!(p.lookup_strategy, expect);
+            assert_eq!(p.build().transport.xs_search, expect);
+        }
+        let e = ProblemParams::parse("nx 4\nlookup_strategy magic\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("magic"));
+    }
+
+    #[test]
     fn comments_and_blank_lines_ignored() {
         let p = ProblemParams::parse("\n# just a comment\n\nnx 5\n").unwrap();
         assert_eq!(p.nx, 5);
@@ -368,7 +395,8 @@ region 0.5 1.0 0.0 0.5 7.0
 
     #[test]
     fn parsed_problem_runs() {
-        let text = "nx 32\nny 32\ndensity 1e3\nparticles 50\nsource 0.4 0.6 0.4 0.6\nxs_points 256\n";
+        let text =
+            "nx 32\nny 32\ndensity 1e3\nparticles 50\nsource 0.4 0.6 0.4 0.6\nxs_points 256\n";
         let problem = ProblemParams::parse(text).unwrap().build();
         let report = crate::sim::Simulation::new(problem).run(crate::sim::RunOptions {
             execution: crate::sim::Execution::Sequential,

@@ -87,8 +87,14 @@ pub fn spawn_particles(problem: &Problem) -> Vec<Particle> {
             // no previous lookup to walk from at birth, and walking from
             // index 0 would be a pathological cold start.
             let xs_hints = XsHints {
-                absorb: problem.xs.absorb.bin_index_binary(problem.initial_energy_ev) as u32,
-                scatter: problem.xs.scatter.bin_index_binary(problem.initial_energy_ev) as u32,
+                absorb: problem
+                    .xs
+                    .absorb
+                    .bin_index_binary(problem.initial_energy_ev) as u32,
+                scatter: problem
+                    .xs
+                    .scatter
+                    .bin_index_binary(problem.initial_energy_ev) as u32,
             };
             Particle {
                 x,
@@ -183,8 +189,7 @@ mod tests {
     fn particles_spread_across_source() {
         let p = problem();
         let particles = spawn_particles(&p);
-        let mean_x: f64 =
-            particles.iter().map(|p| p.x).sum::<f64>() / particles.len() as f64;
+        let mean_x: f64 = particles.iter().map(|p| p.x).sum::<f64>() / particles.len() as f64;
         let centre = 0.5 * (p.source.x0 + p.source.x1);
         assert!((mean_x - centre).abs() < 0.01);
     }

@@ -70,7 +70,15 @@ where
     assert!(n_threads > 0, "need at least one thread state");
     if n_threads == 1 {
         // Run inline: no spawn overhead for the sequential case.
-        serve_thread(0, n_threads, n_items, schedule, &Dispenser::new(), &mut states[0], &body);
+        serve_thread(
+            0,
+            n_threads,
+            n_items,
+            schedule,
+            &Dispenser::new(),
+            &mut states[0],
+            &body,
+        );
         return;
     }
     let dispenser = Dispenser::new();
@@ -317,9 +325,14 @@ mod tests {
     #[test]
     fn stateful_accumulators_are_private() {
         let mut states = vec![0u64; 6];
-        parallel_for_stateful(10_000, Schedule::Dynamic { chunk: 32 }, &mut states, |s, r| {
-            *s += r.len() as u64;
-        });
+        parallel_for_stateful(
+            10_000,
+            Schedule::Dynamic { chunk: 32 },
+            &mut states,
+            |s, r| {
+                *s += r.len() as u64;
+            },
+        );
         assert_eq!(states.iter().sum::<u64>(), 10_000);
     }
 

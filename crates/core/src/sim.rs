@@ -185,9 +185,12 @@ impl Simulation {
             cfg: &problem.transport,
         };
         let mut particles = spawn_particles(problem);
-        let initial_energy_ev =
-            particles.len() as f64 * problem.initial_energy_ev;
+        let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
         let cells = problem.mesh.num_cells();
+        // Build any lookup acceleration structure (union grid, hash
+        // buckets) outside the timed region: the solve should measure
+        // transport, not one-off setup.
+        problem.xs.prepare(problem.transport.xs_search);
 
         let mut counters = EventCounters::default();
         let mut kernel_timings: Option<KernelTimings> = None;
@@ -221,8 +224,7 @@ impl Simulation {
         // whole run equals n_particles plus one extra census per survivor
         // per additional timestep.
         debug_assert!(
-            problem.n_timesteps > 1
-                || population_balance(problem.n_particles as u64, &counters)
+            problem.n_timesteps > 1 || population_balance(problem.n_particles as u64, &counters)
         );
 
         RunReport {
@@ -252,13 +254,8 @@ impl Simulation {
                 let tally = AtomicTally::new(cells);
                 *tally_footprint = tally.footprint_bytes();
                 let parallel = !matches!(options.execution, Execution::Sequential);
-                let (counters, timings) = run_over_events(
-                    particles,
-                    ctx,
-                    &tally,
-                    options.kernel_style,
-                    parallel,
-                );
+                let (counters, timings) =
+                    run_over_events(particles, ctx, &tally, options.kernel_style, parallel);
                 accumulate(tally_vec, &tally.snapshot());
                 *kernel_timings = Some(match kernel_timings.take() {
                     None => timings,
@@ -414,10 +411,7 @@ mod tests {
         ];
         for opts in combos {
             let r = s.run(opts);
-            assert_eq!(
-                r.counters.collisions, base.counters.collisions,
-                "{opts:?}"
-            );
+            assert_eq!(r.counters.collisions, base.counters.collisions, "{opts:?}");
             assert_eq!(r.counters.facets, base.counters.facets, "{opts:?}");
             let (a, b) = (base.tally_total(), r.tally_total());
             assert!(
@@ -470,9 +464,6 @@ mod tests {
         });
         assert_eq!(r.timesteps, 3);
         // Stream particles all survive, so census fires every step.
-        assert_eq!(
-            r.counters.census as usize,
-            3 * s.problem().n_particles
-        );
+        assert_eq!(r.counters.census as usize, 3 * s.problem().n_particles);
     }
 }

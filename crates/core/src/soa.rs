@@ -11,11 +11,12 @@
 //! it back.
 
 use crate::counters::EventCounters;
-use crate::history::{step_particle_uncached, track_to_census, StepOutcome, TransportCtx};
+use crate::events::resolve_micro_xs_many;
+use crate::history::{step_particle_uncached, track_to_census_primed, StepOutcome, TransportCtx};
 use crate::particle::Particle;
 use neutral_mesh::tally::AtomicTally;
 use neutral_rng::CbRng;
-use neutral_xs::XsHints;
+use neutral_xs::{MicroXs, XsHints};
 use rayon::prelude::*;
 
 /// Particle population stored as one array per field.
@@ -332,6 +333,12 @@ impl<'a> SoAChunkMut<'a> {
 
 /// Over-Particles driver for the SoA layout: Rayon-parallel over chunks,
 /// gather → track → scatter per history (§VI-D).
+///
+/// Each chunk's initial cross sections are resolved with **one** batched
+/// `lookup_many` call straight over the SoA energy/hint lanes (the
+/// lane-block API of `neutral_xs::XsLookup`), then every history is
+/// tracked from that primed state — bitwise identical to the per-history
+/// lookup, but the lookup loop is a tight, vectorisable sweep.
 pub fn run_rayon_soa<R: CbRng>(
     soa: &mut ParticleSoA,
     ctx: &TransportCtx<'_, R>,
@@ -343,9 +350,35 @@ pub fn run_rayon_soa<R: CbRng>(
         .into_par_iter()
         .fold(EventCounters::default, |mut local, mut chunk| {
             let mut sink = tally;
-            for i in 0..chunk.len() {
+            let n = chunk.len();
+            // Batched lane-block lookup over the chunk's live lanes.
+            let alive: Vec<usize> = (0..n).filter(|&i| !chunk.dead[i]).collect();
+            let energies: Vec<f64> = alive.iter().map(|&i| chunk.energy[i]).collect();
+            let mut ha: Vec<u32> = alive.iter().map(|&i| chunk.absorb_hint[i]).collect();
+            let mut hs: Vec<u32> = alive.iter().map(|&i| chunk.scatter_hint[i]).collect();
+            let mut out_a = vec![0.0; alive.len()];
+            let mut out_s = vec![0.0; alive.len()];
+            resolve_micro_xs_many(
+                ctx.xs,
+                ctx.cfg.xs_search,
+                &energies,
+                &mut ha,
+                &mut hs,
+                &mut out_a,
+                &mut out_s,
+                &mut local,
+            );
+            for (j, &i) in alive.iter().enumerate() {
+                chunk.absorb_hint[i] = ha[j];
+                chunk.scatter_hint[i] = hs[j];
+            }
+            for (j, &i) in alive.iter().enumerate() {
+                let micro = MicroXs {
+                    absorb_barns: out_a[j],
+                    scatter_barns: out_s[j],
+                };
                 let mut p = chunk.load(i);
-                track_to_census(&mut p, ctx, &mut sink, &mut local);
+                track_to_census_primed(&mut p, ctx, &mut sink, &mut local, micro);
                 chunk.store(i, &p);
             }
             local

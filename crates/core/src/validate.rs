@@ -45,10 +45,7 @@ impl EnergyBalance {
     /// implicit-capture collision model.
     #[must_use]
     pub fn relative_defect(&self) -> f64 {
-        (self.initial_ev
-            - self.deposited_ev
-            - self.census_residual_ev
-            - self.cutoff_residual_ev)
+        (self.initial_ev - self.deposited_ev - self.census_residual_ev - self.cutoff_residual_ev)
             / self.initial_ev
     }
 
@@ -61,8 +58,7 @@ impl EnergyBalance {
             && self.deposited_ev >= 0.0
             && self.census_residual_ev >= -1e-12
             && self.cutoff_residual_ev >= -1e-12
-            && self.census_residual_ev + self.cutoff_residual_ev
-                <= self.initial_ev * (1.0 + 1e-9)
+            && self.census_residual_ev + self.cutoff_residual_ev <= self.initial_ev * (1.0 + 1e-9)
     }
 }
 

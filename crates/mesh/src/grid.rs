@@ -27,7 +27,10 @@ impl Rect {
             x0.is_finite() && x1.is_finite() && y0.is_finite() && y1.is_finite(),
             "rect bounds must be finite"
         );
-        assert!(x0 < x1 && y0 < y1, "rect bounds inverted: [{x0},{x1})x[{y0},{y1})");
+        assert!(
+            x0 < x1 && y0 < y1,
+            "rect bounds inverted: [{x0},{x1})x[{y0},{y1})"
+        );
         Self { x0, x1, y0, y1 }
     }
 

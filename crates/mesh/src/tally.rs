@@ -203,10 +203,7 @@ impl PrivatizedTally {
     /// Sum over all cells of all slots.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.slots
-            .iter()
-            .map(|s| s.data.iter().sum::<f64>())
-            .sum()
+        self.slots.iter().map(|s| s.data.iter().sum::<f64>()).sum()
     }
 
     /// Reset all private copies to zero.

@@ -171,14 +171,12 @@ fn main() {
     );
     r(
         "K20X reg cap 64 speedup",
-        predict_with(csp_op, &K20X, 0, &params, Some(255)).total_s
-            / predict(csp_op, &K20X).total_s,
+        predict_with(csp_op, &K20X, 0, &params, Some(255)).total_s / predict(csp_op, &K20X).total_s,
         1.6,
     );
     r(
         "P100 reg cap 64 slowdown",
-        predict_with(csp_op, &P100, 0, &params, Some(64)).total_s
-            / predict(csp_op, &P100).total_s,
+        predict_with(csp_op, &P100, 0, &params, Some(64)).total_s / predict(csp_op, &P100).total_s,
         1.07,
     );
     let k20x_op = predict(csp_op, &K20X);

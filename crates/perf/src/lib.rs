@@ -41,5 +41,5 @@ pub mod model;
 pub mod occupancy;
 pub mod scaling;
 
-pub use arch::{Architecture, ArchKind};
+pub use arch::{ArchKind, Architecture};
 pub use model::{predict, KernelProfile, Prediction, SchemeKind};

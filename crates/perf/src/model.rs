@@ -339,8 +339,7 @@ fn predict_gpu(
     // In-flight memory requests per SM: each resident warp sustains
     // `warp_mlp` outstanding transactions (Pascal sustains more per warp
     // than Kepler), capped by the SM's miss-handling resources.
-    let mlp_per_sm =
-        (f64::from(occ.active_warps) * arch.warp_mlp).min(arch.inflight_per_core);
+    let mlp_per_sm = (f64::from(occ.active_warps) * arch.warp_mlp).min(arch.inflight_per_core);
     let concurrency = sms * mlp_per_sm;
 
     let atomic_ns = if arch.has_native_f64_atomic {
@@ -353,8 +352,7 @@ fn predict_gpu(
     let flush_cost = 0.5 * arch.mem_latency_ns + atomic_ns;
     let missed_reads = profile.random_reads() * params.gpu_miss_fraction;
     // Register spills add local-memory traffic on the latency path too.
-    let latency_work_ns = (missed_reads * arch.mem_latency_ns
-        + profile.tally_flushes * flush_cost)
+    let latency_work_ns = (missed_reads * arch.mem_latency_ns + profile.tally_flushes * flush_cost)
         * occ.spill_penalty;
     let latency_s = latency_work_ns * 1e-9 / concurrency;
 

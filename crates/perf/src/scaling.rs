@@ -103,7 +103,9 @@ pub fn flow_time(work: &FlowWorkload, arch: &Architecture, t: u32, params: &Mode
     // hyperthreads and a ~1.2x penalty when oversubscribed).
     let extra = (threads - cores).max(0.0) / cores;
     let oversub_extra = (threads - hw_threads).max(0.0) / hw_threads;
-    let overhead = 1.0 + 0.02 * extra.min(f64::from(arch.smt)) + params.oversub_compute_penalty * oversub_extra;
+    let overhead = 1.0
+        + 0.02 * extra.min(f64::from(arch.smt))
+        + params.oversub_compute_penalty * oversub_extra;
 
     (work.bytes / bw).max(work.flops / flops_rate) * overhead
 }

@@ -42,7 +42,15 @@ pub struct FlowState {
 impl FlowState {
     /// Uniform quiescent gas.
     #[must_use]
-    pub fn uniform(nx: usize, ny: usize, width: f64, height: f64, rho: f64, p: f64, bc: FlowBc) -> Self {
+    pub fn uniform(
+        nx: usize,
+        ny: usize,
+        width: f64,
+        height: f64,
+        rho: f64,
+        p: f64,
+        bc: FlowBc,
+    ) -> Self {
         assert!(nx >= 3 && ny >= 1, "flow mesh too small");
         let n = nx * ny;
         let e = p / (GAMMA - 1.0);
@@ -249,7 +257,14 @@ impl FlowState {
 
     /// Conservative update: `U[i] -= lambda * (flux[right_face] - flux[i])`.
     /// `stride` is 1 for x sweeps and `nx` for y sweeps.
-    fn apply_fluxes(&mut self, flux: &[Vec<f64>; 4], lambda: f64, nx: usize, stride: usize, parallel: bool) {
+    fn apply_fluxes(
+        &mut self,
+        flux: &[Vec<f64>; 4],
+        lambda: f64,
+        nx: usize,
+        stride: usize,
+        parallel: bool,
+    ) {
         let n = self.rho.len();
         let ny = self.ny;
         let bc = self.bc;
@@ -287,7 +302,10 @@ impl FlowState {
         if parallel {
             (
                 self.rho.par_iter_mut(),
-                (self.mx.par_iter_mut(), (self.my.par_iter_mut(), self.e.par_iter_mut())),
+                (
+                    self.mx.par_iter_mut(),
+                    (self.my.par_iter_mut(), self.e.par_iter_mut()),
+                ),
             )
                 .into_par_iter()
                 .enumerate()

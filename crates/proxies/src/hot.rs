@@ -62,7 +62,9 @@ impl HeatOperator {
             *yi = c + k * (4.0 * c - w - e - s - n);
         };
         if parallel {
-            y.par_iter_mut().enumerate().for_each(|(i, yi)| stencil(i, yi));
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, yi)| stencil(i, yi));
         } else {
             for (i, yi) in y.iter_mut().enumerate() {
                 stencil(i, yi);
@@ -81,7 +83,9 @@ fn dot(a: &[f64], b: &[f64], parallel: bool) -> f64 {
 
 fn axpy(alpha: f64, x: &[f64], y: &mut [f64], parallel: bool) {
     if parallel {
-        y.par_iter_mut().zip(x).for_each(|(yi, xi)| *yi += alpha * xi);
+        y.par_iter_mut()
+            .zip(x)
+            .for_each(|(yi, xi)| *yi += alpha * xi);
     } else {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
@@ -129,7 +133,9 @@ pub fn cg_solve(
         let rr_new = dot(&r, &r, parallel);
         let beta = rr_new / rr;
         if parallel {
-            p.par_iter_mut().zip(&r).for_each(|(pi, ri)| *pi = ri + beta * *pi);
+            p.par_iter_mut()
+                .zip(&r)
+                .for_each(|(pi, ri)| *pi = ri + beta * *pi);
         } else {
             for (pi, ri) in p.iter_mut().zip(&r) {
                 *pi = ri + beta * *pi;
@@ -241,12 +247,11 @@ mod tests {
         let a = cg_solve(&op, &b, 1e-9, 500, false);
         let c = cg_solve(&op, &b, 1e-9, 500, true);
         // Parallel dot products reorder additions; allow tiny drift.
-        let diff: f64 = a
-            .x
-            .iter()
-            .zip(&c.x)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let diff: f64 =
+            a.x.iter()
+                .zip(&c.x)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
         assert!(diff < 1e-6, "parallel CG diverged by {diff}");
     }
 }

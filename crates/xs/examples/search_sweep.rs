@@ -9,7 +9,10 @@
 fn main() {
     let mut energies = Vec::new();
     let mut e = 1.0e6f64;
-    while e > 1.0 { energies.push(e); e *= 0.98; }
+    while e > 1.0 {
+        energies.push(e);
+        e *= 0.98;
+    }
     for points in [30_000usize, 100_000, 300_000, 600_000, 1_000_000] {
         let xs = neutral_xs::CrossSectionLibrary::synthetic(points, 99);
         let reps = (60_000_000 / points).max(20) as u32;
@@ -18,15 +21,24 @@ fn main() {
         for _ in 0..reps {
             let mut hints = neutral_xs::XsHints::default();
             let _ = xs.lookup(energies[0], &mut hints);
-            for &e in &energies { acc += xs.lookup(e, &mut hints).total_barns(); }
+            for &e in &energies {
+                acc += xs.lookup(e, &mut hints).total_barns();
+            }
         }
         let cached = t0.elapsed().as_secs_f64() / reps as f64;
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
-            for &e in &energies { acc += xs.lookup_binary(e).total_barns(); }
+            for &e in &energies {
+                acc += xs.lookup_binary(e).total_barns();
+            }
         }
         let binary = t0.elapsed().as_secs_f64() / reps as f64;
         std::hint::black_box(acc);
-        println!("{points:>9} points: cached {:.2} us, binary {:.2} us, binary/cached = {:.2}", cached*1e6, binary*1e6, binary/cached);
+        println!(
+            "{points:>9} points: cached {:.2} us, binary {:.2} us, binary/cached = {:.2}",
+            cached * 1e6,
+            binary * 1e6,
+            binary / cached
+        );
     }
 }

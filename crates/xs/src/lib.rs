@@ -16,7 +16,12 @@
 //! * [`CrossSectionLibrary`] — capture + elastic-scatter tables plus the
 //!   microscopic → macroscopic conversion through the local mass density
 //!   (§IV-D: the macroscopic cross section is what couples every particle
-//!   to the computational mesh).
+//!   to the computational mesh);
+//! * [`LookupStrategy`] / [`XsLookup`] — the pluggable lookup-backend
+//!   layer: `Binary` and `Hinted` (the paper's two strategies) plus the
+//!   `Unionized` merged-grid and `Hashed` log-bucket accelerations in the
+//!   XSBench/OpenMC lineage, all bitwise-equivalent, all supporting the
+//!   batched [`XsLookup::lookup_many`] lane-block API.
 //!
 //! # Example
 //!
@@ -38,13 +43,19 @@
 #![warn(clippy::all)]
 
 pub mod constants;
+mod lookup;
 mod synth;
 mod table;
 
+pub use lookup::{
+    BinaryLookup, HashedGrid, HashedLookup, HintedLookup, LookupStrategy, UnionizedGrid,
+    UnionizedLookup, XsLookup,
+};
 pub use synth::{synthetic_capture, synthetic_scatter, SynthParams};
-pub use table::CrossSection;
+pub use table::{lerp_segment, CrossSection};
 
 use constants::{AVOGADRO, BARN_M2, MOLAR_MASS_KG_MOL};
+use std::sync::OnceLock;
 
 /// Cached table indices from a particle's previous cross-section lookup.
 ///
@@ -100,13 +111,21 @@ pub fn macroscopic_per_m(micro_barns: f64, number_density_m3: f64) -> f64 {
     micro_barns * BARN_M2 * number_density_m3
 }
 
-/// The capture and elastic-scatter tables of the single material.
+/// The capture and elastic-scatter tables of the single material, plus
+/// lazily-built lookup acceleration structures (union grid, hash
+/// buckets) shared by all [`LookupStrategy`] backends.
 #[derive(Clone, Debug)]
 pub struct CrossSectionLibrary {
     /// Capture (absorption) cross-section table.
     pub absorb: CrossSection,
     /// Elastic scattering cross-section table.
     pub scatter: CrossSection,
+    /// Union-grid accelerator, built on first use of
+    /// [`LookupStrategy::Unionized`] (or by [`Self::prepare`]).
+    unionized: OnceLock<UnionizedGrid>,
+    /// Hash-bucket accelerator, built on first use of
+    /// [`LookupStrategy::Hashed`] (or by [`Self::prepare`]).
+    hashed: OnceLock<HashedGrid>,
 }
 
 impl CrossSectionLibrary {
@@ -116,16 +135,130 @@ impl CrossSectionLibrary {
     #[must_use]
     pub fn synthetic(n_points: usize, seed: u64) -> Self {
         let params = SynthParams::default();
-        Self {
-            absorb: synthetic_capture(n_points, seed, &params),
-            scatter: synthetic_scatter(n_points, seed ^ 0x5eed_5eed, &params),
-        }
+        Self::from_tables(
+            synthetic_capture(n_points, seed, &params),
+            synthetic_scatter(n_points, seed ^ 0x5eed_5eed, &params),
+        )
     }
 
     /// Build a library from explicit tables.
     #[must_use]
     pub fn from_tables(absorb: CrossSection, scatter: CrossSection) -> Self {
-        Self { absorb, scatter }
+        Self {
+            absorb,
+            scatter,
+            unionized: OnceLock::new(),
+            hashed: OnceLock::new(),
+        }
+    }
+
+    /// The union-grid accelerator, built on first call.
+    pub fn unionized(&self) -> &UnionizedGrid {
+        self.unionized
+            .get_or_init(|| UnionizedGrid::build(&self.absorb, &self.scatter))
+    }
+
+    /// The hash-bucket accelerator, built on first call.
+    pub fn hashed(&self) -> &HashedGrid {
+        self.hashed
+            .get_or_init(|| HashedGrid::build(&self.absorb, &self.scatter))
+    }
+
+    /// Force-build the acceleration structure `strategy` needs (if any),
+    /// so construction cost stays out of timed transport regions.
+    pub fn prepare(&self, strategy: LookupStrategy) {
+        match strategy {
+            LookupStrategy::Binary | LookupStrategy::Hinted => {}
+            LookupStrategy::Unionized => {
+                let _ = self.unionized();
+            }
+            LookupStrategy::Hashed => {
+                let _ = self.hashed();
+            }
+        }
+    }
+
+    /// A trait-object view of the backend for `strategy` (benchmarking
+    /// and generic tooling; the transport hot path uses
+    /// [`Self::lookup_with`] instead, which dispatches statically).
+    #[must_use]
+    pub fn backend(&self, strategy: LookupStrategy) -> Box<dyn XsLookup + '_> {
+        match strategy {
+            LookupStrategy::Binary => Box::new(BinaryLookup::new(self)),
+            LookupStrategy::Hinted => Box::new(HintedLookup::new(self)),
+            LookupStrategy::Unionized => Box::new(UnionizedLookup::new(self.unionized())),
+            LookupStrategy::Hashed => Box::new(HashedLookup::new(self, self.hashed())),
+        }
+    }
+
+    /// Look up both tables with the chosen strategy, updating `hints` to
+    /// the containing bins and returning the microscopic cross sections
+    /// plus the linear-search steps walked (instrumentation).
+    ///
+    /// All strategies return bitwise-identical values (the backends share
+    /// the clamping and interpolation arithmetic of
+    /// [`CrossSection::value_binary`]).
+    #[inline]
+    pub fn lookup_with(
+        &self,
+        strategy: LookupStrategy,
+        energy_ev: f64,
+        hints: &mut XsHints,
+    ) -> (MicroXs, u32) {
+        match strategy {
+            LookupStrategy::Binary => BinaryLookup::new(self).lookup(energy_ev, hints),
+            LookupStrategy::Hinted => HintedLookup::new(self).lookup(energy_ev, hints),
+            LookupStrategy::Unionized => {
+                UnionizedLookup::new(self.unionized()).lookup(energy_ev, hints)
+            }
+            LookupStrategy::Hashed => {
+                HashedLookup::new(self, self.hashed()).lookup(energy_ev, hints)
+            }
+        }
+    }
+
+    /// Batched [`Self::lookup_with`]: resolve a whole lane block of
+    /// energies in one call (see [`XsLookup::lookup_many`]). Returns the
+    /// total linear-search steps walked.
+    pub fn lookup_many_with(
+        &self,
+        strategy: LookupStrategy,
+        energies: &[f64],
+        hints_absorb: &mut [u32],
+        hints_scatter: &mut [u32],
+        out_absorb: &mut [f64],
+        out_scatter: &mut [f64],
+    ) -> u64 {
+        match strategy {
+            LookupStrategy::Binary => BinaryLookup::new(self).lookup_many(
+                energies,
+                hints_absorb,
+                hints_scatter,
+                out_absorb,
+                out_scatter,
+            ),
+            LookupStrategy::Hinted => HintedLookup::new(self).lookup_many(
+                energies,
+                hints_absorb,
+                hints_scatter,
+                out_absorb,
+                out_scatter,
+            ),
+            LookupStrategy::Unionized => UnionizedLookup::new(self.unionized()).lookup_many(
+                energies,
+                hints_absorb,
+                hints_scatter,
+                out_absorb,
+                out_scatter,
+            ),
+            LookupStrategy::Hashed => HashedLookup::new(self, self.hashed()).lookup_many(
+                energies,
+                hints_absorb,
+                hints_scatter,
+                out_absorb,
+                out_scatter,
+            ),
+        }
     }
 
     /// Look up both microscopic cross sections at `energy_ev`, using and

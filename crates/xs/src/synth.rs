@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn all_values_positive() {
         let p = SynthParams::default();
-        for t in [synthetic_capture(2048, 9, &p), synthetic_scatter(2048, 9, &p)] {
+        for t in [
+            synthetic_capture(2048, 9, &p),
+            synthetic_scatter(2048, 9, &p),
+        ] {
             assert!(t.values().iter().all(|&v| v > 0.0 && v.is_finite()));
         }
     }

@@ -18,6 +18,16 @@
 //!   expensive binary search at each step. This particular optimisation
 //!   improved the performance of the csp problem by 1.3x".
 
+/// Linear interpolation over one grid segment — the single arithmetic
+/// kernel shared by every lookup backend, so that any backend that finds
+/// the same containing bin produces bitwise-identical values.
+#[inline]
+#[must_use]
+pub fn lerp_segment(e: f64, e0: f64, e1: f64, v0: f64, v1: f64) -> f64 {
+    let t = ((e - e0) / (e1 - e0)).clamp(0.0, 1.0);
+    v0 + t * (v1 - v0)
+}
+
 /// A continuous-energy cross-section table (energies in eV, values in
 /// barns), linearly interpolated between grid points and clamped to the
 /// end values outside the tabulated range.
@@ -85,11 +95,34 @@ impl CrossSection {
     /// Interpolate within bin `i` (callers guarantee `e` has been clamped
     /// into the table range and `i < len-1`).
     #[inline]
-    fn lerp(&self, i: usize, e: f64) -> f64 {
-        let (e0, e1) = (self.energy[i], self.energy[i + 1]);
-        let (v0, v1) = (self.value[i], self.value[i + 1]);
-        let t = ((e - e0) / (e1 - e0)).clamp(0.0, 1.0);
-        v0 + t * (v1 - v0)
+    pub(crate) fn lerp(&self, i: usize, e: f64) -> f64 {
+        lerp_segment(
+            e,
+            self.energy[i],
+            self.energy[i + 1],
+            self.value[i],
+            self.value[i + 1],
+        )
+    }
+
+    /// Evaluate at `energy_ev` given the containing bin `bin` (as returned
+    /// by [`Self::bin_index_binary`] or any of the lookup backends),
+    /// applying exactly the same out-of-range clamping as
+    /// [`Self::value_binary`]. The accelerated backends replicate this
+    /// clamp-then-interpolate structure internally (property tests pin
+    /// them bitwise to it); this method is the public single-table
+    /// equivalent for callers that already hold a bin index.
+    #[inline]
+    #[must_use]
+    pub fn value_at_bin(&self, energy_ev: f64, bin: usize) -> f64 {
+        let n = self.energy.len();
+        if energy_ev <= self.energy[0] {
+            return self.value[0];
+        }
+        if energy_ev >= self.energy[n - 1] {
+            return self.value[n - 1];
+        }
+        self.lerp(bin.min(n - 2), energy_ev)
     }
 
     /// Index of the energy bin containing `energy_ev` (clamped to the
@@ -229,6 +262,52 @@ mod tests {
         assert_eq!(hint, 2);
         let (_, steps) = t.value_hinted_counted(6.5, &mut hint);
         assert_eq!(steps, 0, "nearby lookup should not walk");
+    }
+
+    /// Satellite lock-down: below-range and above-range lookups clamp to
+    /// the end values and leave the hint at the clamped bin (0 below,
+    /// `len - 2` above) for *both* search strategies, including queries
+    /// exactly on the grid ends and hints that start out of range.
+    #[test]
+    fn clamp_consistency_binary_vs_hinted() {
+        let t = table();
+        let n = t.len();
+        let cases = [
+            (0.5, t.values()[0], 0usize),      // below range
+            (1.0, t.values()[0], 0),           // exactly at the low end
+            (8.0, t.values()[n - 1], n - 2),   // exactly at the high end
+            (100.0, t.values()[n - 1], n - 2), // above range
+        ];
+        for (e, expect, expect_hint) in cases {
+            assert_eq!(
+                t.value_binary(e).to_bits(),
+                expect.to_bits(),
+                "binary E={e}"
+            );
+            for start in [0usize, 1, n - 2, n + 50] {
+                let mut hint = start;
+                let v = t.value_hinted(e, &mut hint);
+                assert_eq!(v.to_bits(), expect.to_bits(), "hinted E={e} start={start}");
+                assert_eq!(hint, expect_hint, "hint after clamp E={e} start={start}");
+            }
+            assert_eq!(
+                t.value_at_bin(e, 1).to_bits(),
+                expect.to_bits(),
+                "value_at_bin clamps E={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_at_bin_matches_binary_in_range() {
+        let t = table();
+        for e in [1.0, 1.5, 2.0, 3.0, 3.999, 4.0, 6.0, 7.999, 8.0] {
+            let bin = t.bin_index_binary(e);
+            assert_eq!(
+                t.value_at_bin(e, bin).to_bits(),
+                t.value_binary(e).to_bits()
+            );
+        }
     }
 
     #[test]

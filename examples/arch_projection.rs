@@ -24,16 +24,12 @@ fn main() {
     println!("measured on this host: {}", report.summary());
 
     // ...extrapolate the event counts to the paper's full problem size...
-    let profile = KernelProfile::from_counters(
-        SchemeKind::OverParticles,
-        &report.counters,
-        n_particles,
-        0,
-    )
-    .scaled(
-        scale.particle_divisor as f64,
-        4000.0 / scale.mesh_cells as f64,
-    );
+    let profile =
+        KernelProfile::from_counters(SchemeKind::OverParticles, &report.counters, n_particles, 0)
+            .scaled(
+                scale.particle_divisor as f64,
+                4000.0 / scale.mesh_cells as f64,
+            );
     println!(
         "paper-scale profile: {:.2e} events ({:.1} facets/history), {:.2e} atomic tallies\n",
         profile.events(),

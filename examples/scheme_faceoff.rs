@@ -37,7 +37,10 @@ fn main() {
     assert_eq!(op.counters.deaths, oe.counters.deaths);
     let (a, b) = (op.tally_total(), oe.tally_total());
     assert!(((a - b) / a).abs() < 1e-9, "tallies diverged: {a} vs {b}");
-    println!("\nphysics check: identical event counts, tallies agree to {:.1e} relative", ((a - b) / a).abs());
+    println!(
+        "\nphysics check: identical event counts, tallies agree to {:.1e} relative",
+        ((a - b) / a).abs()
+    );
 
     // ...different performance.
     println!(

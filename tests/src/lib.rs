@@ -1,9 +1,13 @@
 //! Support library for the `neutral-integration` test package.
 //!
 //! The actual integration tests live in `tests/tests/*.rs`; this crate
-//! only provides shared fixtures.
+//! provides shared fixtures plus [`Gen`], a tiny deterministic random
+//! generator driving the hand-rolled property tests (the environment has
+//! no crates.io access, so `proptest` is replaced by this counter-based
+//! harness — shrinking is traded for perfectly reproducible cases).
 
 use neutral_core::prelude::*;
+use neutral_rng::{CounterStream, Threefry2x64};
 
 /// Standard tiny-scale fixture used across the integration suite.
 pub fn tiny(case: TestCase, seed: u64) -> Simulation {
@@ -13,4 +17,75 @@ pub fn tiny(case: TestCase, seed: u64) -> Simulation {
 /// Relative difference |a-b| / max(|a|, floor).
 pub fn rel_diff(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(1e-30)
+}
+
+/// Deterministic random-input generator for property tests, backed by the
+/// workspace's own counter-based RNG. A failing case is reproduced by its
+/// case index alone.
+pub struct Gen {
+    rng: Threefry2x64,
+    counter: u64,
+}
+
+impl Gen {
+    /// One generator per property case; `seed` is the case index.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Threefry2x64::new([seed, 0x9e37_79b9_7f4a_7c15]),
+            counter: 0,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        let mut stream = CounterStream::new(&self.rng, 0);
+        stream.next_f64(&mut self.counter)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64_unit()
+    }
+
+    /// Log-uniform in `[lo, hi)` (both positive).
+    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo * (hi / lo).powf(self.f64_unit())
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.f64_unit() * (hi - lo) as f64) as usize
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64_any(&mut self) -> u64 {
+        (self.f64_unit() * 2.0f64.powi(32)) as u64
+            ^ ((self.f64_unit() * 2.0f64.powi(32)) as u64) << 32
+    }
+}
+
+/// Run `body` over `cases` deterministic generator instances, labelling
+/// panics with the failing case index.
+pub fn for_cases(cases: u64, mut body: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let mut g = Gen::new(case);
+        // Any panic inside `body` reports `case` via the unwind message of
+        // the assert that fired; print the index for quick reproduction.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut g)));
+        if let Err(e) = result {
+            panic!("property failed at case {case}: {}", panic_message(&e));
+        }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
 }

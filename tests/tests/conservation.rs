@@ -134,7 +134,11 @@ fn russian_roulette_is_unbiased() {
 
     // The energy balance still closes under implicit capture.
     let b = roul.energy_balance();
-    assert!(b.relative_defect().abs() < 0.05, "defect {}", b.relative_defect());
+    assert!(
+        b.relative_defect().abs() < 0.05,
+        "defect {}",
+        b.relative_defect()
+    );
     // And the population is still fully accounted for.
     let n = TestCase::Scatter
         .build(ProblemScale::tiny(), 3141)

@@ -70,8 +70,7 @@ fn collision_grind_dwarfs_facet_grind() {
         ..Default::default()
     });
     let scatter_time = t0.elapsed();
-    let ns_per_collision =
-        scatter_time.as_nanos() as f64 / rs.counters.collisions.max(1) as f64;
+    let ns_per_collision = scatter_time.as_nanos() as f64 / rs.counters.collisions.max(1) as f64;
 
     let stream = tiny(TestCase::Stream, 3);
     let t0 = Instant::now();

@@ -71,12 +71,12 @@ fn knl_scheme_crossover() {
     let sc_op = profile(TestCase::Scatter, Scheme::OverParticles);
     let sc_oe = profile(TestCase::Scatter, Scheme::OverEvents);
 
-    let csp = predict(&csp_oe, &KNL_7210_MCDRAM).total_s
-        / predict(&csp_op, &KNL_7210_MCDRAM).total_s;
+    let csp =
+        predict(&csp_oe, &KNL_7210_MCDRAM).total_s / predict(&csp_op, &KNL_7210_MCDRAM).total_s;
     assert_band("KNL csp OE/OP", csp, 2.15, 1.2, 3.5);
 
-    let scatter = predict(&sc_op, &KNL_7210_MCDRAM).total_s
-        / predict(&sc_oe, &KNL_7210_MCDRAM).total_s;
+    let scatter =
+        predict(&sc_op, &KNL_7210_MCDRAM).total_s / predict(&sc_oe, &KNL_7210_MCDRAM).total_s;
     assert_band("KNL scatter OP/OE (OE wins)", scatter, 1.73, 1.2, 2.6);
 }
 
@@ -87,13 +87,13 @@ fn knl_scheme_crossover() {
 #[test]
 fn knl_mcdram_vs_dram() {
     let csp_oe = profile(TestCase::Csp, Scheme::OverEvents);
-    let gain = predict(&csp_oe, &KNL_7210_DRAM).total_s
-        / predict(&csp_oe, &KNL_7210_MCDRAM).total_s;
+    let gain =
+        predict(&csp_oe, &KNL_7210_DRAM).total_s / predict(&csp_oe, &KNL_7210_MCDRAM).total_s;
     assert_band("KNL OE csp DRAM/MCDRAM", gain, 2.38, 1.6, 4.0);
 
     let sc_op = profile(TestCase::Scatter, Scheme::OverParticles);
-    let op_gain = predict(&sc_op, &KNL_7210_DRAM).total_s
-        / predict(&sc_op, &KNL_7210_MCDRAM).total_s;
+    let op_gain =
+        predict(&sc_op, &KNL_7210_DRAM).total_s / predict(&sc_op, &KNL_7210_MCDRAM).total_s;
     assert!(
         op_gain < 1.15,
         "OP scatter must barely care about MCDRAM ({op_gain:.2})"
@@ -162,13 +162,13 @@ fn gpu_atomics_and_registers() {
     assert_band("P100 atomic intrinsic", atomic_gain, 1.20, 1.05, 1.4);
 
     // K20X: capping 102 -> 64 registers is worth ~1.6x.
-    let reg_gain = predict_with(&op, &K20X, 0, &params, Some(255)).total_s
-        / predict(&op, &K20X).total_s;
+    let reg_gain =
+        predict_with(&op, &K20X, 0, &params, Some(255)).total_s / predict(&op, &K20X).total_s;
     assert_band("K20X register cap", reg_gain, 1.6, 1.2, 2.0);
 
     // P100: the same cap *hurts* (~1.07x slower).
-    let reg_pain = predict_with(&op, &P100, 0, &params, Some(64)).total_s
-        / predict(&op, &P100).total_s;
+    let reg_pain =
+        predict_with(&op, &P100, 0, &params, Some(64)).total_s / predict(&op, &P100).total_s;
     assert_band("P100 register cap slowdown", reg_pain, 1.07, 1.0, 1.2);
 }
 
@@ -186,7 +186,10 @@ fn bandwidth_utilisation_shape() {
     let k20x_oe = predict(&oe, &K20X);
     let op_frac = k20x_op.implied_bw_gbs / K20X.peak_bw_gbs;
     let oe_frac = k20x_oe.implied_bw_gbs / K20X.peak_bw_gbs;
-    assert!(op_frac < 0.45, "OP must not look bandwidth-bound ({op_frac:.2})");
+    assert!(
+        op_frac < 0.45,
+        "OP must not look bandwidth-bound ({op_frac:.2})"
+    );
     assert!(
         oe_frac > op_frac * 1.5,
         "OE must use the memory system harder ({oe_frac:.2} vs {op_frac:.2})"

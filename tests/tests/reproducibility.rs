@@ -111,7 +111,10 @@ fn rng_family_swap_preserves_statistics() {
         collisions.push(c.collisions);
     }
 
-    assert_ne!(collisions[0], collisions[1], "different engines, different paths");
+    assert_ne!(
+        collisions[0], collisions[1],
+        "different engines, different paths"
+    );
     let col_ratio = collisions[0] as f64 / collisions[1] as f64;
     assert!(
         (0.9..1.1).contains(&col_ratio),

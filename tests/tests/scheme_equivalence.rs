@@ -117,10 +117,7 @@ fn per_cell_tallies_match_across_schemes() {
             nonzero += 1;
         }
         let scale = a.abs().max(total * 1e-12);
-        assert!(
-            ((a - b) / scale).abs() < 1e-6,
-            "cell {i}: {a} vs {b}"
-        );
+        assert!(((a - b) / scale).abs() < 1e-6, "cell {i}: {a} vs {b}");
     }
     assert!(nonzero > 10, "csp should light up many cells");
 }

@@ -1,0 +1,238 @@
+//! A minimal stand-in for the `criterion` benchmark API used by this
+//! workspace (the build environment has no crates.io access).
+//!
+//! It measures honestly but simply: each benchmark is warmed up, then
+//! timed over `sample_size` samples whose batch size is auto-calibrated so
+//! a sample lasts roughly `measurement_time / sample_size`. The median
+//! per-iteration time is reported, with throughput when configured. No
+//! statistical regression machinery, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for parameterised benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.parent.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            measurement_time: self.parent.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch calibration: find how many iterations fit in
+        // one sample slot.
+        let slot = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt > slot.min(0.05) || batch > 1 << 30 {
+                break dt / batch as f64;
+            }
+            batch *= 2;
+        };
+        let batch = ((slot / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1.0e9 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(f64::total_cmp);
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[self.samples_ns.len() / 20];
+        let hi = self.samples_ns[self.samples_ns.len() - 1 - self.samples_ns.len() / 20];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.3e} elem/s", n as f64 * 1.0e9 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.3e} B/s", n as f64 * 1.0e9 / median)
+            }
+            None => String::new(),
+        };
+        println!("{id:<48} time: [{lo:>11.2} ns {median:>11.2} ns {hi:>11.2} ns]{rate}");
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+///
+/// `cargo test` runs `harness = false` bench binaries with `--test`; real
+/// criterion switches to a smoke-test mode there, this stand-in simply
+/// exits successfully without measuring.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,56 @@
+//! A minimal stand-in for `crossbeam::scope`, backed by
+//! `std::thread::scope` (the build environment has no crates.io access).
+//!
+//! Semantics differ from real crossbeam in one benign way: a panicking
+//! child thread propagates its panic when the scope exits instead of
+//! surfacing as `Err`, so the `Ok` returned here is unconditional. Callers
+//! that `.expect(...)` the result behave identically either way.
+
+use std::any::Any;
+
+/// Scope handle passed to the closure of [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a placeholder argument
+    /// (crossbeam passes the scope itself; every call site ignores it).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+}

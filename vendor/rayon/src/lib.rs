@@ -1,0 +1,564 @@
+//! A minimal, dependency-free stand-in for the subset of the `rayon` API
+//! this workspace uses, backed by `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few third-party surfaces it needs. This is *not* a
+//! work-stealing deque: every terminal operation splits its index space
+//! into `current_num_threads()` contiguous ranges and runs one OS thread
+//! per range. That preserves rayon's semantics (disjoint mutable access,
+//! fold/reduce accumulator shape, real parallel execution) for the
+//! data-parallel patterns the transport drivers use, at the cost of
+//! work-stealing load balance. Swap back to the real crate by deleting
+//! `vendor/` and restoring the crates.io dependency when networked.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+
+thread_local! {
+    /// Per-thread pool-size override (0 = none). Thread-local rather than
+    /// process-global so concurrent `ThreadPool::install` calls (e.g.
+    /// parallel test runners) cannot cross-contaminate each other.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads terminals will use (the installed pool size
+/// on this thread, or the machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool": a thread-count override installed for the duration of a
+/// closure (workers themselves are spawned per terminal operation).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct PoolGuard(usize);
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        POOL_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count installed on the calling
+    /// thread (terminals split work where they are invoked, so the
+    /// caller-thread override is what they observe).
+    pub fn install<T: Send, F: FnOnce() -> T + Send>(&self, f: F) -> T {
+        let _guard = PoolGuard(POOL_THREADS.with(|c| c.replace(self.num_threads)));
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Index-addressed production of a parallel iterator's items.
+///
+/// # Safety
+/// Implementations must tolerate `par_get` being called concurrently from
+/// multiple threads, provided each index in `0..par_len()` is fetched at
+/// most once overall.
+pub unsafe trait ParAccess: Send + Sync + Sized {
+    type Item: Send;
+    fn par_len(&self) -> usize;
+    /// # Safety
+    /// Each index may be fetched at most once across all threads.
+    unsafe fn par_get(&self, i: usize) -> Self::Item;
+}
+
+/// Split `0..p.par_len()` into per-thread contiguous ranges, run `work`
+/// over each range on scoped threads and collect the per-range results.
+fn run_parts<P: ParAccess, A: Send, W>(p: &P, work: W) -> Vec<A>
+where
+    W: Fn(usize, usize) -> A + Sync,
+{
+    let n = p.par_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, n);
+    if threads == 1 {
+        return vec![work(0, n)];
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+            if lo >= hi {
+                break;
+            }
+            let work = &work;
+            handles.push(s.spawn(move || work(lo, hi)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// The combinator surface shared by every parallel iterator.
+pub trait ParallelIterator: ParAccess {
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_parts(&self, |lo, hi| {
+            for i in lo..hi {
+                // SAFETY: ranges are disjoint, each index fetched once.
+                f(unsafe { self.par_get(i) });
+            }
+        });
+    }
+
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let parts = run_parts(&self, |lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                // SAFETY: disjoint ranges.
+                acc = op(acc, unsafe { self.par_get(i) });
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts = run_parts(&self, |lo, hi| {
+            // SAFETY: disjoint ranges.
+            (lo..hi).map(|i| unsafe { self.par_get(i) }).sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+}
+
+impl<P: ParAccess> ParallelIterator for P {}
+
+/// Pending fold: holds the per-range accumulator recipe until `reduce`.
+pub struct Fold<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<P, A, ID, F> Fold<P, ID, F>
+where
+    P: ParAccess,
+    A: Send,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, P::Item) -> A + Sync + Send,
+{
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A + Sync + Send,
+        OP: Fn(A, A) -> A + Sync + Send,
+    {
+        let parts = run_parts(&self.base, |lo, hi| {
+            let mut acc = (self.identity)();
+            for i in lo..hi {
+                // SAFETY: disjoint ranges.
+                acc = (self.fold_op)(acc, unsafe { self.base.par_get(i) });
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), op)
+    }
+}
+
+/// `(index, item)` adapter.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+unsafe impl<P: ParAccess> ParAccess for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    unsafe fn par_get(&self, i: usize) -> Self::Item {
+        (i, self.base.par_get(i))
+    }
+}
+
+/// Mapping adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+unsafe impl<P, R, F> ParAccess for Map<P, F>
+where
+    P: ParAccess,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    unsafe fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+
+/// Lock-step pairing adapter (length = shorter side).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: ParAccess, B: ParAccess> ParAccess for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    unsafe fn par_get(&self, i: usize) -> Self::Item {
+        (self.a.par_get(i), self.b.par_get(i))
+    }
+}
+
+/// Shared-slice parallel iterator.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> ParAccess for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn par_get(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Mutable-slice parallel iterator (disjoint indices, shared pointer).
+pub struct ParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+unsafe impl<'a, T: Send> ParAccess for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn par_get(&self, i: usize) -> &'a mut T {
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Mutable chunked view of a slice.
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+unsafe impl<'a, T: Send> ParAccess for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    unsafe fn par_get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Owned-vector parallel iterator: items are moved out index-wise.
+pub struct IntoParVec<T> {
+    items: Vec<ManuallyDrop<T>>,
+}
+
+unsafe impl<T: Send> Sync for IntoParVec<T> {}
+
+unsafe impl<T: Send> ParAccess for IntoParVec<T> {
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    unsafe fn par_get(&self, i: usize) -> T {
+        // SAFETY: the driver fetches each index at most once, so this
+        // moves each element out exactly once. Elements not fetched (only
+        // possible if a worker panicked) are leaked, never double-dropped.
+        ManuallyDrop::into_inner(std::ptr::read(self.items.get_unchecked(i)))
+    }
+}
+
+/// Conversion into a parallel iterator (`vec.into_par_iter()`, tuples of
+/// iterators, pass-through for existing iterators).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParAccess<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParVec<T>;
+
+    fn into_par_iter(self) -> IntoParVec<T> {
+        IntoParVec {
+            items: self.into_iter().map(ManuallyDrop::new).collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<A: IntoParallelIterator, B: IntoParallelIterator> IntoParallelIterator for (A, B) {
+    type Item = (A::Item, B::Item);
+    type Iter = Zip<A::Iter, B::Iter>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Zip {
+            a: self.0.into_par_iter(),
+            b: self.1.into_par_iter(),
+        }
+    }
+}
+
+impl<P: ParAccess> IntoParallelIterator for P {
+    type Item = P::Item;
+    type Iter = P;
+
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+/// `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParAccess, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_fold_reduce() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        let total = v
+            .par_chunks_mut(37)
+            .fold(|| 0u64, |acc, c| acc + c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn iter_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 5_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn zip_map_sum() {
+        let a = vec![1.0f64; 1_000];
+        let b = vec![2.0f64; 1_000];
+        let dot: f64 = a.par_iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 2_000.0);
+    }
+
+    #[test]
+    fn tuple_multizip() {
+        let mut a = vec![0.0f64; 100];
+        let mut b = vec![0.0f64; 100];
+        (a.par_iter_mut(), b.par_iter_mut())
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i as f64;
+                *y = 2.0 * i as f64;
+            });
+        assert_eq!(a[99], 99.0);
+        assert_eq!(b[99], 198.0);
+    }
+
+    #[test]
+    fn vec_into_par_map_reduce() {
+        let v: Vec<u64> = (0..1_000).collect();
+        let total = v.into_par_iter().map(|x| x * 2).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 999 * 1_000);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let n = pool.install(crate::current_num_threads);
+        assert_eq!(n, 3);
+    }
+}
