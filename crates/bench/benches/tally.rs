@@ -1,8 +1,10 @@
 //! Tally update costs (§V-C, §VI-F, §VII-A): the atomic CAS-loop add —
-//! uncontended, contended, and the privatised plain-store alternative.
+//! uncontended, contended, and the privatised plain-store alternative —
+//! plus the pluggable accumulator backends' deposit and merge costs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use neutral_mesh::tally::{AtomicTally, PrivatizedTally, SequentialTally};
+use neutral_mesh::{TallyAccum, TallyStrategy};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -69,6 +71,39 @@ fn bench_tally(c: &mut Criterion) {
         }
         b.iter(|| black_box(t.merge()));
     });
+
+    // Accumulator-subsystem deposit costs: one lane of each backend, the
+    // per-flush price a transport worker pays.
+    for strategy in TallyStrategy::ALL {
+        group.bench_function(format!("accum_deposit_{}", strategy.name()), |b| {
+            let mut accum = TallyAccum::new(strategy, cells, 16);
+            let mut views = accum.lane_views();
+            let view = &mut views[3];
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 97) & (cells - 1);
+                view.add(black_box(i), 1.25);
+            });
+        });
+    }
+
+    // Deterministic pairwise merge over 16 populated lanes — the
+    // "compression" pass the replicated/privatized strategies pay once
+    // per timestep.
+    for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+        group.bench_function(format!("accum_merge_16_lanes_{}", strategy.name()), |b| {
+            let mut accum = TallyAccum::new(strategy, cells, 16);
+            {
+                let mut views = accum.lane_views();
+                for (l, view) in views.iter_mut().enumerate() {
+                    for k in 0..1024usize {
+                        view.add((l * 4099 + k * 97) & (cells - 1), 1.0);
+                    }
+                }
+            }
+            b.iter(|| black_box(accum.merge()));
+        });
+    }
 
     group.finish();
 }

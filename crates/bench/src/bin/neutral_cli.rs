@@ -5,6 +5,7 @@
 //! neutral_cli problem.params [--scheme op|oe] [--layout aos|soa|soa-stepped]
 //!             [--threads N] [--schedule static|dynamic,N|guided,N]
 //!             [--lookup binary|hinted|unionized|hashed]
+//!             [--tally atomic|replicated|privatized]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //! ```
 //!
@@ -20,6 +21,7 @@ struct CliArgs {
     params_file: Option<String>,
     options: RunOptions,
     lookup: Option<LookupStrategy>,
+    tally: Option<TallyStrategy>,
     dump_tally: Option<String>,
 }
 
@@ -54,6 +56,7 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut params_file = None;
     let mut options = RunOptions::default();
     let mut lookup = None;
+    let mut tally = None;
     let mut dump_tally = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
@@ -99,6 +102,14 @@ fn parse_args() -> Result<CliArgs, String> {
                         .parse::<LookupStrategy>()?,
                 );
             }
+            "--tally" => {
+                i += 1;
+                tally = Some(
+                    argv.get(i)
+                        .ok_or("--tally atomic|replicated|privatized")?
+                        .parse::<TallyStrategy>()?,
+                );
+            }
             "--privatized" => privatized = true,
             "--sequential" => options.execution = Execution::Sequential,
             "--vectorized" => options.kernel_style = KernelStyle::Vectorized,
@@ -132,6 +143,7 @@ fn parse_args() -> Result<CliArgs, String> {
         params_file,
         options,
         lookup,
+        tally,
         dump_tally,
     })
 }
@@ -169,6 +181,9 @@ fn main() -> ExitCode {
     if let Some(lookup) = args.lookup {
         problem.transport.xs_search = lookup;
     }
+    if let Some(tally) = args.tally {
+        problem.transport.tally_strategy = tally;
+    }
     println!(
         "neutral: {}x{} mesh, {} particles, {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
@@ -179,9 +194,10 @@ fn main() -> ExitCode {
         problem.seed,
     );
     println!(
-        "options: {:?}, lookup: {}",
+        "options: {:?}, lookup: {}, tally: {}",
         args.options,
-        problem.transport.xs_search.name()
+        problem.transport.xs_search.name(),
+        problem.transport.tally_strategy.name()
     );
 
     let sim = Simulation::new(problem);

@@ -31,6 +31,13 @@ pub use neutral_xs::LookupStrategy;
 /// old `CachedLinear` variant is now called `Hinted`).
 pub type XsSearch = LookupStrategy;
 
+/// How energy deposits are accumulated into the tally mesh: the paper's
+/// shared-atomic baseline plus the deterministic lane-replicated and
+/// cell-block-privatized backends. Re-exported from `neutral_mesh`; see
+/// [`neutral_mesh::accum`] for the backend contract and the
+/// deterministic-merge invariant.
+pub use neutral_mesh::TallyStrategy;
+
 /// What happens when a particle's weight falls below the cutoff
 /// (variance-reduction policy, paper §IV-E).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +69,9 @@ pub struct TransportConfig {
     /// Cross-section lookup strategy (§VI-A and the unionized/hashed
     /// accelerations).
     pub xs_search: LookupStrategy,
+    /// Tally-accumulation backend (§VI-F: shared atomics vs replication
+    /// vs cell-block privatization).
+    pub tally_strategy: TallyStrategy,
     /// Low-weight policy (termination vs Russian roulette).
     pub low_weight: LowWeightPolicy,
     /// Safety valve: abandon a history after this many events and count it
@@ -76,6 +86,7 @@ impl Default for TransportConfig {
             weight_cutoff: 1.0e-6,
             collision_model: CollisionModel::Analogue,
             xs_search: LookupStrategy::Hinted,
+            tally_strategy: TallyStrategy::Atomic,
             low_weight: LowWeightPolicy::Terminate,
             max_events_per_history: 1_000_000,
         }

@@ -73,6 +73,28 @@ impl EventCounters {
         self.census_energy_ev += other.census_energy_ev;
     }
 
+    /// Deterministically merge per-lane counter sets, in lane order.
+    ///
+    /// The integer fields are order-insensitive sums, but the energy
+    /// fields are `f64` accumulations: merging them thread-by-thread
+    /// would make their bits depend on the worker count. This merge uses
+    /// the same pairwise (binary-tree) reduction as the tally subsystem
+    /// (`neutral_mesh::accum`), so a lane-decomposed run reports
+    /// bitwise-identical counters for any worker count.
+    #[must_use]
+    pub fn merge_deterministic(parts: &[EventCounters]) -> EventCounters {
+        let mut out = EventCounters::default();
+        for p in parts {
+            out.merge(p);
+        }
+        // Re-do the f64 fields pairwise, in lane order.
+        let lost: Vec<f64> = parts.iter().map(|p| p.lost_energy_ev).collect();
+        let census: Vec<f64> = parts.iter().map(|p| p.census_energy_ev).collect();
+        out.lost_energy_ev = neutral_mesh::accum::pairwise_sum(&lost);
+        out.census_energy_ev = neutral_mesh::accum::pairwise_sum(&census);
+        out
+    }
+
     /// Total of the three tracked event types.
     #[must_use]
     pub fn total_events(&self) -> u64 {
@@ -138,6 +160,31 @@ mod tests {
         assert_eq!(a.census, 33);
         assert!((a.lost_energy_ev - 2.0).abs() < 1e-12);
         assert_eq!(a.total_events(), 66);
+    }
+
+    #[test]
+    fn deterministic_merge_is_order_of_workers_free() {
+        // Lane partials with energies whose sum order matters in f64.
+        let parts: Vec<EventCounters> = (0..7)
+            .map(|i| EventCounters {
+                collisions: i,
+                lost_energy_ev: 1.0e10 / (i as f64 + 1.0) + 1.0e-6 * i as f64,
+                census_energy_ev: 3.0f64.powi(i as i32),
+                ..Default::default()
+            })
+            .collect();
+        let a = EventCounters::merge_deterministic(&parts);
+        let b = EventCounters::merge_deterministic(&parts);
+        assert_eq!(a.lost_energy_ev.to_bits(), b.lost_energy_ev.to_bits());
+        assert_eq!(a.census_energy_ev.to_bits(), b.census_energy_ev.to_bits());
+        assert_eq!(a.collisions, 21);
+        // ...and it is close to (though not necessarily bit-equal with)
+        // the sequential fold.
+        let mut seq = EventCounters::default();
+        for p in &parts {
+            seq.merge(p);
+        }
+        assert!((a.lost_energy_ev - seq.lost_energy_ev).abs() < 1e-3);
     }
 
     #[test]

@@ -57,6 +57,13 @@ impl TallySink for TallySlot {
     }
 }
 
+impl TallySink for neutral_mesh::LaneSink<'_> {
+    #[inline]
+    fn deposit(&mut self, cell: usize, value: f64) {
+        self.add(cell, value);
+    }
+}
+
 impl<T: TallySink + ?Sized> TallySink for &mut T {
     #[inline]
     fn deposit(&mut self, cell: usize, value: f64) {

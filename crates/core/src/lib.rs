@@ -60,8 +60,8 @@ pub mod validate;
 /// The things almost every user of the crate needs.
 pub mod prelude {
     pub use crate::config::{
-        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, TestCase,
-        TransportConfig, XsSearch,
+        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, TallyStrategy,
+        TestCase, TransportConfig, XsSearch,
     };
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};

@@ -302,7 +302,7 @@ pub fn run_over_events<R: CbRng>(
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
         counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
-            tally_kernel(w, tally)
+            tally_kernel(w, &mut { tally })
         }));
         timings.tally += t.elapsed();
     }
@@ -314,7 +314,7 @@ pub fn run_over_events<R: CbRng>(
     }));
     // Flush the census deposits.
     counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
-        tally_kernel(w, tally)
+        tally_kernel(w, &mut { tally })
     }));
     timings.census += t.elapsed();
 
@@ -349,6 +349,126 @@ where
         }
         acc
     }
+}
+
+/// Run the Over-Events scheme against the pluggable tally subsystem
+/// (`neutral_mesh::accum`): the breadth-first windows are cut at the
+/// accumulator's lane boundaries, every kernel schedules whole windows
+/// across `n_threads` workers, and the separated tally-flush kernel
+/// drains window `i`'s pending deposits through lane sink `i`. With a
+/// deterministic backend the merged tally and the counters are bitwise
+/// identical for any worker count.
+pub fn run_over_events_lanes<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut neutral_mesh::TallyAccum,
+    style: KernelStyle,
+    n_threads: usize,
+    schedule: crate::scheduler::Schedule,
+) -> (EventCounters, KernelTimings) {
+    use crate::scheduler::parallel_for_owned;
+    use neutral_mesh::{LanePartition, LaneSink};
+
+    let n = particles.len();
+    let part = LanePartition::new(n, accum.n_lanes());
+    let chunk = part.lane_size;
+    let schedule = schedule.lane_granular();
+    let mut views: Vec<LaneSink<'_>> = accum.lane_views();
+    views.truncate(part.n_lanes);
+
+    let mut st = EventState::new(n);
+    let mut timings = KernelTimings::default();
+    let mut counters = EventCounters::default();
+
+    // Apply `kernel` to every window, one worker per window, and merge
+    // the per-window counters deterministically in window (= lane) order.
+    let run_pass = |particles: &mut [Particle],
+                    st: &mut EventState,
+                    kernel: &(dyn Fn(&mut Window<'_>) -> EventCounters + Sync)| {
+        let mut states: Vec<(Window<'_>, EventCounters)> = windows(particles, st, chunk)
+            .into_iter()
+            .map(|w| (w, EventCounters::default()))
+            .collect();
+        parallel_for_owned(n_threads, schedule, &mut states, |_, (w, c)| {
+            *c = kernel(w);
+        });
+        let partials: Vec<EventCounters> = states.iter().map(|(_, c)| *c).collect();
+        EventCounters::merge_deterministic(&partials)
+    };
+    // As `run_pass`, but pairing window `i` with lane sink `i` for the
+    // tally-flush kernel.
+    let run_tally_pass =
+        |particles: &mut [Particle], st: &mut EventState, views: &mut [LaneSink<'_>]| {
+            let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
+                windows(particles, st, chunk)
+                    .into_iter()
+                    .zip(views.iter_mut())
+                    .map(|(w, v)| (w, v, EventCounters::default()))
+                    .collect();
+            parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
+                *c = tally_kernel(w, v);
+            });
+            let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
+            EventCounters::merge_deterministic(&partials)
+        };
+
+    // --- init kernel.
+    let t0 = Instant::now();
+    counters.merge(&run_pass(particles, &mut st, &|w| init_kernel(w, ctx)));
+    timings.init = t0.elapsed();
+
+    // --- breadth-first rounds (same loop as `run_over_events`).
+    let max_rounds = ctx.cfg.max_events_per_history;
+    loop {
+        timings.rounds += 1;
+        if timings.rounds > max_rounds {
+            let mut stuck = 0;
+            for (i, s) in st.status.iter_mut().enumerate() {
+                if *s == Status::Active {
+                    *s = Status::Dead;
+                    particles[i].dead = true;
+                    stuck += 1;
+                }
+            }
+            counters.stuck += stuck;
+            break;
+        }
+
+        let t = Instant::now();
+        let decide = run_pass(particles, &mut st, &|w| match style {
+            KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
+            KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
+        });
+        timings.decide += t.elapsed();
+        if decide.collisions == 0 {
+            break;
+        }
+
+        let t = Instant::now();
+        counters.merge(&run_pass(particles, &mut st, &|w| {
+            collision_kernel(w, ctx, style)
+        }));
+        timings.collision += t.elapsed();
+
+        let t = Instant::now();
+        counters.merge(&run_pass(particles, &mut st, &|w| {
+            facet_kernel(w, ctx, style)
+        }));
+        timings.facet += t.elapsed();
+
+        let t = Instant::now();
+        counters.merge(&run_tally_pass(particles, &mut st, &mut views));
+        timings.tally += t.elapsed();
+    }
+
+    // --- census kernel + final flush.
+    let t = Instant::now();
+    counters.merge(&run_pass(particles, &mut st, &|w| census_kernel(w, ctx)));
+    counters.merge(&run_tally_pass(particles, &mut st, &mut views));
+    timings.census += t.elapsed();
+
+    counters.census_energy_ev = crate::particle::total_weighted_energy(particles);
+    (counters, timings)
 }
 
 /// Populate the per-particle cache arrays. The cross sections of the
@@ -621,9 +741,8 @@ fn facet_kernel<R: CbRng>(
     c
 }
 
-fn tally_kernel(w: &mut Window<'_>, tally: &AtomicTally) -> EventCounters {
+fn tally_kernel<T: TallySink>(w: &mut Window<'_>, sink: &mut T) -> EventCounters {
     let mut c = EventCounters::default();
-    let mut sink = tally;
     for i in 0..w.particles.len() {
         if w.pending[i] != 0.0 {
             sink.deposit(w.pending_cell[i] as usize, w.pending[i]);

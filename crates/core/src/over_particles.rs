@@ -22,8 +22,9 @@ use crate::counters::EventCounters;
 use crate::events::TallySink;
 use crate::history::{track_to_census, TransportCtx};
 use crate::particle::{total_weighted_energy, Particle};
-use crate::scheduler::{parallel_for_stateful, Schedule, SharedSliceMut};
+use crate::scheduler::{parallel_for_owned, parallel_for_stateful, Schedule, SharedSliceMut};
 use neutral_mesh::tally::{AtomicTally, PrivatizedTally};
+use neutral_mesh::{LanePartition, LaneSink, TallyAccum};
 use neutral_rng::CbRng;
 use rayon::prelude::*;
 
@@ -141,6 +142,49 @@ pub fn run_scheduled<R: CbRng>(
             }
         }
     }
+    merged.census_energy_ev = total_weighted_energy(particles);
+    merged
+}
+
+/// Track every particle on `n_threads` workers with the pluggable tally
+/// subsystem: the particle list is cut into the accumulator's fixed lanes
+/// ([`LanePartition`]), whole lanes are scheduled across the workers, and
+/// each lane deposits through its own [`LaneSink`]. Per-lane counters are
+/// merged with the deterministic pairwise reduction, so for the
+/// deterministic backends the merged tally *and* the counters are bitwise
+/// identical for any `n_threads`.
+pub fn run_lanes<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut TallyAccum,
+    n_threads: usize,
+    schedule: Schedule,
+) -> EventCounters {
+    assert!(n_threads > 0, "need at least one thread");
+    let part = LanePartition::new(particles.len(), accum.n_lanes());
+    let shared = SharedSliceMut::new(particles);
+
+    let mut states: Vec<(LaneSink<'_>, EventCounters)> = accum
+        .lane_views()
+        .into_iter()
+        .take(part.n_lanes)
+        .map(|view| (view, EventCounters::default()))
+        .collect();
+    parallel_for_owned(
+        n_threads,
+        schedule.lane_granular(),
+        &mut states,
+        |lane, (sink, local)| {
+            // SAFETY: lane ranges are disjoint (see LanePartition).
+            let chunk = unsafe { shared.range_mut(part.range(lane)) };
+            for p in chunk {
+                track_to_census(p, ctx, sink, local);
+            }
+        },
+    );
+
+    let partials: Vec<EventCounters> = states.iter().map(|(_, c)| *c).collect();
+    let mut merged = EventCounters::merge_deterministic(&partials);
     merged.census_energy_ev = total_weighted_energy(particles);
     merged
 }
@@ -268,6 +312,51 @@ mod tests {
         // Static schedule + fixed thread count + deterministic merge order
         // => bitwise identical results.
         assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn lane_driver_is_worker_count_invariant() {
+        use neutral_mesh::TallyStrategy;
+        let fx = Fixture::new(TestCase::Csp);
+        let cells = fx.problem.mesh.num_cells();
+        let run = |strategy: TallyStrategy, threads: usize, schedule: Schedule| {
+            let mut particles = spawn_particles(&fx.problem);
+            let mut accum = TallyAccum::new(strategy, cells, 16);
+            let counters = run_lanes(&mut particles, &fx.ctx(), &mut accum, threads, schedule);
+            (accum.merge(), counters, particles)
+        };
+        for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+            let (base_tally, base_counters, base_particles) =
+                run(strategy, 1, Schedule::Static { chunk: None });
+            for (threads, schedule) in [
+                (2, Schedule::Dynamic { chunk: 64 }),
+                (7, Schedule::Guided { min_chunk: 2 }),
+                (4, Schedule::Static { chunk: Some(8) }),
+            ] {
+                let (tally, counters, particles) = run(strategy, threads, schedule);
+                assert_eq!(particles, base_particles, "{strategy:?}/{threads}");
+                assert_eq!(counters, base_counters, "{strategy:?}/{threads}");
+                assert!(
+                    tally
+                        .iter()
+                        .zip(&base_tally)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{strategy:?}/{threads}: merged tally bits differ"
+                );
+            }
+        }
+        // The atomic backend computes the same physics (same deposit
+        // multiset), just without the bitwise guarantee.
+        let (atomic, counters, _) = run(TallyStrategy::Atomic, 7, Schedule::Dynamic { chunk: 8 });
+        let (replicated, base_counters, _) = run(
+            TallyStrategy::Replicated,
+            1,
+            Schedule::Static { chunk: None },
+        );
+        assert_eq!(counters.collisions, base_counters.collisions);
+        for (a, b) in atomic.iter().zip(&replicated) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1e-30));
+        }
     }
 
     #[test]

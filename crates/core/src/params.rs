@@ -35,12 +35,13 @@
 //! weight_cutoff 1.0e-6
 //! collision_model analogue     # or implicit_capture
 //! lookup_strategy hinted       # or binary | unionized | hashed
+//! tally_strategy atomic        # or replicated | privatized
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
 //! `ProblemScale::small()`.
 
-use crate::config::{CollisionModel, LookupStrategy, Problem, TransportConfig};
+use crate::config::{CollisionModel, LookupStrategy, Problem, TallyStrategy, TransportConfig};
 use neutral_mesh::{Rect, StructuredMesh2D};
 use neutral_xs::{constants, CrossSectionLibrary};
 use std::fmt;
@@ -111,6 +112,8 @@ pub struct ProblemParams {
     pub collision_model: CollisionModel,
     /// Cross-section lookup strategy.
     pub lookup_strategy: LookupStrategy,
+    /// Tally-accumulation backend.
+    pub tally_strategy: TallyStrategy,
 }
 
 impl Default for ProblemParams {
@@ -133,6 +136,7 @@ impl Default for ProblemParams {
             weight_cutoff: 1.0e-6,
             collision_model: CollisionModel::Analogue,
             lookup_strategy: LookupStrategy::default(),
+            tally_strategy: TallyStrategy::default(),
         }
     }
 }
@@ -191,6 +195,9 @@ impl ProblemParams {
                 "weight_cutoff" => p.weight_cutoff = parse_f64(&one(&rest)?)?,
                 "lookup_strategy" => {
                     p.lookup_strategy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                "tally_strategy" => {
+                    p.tally_strategy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {
@@ -283,6 +290,7 @@ impl ProblemParams {
                 weight_cutoff: self.weight_cutoff,
                 collision_model: self.collision_model,
                 xs_search: self.lookup_strategy,
+                tally_strategy: self.tally_strategy,
                 ..Default::default()
             },
         }
@@ -383,6 +391,22 @@ region 0.5 1.0 0.0 0.5 7.0
             assert_eq!(p.build().transport.xs_search, expect);
         }
         let e = ProblemParams::parse("nx 4\nlookup_strategy magic\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("magic"));
+    }
+
+    #[test]
+    fn parses_tally_strategy() {
+        for (name, expect) in [
+            ("atomic", TallyStrategy::Atomic),
+            ("replicated", TallyStrategy::Replicated),
+            ("privatized", TallyStrategy::Privatized),
+        ] {
+            let p = ProblemParams::parse(&format!("tally_strategy {name}\n")).unwrap();
+            assert_eq!(p.tally_strategy, expect);
+            assert_eq!(p.build().transport.tally_strategy, expect);
+        }
+        let e = ProblemParams::parse("nx 4\ntally_strategy magic\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("magic"));
     }

@@ -45,6 +45,20 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// This policy re-expressed at lane granularity: the lane-decomposed
+    /// tally drivers schedule whole lanes (dozens of items), so chunk
+    /// sizes expressed in particles collapse to single-lane grabs while
+    /// the policy kind (static / dynamic / guided dispatch) is preserved.
+    #[must_use]
+    pub fn lane_granular(self) -> Schedule {
+        match self {
+            Schedule::Static { chunk: None } => self,
+            Schedule::Static { chunk: Some(_) } => Schedule::Static { chunk: Some(1) },
+            Schedule::Dynamic { .. } => Schedule::Dynamic { chunk: 1 },
+            Schedule::Guided { .. } => Schedule::Guided { min_chunk: 1 },
+        }
+    }
+
     /// A human-readable label for figure output (`static`, `dynamic,64`, ...).
     #[must_use]
     pub fn label(&self) -> String {
@@ -92,6 +106,42 @@ where
         }
     })
     .expect("worker thread panicked");
+}
+
+/// Run `body` once for each of `states.len()` work items ("lanes"),
+/// scheduling whole items across `n_threads` workers under `schedule`.
+///
+/// Unlike [`parallel_for_stateful`], where state is bound to the *thread*,
+/// here state is bound to the *item*: `body(item, &mut states[item])` is
+/// invoked exactly once per item, by exactly one worker, so per-item
+/// accumulators (tally lanes, per-lane counters) are filled identically
+/// for any worker count and any schedule — this is what makes the
+/// deterministic tally backends (`neutral_mesh::accum`) worker-count
+/// invariant. Workers are real OS threads (crossbeam scoped spawn), so
+/// chunked multi-worker runs execute genuinely concurrently against the
+/// chosen tally backend.
+pub fn parallel_for_owned<S, F>(n_threads: usize, schedule: Schedule, states: &mut [S], body: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    assert!(n_threads > 0, "need at least one worker");
+    let n_items = states.len();
+    if n_threads == 1 {
+        for (i, state) in states.iter_mut().enumerate() {
+            body(i, state);
+        }
+        return;
+    }
+    let shared = SharedSliceMut::new(states);
+    parallel_for(n_threads, n_items, schedule, |_t, range| {
+        // SAFETY: scheduler ranges are disjoint (see SharedSliceMut), and
+        // each range is expanded to per-item calls by this worker only.
+        let items = unsafe { shared.range_mut(range.clone()) };
+        for (off, state) in items.iter_mut().enumerate() {
+            body(range.start + off, state);
+        }
+    });
 }
 
 /// Convenience wrapper when the only per-thread state needed is the thread
@@ -334,6 +384,28 @@ mod tests {
             },
         );
         assert_eq!(states.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn owned_items_visited_exactly_once_by_one_worker() {
+        for &threads in &[1usize, 2, 3, 8] {
+            for &n in &[0usize, 1, 7, 32] {
+                for schedule in [
+                    Schedule::Static { chunk: None },
+                    Schedule::Static { chunk: Some(1) },
+                    Schedule::Dynamic { chunk: 1 },
+                    Schedule::Guided { min_chunk: 1 },
+                ] {
+                    let mut states = vec![0u32; n];
+                    parallel_for_owned(threads, schedule, &mut states, |i, s| {
+                        *s += 1 + i as u32;
+                    });
+                    for (i, s) in states.iter().enumerate() {
+                        assert_eq!(*s, 1 + i as u32, "item {i}, {threads} threads");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

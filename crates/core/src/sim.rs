@@ -9,13 +9,15 @@
 use crate::config::Problem;
 use crate::counters::EventCounters;
 use crate::history::TransportCtx;
-use crate::over_events::{run_over_events, KernelStyle, KernelTimings};
-use crate::over_particles::{run_rayon, run_scheduled, run_sequential, ScheduledTally};
+use crate::over_events::{run_over_events, run_over_events_lanes, KernelStyle, KernelTimings};
+use crate::over_particles::{run_lanes, run_rayon, run_scheduled, run_sequential, ScheduledTally};
 use crate::particle::{spawn_particles, Particle};
 use crate::scheduler::Schedule;
-use crate::soa::{run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
+use crate::soa::{run_lanes_soa, run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
 use crate::validate::{population_balance, EnergyBalance};
+use neutral_mesh::accum::DEFAULT_LANES;
 use neutral_mesh::tally::{AtomicTally, PrivatizedTally, SequentialTally};
+use neutral_mesh::{LanePartition, TallyAccum};
 use neutral_rng::Threefry2x64;
 use std::time::{Duration, Instant};
 
@@ -249,6 +251,28 @@ impl Simulation {
         tally_footprint: &mut usize,
     ) -> EventCounters {
         let cells = tally_vec.len();
+        // The deterministic backends run every scheme and layout through
+        // the lane-decomposed drivers. The Atomic strategy keeps the
+        // pre-subsystem shared-mesh paths below (bit-for-bit the paper's
+        // baseline behaviour), except for SoA under the explicit
+        // scheduler — a combination the old drivers rejected, which the
+        // lane subsystem now supports. The legacy `ScheduledPrivatized`
+        // execution keeps its per-*thread* §VI-F replication.
+        let soa_scheduled = options.scheme == Scheme::OverParticles
+            && matches!(options.layout, Layout::Soa | Layout::SoaEventStepped)
+            && matches!(options.execution, Execution::Scheduled { .. });
+        if (ctx.cfg.tally_strategy.is_deterministic() || soa_scheduled)
+            && !matches!(options.execution, Execution::ScheduledPrivatized { .. })
+        {
+            return self.run_step_lanes(
+                particles,
+                ctx,
+                options,
+                tally_vec,
+                kernel_timings,
+                tally_footprint,
+            );
+        }
         match options.scheme {
             Scheme::OverEvents => {
                 let tally = AtomicTally::new(cells);
@@ -257,18 +281,7 @@ impl Simulation {
                 let (counters, timings) =
                     run_over_events(particles, ctx, &tally, options.kernel_style, parallel);
                 accumulate(tally_vec, &tally.snapshot());
-                *kernel_timings = Some(match kernel_timings.take() {
-                    None => timings,
-                    Some(prev) => KernelTimings {
-                        init: prev.init + timings.init,
-                        decide: prev.decide + timings.decide,
-                        collision: prev.collision + timings.collision,
-                        facet: prev.facet + timings.facet,
-                        tally: prev.tally + timings.tally,
-                        census: prev.census + timings.census,
-                        rounds: prev.rounds + timings.rounds,
-                    },
-                });
+                merge_timings(kernel_timings, timings);
                 counters
             }
             Scheme::OverParticles => match (options.layout, options.execution) {
@@ -337,6 +350,75 @@ impl Simulation {
             },
         }
     }
+
+    /// One timestep through the pluggable tally subsystem: build the
+    /// configured backend with a worker-count-independent lane partition,
+    /// run the scheme's lane driver, and fold the deterministically
+    /// merged mesh into the running tally.
+    fn run_step_lanes(
+        &self,
+        particles: &mut [Particle],
+        ctx: &TransportCtx<'_, Threefry2x64>,
+        options: RunOptions,
+        tally_vec: &mut [f64],
+        kernel_timings: &mut Option<KernelTimings>,
+        tally_footprint: &mut usize,
+    ) -> EventCounters {
+        let cells = tally_vec.len();
+        let strategy = ctx.cfg.tally_strategy;
+        let (workers, schedule) = match options.execution {
+            Execution::Sequential => (1, Schedule::Static { chunk: None }),
+            Execution::Rayon => (rayon::current_num_threads(), Schedule::Dynamic { chunk: 1 }),
+            Execution::Scheduled { threads, schedule } => (threads, schedule),
+            Execution::ScheduledPrivatized { .. } => {
+                // Routed to the legacy per-thread §VI-F path by `run_step`;
+                // silently aliasing it to the lane subsystem would change
+                // a user's requested tally semantics.
+                unreachable!("ScheduledPrivatized keeps the per-thread seed path")
+            }
+        };
+        // The lane count is fixed (never derived from the worker count),
+        // so the merge order — and therefore the merged bits — are the
+        // same for ANY number of workers; workers beyond the lane count
+        // simply find no lane to claim (see neutral_mesh::accum).
+        let part = LanePartition::new(particles.len(), DEFAULT_LANES);
+        let mut accum = TallyAccum::new(strategy, cells, part.n_lanes);
+
+        let counters = match options.scheme {
+            Scheme::OverEvents => {
+                let (counters, timings) = run_over_events_lanes(
+                    particles,
+                    ctx,
+                    &mut accum,
+                    options.kernel_style,
+                    workers,
+                    schedule,
+                );
+                merge_timings(kernel_timings, timings);
+                counters
+            }
+            Scheme::OverParticles => match options.layout {
+                Layout::Aos => run_lanes(particles, ctx, &mut accum, workers, schedule),
+                layout @ (Layout::Soa | Layout::SoaEventStepped) => {
+                    let mut soa = ParticleSoA::from_aos(particles);
+                    let counters = run_lanes_soa(
+                        &mut soa,
+                        ctx,
+                        &mut accum,
+                        workers,
+                        schedule,
+                        layout == Layout::SoaEventStepped,
+                    );
+                    let back = soa.to_aos();
+                    particles.copy_from_slice(&back);
+                    counters
+                }
+            },
+        };
+        *tally_footprint = accum.footprint_bytes();
+        accumulate(tally_vec, &accum.merge());
+        counters
+    }
 }
 
 fn accumulate(acc: &mut [f64], step: &[f64]) {
@@ -345,10 +427,25 @@ fn accumulate(acc: &mut [f64], step: &[f64]) {
     }
 }
 
+fn merge_timings(acc: &mut Option<KernelTimings>, timings: KernelTimings) {
+    *acc = Some(match acc.take() {
+        None => timings,
+        Some(prev) => KernelTimings {
+            init: prev.init + timings.init,
+            decide: prev.decide + timings.decide,
+            collision: prev.collision + timings.collision,
+            facet: prev.facet + timings.facet,
+            tally: prev.tally + timings.tally,
+            census: prev.census + timings.census,
+            rounds: prev.rounds + timings.rounds,
+        },
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ProblemScale, TestCase};
+    use crate::config::{ProblemScale, TallyStrategy, TestCase};
 
     fn sim(case: TestCase) -> Simulation {
         Simulation::new(case.build(ProblemScale::tiny(), 3))
@@ -451,6 +548,91 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(r4.tally_footprint_bytes, 2 * r2.tally_footprint_bytes);
+    }
+
+    #[test]
+    fn tally_strategies_agree_on_physics() {
+        let s = sim(TestCase::Csp);
+        let base = s.run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        for strategy in TallyStrategy::ALL {
+            let mut problem = s.problem().clone();
+            problem.transport.tally_strategy = strategy;
+            let s2 = Simulation::new(problem);
+            for opts in [
+                RunOptions {
+                    execution: Execution::Sequential,
+                    ..Default::default()
+                },
+                RunOptions {
+                    execution: Execution::Scheduled {
+                        threads: 3,
+                        schedule: Schedule::Dynamic { chunk: 8 },
+                    },
+                    ..Default::default()
+                },
+                RunOptions {
+                    scheme: Scheme::OverEvents,
+                    execution: Execution::Rayon,
+                    ..Default::default()
+                },
+                RunOptions {
+                    layout: Layout::Soa,
+                    execution: Execution::Rayon,
+                    ..Default::default()
+                },
+            ] {
+                let r = s2.run(opts);
+                assert_eq!(
+                    r.counters.collisions, base.counters.collisions,
+                    "{strategy:?}/{opts:?}"
+                );
+                assert_eq!(
+                    r.counters.facets, base.counters.facets,
+                    "{strategy:?}/{opts:?}"
+                );
+                let (a, b) = (base.tally_total(), r.tally_total());
+                assert!(
+                    ((a - b) / a.abs().max(1e-30)).abs() < 1e-9,
+                    "{strategy:?}/{opts:?}: tally {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_strategies_are_worker_count_invariant_at_sim_level() {
+        for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+            let mut problem = TestCase::Csp.build(ProblemScale::tiny(), 3);
+            problem.transport.tally_strategy = strategy;
+            let s = Simulation::new(problem);
+            let run_with = |threads: usize| {
+                s.run(RunOptions {
+                    execution: Execution::Scheduled {
+                        threads,
+                        schedule: Schedule::Dynamic { chunk: 16 },
+                    },
+                    ..Default::default()
+                })
+            };
+            let seq = s.run(RunOptions {
+                execution: Execution::Sequential,
+                ..Default::default()
+            });
+            for threads in [1, 2, 7] {
+                let r = run_with(threads);
+                assert_eq!(r.counters, seq.counters, "{strategy:?}/{threads}");
+                assert!(
+                    r.tally
+                        .iter()
+                        .zip(&seq.tally)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{strategy:?}/{threads}: merged tally bits differ from sequential"
+                );
+            }
+        }
     }
 
     #[test]

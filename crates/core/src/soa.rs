@@ -11,10 +11,12 @@
 //! it back.
 
 use crate::counters::EventCounters;
-use crate::events::resolve_micro_xs_many;
+use crate::events::{resolve_micro_xs_many, TallySink};
 use crate::history::{step_particle_uncached, track_to_census_primed, StepOutcome, TransportCtx};
 use crate::particle::Particle;
+use crate::scheduler::{parallel_for_owned, Schedule};
 use neutral_mesh::tally::AtomicTally;
+use neutral_mesh::{LanePartition, LaneSink, TallyAccum};
 use neutral_rng::CbRng;
 use neutral_xs::{MicroXs, XsHints};
 use rayon::prelude::*;
@@ -331,6 +333,85 @@ impl<'a> SoAChunkMut<'a> {
     }
 }
 
+/// Track one SoA chunk to census: one batched lane-block lookup over the
+/// chunk's live lanes, then gather → track → scatter per history. Shared
+/// by the Rayon and lane-decomposed drivers so both produce bitwise
+/// identical trajectories.
+fn track_soa_chunk<R: CbRng, T: TallySink>(
+    chunk: &mut SoAChunkMut<'_>,
+    ctx: &TransportCtx<'_, R>,
+    sink: &mut T,
+    local: &mut EventCounters,
+) {
+    let n = chunk.len();
+    // Batched lane-block lookup over the chunk's live lanes.
+    let alive: Vec<usize> = (0..n).filter(|&i| !chunk.dead[i]).collect();
+    let energies: Vec<f64> = alive.iter().map(|&i| chunk.energy[i]).collect();
+    let mut ha: Vec<u32> = alive.iter().map(|&i| chunk.absorb_hint[i]).collect();
+    let mut hs: Vec<u32> = alive.iter().map(|&i| chunk.scatter_hint[i]).collect();
+    let mut out_a = vec![0.0; alive.len()];
+    let mut out_s = vec![0.0; alive.len()];
+    resolve_micro_xs_many(
+        ctx.xs,
+        ctx.cfg.xs_search,
+        &energies,
+        &mut ha,
+        &mut hs,
+        &mut out_a,
+        &mut out_s,
+        local,
+    );
+    for (j, &i) in alive.iter().enumerate() {
+        chunk.absorb_hint[i] = ha[j];
+        chunk.scatter_hint[i] = hs[j];
+    }
+    for (j, &i) in alive.iter().enumerate() {
+        let micro = MicroXs {
+            absorb_barns: out_a[j],
+            scatter_barns: out_s[j],
+        };
+        let mut p = chunk.load(i);
+        track_to_census_primed(&mut p, ctx, sink, local, micro);
+        chunk.store(i, &p);
+    }
+}
+
+/// Track one SoA chunk with event-granular gather/scatter (the Figure 5
+/// SoA-penalty memory behaviour); shared by the Rayon and lane drivers.
+fn track_soa_chunk_stepped<R: CbRng, T: TallySink>(
+    chunk: &mut SoAChunkMut<'_>,
+    ctx: &TransportCtx<'_, R>,
+    sink: &mut T,
+    local: &mut EventCounters,
+) {
+    let max_events = ctx.cfg.max_events_per_history;
+    for i in 0..chunk.len() {
+        let mut events = 0u64;
+        loop {
+            // Gather -> one event -> scatter: the per-event array
+            // traffic is the point of this driver.
+            let mut p = chunk.load(i);
+            let outcome = step_particle_uncached(&mut p, ctx, sink, local);
+            chunk.store(i, &p);
+            if outcome != StepOutcome::Continue {
+                break;
+            }
+            events += 1;
+            if events > max_events {
+                local.stuck += 1;
+                chunk.store(
+                    i,
+                    &Particle {
+                        dead: true,
+                        ..chunk.load(i)
+                    },
+                );
+                break;
+            }
+        }
+    }
+}
+
 /// Over-Particles driver for the SoA layout: Rayon-parallel over chunks,
 /// gather → track → scatter per history (§VI-D).
 ///
@@ -350,37 +431,7 @@ pub fn run_rayon_soa<R: CbRng>(
         .into_par_iter()
         .fold(EventCounters::default, |mut local, mut chunk| {
             let mut sink = tally;
-            let n = chunk.len();
-            // Batched lane-block lookup over the chunk's live lanes.
-            let alive: Vec<usize> = (0..n).filter(|&i| !chunk.dead[i]).collect();
-            let energies: Vec<f64> = alive.iter().map(|&i| chunk.energy[i]).collect();
-            let mut ha: Vec<u32> = alive.iter().map(|&i| chunk.absorb_hint[i]).collect();
-            let mut hs: Vec<u32> = alive.iter().map(|&i| chunk.scatter_hint[i]).collect();
-            let mut out_a = vec![0.0; alive.len()];
-            let mut out_s = vec![0.0; alive.len()];
-            resolve_micro_xs_many(
-                ctx.xs,
-                ctx.cfg.xs_search,
-                &energies,
-                &mut ha,
-                &mut hs,
-                &mut out_a,
-                &mut out_s,
-                &mut local,
-            );
-            for (j, &i) in alive.iter().enumerate() {
-                chunk.absorb_hint[i] = ha[j];
-                chunk.scatter_hint[i] = hs[j];
-            }
-            for (j, &i) in alive.iter().enumerate() {
-                let micro = MicroXs {
-                    absorb_barns: out_a[j],
-                    scatter_barns: out_s[j],
-                };
-                let mut p = chunk.load(i);
-                track_to_census_primed(&mut p, ctx, &mut sink, &mut local, micro);
-                chunk.store(i, &p);
-            }
+            track_soa_chunk(&mut chunk, ctx, &mut sink, &mut local);
             local
         })
         .reduce(EventCounters::default, |mut a, b| {
@@ -410,43 +461,62 @@ pub fn run_rayon_soa_stepped<R: CbRng>(
     tally: &AtomicTally,
     chunk: usize,
 ) -> EventCounters {
-    let max_events = ctx.cfg.max_events_per_history;
     let chunks = soa.chunks_mut(chunk);
     let mut counters = chunks
         .into_par_iter()
         .fold(EventCounters::default, |mut local, mut chunk| {
             let mut sink = tally;
-            for i in 0..chunk.len() {
-                let mut events = 0u64;
-                loop {
-                    // Gather -> one event -> scatter: the per-event array
-                    // traffic is the point of this driver.
-                    let mut p = chunk.load(i);
-                    let outcome = step_particle_uncached(&mut p, ctx, &mut sink, &mut local);
-                    chunk.store(i, &p);
-                    if outcome != StepOutcome::Continue {
-                        break;
-                    }
-                    events += 1;
-                    if events > max_events {
-                        local.stuck += 1;
-                        chunk.store(
-                            i,
-                            &Particle {
-                                dead: true,
-                                ..chunk.load(i)
-                            },
-                        );
-                        break;
-                    }
-                }
-            }
+            track_soa_chunk_stepped(&mut chunk, ctx, &mut sink, &mut local);
             local
         })
         .reduce(EventCounters::default, |mut a, b| {
             a.merge(&b);
             a
         });
+    counters.census_energy_ev = (0..soa.len())
+        .filter(|&i| !soa.dead[i])
+        .map(|i| soa.weight[i] * soa.energy[i])
+        .sum();
+    counters
+}
+
+/// SoA driver against the pluggable tally subsystem: the population is
+/// cut at the accumulator's lane boundaries, whole lanes are scheduled
+/// across `n_threads` workers, and each lane deposits through its own
+/// [`LaneSink`]. `stepped` selects the event-granular gather/scatter
+/// variant. For the deterministic backends the merged tally and counters
+/// are bitwise identical for any worker count.
+pub fn run_lanes_soa<R: CbRng>(
+    soa: &mut ParticleSoA,
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut TallyAccum,
+    n_threads: usize,
+    schedule: Schedule,
+    stepped: bool,
+) -> EventCounters {
+    let part = LanePartition::new(soa.len(), accum.n_lanes());
+    let mut counters = {
+        let chunks = soa.chunks_mut(part.lane_size);
+        let mut states: Vec<(SoAChunkMut<'_>, LaneSink<'_>, EventCounters)> = chunks
+            .into_iter()
+            .zip(accum.lane_views())
+            .map(|(chunk, view)| (chunk, view, EventCounters::default()))
+            .collect();
+        parallel_for_owned(
+            n_threads,
+            schedule.lane_granular(),
+            &mut states,
+            |_, (chunk, sink, local)| {
+                if stepped {
+                    track_soa_chunk_stepped(chunk, ctx, sink, local);
+                } else {
+                    track_soa_chunk(chunk, ctx, sink, local);
+                }
+            },
+        );
+        let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
+        EventCounters::merge_deterministic(&partials)
+    };
     counters.census_energy_ev = (0..soa.len())
         .filter(|&i| !soa.dead[i])
         .map(|i| soa.weight[i] * soa.energy[i])

@@ -1,0 +1,773 @@
+//! Pluggable tally-accumulation backends with a deterministic merge.
+//!
+//! The paper's central on-node finding is that *how* the energy-deposition
+//! tally is accumulated — shared atomics versus thread-private replication
+//! (§VI-F, Figures 3/7/8) — decides thread scaling. This module makes that
+//! choice a runtime [`TallyStrategy`], mirroring the `XsLookup` backend
+//! layer in `neutral_xs`: every transport driver deposits through a
+//! [`LaneSink`] checked out from a [`TallyAccum`], and the backend decides
+//! what a deposit costs and what the merged mesh looks like.
+//!
+//! # Lanes and the deterministic-merge invariant
+//!
+//! Parallel `f64` reduction is famously non-reproducible: addition does
+//! not associate, so the merged tally of a naive per-*thread* reduction
+//! changes bitwise with the worker count and, under atomics, with the
+//! interleaving of every run. This subsystem instead keys accumulation on
+//! **lanes**: fixed, contiguous slices of the particle index space whose
+//! size is independent of how many workers execute the solve (see
+//! [`LanePartition`]). A lane is the unit of scheduling — exactly one
+//! worker processes a lane's particles, in index order — so lane partials
+//! are bitwise well-defined, and [`TallyAccum::merge`] combines them with
+//! a fixed pairwise (binary-tree) summation in lane order. The result:
+//!
+//! > For the `Replicated` and `Privatized` backends, the merged tally is
+//! > **bitwise identical** for any worker count and any schedule — the
+//! > lane count never depends on the worker count, and workers beyond it
+//! > simply find no lane to claim.
+//!
+//! The `Atomic` backend keeps the paper's single shared mesh, so
+//! concurrent CAS adds to one cell still commit in arrival order; it is
+//! bitwise reproducible only single-threaded, and agrees with the other
+//! backends to floating-point reassociation error otherwise (this is
+//! exactly the reproducibility/footprint trade-off OpenMC and MC/DC
+//! document for their tally servers). See `DESIGN.md` §11.
+
+use crate::tally::AtomicTally;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Default lane count: the concurrency ceiling of the lane-decomposed
+/// drivers (a lane is processed by one worker) and the replication
+/// factor of the `Replicated` backend. Deliberately a fixed constant —
+/// deriving it from the worker count would make the merge order, and so
+/// the merged bits, depend on how many threads ran.
+pub const DEFAULT_LANES: usize = 32;
+
+/// Which tally-accumulation backend a run uses (paper §VI-F).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TallyStrategy {
+    /// One shared mesh updated with `AtomicU64` bit-cast `f64`
+    /// compare-exchange adds — the paper's `#pragma omp atomic` baseline.
+    /// Minimal footprint, contended hot path, not bitwise reproducible
+    /// across thread counts.
+    #[default]
+    Atomic,
+    /// One private dense mesh per lane, pairwise-merged in lane order
+    /// after the solve — the paper's privatisation (§VI-F) keyed on lanes
+    /// instead of threads so the merge is deterministic. Footprint is
+    /// `lanes ×` the mesh.
+    Replicated,
+    /// Cell-block ownership with a spill buffer: lane `l` owns the `l`-th
+    /// contiguous block of one shared dense mesh and writes it directly;
+    /// deposits outside the owned block spill to a per-lane sparse buffer
+    /// replayed at merge time. One dense mesh total plus sparse spill —
+    /// the low-footprint deterministic middle ground.
+    Privatized,
+}
+
+impl TallyStrategy {
+    /// All strategies, in benchmarking order.
+    pub const ALL: [TallyStrategy; 3] = [
+        TallyStrategy::Atomic,
+        TallyStrategy::Replicated,
+        TallyStrategy::Privatized,
+    ];
+
+    /// Stable lower-case name (used by parameter files, CLI flags and
+    /// figure output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TallyStrategy::Atomic => "atomic",
+            TallyStrategy::Replicated => "replicated",
+            TallyStrategy::Privatized => "privatized",
+        }
+    }
+
+    /// Whether merged tallies are bitwise-invariant to worker count and
+    /// interleaving.
+    #[must_use]
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, TallyStrategy::Atomic)
+    }
+}
+
+impl std::str::FromStr for TallyStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "atomic" => Ok(TallyStrategy::Atomic),
+            "replicated" => Ok(TallyStrategy::Replicated),
+            "privatized" => Ok(TallyStrategy::Privatized),
+            other => Err(format!(
+                "unknown tally strategy `{other}` (atomic|replicated|privatized)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TallyStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fixed decomposition of an item (particle) index space into lanes.
+///
+/// Lane size is `ceil(n_items / target_lanes)` so that lane `l` covers
+/// `[l * size, (l+1) * size)` — the same arithmetic the chunked drivers
+/// use — and the partition depends only on `(n_items, target_lanes)`,
+/// never on the worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LanePartition {
+    /// Total number of items (particles).
+    pub n_items: usize,
+    /// Items per lane (last lane may be short).
+    pub lane_size: usize,
+    /// Number of (non-empty) lanes.
+    pub n_lanes: usize,
+}
+
+impl LanePartition {
+    /// Partition `n_items` into at most `target_lanes` equal chunks.
+    #[must_use]
+    pub fn new(n_items: usize, target_lanes: usize) -> Self {
+        let target = target_lanes.max(1);
+        let lane_size = n_items.div_ceil(target).max(1);
+        let n_lanes = n_items.div_ceil(lane_size).max(1);
+        Self {
+            n_items,
+            lane_size,
+            n_lanes,
+        }
+    }
+
+    /// Index range of lane `lane`.
+    #[must_use]
+    pub fn range(&self, lane: usize) -> Range<usize> {
+        let start = lane * self.lane_size;
+        start..((start + self.lane_size).min(self.n_items))
+    }
+
+    /// The lane containing item `item`.
+    #[must_use]
+    pub fn lane_of(&self, item: usize) -> usize {
+        item / self.lane_size
+    }
+}
+
+/// A worker-side deposit handle for one lane. Checked out from
+/// [`TallyAccum::lane_views`]; the caller must drive each view from one
+/// worker at a time (the lane-granular schedulers guarantee this).
+#[derive(Debug)]
+pub enum LaneSink<'a> {
+    /// All lanes alias one shared atomic mesh (contended CAS adds).
+    Shared(&'a AtomicTally),
+    /// This lane's private dense mesh.
+    Dense(&'a mut [f64]),
+    /// This lane's owned cell-block of the shared dense mesh plus its
+    /// sparse spill buffer for every other cell.
+    Blocked {
+        /// Cells `[block.start, block.end)` of the merged mesh, owned
+        /// exclusively by this lane.
+        owned: &'a mut [f64],
+        /// First cell index of `owned`.
+        block_start: usize,
+        /// Running per-cell sums for deposits outside the owned block.
+        /// Each cell's adds land in chronological order, which is what
+        /// makes the replayed partial bitwise-equal to a dense one.
+        spill: &'a mut HashMap<u32, f64>,
+    },
+}
+
+impl LaneSink<'_> {
+    /// Add `value` to `cell` through this lane's backend mechanism.
+    #[inline]
+    pub fn add(&mut self, cell: usize, value: f64) {
+        match self {
+            LaneSink::Shared(mesh) => mesh.add(cell, value),
+            LaneSink::Dense(lane) => lane[cell] += value,
+            LaneSink::Blocked {
+                owned,
+                block_start,
+                spill,
+            } => {
+                if let Some(slot) = cell
+                    .checked_sub(*block_start)
+                    .and_then(|off| owned.get_mut(off))
+                {
+                    *slot += value;
+                } else {
+                    *spill.entry(cell as u32).or_insert(0.0) += value;
+                }
+            }
+        }
+    }
+}
+
+/// A tally-accumulation backend: lane-indexed deposit sinks during the
+/// solve, one deterministic merged mesh afterwards.
+///
+/// Contract (enforced by the golden/equivalence/property suites):
+///
+/// * [`lane_views`](TallyAccumulator::lane_views) hands out exactly
+///   [`n_lanes`](TallyAccumulator::n_lanes) sinks, and sinks of distinct
+///   lanes may be driven concurrently;
+/// * [`merge`](TallyAccumulator::merge) combines lane partials with the
+///   shared pairwise reduction in lane order, so for the deterministic
+///   backends the result depends only on the per-lane deposit sequences.
+pub trait TallyAccumulator {
+    /// The backend's strategy tag.
+    fn strategy(&self) -> TallyStrategy;
+    /// Number of mesh cells.
+    fn cells(&self) -> usize;
+    /// Number of accumulation lanes.
+    fn n_lanes(&self) -> usize;
+    /// Check out one deposit sink per lane (disjoint except `Atomic`,
+    /// where every view aliases the shared mesh).
+    fn lane_views(&mut self) -> Vec<LaneSink<'_>>;
+    /// Merge all lanes into one mesh (deterministic pairwise reduction
+    /// for the deterministic backends).
+    fn merge(&self) -> Vec<f64>;
+    /// Zero every lane for the next timestep.
+    fn reset(&mut self);
+    /// Resident bytes of the backend's accumulation state.
+    fn footprint_bytes(&self) -> usize;
+}
+
+/// Pairwise (binary-tree) sum of a slice — the deterministic reduction
+/// used for merged-tally totals and scalar counter merges.
+#[must_use]
+pub fn pairwise_sum(values: &[f64]) -> f64 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        n => {
+            let (lo, hi) = values.split_at(n / 2);
+            pairwise_sum(lo) + pairwise_sum(hi)
+        }
+    }
+}
+
+/// Pairwise merge of `n_lanes` dense partials materialised on demand:
+/// leaf `l` is `leaf(l)`, internal nodes add element-wise. The tree shape
+/// depends only on `n_lanes`, so the result is a pure function of the
+/// lane partials. Peak memory is `O(log n_lanes)` meshes.
+fn merge_lanes_pairwise(n_lanes: usize, leaf: &impl Fn(usize) -> Vec<f64>) -> Vec<f64> {
+    fn node(lo: usize, hi: usize, leaf: &impl Fn(usize) -> Vec<f64>) -> Vec<f64> {
+        if hi - lo == 1 {
+            return leaf(lo);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let mut a = node(lo, mid, leaf);
+        let b = node(mid, hi, leaf);
+        for (x, y) in a.iter_mut().zip(&b) {
+            *x += y;
+        }
+        a
+    }
+    node(0, n_lanes.max(1), leaf)
+}
+
+/// The paper's shared-atomic backend: one mesh, every lane view aliases
+/// it, deposits are CAS read-modify-writes.
+#[derive(Debug)]
+pub struct AtomicAccum {
+    mesh: AtomicTally,
+    n_lanes: usize,
+}
+
+impl AtomicAccum {
+    /// Create a zeroed shared mesh served to `n_lanes` lanes.
+    #[must_use]
+    pub fn new(cells: usize, n_lanes: usize) -> Self {
+        Self {
+            mesh: AtomicTally::new(cells),
+            n_lanes: n_lanes.max(1),
+        }
+    }
+}
+
+impl TallyAccumulator for AtomicAccum {
+    fn strategy(&self) -> TallyStrategy {
+        TallyStrategy::Atomic
+    }
+
+    fn cells(&self) -> usize {
+        self.mesh.len()
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    fn lane_views(&mut self) -> Vec<LaneSink<'_>> {
+        let mesh = &self.mesh;
+        (0..self.n_lanes).map(|_| LaneSink::Shared(mesh)).collect()
+    }
+
+    fn merge(&self) -> Vec<f64> {
+        self.mesh.snapshot()
+    }
+
+    fn reset(&mut self) {
+        self.mesh.reset();
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.mesh.footprint_bytes()
+    }
+}
+
+/// Lane-replicated backend: one private dense mesh per lane.
+#[derive(Debug)]
+pub struct ReplicatedAccum {
+    cells: usize,
+    lanes: Vec<Vec<f64>>,
+}
+
+impl ReplicatedAccum {
+    /// Create `n_lanes` zeroed private meshes of `cells` cells.
+    #[must_use]
+    pub fn new(cells: usize, n_lanes: usize) -> Self {
+        Self {
+            cells,
+            lanes: (0..n_lanes.max(1)).map(|_| vec![0.0; cells]).collect(),
+        }
+    }
+}
+
+impl TallyAccumulator for ReplicatedAccum {
+    fn strategy(&self) -> TallyStrategy {
+        TallyStrategy::Replicated
+    }
+
+    fn cells(&self) -> usize {
+        self.cells
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn lane_views(&mut self) -> Vec<LaneSink<'_>> {
+        self.lanes.iter_mut().map(|l| LaneSink::Dense(l)).collect()
+    }
+
+    fn merge(&self) -> Vec<f64> {
+        merge_lanes_pairwise(self.lanes.len(), &|l| self.lanes[l].clone())
+    }
+
+    fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.fill(0.0);
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.lanes.len() * self.cells * std::mem::size_of::<f64>()
+    }
+}
+
+/// Cell-block-ownership backend: lane `l` owns cell block `l` of one
+/// shared dense mesh and spills foreign-cell deposits to a sparse buffer.
+#[derive(Debug)]
+pub struct PrivatizedAccum {
+    cells: usize,
+    block_size: usize,
+    owned: Vec<Vec<f64>>,
+    spill: Vec<HashMap<u32, f64>>,
+}
+
+impl PrivatizedAccum {
+    /// Create the blocked mesh: `cells` split into `n_lanes` contiguous
+    /// owned blocks plus one empty spill buffer per lane.
+    #[must_use]
+    pub fn new(cells: usize, n_lanes: usize) -> Self {
+        let n_lanes = n_lanes.max(1);
+        let block_size = cells.div_ceil(n_lanes).max(1);
+        let owned = (0..n_lanes)
+            .map(|l| {
+                let start = (l * block_size).min(cells);
+                let end = ((l + 1) * block_size).min(cells);
+                vec![0.0; end - start]
+            })
+            .collect();
+        Self {
+            cells,
+            block_size,
+            owned,
+            spill: (0..n_lanes).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+/// Pairwise-tree sum of a cell's sparse lane contributions, emulating the
+/// dense tree of [`merge_lanes_pairwise`] over the lane range `[lo, hi)`:
+/// `contribs` holds `(lane, value)` sorted by lane, absent lanes are the
+/// `0.0` identity, and the split point mirrors the dense tree's, so the
+/// result is bitwise what the dense merge would compute. (Deposits are
+/// non-negative, so `-0.0` leaves — the one case where dropping a `+ 0.0`
+/// would change bits — cannot occur.)
+fn tree_sum_sparse(lo: usize, hi: usize, contribs: &[(usize, f64)]) -> f64 {
+    match contribs.len() {
+        0 => 0.0,
+        1 => contribs[0].1,
+        _ => {
+            let mid = lo + (hi - lo) / 2;
+            let split = contribs.partition_point(|&(lane, _)| lane < mid);
+            tree_sum_sparse(lo, mid, &contribs[..split])
+                + tree_sum_sparse(mid, hi, &contribs[split..])
+        }
+    }
+}
+
+impl TallyAccumulator for PrivatizedAccum {
+    fn strategy(&self) -> TallyStrategy {
+        TallyStrategy::Privatized
+    }
+
+    fn cells(&self) -> usize {
+        self.cells
+    }
+
+    fn n_lanes(&self) -> usize {
+        self.owned.len()
+    }
+
+    fn lane_views(&mut self) -> Vec<LaneSink<'_>> {
+        let block_size = self.block_size;
+        let cells = self.cells;
+        self.owned
+            .iter_mut()
+            .zip(self.spill.iter_mut())
+            .enumerate()
+            .map(|(l, (owned, spill))| LaneSink::Blocked {
+                owned,
+                block_start: (l * block_size).min(cells),
+                spill,
+            })
+            .collect()
+    }
+
+    fn merge(&self) -> Vec<f64> {
+        // Lane `l`'s partial for cell `c` is its owned-block slot when it
+        // owns `c`, its spill entry otherwise — per cell, both mechanisms
+        // applied the lane's adds in chronological order, so each partial
+        // is bitwise what a dense (`Replicated`) lane would hold. Rather
+        // than materialise those dense partials (lanes × mesh of
+        // transient memory — the very blow-up this backend exists to
+        // avoid), copy the disjoint owned blocks straight into the output
+        // and re-run the pairwise tree only for the sparse set of spilled
+        // cells.
+        let n_lanes = self.owned.len();
+        let mut out = vec![0.0; self.cells];
+        for (l, block) in self.owned.iter().enumerate() {
+            let start = (l * self.block_size).min(self.cells);
+            out[start..start + block.len()].copy_from_slice(block);
+        }
+        let mut touched: HashMap<u32, Vec<(usize, f64)>> = HashMap::new();
+        for (l, spill) in self.spill.iter().enumerate() {
+            for (&cell, &value) in spill {
+                touched.entry(cell).or_default().push((l, value));
+            }
+        }
+        for (cell, mut contribs) in touched {
+            let c = cell as usize;
+            contribs.push((c / self.block_size, out[c]));
+            contribs.sort_unstable_by_key(|&(lane, _)| lane);
+            out[c] = tree_sum_sparse(0, n_lanes, &contribs);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        for block in &mut self.owned {
+            block.fill(0.0);
+        }
+        for spill in &mut self.spill {
+            spill.clear();
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        let spill: usize = self
+            .spill
+            .iter()
+            .map(|s| s.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()))
+            .sum();
+        self.cells * std::mem::size_of::<f64>() + spill
+    }
+}
+
+/// Runtime-dispatched accumulator: the concrete backend behind a
+/// [`TallyStrategy`], with the [`TallyAccumulator`] contract surfaced as
+/// inherent methods so callers need no trait import.
+#[derive(Debug)]
+pub enum TallyAccum {
+    /// Shared atomic mesh.
+    Atomic(AtomicAccum),
+    /// Per-lane replicated meshes.
+    Replicated(ReplicatedAccum),
+    /// Cell-block ownership with spill buffers.
+    Privatized(PrivatizedAccum),
+}
+
+impl TallyAccum {
+    /// Build the backend for `strategy` over a `cells`-cell mesh with
+    /// `n_lanes` accumulation lanes.
+    #[must_use]
+    pub fn new(strategy: TallyStrategy, cells: usize, n_lanes: usize) -> Self {
+        match strategy {
+            TallyStrategy::Atomic => TallyAccum::Atomic(AtomicAccum::new(cells, n_lanes)),
+            TallyStrategy::Replicated => {
+                TallyAccum::Replicated(ReplicatedAccum::new(cells, n_lanes))
+            }
+            TallyStrategy::Privatized => {
+                TallyAccum::Privatized(PrivatizedAccum::new(cells, n_lanes))
+            }
+        }
+    }
+
+    fn inner(&self) -> &dyn TallyAccumulator {
+        match self {
+            TallyAccum::Atomic(a) => a,
+            TallyAccum::Replicated(a) => a,
+            TallyAccum::Privatized(a) => a,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn TallyAccumulator {
+        match self {
+            TallyAccum::Atomic(a) => a,
+            TallyAccum::Replicated(a) => a,
+            TallyAccum::Privatized(a) => a,
+        }
+    }
+
+    /// The backend's strategy tag.
+    #[must_use]
+    pub fn strategy(&self) -> TallyStrategy {
+        self.inner().strategy()
+    }
+
+    /// Number of mesh cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.inner().cells()
+    }
+
+    /// Number of accumulation lanes.
+    #[must_use]
+    pub fn n_lanes(&self) -> usize {
+        self.inner().n_lanes()
+    }
+
+    /// One deposit sink per lane (see [`TallyAccumulator::lane_views`]).
+    pub fn lane_views(&mut self) -> Vec<LaneSink<'_>> {
+        self.inner_mut().lane_views()
+    }
+
+    /// Deterministically merged mesh (see [`TallyAccumulator::merge`]).
+    #[must_use]
+    pub fn merge(&self) -> Vec<f64> {
+        self.inner().merge()
+    }
+
+    /// Zero all lanes.
+    pub fn reset(&mut self) {
+        self.inner_mut().reset();
+    }
+
+    /// Resident bytes of the accumulation state.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.inner().footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in TallyStrategy::ALL {
+            assert_eq!(s.name().parse::<TallyStrategy>().unwrap(), s);
+            assert_eq!(format!("{s}"), s.name());
+        }
+        assert!("magic".parse::<TallyStrategy>().is_err());
+    }
+
+    #[test]
+    fn lane_partition_covers_exactly() {
+        for (n, target) in [(0usize, 4usize), (1, 4), (7, 3), (500, 32), (1000, 7)] {
+            let p = LanePartition::new(n, target);
+            assert!(p.n_lanes <= target.max(1) || n == 0);
+            let mut next = 0;
+            for l in 0..p.n_lanes {
+                let r = p.range(l);
+                assert_eq!(r.start, next);
+                next = r.end;
+                for i in r.clone() {
+                    assert_eq!(p.lane_of(i), l, "item {i}");
+                }
+            }
+            assert_eq!(next, n, "partition of {n} into {target}");
+        }
+    }
+
+    #[test]
+    fn lane_partition_is_idempotent() {
+        // Re-deriving the partition from its own lane count must not
+        // change it — drivers recompute it from `accum.n_lanes()`.
+        for (n, target) in [(500usize, 32usize), (10, 4), (100, 32), (3, 7)] {
+            let p = LanePartition::new(n, target);
+            assert_eq!(LanePartition::new(n, p.n_lanes), p);
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_matches_naive_for_exact_values() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&v), v.iter().sum::<f64>());
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[2.5]), 2.5);
+    }
+
+    /// The cross-backend keystone: identical per-lane deposit sequences
+    /// must merge to bitwise-identical meshes under Replicated and
+    /// Privatized, and to the same totals under Atomic.
+    #[test]
+    fn backends_agree_on_lane_deposits() {
+        let cells = 37;
+        let lanes = 5;
+        // A deterministic pseudo-random deposit sequence per lane.
+        let deposits: Vec<Vec<(usize, f64)>> = (0..lanes)
+            .map(|l| {
+                (0..200)
+                    .map(|i| {
+                        let cell = (l * 17 + i * 13) % cells;
+                        let value = 0.1 + ((l * 31 + i * 7) % 100) as f64 * 1.7e-3;
+                        (cell, value)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut merged: Vec<Vec<f64>> = Vec::new();
+        for strategy in TallyStrategy::ALL {
+            let mut accum = TallyAccum::new(strategy, cells, lanes);
+            {
+                let mut views = accum.lane_views();
+                for (l, view) in views.iter_mut().enumerate() {
+                    for &(cell, value) in &deposits[l] {
+                        view.add(cell, value);
+                    }
+                }
+            }
+            merged.push(accum.merge());
+        }
+        let [atomic, replicated, privatized] = &merged[..] else {
+            unreachable!()
+        };
+        // Deterministic backends: bitwise identical.
+        for (c, (a, b)) in replicated.iter().zip(privatized).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "cell {c}");
+        }
+        // Atomic: same sums up to reassociation.
+        for (c, (a, b)) in atomic.iter().zip(replicated).enumerate() {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "cell {c}");
+        }
+    }
+
+    /// Concurrently driving disjoint lanes must not change the merged
+    /// bits of the deterministic backends.
+    #[test]
+    fn deterministic_merge_is_interleaving_invariant() {
+        let cells = 64;
+        let lanes = 8;
+        let run = |strategy: TallyStrategy, threaded: bool| -> Vec<f64> {
+            let mut accum = TallyAccum::new(strategy, cells, lanes);
+            {
+                let views = accum.lane_views();
+                let work = |l: usize, view: &mut LaneSink<'_>| {
+                    for i in 0..500 {
+                        view.add((l * 11 + i * 3) % cells, 1.0e-3 * (1 + l + i) as f64);
+                    }
+                };
+                if threaded {
+                    std::thread::scope(|s| {
+                        for (l, mut view) in views.into_iter().enumerate() {
+                            s.spawn(move || work(l, &mut view));
+                        }
+                    });
+                } else {
+                    for (l, mut view) in views.into_iter().enumerate() {
+                        work(l, &mut view);
+                    }
+                }
+            }
+            accum.merge()
+        };
+        for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+            let serial = run(strategy, false);
+            let threaded = run(strategy, true);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&threaded)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn privatized_spills_foreign_cells() {
+        let mut accum = PrivatizedAccum::new(100, 4); // blocks of 25
+        {
+            let mut views = accum.lane_views();
+            views[0].add(3, 1.0); // owned by lane 0
+            views[0].add(80, 2.0); // spills (owned by lane 3)
+            views[3].add(80, 4.0); // owned by lane 3
+        }
+        assert!(accum.spill[0].contains_key(&80));
+        let merged = accum.merge();
+        assert_eq!(merged[3], 1.0);
+        assert_eq!(merged[80], 6.0);
+        assert_eq!(accum.spill[0].len(), 1);
+    }
+
+    #[test]
+    fn footprints_rank_as_documented() {
+        let cells = 10_000;
+        let lanes = 16;
+        let atomic = TallyAccum::new(TallyStrategy::Atomic, cells, lanes).footprint_bytes();
+        let replicated = TallyAccum::new(TallyStrategy::Replicated, cells, lanes).footprint_bytes();
+        let privatized = TallyAccum::new(TallyStrategy::Privatized, cells, lanes).footprint_bytes();
+        assert_eq!(replicated, lanes * atomic);
+        assert_eq!(privatized, atomic); // empty spill: one dense mesh
+    }
+
+    #[test]
+    fn reset_zeroes_all_backends() {
+        for strategy in TallyStrategy::ALL {
+            let mut accum = TallyAccum::new(strategy, 16, 3);
+            {
+                let mut views = accum.lane_views();
+                for v in views.iter_mut() {
+                    v.add(5, 1.0);
+                    v.add(15, 2.0);
+                }
+            }
+            accum.reset();
+            assert!(
+                accum.merge().iter().all(|&v| v == 0.0),
+                "{strategy:?} reset"
+            );
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //!   encounter, paper §V-C);
 //! * [`tally::PrivatizedTally`] — one private tally mesh per thread,
 //!   trading the atomics for a ×`n_threads` memory footprint (paper §VI-F);
-//! * [`tally::SequentialTally`] — the plain serial baseline.
+//! * [`tally::SequentialTally`] — the plain serial baseline;
+//! * [`accum`] — the pluggable tally-accumulation subsystem
+//!   ([`TallyStrategy`]: atomic / replicated / privatized backends behind
+//!   one lane-indexed deposit API, merged with a deterministic pairwise
+//!   reduction so parallel tallies are bitwise reproducible).
 //!
 //! # Example
 //!
@@ -34,7 +38,9 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accum;
 mod grid;
 pub mod tally;
 
+pub use accum::{LanePartition, LaneSink, TallyAccum, TallyAccumulator, TallyStrategy};
 pub use grid::{Facet, Rect, StructuredMesh2D};

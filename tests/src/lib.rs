@@ -9,9 +9,100 @@
 use neutral_core::prelude::*;
 use neutral_rng::{CounterStream, Threefry2x64};
 
+pub mod golden;
+
 /// Standard tiny-scale fixture used across the integration suite.
 pub fn tiny(case: TestCase, seed: u64) -> Simulation {
     Simulation::new(case.build(ProblemScale::tiny(), seed))
+}
+
+/// Build a tiny-scale simulation with an explicit tally strategy.
+pub fn tiny_with_tally(case: TestCase, seed: u64, strategy: TallyStrategy) -> Simulation {
+    let mut problem = case.build(ProblemScale::tiny(), seed);
+    problem.transport.tally_strategy = strategy;
+    Simulation::new(problem)
+}
+
+/// Worker counts exercised by the multi-thread suites: always {1, 2, 7},
+/// plus whatever `NEUTRAL_TEST_THREADS` adds (the CI multi-thread job
+/// sets it to the runner's core count).
+#[must_use]
+pub fn test_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 7];
+    if let Some(n) = std::env::var("NEUTRAL_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n > 0 && !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// The four driver families of the golden/equivalence suites, with run
+/// options parameterised by worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverKind {
+    /// Sequential history loop (Over Particles, AoS, one worker).
+    History,
+    /// Parallel Over Particles (AoS, explicit scheduler).
+    OverParticles,
+    /// Breadth-first Over Events.
+    OverEvents,
+    /// Over Particles on the SoA layout.
+    Soa,
+}
+
+impl DriverKind {
+    /// All four, in golden-fixture order.
+    pub const ALL: [DriverKind; 4] = [
+        DriverKind::History,
+        DriverKind::OverParticles,
+        DriverKind::OverEvents,
+        DriverKind::Soa,
+    ];
+
+    /// Stable name used in fixture files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverKind::History => "history",
+            DriverKind::OverParticles => "over_particles",
+            DriverKind::OverEvents => "over_events",
+            DriverKind::Soa => "soa",
+        }
+    }
+
+    /// Run options driving this family on `workers` workers. `History`
+    /// ignores the worker count (it is the one-worker baseline).
+    #[must_use]
+    pub fn options(self, workers: usize) -> RunOptions {
+        let scheduled = Execution::Scheduled {
+            threads: workers,
+            schedule: Schedule::Dynamic { chunk: 16 },
+        };
+        match self {
+            DriverKind::History => RunOptions {
+                execution: Execution::Sequential,
+                ..Default::default()
+            },
+            DriverKind::OverParticles => RunOptions {
+                execution: scheduled,
+                ..Default::default()
+            },
+            DriverKind::OverEvents => RunOptions {
+                scheme: Scheme::OverEvents,
+                execution: scheduled,
+                ..Default::default()
+            },
+            DriverKind::Soa => RunOptions {
+                layout: Layout::Soa,
+                execution: scheduled,
+                ..Default::default()
+            },
+        }
+    }
 }
 
 /// Relative difference |a-b| / max(|a|, floor).

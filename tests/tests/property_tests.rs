@@ -4,10 +4,11 @@
 //! failing case index reproduces exactly.
 
 use neutral_core::prelude::*;
-use neutral_core::scheduler::{parallel_for, Schedule};
+use neutral_core::scheduler::{parallel_for, parallel_for_owned, Schedule};
 use neutral_core::validate::population_balance;
 use neutral_integration::{for_cases, Gen};
-use neutral_mesh::{Rect, StructuredMesh2D};
+use neutral_mesh::accum::pairwise_sum;
+use neutral_mesh::{LaneSink, Rect, StructuredMesh2D, TallyAccum, TallyStrategy};
 use neutral_xs::{CrossSectionLibrary, SynthParams, XsHints};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -180,6 +181,108 @@ fn synthetic_tables_shape() {
         let capture = neutral_xs::synthetic_capture(points, seed, &p);
         assert!(capture.values().iter().all(|&v| v > 0.0));
         assert!(capture.value_binary(1e-3) > capture.value_binary(1e6));
+    });
+}
+
+/// Generate a random per-lane deposit script: for each lane, an ordered
+/// list of `(cell, value)` deposits (values spread over many decades so
+/// that summation order genuinely matters in `f64`).
+fn arbitrary_deposits(g: &mut Gen, lanes: usize, cells: usize) -> Vec<Vec<(usize, f64)>> {
+    (0..lanes)
+        .map(|_| {
+            let n = g.usize_in(0, 400);
+            (0..n)
+                .map(|_| (g.usize_in(0, cells), g.log_uniform(1.0e-9, 1.0e9)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Random per-lane partial deposits merged under shuffled lane-processing
+/// orders (and worker counts) must produce bitwise-identical meshes for
+/// the deterministic backends — the deterministic-merge invariant.
+#[test]
+fn deterministic_merge_shuffle_invariance() {
+    for_cases(24, |g| {
+        let cells = g.usize_in(4, 200);
+        let lanes = g.usize_in(1, 12);
+        let deposits = arbitrary_deposits(g, lanes, cells);
+        let workers = [1, g.usize_in(2, 9), g.usize_in(2, 9)];
+
+        for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+            let mut merged: Vec<Vec<f64>> = Vec::new();
+            for (round, &n_threads) in workers.iter().enumerate() {
+                let mut accum = TallyAccum::new(strategy, cells, lanes);
+                {
+                    // Shuffle which lane is processed when by scheduling
+                    // the lanes dynamically over the workers; the merge
+                    // must not care.
+                    let mut states: Vec<(usize, LaneSink<'_>)> =
+                        accum.lane_views().into_iter().enumerate().collect();
+                    // Vary the schedule between rounds too.
+                    let schedule = if round % 2 == 0 {
+                        Schedule::Dynamic { chunk: 1 }
+                    } else {
+                        Schedule::Guided { min_chunk: 1 }
+                    };
+                    parallel_for_owned(n_threads, schedule, &mut states, |_, (lane, view)| {
+                        for &(cell, value) in &deposits[*lane] {
+                            view.add(cell, value);
+                        }
+                    });
+                }
+                merged.push(accum.merge());
+            }
+            for other in &merged[1..] {
+                assert!(
+                    merged[0]
+                        .iter()
+                        .zip(other)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{strategy:?}: merge depends on worker count / interleaving"
+                );
+            }
+        }
+    });
+}
+
+/// Replicated and privatized merges agree bitwise on any deposit script,
+/// and the atomic backend agrees to reassociation error; every backend's
+/// merged total matches the pairwise sum of all deposits loosely.
+#[test]
+fn backends_cross_agree_on_random_deposits() {
+    for_cases(24, |g| {
+        let cells = g.usize_in(4, 120);
+        let lanes = g.usize_in(1, 8);
+        let deposits = arbitrary_deposits(g, lanes, cells);
+        let mut merged = Vec::new();
+        for strategy in TallyStrategy::ALL {
+            let mut accum = TallyAccum::new(strategy, cells, lanes);
+            {
+                let mut views = accum.lane_views();
+                for (lane, view) in views.iter_mut().enumerate() {
+                    for &(cell, value) in &deposits[lane] {
+                        view.add(cell, value);
+                    }
+                }
+            }
+            merged.push(accum.merge());
+        }
+        let [atomic, replicated, privatized] = &merged[..] else {
+            unreachable!()
+        };
+        assert!(
+            replicated
+                .iter()
+                .zip(privatized)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "replicated vs privatized bits"
+        );
+        let total = pairwise_sum(replicated);
+        for (c, (a, b)) in atomic.iter().zip(replicated).enumerate() {
+            let scale = b.abs().max(total.abs() * 1e-12).max(1e-30);
+            assert!(((a - b) / scale).abs() < 1e-9, "cell {c}: {a} vs {b}");
+        }
     });
 }
 

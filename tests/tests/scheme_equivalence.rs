@@ -8,7 +8,7 @@
 //! differ only by floating-point summation order.
 
 use neutral_core::prelude::*;
-use neutral_integration::{rel_diff, tiny};
+use neutral_integration::{rel_diff, test_thread_counts, tiny, tiny_with_tally, DriverKind};
 
 fn base(case: TestCase, seed: u64) -> RunReport {
     tiny(case, seed).run(RunOptions {
@@ -120,6 +120,96 @@ fn per_cell_tallies_match_across_schemes() {
         assert!(((a - b) / scale).abs() < 1e-6, "cell {i}: {a} vs {b}");
     }
     assert!(nonzero > 10, "csp should light up many cells");
+}
+
+/// The tally-subsystem keystone: for every driver family and every
+/// deterministic strategy, the merged tally is **bitwise identical** at
+/// worker counts {1, 2, 7} (plus `NEUTRAL_TEST_THREADS`), and identical
+/// to the same driver run sequentially. The atomic strategy reproduces
+/// the same physics (integer counters exactly, per-cell tallies to
+/// floating-point reassociation error).
+#[test]
+fn tally_strategies_are_worker_count_equivalent() {
+    let case = TestCase::Csp;
+    let seed = 42;
+    for driver in DriverKind::ALL {
+        for strategy in TallyStrategy::ALL {
+            let reference = tiny_with_tally(case, seed, strategy).run(driver.options(1));
+            for workers in test_thread_counts() {
+                let r = tiny_with_tally(case, seed, strategy).run(driver.options(workers));
+                let what = format!("{}/{}/{workers}w", driver.name(), strategy.name());
+                assert_eq!(
+                    r.counters.collisions, reference.counters.collisions,
+                    "{what}"
+                );
+                assert_eq!(r.counters.facets, reference.counters.facets, "{what}");
+                assert_eq!(r.counters.census, reference.counters.census, "{what}");
+                assert_eq!(r.counters.deaths, reference.counters.deaths, "{what}");
+                if strategy.is_deterministic() {
+                    assert_eq!(
+                        r.counters, reference.counters,
+                        "{what}: counters must merge deterministically"
+                    );
+                    assert!(
+                        r.tally
+                            .iter()
+                            .zip(&reference.tally)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{what}: merged tally must be bitwise identical"
+                    );
+                } else {
+                    let total = reference.tally_total();
+                    for (i, (a, b)) in r.tally.iter().zip(&reference.tally).enumerate() {
+                        let scale = b.abs().max(total * 1e-12).max(1e-30);
+                        assert!(
+                            ((a - b) / scale).abs() < 1e-6,
+                            "{what}: cell {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All three strategies agree with each other per driver: deterministic
+/// ones bitwise, atomic to reassociation error.
+#[test]
+fn tally_strategies_agree_per_driver() {
+    for driver in DriverKind::ALL {
+        let replicated =
+            tiny_with_tally(TestCase::Csp, 9, TallyStrategy::Replicated).run(driver.options(2));
+        let privatized =
+            tiny_with_tally(TestCase::Csp, 9, TallyStrategy::Privatized).run(driver.options(2));
+        let atomic =
+            tiny_with_tally(TestCase::Csp, 9, TallyStrategy::Atomic).run(driver.options(2));
+        assert_eq!(
+            replicated.counters,
+            privatized.counters,
+            "{}",
+            driver.name()
+        );
+        assert!(
+            replicated
+                .tally
+                .iter()
+                .zip(&privatized.tally)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{}: replicated vs privatized bits",
+            driver.name()
+        );
+        assert_eq!(
+            atomic.counters.collisions,
+            replicated.counters.collisions,
+            "{}",
+            driver.name()
+        );
+        assert!(
+            rel_diff(atomic.tally_total(), replicated.tally_total()) < 1e-9,
+            "{}: atomic total",
+            driver.name()
+        );
+    }
 }
 
 #[test]
