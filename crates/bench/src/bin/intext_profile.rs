@@ -63,7 +63,7 @@ fn main() {
     let rng = Threefry2x64::new([problem.seed, 1]);
     let ctx = TransportCtx {
         mesh: &problem.mesh,
-        xs: &problem.xs,
+        materials: &problem.materials,
         rng: &rng,
         cfg: &problem.transport,
     };

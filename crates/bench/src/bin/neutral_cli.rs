@@ -2,15 +2,18 @@
 //! to the original C driver that reads a `.params` problem file.
 //!
 //! ```sh
-//! neutral_cli problem.params [--scheme op|oe] [--layout aos|soa|soa-stepped]
+//! neutral_cli [problem.params | --scenario NAME] [--scale tiny|small|paper]
+//!             [--seed N] [--scheme op|oe] [--layout aos|soa|soa-stepped]
 //!             [--threads N] [--schedule static|dynamic,N|guided,N]
 //!             [--lookup binary|hinted|unionized|hashed]
 //!             [--tally atomic|replicated|privatized]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //! ```
 //!
-//! With no file, the built-in default (a small csp) runs. The tally dump
-//! is a plain-text `ix iy value` triple per non-empty cell.
+//! `--scenario` runs a workload from the scenario catalogue
+//! (`neutral_core::scenario`) — `--scenario help` lists it. With neither
+//! a file nor a scenario, the built-in default (a small csp) runs. The
+//! tally dump is a plain-text `ix iy value` triple per non-empty cell.
 
 use neutral_core::params::ProblemParams;
 use neutral_core::prelude::*;
@@ -19,10 +22,20 @@ use std::process::ExitCode;
 
 struct CliArgs {
     params_file: Option<String>,
+    scenario: Option<Scenario>,
+    scale: ProblemScale,
+    seed: Option<u64>,
     options: RunOptions,
     lookup: Option<LookupStrategy>,
     tally: Option<TallyStrategy>,
     dump_tally: Option<String>,
+}
+
+fn scenario_catalogue() -> String {
+    Scenario::ALL
+        .iter()
+        .map(|s| format!("  {:<18} {}\n", s.name(), s.description()))
+        .collect()
 }
 
 fn parse_schedule(s: &str) -> Result<Schedule, String> {
@@ -54,6 +67,9 @@ fn parse_schedule(s: &str) -> Result<Schedule, String> {
 fn parse_args() -> Result<CliArgs, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut params_file = None;
+    let mut scenario = None;
+    let mut scale_flag: Option<ProblemScale> = None;
+    let mut seed = None;
     let mut options = RunOptions::default();
     let mut lookup = None;
     let mut tally = None;
@@ -110,6 +126,29 @@ fn parse_args() -> Result<CliArgs, String> {
                         .parse::<TallyStrategy>()?,
                 );
             }
+            "--scenario" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--scenario NAME (try --scenario help)")?;
+                if name == "help" || name == "list" {
+                    // A successful listing, not an error.
+                    print!("scenario catalogue:\n{}", scenario_catalogue());
+                    std::process::exit(0);
+                }
+                scenario = Some(Scenario::from_name(name)?);
+            }
+            "--scale" => {
+                i += 1;
+                scale_flag = match argv.get(i).map(String::as_str) {
+                    Some("tiny") => Some(ProblemScale::tiny()),
+                    Some("small") => Some(ProblemScale::small()),
+                    Some("paper") => Some(ProblemScale::paper()),
+                    other => return Err(format!("--scale tiny|small|paper, got {other:?}")),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(argv.get(i).and_then(|v| v.parse().ok()).ok_or("--seed N")?);
+            }
             "--privatized" => privatized = true,
             "--sequential" => options.execution = Execution::Sequential,
             "--vectorized" => options.kernel_style = KernelStyle::Vectorized,
@@ -139,8 +178,20 @@ fn parse_args() -> Result<CliArgs, String> {
         };
     }
 
+    if params_file.is_some() && scenario.is_some() {
+        return Err("give either a params file or --scenario, not both".into());
+    }
+    if params_file.is_some() && scale_flag.is_some() {
+        // Silently ignoring --scale would run a different mesh than the
+        // user asked for; a params file states its own nx/ny.
+        return Err("--scale only applies to --scenario; the params file sets nx/ny".into());
+    }
+
     Ok(CliArgs {
         params_file,
+        scenario,
+        scale: scale_flag.unwrap_or_else(ProblemScale::small),
+        seed,
         options,
         lookup,
         tally,
@@ -157,9 +208,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let params = match &args.params_file {
-        None => ProblemParams::default(),
-        Some(path) => {
+    let params = match (&args.params_file, args.scenario) {
+        (None, Some(scenario)) => {
+            let seed = args.seed.unwrap_or(20_170_905);
+            println!(
+                "scenario: {} ({}; expected mix: {})",
+                scenario.name(),
+                scenario.description(),
+                scenario.expected_mix()
+            );
+            scenario.params(args.scale, seed)
+        }
+        (None, None) => ProblemParams::default(),
+        (Some(path), _) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -177,6 +238,13 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut params = params;
+    if let Some(seed) = args.seed {
+        // Reseed (not just overwrite): defaulted material-table seeds
+        // follow the new master seed, exactly as if the file's `seed`
+        // line had been edited.
+        params.reseed(seed);
+    }
     let mut problem = params.build();
     if let Some(lookup) = args.lookup {
         problem.transport.xs_search = lookup;
@@ -185,10 +253,11 @@ fn main() -> ExitCode {
         problem.transport.tally_strategy = tally;
     }
     println!(
-        "neutral: {}x{} mesh, {} particles, {} timestep(s), dt {:.2e} s, seed {}",
+        "neutral: {}x{} mesh, {} particles, {} material(s), {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
         problem.mesh.ny(),
         problem.n_particles,
+        problem.materials.len(),
         problem.n_timesteps,
         problem.dt,
         problem.seed,
@@ -203,6 +272,13 @@ fn main() -> ExitCode {
     let sim = Simulation::new(problem);
     let report = sim.run(args.options);
     println!("{}", report.summary());
+    if report.counters.material_switches > 0 {
+        println!(
+            "materials: {} interface crossings across {} material(s)",
+            report.counters.material_switches,
+            sim.problem().materials.len()
+        );
+    }
     let balance = report.energy_balance();
     println!(
         "energy: source {:.4e} eV, deposited {:.4e} eV, residual {:.4e} eV, lost {:.4e} eV",

@@ -2,7 +2,7 @@
 //! transport solve.
 
 use neutral_mesh::{Rect, StructuredMesh2D};
-use neutral_xs::{constants, CrossSectionLibrary};
+use neutral_xs::{constants, CrossSectionLibrary, MaterialSet};
 
 /// How a collision resolves (DESIGN.md §3 and §10).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -93,14 +93,17 @@ impl Default for TransportConfig {
     }
 }
 
-/// A fully-built transport problem: mesh, cross sections, source and
-/// timestep controls.
+/// A fully-built transport problem: mesh, materials, source and timestep
+/// controls.
 #[derive(Clone, Debug)]
 pub struct Problem {
-    /// The computational mesh with its density field.
+    /// The computational mesh with its density field and per-cell
+    /// material indices.
     pub mesh: StructuredMesh2D,
-    /// Cross-section library of the single material.
-    pub xs: CrossSectionLibrary,
+    /// Per-material cross-section libraries, indexed by the mesh's
+    /// material map. The paper's problems carry a single material
+    /// (`MaterialSet::single`); scenario problems carry several.
+    pub materials: MaterialSet,
     /// Particles are born uniformly inside this region.
     pub source: Rect,
     /// Number of particle histories per timestep.
@@ -232,7 +235,7 @@ impl TestCase {
 
         Problem {
             mesh,
-            xs,
+            materials: MaterialSet::single(xs),
             source,
             n_particles,
             dt: 1.0e-7,

@@ -46,6 +46,10 @@ pub struct EventCounters {
     pub batched_lookups: u64,
     /// Cell-centred density reads (the random mesh access, §VI-A).
     pub density_reads: u64,
+    /// Facet crossings that changed the local material, forcing an extra
+    /// cross-section re-resolution (multi-material scenarios only; always
+    /// zero on the paper's single-material problems — DESIGN.md §12).
+    pub material_switches: u64,
     /// Weighted energy (eV) carried by particles terminated at a cutoff.
     pub lost_energy_ev: f64,
     /// Weighted energy (eV) still in flight at the end of the solve.
@@ -69,6 +73,7 @@ impl EventCounters {
         self.cs_lookups += other.cs_lookups;
         self.batched_lookups += other.batched_lookups;
         self.density_reads += other.density_reads;
+        self.material_switches += other.material_switches;
         self.lost_energy_ev += other.lost_energy_ev;
         self.census_energy_ev += other.census_energy_ev;
     }

@@ -15,7 +15,10 @@ use neutral_mesh::tally::{SequentialTally, TallySlot};
 use neutral_mesh::{tally::AtomicTally, Facet, StructuredMesh2D};
 use neutral_rng::{dist, CbRng, CounterStream};
 use neutral_xs::constants::{mean_elastic_retention, speed_m_per_s, MASS_NO};
-use neutral_xs::{macroscopic_per_m, CrossSectionLibrary, LookupStrategy, MicroXs, XsHints};
+use neutral_xs::{
+    macroscopic_per_m, CrossSectionLibrary, LookupStrategy, MaterialId, MaterialSet, MicroXs,
+    XsHints,
+};
 
 /// Where energy deposits go. Implemented by all three tally variants plus
 /// [`NullTally`] (used to measure the tally share of runtime, §VI-A).
@@ -93,13 +96,17 @@ pub fn resolve_micro_xs(
     micro
 }
 
-/// Batched [`resolve_micro_xs`]: resolve a whole lane block of energies
-/// in one call through the backend's `lookup_many`, updating the SoA
-/// hint lanes in place. Slices must have equal lengths.
+/// Batched [`resolve_micro_xs`]: resolve a whole lane block of energies —
+/// `energies[i]` in material `mats[i]` — in one call through the
+/// material set's grouped `lookup_many`, updating the SoA hint lanes in
+/// place. Slices must have equal lengths. Bitwise identical to
+/// per-particle [`resolve_micro_xs`] calls against each particle's
+/// material library.
 #[allow(clippy::too_many_arguments)] // mirrors the five parallel SoA lanes
 pub fn resolve_micro_xs_many(
-    xs: &CrossSectionLibrary,
+    materials: &MaterialSet,
     strategy: LookupStrategy,
+    mats: &[MaterialId],
     energies: &[f64],
     hints_absorb: &mut [u32],
     hints_scatter: &mut [u32],
@@ -109,8 +116,9 @@ pub fn resolve_micro_xs_many(
 ) {
     counters.cs_lookups += energies.len() as u64;
     counters.batched_lookups += energies.len() as u64;
-    counters.cs_search_steps += xs.lookup_many_with(
+    counters.cs_search_steps += materials.lookup_many_with(
         strategy,
+        mats,
         energies,
         hints_absorb,
         hints_scatter,

@@ -4,10 +4,11 @@
 //! The loop embodies the register-caching behaviour the paper credits for
 //! the scheme's CPU advantage (§VII-A-2): the microscopic cross sections
 //! are re-looked-up only after collisions (the only events that change the
-//! energy), the local density only after facet crossings (the only events
-//! that change the cell), and the energy deposit accumulates in a register
-//! that is flushed to the tally mesh only at facet encounters and at the
-//! end of the history (§VI-A).
+//! energy) and after material-changing facet crossings (the only events
+//! that change the table set), the local density only after facet
+//! crossings (the only events that change the cell), and the energy
+//! deposit accumulates in a register that is flushed to the tally mesh
+//! only at facet encounters and at the end of the history (§VI-A).
 
 use crate::config::TransportConfig;
 use crate::counters::EventCounters;
@@ -18,14 +19,15 @@ use crate::events::{
 use crate::particle::Particle;
 use neutral_mesh::StructuredMesh2D;
 use neutral_rng::{CbRng, CounterStream};
-use neutral_xs::{macroscopic_per_m, number_density, CrossSectionLibrary};
+use neutral_xs::{macroscopic_per_m, number_density, MaterialId, MaterialSet};
 
 /// Shared read-only context of a transport solve.
 pub struct TransportCtx<'a, R: CbRng> {
     /// The computational mesh.
     pub mesh: &'a StructuredMesh2D,
-    /// Cross-section library.
-    pub xs: &'a CrossSectionLibrary,
+    /// Per-material cross-section libraries, indexed by the mesh's
+    /// material map.
+    pub materials: &'a MaterialSet,
     /// The simulation's counter-based generator.
     pub rng: &'a R,
     /// Numerical controls.
@@ -90,10 +92,12 @@ fn track_to_census_inner<R: CbRng, T: TallySink>(
     let mut stream = CounterStream::new(ctx.rng, p.key);
 
     // State cached "in registers" between events (§V-A): refreshed only by
-    // the event that invalidates it.
+    // the event that invalidates it. The local material id rides along
+    // with the density — both change only at facet crossings.
+    let mut local_mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
     let mut micro = match primed {
         Some(m) => m,
-        None => lookup_micro(p, ctx, counters),
+        None => lookup_micro(p, ctx, local_mat, counters),
     };
     let mut local_n = {
         counters.density_reads += 1;
@@ -132,9 +136,18 @@ fn track_to_census_inner<R: CbRng, T: TallySink>(
                 flush(tally, p, ctx.mesh.nx(), &mut deposit_acc, counters);
                 handle_facet(p, facet, ctx.mesh, counters);
                 // The cached local density must be updated: the random
-                // read from the cell-centred density mesh.
+                // read from the cell-centred density mesh. The material
+                // index rides on the same cell read; crossing into a
+                // different material invalidates the cached microscopic
+                // cross sections too (same energy, different tables).
                 counters.density_reads += 1;
                 local_n = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+                let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+                if mat != local_mat {
+                    local_mat = mat;
+                    counters.material_switches += 1;
+                    micro = lookup_micro(p, ctx, local_mat, counters);
+                }
             }
             NextEvent::Collision(d) => {
                 deposit_acc += energy_deposition(p.energy, p.weight, d, local_n, micro);
@@ -146,23 +159,25 @@ fn track_to_census_inner<R: CbRng, T: TallySink>(
                 }
                 // The collision changed the energy: refresh the cached
                 // microscopic cross sections (§VI-A).
-                micro = lookup_micro(p, ctx, counters);
+                micro = lookup_micro(p, ctx, local_mat, counters);
             }
         }
     }
 }
 
-/// Look up the microscopic cross sections with the configured
-/// [`crate::config::LookupStrategy`] (§VI-A plus the unionized/hashed
-/// accelerations), through the shared [`resolve_micro_xs`] seam.
+/// Look up the microscopic cross sections of material `mat` with the
+/// configured [`crate::config::LookupStrategy`] (§VI-A plus the
+/// unionized/hashed accelerations), through the shared
+/// [`resolve_micro_xs`] seam.
 #[inline]
 pub(crate) fn lookup_micro<R: CbRng>(
     p: &mut Particle,
     ctx: &TransportCtx<'_, R>,
+    mat: MaterialId,
     counters: &mut EventCounters,
 ) -> neutral_xs::MicroXs {
     resolve_micro_xs(
-        ctx.xs,
+        ctx.materials.library(mat),
         ctx.cfg.xs_search,
         p.energy,
         &mut p.xs_hints,
@@ -219,8 +234,10 @@ pub fn step_particle_uncached<R: CbRng, T: TallySink>(
     }
     let mut stream = CounterStream::new(ctx.rng, p.key);
 
-    // Re-fetched every event: no caching between calls.
-    let micro = lookup_micro(p, ctx, counters);
+    // Re-fetched every event: no caching between calls (material id
+    // included — each event re-reads the cell's material).
+    let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+    let micro = lookup_micro(p, ctx, mat, counters);
     counters.density_reads += 1;
     let local_n = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
 
@@ -271,7 +288,7 @@ mod tests {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };
@@ -359,7 +376,7 @@ mod tests {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };
@@ -378,7 +395,7 @@ mod tests {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };

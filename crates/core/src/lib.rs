@@ -52,6 +52,7 @@ pub mod over_events;
 pub mod over_particles;
 pub mod params;
 pub mod particle;
+pub mod scenario;
 pub mod scheduler;
 pub mod sim;
 pub mod soa;
@@ -65,9 +66,11 @@ pub mod prelude {
     };
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};
+    pub use crate::scenario::Scenario;
     pub use crate::scheduler::Schedule;
     pub use crate::sim::{Execution, Layout, RunOptions, RunReport, Scheme, Simulation};
     pub use crate::validate::EnergyBalance;
+    pub use neutral_xs::{MaterialKind, MaterialSet, MaterialSpec};
 }
 
 pub use prelude::*;

@@ -29,7 +29,7 @@ use neutral_mesh::tally::AtomicTally;
 use neutral_mesh::{Facet, StructuredMesh2D};
 use neutral_rng::{CbRng, CounterStream};
 use neutral_xs::constants::speed_m_per_s;
-use neutral_xs::{macroscopic_per_m, number_density, MicroXs};
+use neutral_xs::{macroscopic_per_m, number_density, MaterialId, MicroXs};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -133,6 +133,7 @@ struct EventState {
     micro_a: Vec<f64>,
     micro_s: Vec<f64>,
     n_dens: Vec<f64>,
+    mat: Vec<MaterialId>,
     dist: Vec<f64>,
     pending: Vec<f64>,
     pending_cell: Vec<u32>,
@@ -146,6 +147,7 @@ impl EventState {
             micro_a: vec![0.0; n],
             micro_s: vec![0.0; n],
             n_dens: vec![0.0; n],
+            mat: vec![0; n],
             dist: vec![0.0; n],
             pending: vec![0.0; n],
             pending_cell: vec![0; n],
@@ -161,6 +163,7 @@ struct Window<'a> {
     micro_a: &'a mut [f64],
     micro_s: &'a mut [f64],
     n_dens: &'a mut [f64],
+    mat: &'a mut [MaterialId],
     dist: &'a mut [f64],
     pending: &'a mut [f64],
     pending_cell: &'a mut [u32],
@@ -179,6 +182,7 @@ fn windows<'a>(
         micro_a: &mut st.micro_a,
         micro_s: &mut st.micro_s,
         n_dens: &mut st.n_dens,
+        mat: &mut st.mat,
         dist: &mut st.dist,
         pending: &mut st.pending,
         pending_cell: &mut st.pending_cell,
@@ -190,6 +194,7 @@ fn windows<'a>(
         let (a0, a1) = w.micro_a.split_at_mut(chunk);
         let (s0, s1) = w.micro_s.split_at_mut(chunk);
         let (n0, n1) = w.n_dens.split_at_mut(chunk);
+        let (m0m, m1m) = w.mat.split_at_mut(chunk);
         let (d0, d1) = w.dist.split_at_mut(chunk);
         let (pe0, pe1) = w.pending.split_at_mut(chunk);
         let (pc0, pc1) = w.pending_cell.split_at_mut(chunk);
@@ -200,6 +205,7 @@ fn windows<'a>(
             micro_a: a0,
             micro_s: s0,
             n_dens: n0,
+            mat: m0m,
             dist: d0,
             pending: pe0,
             pending_cell: pc0,
@@ -211,6 +217,7 @@ fn windows<'a>(
             micro_a: a1,
             micro_s: s1,
             n_dens: n1,
+            mat: m1m,
             dist: d1,
             pending: pe1,
             pending_cell: pc1,
@@ -479,6 +486,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     let n = w.particles.len();
     let mut alive = Vec::with_capacity(n);
     let mut energies = Vec::with_capacity(n);
+    let mut mats = Vec::with_capacity(n);
     let mut ha = Vec::with_capacity(n);
     let mut hs = Vec::with_capacity(n);
     for i in 0..n {
@@ -488,8 +496,10 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
             continue;
         }
         w.status[i] = Status::Active;
+        w.mat[i] = ctx.mesh.material(p.cellx as usize, p.celly as usize);
         alive.push(i);
         energies.push(p.energy);
+        mats.push(w.mat[i]);
         ha.push(p.xs_hints.absorb);
         hs.push(p.xs_hints.scatter);
     }
@@ -497,8 +507,9 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     let mut out_a = vec![0.0; alive.len()];
     let mut out_s = vec![0.0; alive.len()];
     resolve_micro_xs_many(
-        ctx.xs,
+        ctx.materials,
         ctx.cfg.xs_search,
+        &mats,
         &energies,
         &mut ha,
         &mut hs,
@@ -678,7 +689,7 @@ fn collision_kernel<R: CbRng>(
         if died {
             w.status[i] = Status::Dead;
         } else {
-            let micro = crate::history::lookup_micro(p, ctx, &mut c);
+            let micro = crate::history::lookup_micro(p, ctx, w.mat[i], &mut c);
             w.micro_a[i] = micro.absorb_barns;
             w.micro_s[i] = micro.scatter_barns;
         }
@@ -737,6 +748,17 @@ fn facet_kernel<R: CbRng>(
         handle_facet(p, facet, ctx.mesh, &mut c);
         c.density_reads += 1;
         w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+        // Crossing into a different material invalidates the cached
+        // microscopic cross sections (same order of operations as the
+        // history loop, so the counters and hints stay identical).
+        let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+        if mat != w.mat[i] {
+            w.mat[i] = mat;
+            c.material_switches += 1;
+            let micro = crate::history::lookup_micro(p, ctx, mat, &mut c);
+            w.micro_a[i] = micro.absorb_barns;
+            w.micro_s[i] = micro.scatter_barns;
+        }
     }
     c
 }
@@ -798,7 +820,7 @@ mod tests {
     ) -> TransportCtx<'a, Threefry2x64> {
         TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng,
             cfg: &problem.transport,
         }

@@ -212,7 +212,7 @@ mod tests {
         fn ctx(&self) -> TransportCtx<'_, Threefry2x64> {
             TransportCtx {
                 mesh: &self.problem.mesh,
-                xs: &self.problem.xs,
+                materials: &self.problem.materials,
                 rng: &self.rng,
                 cfg: &self.problem.transport,
             }

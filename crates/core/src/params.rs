@@ -11,6 +11,10 @@
 //! an error (typos should not silently change the physics). Keys:
 //!
 //! ```text
+//! # scenario preset (optional; must be the FIRST key when present)
+//! scenario shielded_slab       # start from a catalogue scenario, then
+//!                              # override any key below
+//!
 //! # geometry / discretisation
 //! nx 1000              # cells along x
 //! ny 1000              # cells along y
@@ -19,7 +23,10 @@
 //!
 //! # material field
 //! density 0.05                 # background density (kg/m^3)
-//! region 0.375 0.625 0.375 0.625 1000.0   # x0 x1 y0 y1 rho (repeatable)
+//! material 1 absorber          # id kind [points] [seed] (repeatable);
+//!                              # material 0 defaults to `reference`
+//! region 0.375 0.625 0.375 0.625 1000.0     # x0 x1 y0 y1 rho (repeatable)
+//! region 0.0 0.1 0.0 1.0 50.0 1             # ... with a material id
 //!
 //! # source + run controls
 //! source 0.0 0.1 0.0 0.1       # x0 x1 y0 y1
@@ -42,8 +49,8 @@
 //! `ProblemScale::small()`.
 
 use crate::config::{CollisionModel, LookupStrategy, Problem, TallyStrategy, TransportConfig};
-use neutral_mesh::{Rect, StructuredMesh2D};
-use neutral_xs::{constants, CrossSectionLibrary};
+use neutral_mesh::{MaterialId, Rect, StructuredMesh2D};
+use neutral_xs::{constants, MaterialKind, MaterialSet, MaterialSpec};
 use std::fmt;
 
 /// A parse or validation failure, with the offending line number.
@@ -74,6 +81,15 @@ fn err(line: usize, message: impl Into<String>) -> ParamsError {
     }
 }
 
+/// Default table-generation seed of material `id` when a `material` line
+/// omits it: decorrelated per id, and exactly the pre-subsystem
+/// `seed ^ 0xc5_0dd` for material 0 (so single-material problems keep
+/// their historical tables bit for bit).
+#[must_use]
+pub fn default_material_seed(seed: u64, id: MaterialId) -> u64 {
+    seed ^ 0xc5_0dd ^ u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 /// Parsed parameter set; [`ProblemParams::build`] turns it into a
 /// [`Problem`].
 #[derive(Debug, Clone)]
@@ -88,8 +104,13 @@ pub struct ProblemParams {
     pub height: f64,
     /// Background density (kg/m^3).
     pub density: f64,
-    /// Density override regions `(rect, rho)`.
-    pub regions: Vec<(Rect, f64)>,
+    /// Density/material override regions `(rect, rho, material_id)` —
+    /// painted in order over the background (material 0).
+    pub regions: Vec<(Rect, f64, MaterialId)>,
+    /// Declared materials `(id, spec)`. Material 0 defaults to the
+    /// reference kind at `xs_points`/`seed`-derived settings when not
+    /// declared; every other referenced id must be declared.
+    pub materials: Vec<(MaterialId, MaterialSpec)>,
     /// Source region.
     pub source: Rect,
     /// Histories per timestep.
@@ -124,7 +145,8 @@ impl Default for ProblemParams {
             width: 1.0,
             height: 1.0,
             density: 0.05,
-            regions: vec![(Rect::new(0.375, 0.625, 0.375, 0.625), 1.0e3)],
+            regions: vec![(Rect::new(0.375, 0.625, 0.375, 0.625), 1.0e3, 0)],
+            materials: Vec::new(),
             source: Rect::new(0.0, 0.1, 0.0, 0.1),
             particles: 10_000,
             dt: 1.0e-7,
@@ -149,6 +171,33 @@ impl ProblemParams {
             ..Self::default()
         };
         let mut explicit_regions = false;
+        let mut first_key = true;
+        // `material` lines with omitted points/seed resolve against the
+        // file's final `xs_points`/`seed` values, whatever the key order.
+        struct RawMaterial {
+            id: MaterialId,
+            kind: MaterialKind,
+            n_points: Option<usize>,
+            seed: Option<u64>,
+        }
+        let mut raw_materials: Vec<RawMaterial> = Vec::new();
+        // The `scenario` key derives its material-table seeds from the
+        // file's seed, but `scenario` must be the first key while `seed`
+        // may appear anywhere below it — so pre-scan for the file's final
+        // seed value. (A malformed seed line still errors in the main
+        // loop below.)
+        let file_seed = text
+            .lines()
+            .filter_map(|raw| {
+                let line = raw.split('#').next().unwrap_or("").trim();
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next(), it.next()) {
+                    (Some("seed"), Some(v), None) => v.parse::<u64>().ok(),
+                    _ => None,
+                }
+            })
+            .next_back()
+            .unwrap_or(p.seed);
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -208,25 +257,105 @@ impl ProblemParams {
                         }
                     };
                 }
-                "source" | "region" => {
-                    let need = if key == "source" { 4 } else { 5 };
-                    if rest.len() != need {
-                        return Err(err(lineno, format!("`{key}` takes {need} values")));
+                "source" => {
+                    if rest.len() != 4 {
+                        return Err(err(lineno, "`source` takes 4 values"));
                     }
                     let v: Result<Vec<f64>, _> = rest.iter().map(|s| parse_f64(s)).collect();
                     let v = v?;
                     if v[0] >= v[1] || v[2] >= v[3] {
                         return Err(err(lineno, "rectangle bounds inverted"));
                     }
-                    let rect = Rect::new(v[0], v[1], v[2], v[3]);
-                    if key == "source" {
-                        p.source = rect;
-                    } else {
-                        explicit_regions = true;
-                        p.regions.push((rect, v[4]));
+                    p.source = Rect::new(v[0], v[1], v[2], v[3]);
+                }
+                "region" => {
+                    if rest.len() != 5 && rest.len() != 6 {
+                        return Err(err(
+                            lineno,
+                            "`region` takes `x0 x1 y0 y1 rho [material_id]`",
+                        ));
                     }
+                    let v: Result<Vec<f64>, _> = rest[..5].iter().map(|s| parse_f64(s)).collect();
+                    let v = v?;
+                    if v[0] >= v[1] || v[2] >= v[3] {
+                        return Err(err(lineno, "rectangle bounds inverted"));
+                    }
+                    let mat: MaterialId = match rest.get(5) {
+                        None => 0,
+                        Some(m) => m
+                            .parse()
+                            .map_err(|_| err(lineno, format!("`{m}` is not a material id")))?,
+                    };
+                    explicit_regions = true;
+                    p.regions
+                        .push((Rect::new(v[0], v[1], v[2], v[3]), v[4], mat));
+                }
+                "material" => {
+                    // material <id> <kind> [points] [seed]
+                    if rest.is_empty() || rest.len() > 4 {
+                        return Err(err(lineno, "`material` takes `id kind [points] [seed]`"));
+                    }
+                    let id: MaterialId = rest[0]
+                        .parse()
+                        .map_err(|_| err(lineno, format!("`{}` is not a material id", rest[0])))?;
+                    let kind: MaterialKind = match rest.get(1) {
+                        None => MaterialKind::Reference,
+                        Some(k) => k.parse().map_err(|e: String| err(lineno, e))?,
+                    };
+                    let n_points = rest.get(2).map(|v| parse_usize(v)).transpose()?;
+                    let seed = rest
+                        .get(3)
+                        .map(|v| {
+                            v.parse()
+                                .map_err(|_| err(lineno, "material seed must be a u64"))
+                        })
+                        .transpose()?;
+                    if raw_materials.iter().any(|m| m.id == id) {
+                        return Err(err(lineno, format!("material `{id}` declared twice")));
+                    }
+                    raw_materials.push(RawMaterial {
+                        id,
+                        kind,
+                        n_points,
+                        seed,
+                    });
+                }
+                "scenario" => {
+                    // Start from a catalogue scenario; later keys override.
+                    // Must come first, or it would silently clobber keys
+                    // parsed before it.
+                    if !first_key {
+                        return Err(err(
+                            lineno,
+                            "`scenario` must be the first key in a params file",
+                        ));
+                    }
+                    let name = one(&rest)?;
+                    let scenario =
+                        crate::scenario::Scenario::from_name(&name).map_err(|e| err(lineno, e))?;
+                    p = scenario.params(crate::config::ProblemScale::small(), file_seed);
+                    explicit_regions = true;
                 }
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+            first_key = false;
+        }
+
+        for m in raw_materials {
+            let spec = MaterialSpec {
+                kind: m.kind,
+                n_points: m.n_points.unwrap_or(p.xs_points),
+                seed: m
+                    .seed
+                    .unwrap_or_else(|| default_material_seed(p.seed, m.id)),
+            };
+            // A `material` line after a `scenario` key *overrides* the
+            // scenario's declaration of the same id ("later keys
+            // override"); ids within the file itself are still unique
+            // (checked above).
+            match p.materials.iter_mut().find(|(id, _)| *id == m.id) {
+                Some(entry) => entry.1 = spec,
+                None => p.materials.push((m.id, spec)),
             }
         }
 
@@ -260,25 +389,102 @@ impl ProblemParams {
         let inside =
             |r: &Rect| r.x0 >= 0.0 && r.x1 <= self.width && r.y0 >= 0.0 && r.y1 <= self.height;
         check(inside(&self.source), "source region outside the domain")?;
-        for (r, rho) in &self.regions {
+        let n_materials = self.material_count();
+        for (r, rho, mat) in &self.regions {
             check(inside(r), "density region outside the domain")?;
             check(*rho >= 0.0, "region density must be non-negative")?;
+            if usize::from(*mat) >= n_materials {
+                return Err(err(
+                    0,
+                    format!(
+                        "region references material `{mat}` but only {n_materials} \
+                         material(s) are defined (add a `material {mat} ...` line)"
+                    ),
+                ));
+            }
+        }
+        for (_, spec) in &self.materials {
+            check(spec.n_points >= 2, "material table needs >= 2 points")?;
+        }
+        // Material 0 may default to the reference kind, but every other
+        // id up to the highest declared one must be declared explicitly —
+        // a gap is almost certainly a typo'd id.
+        for id in 1..n_materials {
+            if !self.materials.iter().any(|(i, _)| usize::from(*i) == id) {
+                return Err(err(
+                    0,
+                    format!(
+                        "material ids must be contiguous from 0: `{id}` is missing \
+                         (highest declared id is {})",
+                        n_materials - 1
+                    ),
+                ));
+            }
         }
         Ok(())
     }
 
-    /// Materialise the problem: build the mesh, apply regions, generate
-    /// the cross-section tables.
+    /// Change the master seed, re-deriving the table-generation seed of
+    /// every material that was using the seed-derived default (explicit
+    /// `material ... seed` values are preserved). This is the override
+    /// the CLI's `--seed` flag applies: the result is identical to the
+    /// original file with its `seed` line replaced.
+    pub fn reseed(&mut self, seed: u64) {
+        let old = self.seed;
+        for (id, spec) in &mut self.materials {
+            if spec.seed == default_material_seed(old, *id) {
+                spec.seed = default_material_seed(seed, *id);
+            }
+        }
+        self.seed = seed;
+    }
+
+    /// Number of materials the built problem will carry: the highest
+    /// declared id + 1 (at least one — material 0 always exists).
+    #[must_use]
+    pub fn material_count(&self) -> usize {
+        self.materials
+            .iter()
+            .map(|(id, _)| usize::from(*id) + 1)
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+
+    /// Build the material set: declared specs by id, with material 0 (and
+    /// nothing else) defaulting to the reference kind at the file-level
+    /// `xs_points`/`seed` — exactly the paper's single-material tables.
+    #[must_use]
+    pub fn material_set(&self) -> MaterialSet {
+        let n = self.material_count();
+        let specs: Vec<MaterialSpec> = (0..n)
+            .map(|id| {
+                self.materials
+                    .iter()
+                    .find(|(i, _)| usize::from(*i) == id)
+                    .map(|(_, spec)| *spec)
+                    .unwrap_or(MaterialSpec {
+                        kind: MaterialKind::Reference,
+                        n_points: self.xs_points,
+                        seed: default_material_seed(self.seed, id as MaterialId),
+                    })
+            })
+            .collect();
+        MaterialSet::from_specs(&specs)
+    }
+
+    /// Materialise the problem: build the mesh, paint the density and
+    /// material zones, generate the per-material cross-section tables.
     #[must_use]
     pub fn build(&self) -> Problem {
         let mut mesh =
             StructuredMesh2D::uniform(self.nx, self.ny, self.width, self.height, self.density);
-        for (rect, rho) in &self.regions {
-            let _ = mesh.set_region(*rect, *rho);
+        for (rect, rho, mat) in &self.regions {
+            let _ = mesh.set_zone(*rect, *rho, *mat);
         }
         Problem {
             mesh,
-            xs: CrossSectionLibrary::synthetic(self.xs_points, self.seed ^ 0xc5_0dd),
+            materials: self.material_set(),
             source: self.source,
             n_particles: self.particles,
             dt: self.dt,
@@ -409,6 +615,150 @@ region 0.5 1.0 0.0 0.5 7.0
         let e = ProblemParams::parse("nx 4\ntally_strategy magic\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("magic"));
+    }
+
+    #[test]
+    fn material_key_declares_materials() {
+        let text = "\
+nx 16
+xs_points 256
+seed 11
+material 1 absorber
+material 2 moderator 128 99
+region 0.0 0.5 0.0 1.0 50.0 1
+region 0.5 1.0 0.0 1.0 5.0 2
+";
+        let p = ProblemParams::parse(text).unwrap();
+        assert_eq!(p.material_count(), 3);
+        let problem = p.build();
+        assert_eq!(problem.materials.len(), 3);
+        let (ix, iy) = problem.mesh.locate(0.25, 0.5);
+        assert_eq!(problem.mesh.material(ix, iy), 1);
+        let (ix, iy) = problem.mesh.locate(0.75, 0.5);
+        assert_eq!(problem.mesh.material(ix, iy), 2);
+        // Declared points/seed are honoured; defaults derive from the file.
+        assert_eq!(problem.materials.library(2).absorb.len(), 128);
+        assert_eq!(problem.materials.library(1).absorb.len(), 256);
+        // Material 0 keeps the pre-subsystem tables bit for bit.
+        let legacy = neutral_xs::CrossSectionLibrary::synthetic(256, 11 ^ 0xc5_0dd);
+        assert_eq!(problem.materials.library(0).absorb, legacy.absorb);
+    }
+
+    #[test]
+    fn material_defaults_resolve_after_whole_file() {
+        // `material` before `seed`/`xs_points`: defaults must still use
+        // the final values, not the parse-time ones.
+        let a = ProblemParams::parse("material 1 fuel\nseed 42\nxs_points 64\n").unwrap();
+        let b = ProblemParams::parse("seed 42\nxs_points 64\nmaterial 1 fuel\n").unwrap();
+        assert_eq!(a.materials, b.materials);
+        assert_eq!(a.materials[0].1.n_points, 64);
+        assert_eq!(a.materials[0].1.seed, default_material_seed(42, 1));
+    }
+
+    #[test]
+    fn rejects_bad_material_declarations() {
+        // Unknown kind, named in the error.
+        let e = ProblemParams::parse("material 1 unobtainium\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unobtainium"));
+        // Duplicate id.
+        let e = ProblemParams::parse("material 1 fuel\nmaterial 1 absorber\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("declared twice"));
+        // Non-contiguous ids.
+        let e = ProblemParams::parse("material 3 fuel\nmaterial 1 absorber\n").unwrap_err();
+        assert!(e.message.contains("contiguous"), "{}", e.message);
+        // Bad id token.
+        assert!(ProblemParams::parse("material one fuel\n").is_err());
+    }
+
+    #[test]
+    fn rejects_region_with_undefined_material() {
+        let e = ProblemParams::parse("region 0.0 0.5 0.0 1.0 5.0 2\n").unwrap_err();
+        assert!(
+            e.message.contains("material `2`"),
+            "error must name the offending material id: {}",
+            e.message
+        );
+        // ...and the fix works.
+        assert!(ProblemParams::parse(
+            "material 1 fuel\nmaterial 2 absorber\nregion 0.0 0.5 0.0 1.0 5.0 2\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn scenario_key_loads_catalogue_entry() {
+        let p = ProblemParams::parse("scenario fuel_lattice\nparticles 123\n").unwrap();
+        assert_eq!(p.particles, 123, "later keys override the scenario");
+        assert_eq!(p.material_count(), 2);
+        let problem = p.build();
+        assert!(!problem.mesh.material_map().is_homogeneous());
+    }
+
+    #[test]
+    fn material_key_overrides_scenario_declaration() {
+        // "later keys override the scenario" must hold for materials too.
+        let p = ProblemParams::parse("scenario fuel_lattice\nmaterial 1 absorber\n").unwrap();
+        let spec = p
+            .materials
+            .iter()
+            .find(|(id, _)| *id == 1)
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(spec.kind, MaterialKind::Absorber);
+        assert_eq!(p.material_count(), 2);
+        // The built set resolves to the override, not the scenario's fuel.
+        let direct = crate::scenario::Scenario::FuelLattice
+            .params(crate::config::ProblemScale::small(), p.seed)
+            .build();
+        let overridden = p.build();
+        assert_ne!(
+            overridden.materials.library(1).absorb,
+            direct.materials.library(1).absorb
+        );
+    }
+
+    #[test]
+    fn reseed_rederives_defaulted_material_seeds() {
+        let mut p =
+            ProblemParams::parse("seed 7\nmaterial 1 absorber\nmaterial 2 fuel 512 123\n").unwrap();
+        p.reseed(99);
+        assert_eq!(p.seed, 99);
+        // Defaulted seed follows the new master seed...
+        assert_eq!(p.materials[0].1.seed, default_material_seed(99, 1));
+        // ...explicit seeds are preserved.
+        assert_eq!(p.materials[1].1.seed, 123);
+        // Equivalent to writing the new seed in the file directly.
+        let direct =
+            ProblemParams::parse("seed 99\nmaterial 1 absorber\nmaterial 2 fuel 512 123\n")
+                .unwrap();
+        assert_eq!(p.materials, direct.materials);
+    }
+
+    #[test]
+    fn scenario_key_uses_the_file_seed() {
+        // `scenario` must come first but the file's `seed` still applies
+        // to the scenario's material tables — same problem as passing the
+        // seed to the scenario directly (the CLI `--scenario --seed` path).
+        let via_file = ProblemParams::parse("scenario shielded_slab\nseed 13\n").unwrap();
+        let direct = crate::scenario::Scenario::ShieldedSlab
+            .params(crate::config::ProblemScale::small(), 13);
+        assert_eq!(via_file.seed, 13);
+        assert_eq!(via_file.materials, direct.materials);
+    }
+
+    #[test]
+    fn rejects_unknown_or_misplaced_scenario() {
+        // Unknown scenario name, named in the error with the catalogue.
+        let e = ProblemParams::parse("scenario warp_core\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("warp_core"));
+        assert!(e.message.contains("shielded_slab"));
+        // `scenario` after other keys would silently clobber them: error.
+        let e = ProblemParams::parse("nx 10\nscenario csp\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("first key"));
     }
 
     #[test]

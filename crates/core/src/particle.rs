@@ -83,18 +83,16 @@ pub fn spawn_particles(problem: &Problem) -> Vec<Particle> {
             let (omega_x, omega_y) = dist::isotropic_direction(&mut stream, &mut counter);
             let mfp = dist::exponential_mfp(&mut stream, &mut counter);
             let (cellx, celly) = problem.mesh.locate(x, y);
-            // Seed the cross-section hints with a binary search: there is
-            // no previous lookup to walk from at birth, and walking from
-            // index 0 would be a pathological cold start.
+            // Seed the cross-section hints with a binary search into the
+            // *birth cell's* material tables: there is no previous lookup
+            // to walk from at birth, and walking from index 0 would be a
+            // pathological cold start.
+            let lib = problem
+                .materials
+                .library(problem.mesh.material(cellx, celly));
             let xs_hints = XsHints {
-                absorb: problem
-                    .xs
-                    .absorb
-                    .bin_index_binary(problem.initial_energy_ev) as u32,
-                scatter: problem
-                    .xs
-                    .scatter
-                    .bin_index_binary(problem.initial_energy_ev) as u32,
+                absorb: lib.absorb.bin_index_binary(problem.initial_energy_ev) as u32,
+                scatter: lib.scatter.bin_index_binary(problem.initial_energy_ev) as u32,
             };
             Particle {
                 x,

@@ -1,0 +1,419 @@
+//! The named-scenario catalogue.
+//!
+//! The paper validates against three single-material test problems
+//! (Stream / Scatter / Csp, §IV-B). Real transport mini-apps in the same
+//! lineage (MC/DC, the performance-portable OpenMC ports) validate across
+//! many heterogeneous, multi-material workloads; this module is the
+//! repository's registry of such workloads, built on the multi-material
+//! subsystem (mesh material map + `neutral_xs::MaterialSet`).
+//!
+//! Every scenario is expressed as a [`ProblemParams`] value — the same
+//! declarative description a `neutral.params` file produces — so each
+//! catalogue entry doubles as documentation of an exactly reproducible
+//! parameter file (see the scenario catalogue table in DESIGN.md §12 and
+//! the README's scenario gallery). The paper's three cases are members of
+//! the catalogue too, and build the same problems as
+//! [`crate::config::TestCase`].
+//!
+//! Run any scenario from the command line:
+//!
+//! ```sh
+//! neutral_cli --scenario shielded_slab --scale tiny
+//! ```
+
+use crate::config::{Problem, ProblemScale, TestCase};
+use crate::params::{default_material_seed, ProblemParams};
+use neutral_mesh::Rect;
+use neutral_xs::{MaterialKind, MaterialSpec};
+
+/// A named workload from the scenario catalogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// The paper's homogeneous near-vacuum streaming problem (§IV-B).
+    Stream,
+    /// The paper's homogeneous dense-medium collision problem (§IV-B).
+    Scatter,
+    /// The paper's "center square problem" (§IV-B).
+    Csp,
+    /// Deep-penetration shielding: a thin dense absorber slab across a
+    /// near-vacuum reference background; a wall source streams into the
+    /// slab and is attenuated, with measurable transmission behind it.
+    ShieldedSlab,
+    /// A low-density duct through thick moderator walls: particles born
+    /// in the duct stream along it (facet-dominated) and leak into the
+    /// walls where they thermalise (collision clusters at the lining).
+    StreamingDuct,
+    /// A density-graded stack of alternating moderator/reference bands
+    /// terminated by an absorber back wall: the event mix shifts from
+    /// streaming to collision-dominated across the domain, with a
+    /// material interface at every band boundary.
+    GradedModerator,
+    /// A 2-D 4x4 lattice of fuel pins in a moderator bath: the
+    /// reactor-lattice workload, collision-heavy with frequent
+    /// moderator/fuel material switches.
+    FuelLattice,
+}
+
+impl Scenario {
+    /// The whole catalogue, paper cases first.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::Stream,
+        Scenario::Scatter,
+        Scenario::Csp,
+        Scenario::ShieldedSlab,
+        Scenario::StreamingDuct,
+        Scenario::GradedModerator,
+        Scenario::FuelLattice,
+    ];
+
+    /// The multi-material scenarios beyond the paper's three.
+    pub const MULTI_MATERIAL: [Scenario; 4] = [
+        Scenario::ShieldedSlab,
+        Scenario::StreamingDuct,
+        Scenario::GradedModerator,
+        Scenario::FuelLattice,
+    ];
+
+    /// Stable lower-case name (CLI `--scenario`, fixture files, figures).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Stream => "stream",
+            Scenario::Scatter => "scatter",
+            Scenario::Csp => "csp",
+            Scenario::ShieldedSlab => "shielded_slab",
+            Scenario::StreamingDuct => "streaming_duct",
+            Scenario::GradedModerator => "graded_moderator",
+            Scenario::FuelLattice => "fuel_lattice",
+        }
+    }
+
+    /// One-line description for catalogues and CLI output.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Stream => "homogeneous near-vacuum; pure streaming (paper §IV-B)",
+            Scenario::Scatter => "homogeneous dense medium; pure collisions (paper §IV-B)",
+            Scenario::Csp => "dense centre square in a thin background (paper §IV-B)",
+            Scenario::ShieldedSlab => "absorber slab across a streaming background",
+            Scenario::StreamingDuct => "empty duct through thick moderator walls",
+            Scenario::GradedModerator => "graded moderator bands with an absorber back wall",
+            Scenario::FuelLattice => "4x4 fuel-pin lattice in a moderator bath",
+        }
+    }
+
+    /// The dominant event mix the scenario is designed to produce, as
+    /// shown in the DESIGN.md §12 catalogue table.
+    #[must_use]
+    pub fn expected_mix(self) -> &'static str {
+        match self {
+            Scenario::Stream => "facets only",
+            Scenario::Scatter => "collisions only",
+            Scenario::Csp => "streaming into a collision core",
+            Scenario::ShieldedSlab => "streaming + absorption burst in the slab",
+            Scenario::StreamingDuct => "duct streaming + wall collision clusters",
+            Scenario::GradedModerator => "facet->collision gradient, many interfaces",
+            Scenario::FuelLattice => "collision-heavy, frequent material switches",
+        }
+    }
+
+    /// Resolve a scenario by its [`Scenario::name`]. The error lists the
+    /// whole catalogue, so a typo is immediately actionable.
+    pub fn from_name(name: &str) -> Result<Scenario, String> {
+        Scenario::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown scenario `{name}` (known: {})", known.join("|"))
+            })
+    }
+
+    /// Particle count at the paper's full scale (§IV-B for the paper's
+    /// cases; 1e6 histories for the catalogue additions).
+    #[must_use]
+    pub fn paper_particles(self) -> usize {
+        match self {
+            Scenario::Stream | Scenario::Csp => 1_000_000,
+            Scenario::Scatter => 10_000_000,
+            _ => 1_000_000,
+        }
+    }
+
+    /// Whether the scenario exercises more than one material.
+    #[must_use]
+    pub fn is_multi_material(self) -> bool {
+        Scenario::MULTI_MATERIAL.contains(&self)
+    }
+
+    /// The scenario's declarative parameter set at `scale` — exactly what
+    /// an equivalent `neutral.params` file would parse to. `seed` drives
+    /// source sampling, RNG streams and synthetic-table generation.
+    #[must_use]
+    pub fn params(self, scale: ProblemScale, seed: u64) -> ProblemParams {
+        let n = scale.mesh_cells;
+        let particles = (self.paper_particles() / scale.particle_divisor).max(1);
+        let mat = |id: u16, kind: MaterialKind| {
+            (
+                id,
+                MaterialSpec {
+                    kind,
+                    n_points: 30_000,
+                    seed: default_material_seed(seed, id),
+                },
+            )
+        };
+        let mut p = ProblemParams {
+            nx: n,
+            ny: n,
+            particles,
+            seed,
+            regions: Vec::new(),
+            ..ProblemParams::default()
+        };
+
+        match self {
+            Scenario::Stream => {
+                p.density = 1.0e-30;
+                p.source = Rect::new(0.45, 0.55, 0.45, 0.55);
+            }
+            Scenario::Scatter => {
+                p.density = 1.0e3;
+                p.source = Rect::new(0.45, 0.55, 0.45, 0.55);
+            }
+            Scenario::Csp => {
+                p.density = 0.05;
+                p.regions = vec![(Rect::new(0.375, 0.625, 0.375, 0.625), 1.0e3, 0)];
+                p.source = Rect::new(0.0, 0.1, 0.0, 0.1);
+            }
+            Scenario::ShieldedSlab => {
+                // Reference background thin enough to stream (mfp >> 1 m),
+                // a five-ish-mfp absorber slab at x ~ 0.4.
+                p.density = 1.0e-3;
+                p.materials = vec![mat(1, MaterialKind::Absorber)];
+                p.regions = vec![(Rect::new(0.40, 0.45, 0.0, 1.0), 10.0, 1)];
+                p.source = Rect::new(0.02, 0.08, 0.3, 0.7);
+            }
+            Scenario::StreamingDuct => {
+                // Moderator walls fill the domain; the duct is a thin
+                // near-vacuum reference channel.
+                p.density = 20.0;
+                p.materials = vec![
+                    mat(0, MaterialKind::Moderator),
+                    mat(1, MaterialKind::Reference),
+                ];
+                p.regions = vec![(Rect::new(0.0, 1.0, 0.45, 0.55), 1.0e-6, 1)];
+                p.source = Rect::new(0.0, 0.05, 0.46, 0.54);
+            }
+            Scenario::GradedModerator => {
+                // Eight bands over x in [0, 0.9), density doubling per
+                // band, alternating moderator/reference, then an absorber
+                // back wall.
+                p.density = 0.2;
+                p.materials = vec![
+                    mat(0, MaterialKind::Moderator),
+                    mat(1, MaterialKind::Reference),
+                    mat(2, MaterialKind::Absorber),
+                ];
+                p.regions = (0..8)
+                    .map(|i| {
+                        let x0 = 0.9 * i as f64 / 8.0;
+                        let x1 = 0.9 * (i + 1) as f64 / 8.0;
+                        let rho = 0.2 * 2.0f64.powi(i);
+                        (Rect::new(x0, x1, 0.0, 1.0), rho, (i % 2) as u16)
+                    })
+                    .collect();
+                p.regions.push((Rect::new(0.9, 1.0, 0.0, 1.0), 80.0, 2));
+                p.source = Rect::new(0.0, 0.05, 0.4, 0.6);
+            }
+            Scenario::FuelLattice => {
+                // Moderator bath with a 4x4 lattice of fuel pins (pitch
+                // 0.25 m, pin half-width 0.04 m), source in the centre.
+                p.density = 5.0;
+                p.materials = vec![mat(0, MaterialKind::Moderator), mat(1, MaterialKind::Fuel)];
+                p.regions = (0..16)
+                    .map(|k| {
+                        let (cx, cy) =
+                            (0.125 + 0.25 * (k % 4) as f64, 0.125 + 0.25 * (k / 4) as f64);
+                        (
+                            Rect::new(cx - 0.04, cx + 0.04, cy - 0.04, cy + 0.04),
+                            100.0,
+                            1u16,
+                        )
+                    })
+                    .collect();
+                p.source = Rect::new(0.4, 0.6, 0.4, 0.6);
+            }
+        }
+        p
+    }
+
+    /// Build the scenario's [`Problem`] at `scale` with `seed`.
+    #[must_use]
+    pub fn build(self, scale: ProblemScale, seed: u64) -> Problem {
+        self.params(scale, seed).build()
+    }
+}
+
+impl From<TestCase> for Scenario {
+    fn from(case: TestCase) -> Self {
+        match case {
+            TestCase::Stream => Scenario::Stream,
+            TestCase::Scatter => Scenario::Scatter,
+            TestCase::Csp => Scenario::Csp,
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scenario::from_name(s)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Execution, RunOptions, Simulation};
+
+    fn tiny(s: Scenario) -> Problem {
+        s.build(ProblemScale::tiny(), 5)
+    }
+
+    fn run_tiny(s: Scenario) -> crate::sim::RunReport {
+        Simulation::new(tiny(s)).run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()).unwrap(), s);
+            assert_eq!(s.name().parse::<Scenario>().unwrap(), s);
+        }
+        let mut names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Scenario::ALL.len());
+    }
+
+    #[test]
+    fn unknown_name_lists_catalogue() {
+        let e = Scenario::from_name("kugelblitz").unwrap_err();
+        assert!(e.contains("kugelblitz"));
+        assert!(e.contains("shielded_slab") && e.contains("csp"));
+    }
+
+    #[test]
+    fn paper_scenarios_match_test_cases() {
+        for case in TestCase::ALL {
+            let scenario: Scenario = case.into();
+            let a = case.build(ProblemScale::tiny(), 3);
+            let b = scenario.build(ProblemScale::tiny(), 3);
+            assert_eq!(a.mesh.density_field(), b.mesh.density_field());
+            assert_eq!(a.mesh.material_map(), b.mesh.material_map());
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.n_particles, b.n_particles);
+            assert_eq!(
+                a.materials.library(0).absorb,
+                b.materials.library(0).absorb,
+                "{case:?}: material tables must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_material_scenarios_really_are() {
+        for s in Scenario::MULTI_MATERIAL {
+            let p = tiny(s);
+            assert!(p.materials.len() >= 2, "{s:?}");
+            assert!(!p.mesh.material_map().is_homogeneous(), "{s:?}");
+            assert!(
+                usize::from(p.mesh.material_map().max_id()) < p.materials.len(),
+                "{s:?}: mesh references an undefined material"
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_run_and_produce_their_event_mix() {
+        for s in Scenario::MULTI_MATERIAL {
+            let r = run_tiny(s);
+            assert!(r.counters.total_events() > 0, "{s:?}");
+            assert_eq!(r.counters.stuck, 0, "{s:?}");
+            assert!(r.counters.facets > 0, "{s:?}: no facet events");
+            assert!(r.counters.collisions > 0, "{s:?}: no collisions");
+            assert!(
+                r.counters.material_switches > 0,
+                "{s:?}: never crossed a material interface"
+            );
+            assert!(r.tally_total() > 0.0, "{s:?}: nothing deposited");
+        }
+    }
+
+    #[test]
+    fn duct_is_facet_dominated_lattice_is_collision_heavy() {
+        let duct = run_tiny(Scenario::StreamingDuct);
+        assert!(
+            duct.counters.facets > duct.counters.collisions,
+            "duct: {} facets vs {} collisions",
+            duct.counters.facets,
+            duct.counters.collisions
+        );
+        let lattice = run_tiny(Scenario::FuelLattice);
+        assert!(
+            lattice.counters.collisions_per_history() > 10.0,
+            "lattice: {} collisions/history",
+            lattice.counters.collisions_per_history()
+        );
+    }
+
+    #[test]
+    fn shielded_slab_attenuates() {
+        let p = tiny(Scenario::ShieldedSlab);
+        let nx = p.mesh.nx();
+        let cell_w = p.mesh.cell_dx();
+        let r = Simulation::new(p).run(RunOptions {
+            execution: Execution::Sequential,
+            ..Default::default()
+        });
+        // Deposits in the slab must dominate deposits behind it.
+        let (mut in_slab, mut behind) = (0.0, 0.0);
+        for (i, &v) in r.tally.iter().enumerate() {
+            let x = ((i % nx) as f64 + 0.5) * cell_w;
+            if (0.40..0.45).contains(&x) {
+                in_slab += v;
+            } else if x >= 0.45 {
+                behind += v;
+            }
+        }
+        assert!(in_slab > 0.0);
+        assert!(behind < in_slab, "slab must absorb more than it transmits");
+    }
+
+    #[test]
+    fn scenario_params_survive_file_round_trip() {
+        // The scenario's params must be expressible as a params file: the
+        // `scenario` key reproduces the same problem.
+        for s in Scenario::MULTI_MATERIAL {
+            let direct = s.params(ProblemScale::small(), 20_170_905).build();
+            let via_file = ProblemParams::parse(&format!("scenario {}\n", s.name()))
+                .unwrap()
+                .build();
+            assert_eq!(direct.mesh.density_field(), via_file.mesh.density_field());
+            assert_eq!(direct.mesh.material_map(), via_file.mesh.material_map());
+            assert_eq!(direct.n_particles, via_file.n_particles);
+            assert_eq!(direct.materials.len(), via_file.materials.len());
+        }
+    }
+}

@@ -162,8 +162,19 @@ pub struct Simulation {
 
 impl Simulation {
     /// Set up a simulation for `problem`.
+    ///
+    /// Panics if the mesh's material map references a material id the
+    /// problem's [`neutral_xs::MaterialSet`] does not define — catching
+    /// the mismatch here keeps the hot path's material resolution a plain
+    /// slice index.
     #[must_use]
     pub fn new(problem: Problem) -> Self {
+        assert!(
+            usize::from(problem.mesh.material_map().max_id()) < problem.materials.len(),
+            "mesh references material {} but the set defines only {}",
+            problem.mesh.material_map().max_id(),
+            problem.materials.len(),
+        );
         let rng = Threefry2x64::new([problem.seed, 1]);
         Self { problem, rng }
     }
@@ -182,7 +193,7 @@ impl Simulation {
         let problem = &self.problem;
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &self.rng,
             cfg: &problem.transport,
         };
@@ -190,9 +201,9 @@ impl Simulation {
         let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
         let cells = problem.mesh.num_cells();
         // Build any lookup acceleration structure (union grid, hash
-        // buckets) outside the timed region: the solve should measure
-        // transport, not one-off setup.
-        problem.xs.prepare(problem.transport.xs_search);
+        // buckets) for every material outside the timed region: the solve
+        // should measure transport, not one-off setup.
+        problem.materials.prepare(problem.transport.xs_search);
 
         let mut counters = EventCounters::default();
         let mut kernel_timings: Option<KernelTimings> = None;

@@ -344,16 +344,25 @@ fn track_soa_chunk<R: CbRng, T: TallySink>(
     local: &mut EventCounters,
 ) {
     let n = chunk.len();
-    // Batched lane-block lookup over the chunk's live lanes.
+    // Batched lane-block lookup over the chunk's live lanes, each lane
+    // resolved in its birth cell's material.
     let alive: Vec<usize> = (0..n).filter(|&i| !chunk.dead[i]).collect();
     let energies: Vec<f64> = alive.iter().map(|&i| chunk.energy[i]).collect();
+    let mats: Vec<neutral_xs::MaterialId> = alive
+        .iter()
+        .map(|&i| {
+            ctx.mesh
+                .material(chunk.cellx[i] as usize, chunk.celly[i] as usize)
+        })
+        .collect();
     let mut ha: Vec<u32> = alive.iter().map(|&i| chunk.absorb_hint[i]).collect();
     let mut hs: Vec<u32> = alive.iter().map(|&i| chunk.scatter_hint[i]).collect();
     let mut out_a = vec![0.0; alive.len()];
     let mut out_s = vec![0.0; alive.len()];
     resolve_micro_xs_many(
-        ctx.xs,
+        ctx.materials,
         ctx.cfg.xs_search,
+        &mats,
         &energies,
         &mut ha,
         &mut hs,
@@ -560,7 +569,7 @@ mod tests {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };
@@ -598,7 +607,7 @@ mod tests {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };

@@ -64,13 +64,16 @@ pub enum Facet {
     YHigh,
 }
 
-/// A 2D structured mesh with cell-centred mass densities.
+/// A 2D structured mesh with cell-centred mass densities and material
+/// indices.
 ///
 /// Cells are indexed `(ix, iy)` with `0 <= ix < nx`, `0 <= iy < ny`; the
 /// linear index is row-major (`iy * nx + ix`). Edge coordinate arrays are
 /// stored explicitly — the grid is uniform, but keeping the arrays mirrors
 /// the original mini-app's memory behaviour and supports future
-/// non-uniform extensions.
+/// non-uniform extensions. The material map ([`crate::MaterialMap`])
+/// defaults to homogeneous material 0, the paper's single-material
+/// configuration.
 #[derive(Clone, Debug)]
 pub struct StructuredMesh2D {
     nx: usize,
@@ -80,6 +83,7 @@ pub struct StructuredMesh2D {
     edge_x: Vec<f64>,
     edge_y: Vec<f64>,
     density: Vec<f64>,
+    materials: crate::MaterialMap,
 }
 
 impl StructuredMesh2D {
@@ -103,6 +107,7 @@ impl StructuredMesh2D {
             edge_x,
             edge_y,
             density: vec![rho; nx * ny],
+            materials: crate::MaterialMap::uniform(nx, ny, 0),
         }
     }
 
@@ -122,6 +127,33 @@ impl StructuredMesh2D {
                 }
             }
         }
+        changed
+    }
+
+    /// Overwrite the material index of every cell whose *centre* lies
+    /// inside `region`. Returns the number of cells changed.
+    pub fn set_material_region(&mut self, region: Rect, id: crate::MaterialId) -> usize {
+        let mut changed = 0;
+        for iy in 0..self.ny {
+            let cy = 0.5 * (self.edge_y[iy] + self.edge_y[iy + 1]);
+            for ix in 0..self.nx {
+                let cx = 0.5 * (self.edge_x[ix] + self.edge_x[ix + 1]);
+                if region.contains(cx, cy) {
+                    self.materials.set(ix, iy, id);
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Overwrite density **and** material of every cell whose centre lies
+    /// inside `region` — the material-zone primitive of the scenario
+    /// builders (DESIGN.md §12). Returns the number of cells changed.
+    pub fn set_zone(&mut self, region: Rect, rho: f64, id: crate::MaterialId) -> usize {
+        let changed = self.set_region(region, rho);
+        let also = self.set_material_region(region, id);
+        debug_assert_eq!(changed, also);
         changed
     }
 
@@ -183,6 +215,28 @@ impl StructuredMesh2D {
     /// Mutable access to the raw density field (row-major), for builders.
     pub fn density_field_mut(&mut self) -> &mut [f64] {
         &mut self.density
+    }
+
+    /// Material index of cell `(ix, iy)`.
+    ///
+    /// Read on the particle's critical path at facet crossings, next to
+    /// the density read: the pair selects both the local number density
+    /// and the cross-section library of the cell (DESIGN.md §12).
+    #[inline]
+    #[must_use]
+    pub fn material(&self, ix: usize, iy: usize) -> crate::MaterialId {
+        self.materials.get(ix, iy)
+    }
+
+    /// The per-cell material map.
+    #[must_use]
+    pub fn material_map(&self) -> &crate::MaterialMap {
+        &self.materials
+    }
+
+    /// Mutable access to the material map, for builders.
+    pub fn material_map_mut(&mut self) -> &mut crate::MaterialMap {
+        &mut self.materials
     }
 
     /// Geometric bounds `(x0, x1, y0, y1)` of cell `(ix, iy)`.
@@ -264,12 +318,13 @@ impl StructuredMesh2D {
         }
     }
 
-    /// Approximate resident size of the mesh data in bytes (edge arrays
-    /// plus the density field). Used for the paper's memory-footprint
-    /// arithmetic (§VI-F).
+    /// Approximate resident size of the mesh data in bytes (edge arrays,
+    /// the density field and the material map). Used for the paper's
+    /// memory-footprint arithmetic (§VI-F).
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
         (self.edge_x.len() + self.edge_y.len() + self.density.len()) * std::mem::size_of::<f64>()
+            + self.materials.footprint_bytes()
     }
 }
 
@@ -338,7 +393,30 @@ mod tests {
     #[test]
     fn footprint_matches_fields() {
         let m = mesh();
-        assert_eq!(m.footprint_bytes(), (11 + 9 + 80) * 8);
+        assert_eq!(m.footprint_bytes(), (11 + 9 + 80) * 8 + 80 * 2);
+    }
+
+    #[test]
+    fn fresh_mesh_is_single_material() {
+        let m = mesh();
+        assert!(m.material_map().is_homogeneous());
+        assert_eq!(m.material(3, 3), 0);
+    }
+
+    #[test]
+    fn set_zone_updates_density_and_material_together() {
+        let mut m = mesh();
+        let n = m.set_zone(Rect::new(0.0, 0.2, 0.0, 1.6), 7.0, 2);
+        assert_eq!(n, 8);
+        assert_eq!(m.density(0, 0), 7.0);
+        assert_eq!(m.material(0, 0), 2);
+        assert_eq!(m.material(1, 0), 0);
+        assert_eq!(m.material_map().max_id(), 2);
+        // Material-only regions leave the density untouched.
+        let n = m.set_material_region(Rect::new(0.2, 0.4, 0.0, 1.6), 1);
+        assert_eq!(n, 8);
+        assert_eq!(m.material(1, 0), 1);
+        assert_eq!(m.density(1, 0), 1.0);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!
 //! * [`StructuredMesh2D`] — a 2D structured grid with cell-centred
 //!   densities and reflective domain boundaries (paper §IV-C);
+//! * [`MaterialMap`] — the per-cell material-index field of the
+//!   multi-material scenario subsystem: a dense `u16` per cell selecting
+//!   which cross-section library the transport kernels resolve against
+//!   (DESIGN.md §12);
 //! * [`tally::AtomicTally`] — an `f64` tally mesh updated with atomic
 //!   compare-exchange read-modify-write operations (one per facet
 //!   encounter, paper §V-C);
@@ -40,7 +44,9 @@
 
 pub mod accum;
 mod grid;
+mod material;
 pub mod tally;
 
 pub use accum::{LanePartition, LaneSink, TallyAccum, TallyAccumulator, TallyStrategy};
 pub use grid::{Facet, Rect, StructuredMesh2D};
+pub use material::{MaterialId, MaterialMap};

@@ -1,0 +1,122 @@
+//! Per-cell material indices.
+//!
+//! The paper's mesh carries a single scalar field — the cell-centred mass
+//! density — because the mini-app models one material (§IV-D). The
+//! multi-material scenario subsystem adds a second, parallel field: a
+//! compact per-cell material *index* that selects which cross-section
+//! library the transport kernels resolve against (`neutral_xs`'s
+//! `MaterialSet`). Like the density, it is read on the particle's
+//! critical path at facet crossings, so it is stored as a dense row-major
+//! `u16` array — one predictable load, no indirection.
+
+/// Per-cell material index (matches `neutral_xs::MaterialId`).
+pub type MaterialId = u16;
+
+/// A dense row-major field of per-cell material indices.
+///
+/// Indexing mirrors [`crate::StructuredMesh2D`]: cell `(ix, iy)` lives at
+/// `iy * nx + ix`. A fresh map is homogeneous material 0 — the paper's
+/// single-material configuration costs nothing extra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaterialMap {
+    nx: usize,
+    ny: usize,
+    ids: Vec<MaterialId>,
+}
+
+impl MaterialMap {
+    /// A homogeneous map of `nx * ny` cells, all material `id`.
+    #[must_use]
+    pub fn uniform(nx: usize, ny: usize, id: MaterialId) -> Self {
+        assert!(nx > 0 && ny > 0, "material map must have at least one cell");
+        Self {
+            nx,
+            ny,
+            ids: vec![id; nx * ny],
+        }
+    }
+
+    /// Cells along x.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along y.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Material index of cell `(ix, iy)` — the random read on the
+    /// particle's critical path, alongside the density read.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, ix: usize, iy: usize) -> MaterialId {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        self.ids[iy * self.nx + ix]
+    }
+
+    /// Set the material of cell `(ix, iy)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, id: MaterialId) {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        self.ids[iy * self.nx + ix] = id;
+    }
+
+    /// The raw index field (row-major).
+    #[must_use]
+    pub fn ids(&self) -> &[MaterialId] {
+        &self.ids
+    }
+
+    /// Highest material index present — the mesh's materials must all
+    /// resolve in a `MaterialSet` of at least `max_id() + 1` entries.
+    #[must_use]
+    pub fn max_id(&self) -> MaterialId {
+        self.ids.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every cell is material 0 (the paper's configuration).
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.ids.iter().all(|&id| id == 0)
+    }
+
+    /// Resident bytes of the index field.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<MaterialId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_map_is_homogeneous() {
+        let m = MaterialMap::uniform(4, 3, 0);
+        assert!(m.is_homogeneous());
+        assert_eq!(m.max_id(), 0);
+        assert_eq!((m.nx(), m.ny()), (4, 3));
+        assert_eq!(m.footprint_bytes(), 12 * 2);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut m = MaterialMap::uniform(4, 3, 0);
+        m.set(2, 1, 7);
+        assert_eq!(m.get(2, 1), 7);
+        assert_eq!(m.get(1, 2), 0);
+        assert_eq!(m.max_id(), 7);
+        assert!(!m.is_homogeneous());
+        assert_eq!(m.ids()[4 + 2], 7); // row-major: iy * nx + ix
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let _ = MaterialMap::uniform(0, 3, 0);
+    }
+}

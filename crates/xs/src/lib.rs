@@ -21,7 +21,11 @@
 //!   layer: `Binary` and `Hinted` (the paper's two strategies) plus the
 //!   `Unionized` merged-grid and `Hashed` log-bucket accelerations in the
 //!   XSBench/OpenMC lineage, all bitwise-equivalent, all supporting the
-//!   batched [`XsLookup::lookup_many`] lane-block API.
+//!   batched [`XsLookup::lookup_many`] lane-block API;
+//! * [`MaterialSet`] / [`MaterialKind`] — the multi-material layer: an
+//!   indexed collection of per-material libraries (resolvable through any
+//!   lookup backend, per material) plus named synthetic-material
+//!   archetypes for the scenario catalogue (DESIGN.md §12).
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@
 
 pub mod constants;
 mod lookup;
+mod material;
 mod synth;
 mod table;
 
@@ -51,6 +56,7 @@ pub use lookup::{
     BinaryLookup, HashedGrid, HashedLookup, HintedLookup, LookupStrategy, UnionizedGrid,
     UnionizedLookup, XsLookup,
 };
+pub use material::{MaterialId, MaterialKind, MaterialSet, MaterialSpec};
 pub use synth::{synthetic_capture, synthetic_scatter, SynthParams};
 pub use table::{lerp_segment, CrossSection};
 

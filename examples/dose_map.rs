@@ -2,49 +2,67 @@
 //! introduction ("for medical sciences the algorithms can be used to
 //! determine radiation dosages", §III-A).
 //!
-//! A collimated source irradiates a water-like phantom containing a denser
-//! inclusion; the energy-deposition tally *is* the dose map. The example
-//! prints an ASCII isodose chart and checks the statistical energy
-//! balance.
+//! A collimated source irradiates a water-like phantom containing a
+//! denser inclusion; the energy-deposition tally *is* the dose map. The
+//! phantom is a genuine multi-material setup built on the scenario
+//! subsystem's declarative parameters: a moderator phantom (tissue) with
+//! a fuel-kind inclusion (the "tumour" — denser and far more absorbing),
+//! in a near-vacuum surround. The example prints an ASCII isodose chart
+//! and checks the statistical energy balance.
 //!
 //! ```sh
 //! cargo run --release --example dose_map
 //! ```
 
+use neutral_core::params::ProblemParams;
 use neutral_core::prelude::*;
-use neutral_mesh::{Rect, StructuredMesh2D};
-use neutral_xs::CrossSectionLibrary;
+use neutral_mesh::Rect;
 
 fn main() {
-    let n = 256;
-    // Tissue-like phantom with a denser inclusion ("tumour") off-centre,
-    // in a near-vacuum surround. Densities are scaled to the synthetic
-    // cross sections (sigma_t ~ 1.1e4 barn at 1 MeV) so that the phantom
-    // is a few mean free paths across (mfp ~ 10 cm at rho = 1.5) and the
-    // inclusion is locally optically thick (mfp ~ 1 cm at rho = 15).
-    let mut mesh = StructuredMesh2D::uniform(n, n, 1.0, 1.0, 1.0e-6);
-    mesh.set_region(Rect::new(0.30, 0.70, 0.30, 0.70), 1.5);
-    mesh.set_region(Rect::new(0.50, 0.64, 0.44, 0.58), 15.0);
-
-    let problem = Problem {
-        mesh,
-        xs: CrossSectionLibrary::synthetic(30_000, 0xd05e),
+    // Densities are scaled to the synthetic cross sections (sigma_t
+    // ~ 1e4 barn at 1 MeV) so the phantom is a few mean free paths
+    // across and the inclusion is locally optically thick.
+    let params = ProblemParams {
+        nx: 256,
+        ny: 256,
+        density: 1.0e-6,
+        materials: vec![
+            (
+                1,
+                MaterialSpec {
+                    kind: MaterialKind::Moderator, // tissue
+                    n_points: 30_000,
+                    seed: 0xd05e,
+                },
+            ),
+            (
+                2,
+                MaterialSpec {
+                    kind: MaterialKind::Fuel, // absorbing inclusion
+                    n_points: 30_000,
+                    seed: 0xd05e ^ 0x70_4e0,
+                },
+            ),
+        ],
+        regions: vec![
+            (Rect::new(0.30, 0.70, 0.30, 0.70), 1.5, 1),
+            (Rect::new(0.50, 0.64, 0.44, 0.58), 15.0, 2),
+        ],
         // Narrow source below the phantom, beaming upward-ish
         // (directions are isotropic; collimation comes from geometry).
         source: Rect::new(0.45, 0.55, 0.02, 0.06),
-        n_particles: 30_000,
-        dt: 1.0e-7,
-        n_timesteps: 1,
+        particles: 30_000,
         seed: 2026,
-        initial_energy_ev: 1.0e6,
-        transport: TransportConfig {
-            collision_model: CollisionModel::ImplicitCapture,
-            ..Default::default()
-        },
+        collision_model: CollisionModel::ImplicitCapture,
+        ..ProblemParams::default()
     };
-    let sim = Simulation::new(problem);
+    let sim = Simulation::new(params.build());
     let report = sim.run(RunOptions::default());
     println!("{}", report.summary());
+    println!(
+        "material interfaces crossed: {}",
+        report.counters.material_switches
+    );
 
     // Energy accounting: with implicit capture the track-length estimator
     // matches the population energy loss in expectation.
@@ -83,7 +101,7 @@ fn main() {
     }
     println!(
         "\nThe beam deposits heavily at the phantom entry surface and inside\n\
-         the dense inclusion — the build-up/attenuation structure a dose\n\
+         the absorbing inclusion — the build-up/attenuation structure a dose\n\
          planning calculation looks for."
     );
 }

@@ -68,6 +68,7 @@ impl GoldenTally {
         put("stuck", c.stuck.to_string());
         put("tally_flushes", c.tally_flushes.to_string());
         put("cs_lookups", c.cs_lookups.to_string());
+        put("material_switches", c.material_switches.to_string());
         put("alive", report.alive.to_string());
         put(
             "lost_energy_bits",
@@ -118,7 +119,7 @@ impl GoldenTally {
         out
     }
 
-    /// Parse the flat JSON produced by [`to_json`] (forgiving about
+    /// Parse the flat JSON produced by [`Self::to_json`] (forgiving about
     /// whitespace, intolerant of nesting — fixtures are flat by design).
     pub fn from_json(text: &str) -> Result<Self, String> {
         let body = text

@@ -23,6 +23,17 @@ pub fn tiny_with_tally(case: TestCase, seed: u64, strategy: TallyStrategy) -> Si
     Simulation::new(problem)
 }
 
+/// Build a tiny-scale catalogue scenario with an explicit tally strategy.
+pub fn tiny_scenario_with_tally(
+    scenario: Scenario,
+    seed: u64,
+    strategy: TallyStrategy,
+) -> Simulation {
+    let mut problem = scenario.build(ProblemScale::tiny(), seed);
+    problem.transport.tally_strategy = strategy;
+    Simulation::new(problem)
+}
+
 /// Worker counts exercised by the multi-thread suites: always {1, 2, 7},
 /// plus whatever `NEUTRAL_TEST_THREADS` adds (the CI multi-thread job
 /// sets it to the runner's core count).

@@ -16,7 +16,7 @@
 
 use neutral_core::prelude::*;
 use neutral_integration::golden::{blessing, fixture_dir, tally_hash, GoldenTally};
-use neutral_integration::{tiny_with_tally, DriverKind};
+use neutral_integration::{tiny_scenario_with_tally, tiny_with_tally, DriverKind};
 
 /// The three canonical configs: one per test case, seeds fixed forever.
 const CONFIGS: [(TestCase, u64); 3] = [
@@ -25,16 +25,34 @@ const CONFIGS: [(TestCase, u64); 3] = [
     (TestCase::Stream, 11),
 ];
 
+/// The multi-material scenario configs, seeds fixed forever. The paper's
+/// three cases are already covered by [`CONFIGS`] (identical problems).
+const SCENARIO_CONFIGS: [(Scenario, u64); 4] = [
+    (Scenario::ShieldedSlab, 13),
+    (Scenario::StreamingDuct, 17),
+    (Scenario::GradedModerator, 19),
+    (Scenario::FuelLattice, 23),
+];
+
 /// Workers used when capturing/checking fixtures. Any worker count
 /// yields the same bits; 2 exercises real concurrency.
 const GOLDEN_WORKERS: usize = 2;
 
-fn fixture_path(case: TestCase, driver: DriverKind) -> std::path::PathBuf {
-    fixture_dir().join(format!("{}_{}.json", case.name(), driver.name()))
+fn fixture_path(name: &str, driver: DriverKind) -> std::path::PathBuf {
+    fixture_dir().join(format!("{}_{}.json", name, driver.name()))
 }
 
 fn run(case: TestCase, seed: u64, driver: DriverKind, strategy: TallyStrategy) -> RunReport {
     tiny_with_tally(case, seed, strategy).run(driver.options(GOLDEN_WORKERS))
+}
+
+fn run_scenario(
+    scenario: Scenario,
+    seed: u64,
+    driver: DriverKind,
+    strategy: TallyStrategy,
+) -> RunReport {
+    tiny_scenario_with_tally(scenario, seed, strategy).run(driver.options(GOLDEN_WORKERS))
 }
 
 #[test]
@@ -44,7 +62,7 @@ fn golden_tallies_match_fixtures() {
         for driver in DriverKind::ALL {
             let report = run(case, seed, driver, TallyStrategy::Replicated);
             let captured = GoldenTally::capture(case.name(), driver.name(), seed, &report);
-            let path = fixture_path(case, driver);
+            let path = fixture_path(case.name(), driver);
 
             if blessing() {
                 std::fs::create_dir_all(fixture_dir()).expect("create tests/golden");
@@ -74,6 +92,82 @@ fn golden_tallies_match_fixtures() {
     }
 }
 
+/// The multi-material scenario catalogue, locked the same way: one
+/// fixture per scenario × driver, captured with the replicated strategy.
+#[test]
+fn scenario_golden_tallies_match_fixtures() {
+    let mut blessed = 0;
+    for (scenario, seed) in SCENARIO_CONFIGS {
+        for driver in DriverKind::ALL {
+            let report = run_scenario(scenario, seed, driver, TallyStrategy::Replicated);
+            assert!(
+                report.counters.material_switches > 0,
+                "{}/{}: a multi-material fixture must cross interfaces",
+                scenario.name(),
+                driver.name()
+            );
+            let captured = GoldenTally::capture(scenario.name(), driver.name(), seed, &report);
+            let path = fixture_path(scenario.name(), driver);
+
+            if blessing() {
+                std::fs::create_dir_all(fixture_dir()).expect("create tests/golden");
+                std::fs::write(&path, captured.to_json()).expect("write fixture");
+                blessed += 1;
+                continue;
+            }
+
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden fixture {path:?} ({e}); run with NEUTRAL_BLESS=1 to generate"
+                )
+            });
+            let expected = GoldenTally::from_json(&text).expect("parse fixture");
+            assert_eq!(
+                captured.fields,
+                expected.fields,
+                "{}/{}: run diverges from golden fixture {path:?} \
+                 (if the physics change is intentional, re-bless)",
+                scenario.name(),
+                driver.name()
+            );
+        }
+    }
+    if blessed > 0 {
+        println!("blessed {blessed} scenario fixtures");
+    }
+}
+
+/// Privatized reproduces the scenario fixtures bit for bit too — the
+/// deterministic-merge invariant holds on every catalogue workload.
+#[test]
+fn scenario_privatized_matches_golden_bitwise() {
+    if blessing() {
+        return;
+    }
+    for (scenario, seed) in SCENARIO_CONFIGS {
+        for driver in DriverKind::ALL {
+            let report = run_scenario(scenario, seed, driver, TallyStrategy::Privatized);
+            let text =
+                std::fs::read_to_string(fixture_path(scenario.name(), driver)).expect("fixture");
+            let expected = GoldenTally::from_json(&text).unwrap();
+            assert_eq!(
+                Some(tally_hash(&report.tally)),
+                expected.get_bits("tally_hash"),
+                "{}/{}: privatized tally bits diverge from the golden mesh",
+                scenario.name(),
+                driver.name()
+            );
+            assert_eq!(
+                Some(report.counters.material_switches.to_string().as_str()),
+                expected.get("material_switches"),
+                "{}/{}",
+                scenario.name(),
+                driver.name()
+            );
+        }
+    }
+}
+
 /// The privatized backend must reproduce the replicated fixtures
 /// bit for bit: both reduce the same lane partials with the same
 /// pairwise merge.
@@ -85,7 +179,7 @@ fn privatized_matches_golden_bitwise() {
     for (case, seed) in CONFIGS {
         for driver in DriverKind::ALL {
             let report = run(case, seed, driver, TallyStrategy::Privatized);
-            let text = std::fs::read_to_string(fixture_path(case, driver)).expect("fixture");
+            let text = std::fs::read_to_string(fixture_path(case.name(), driver)).expect("fixture");
             let expected = GoldenTally::from_json(&text).unwrap();
             assert_eq!(
                 Some(tally_hash(&report.tally)),
@@ -115,7 +209,7 @@ fn atomic_matches_golden_physics() {
     for (case, seed) in CONFIGS {
         for driver in DriverKind::ALL {
             let report = run(case, seed, driver, TallyStrategy::Atomic);
-            let text = std::fs::read_to_string(fixture_path(case, driver)).expect("fixture");
+            let text = std::fs::read_to_string(fixture_path(case.name(), driver)).expect("fixture");
             let expected = GoldenTally::from_json(&text).unwrap();
             for key in ["collisions", "facets", "census", "deaths", "stuck", "alive"] {
                 let got = match key {

@@ -183,7 +183,7 @@ fn params_lookup_strategy_matches_default_physics() {
 fn strategies_interchange_mid_run() {
     let sim = tiny(TestCase::Scatter, 5);
     let problem = sim.problem();
-    let xs = &problem.xs;
+    let xs = problem.materials.library(0);
     let mut hints = neutral_xs::XsHints::default();
     let mut e = 1.0e6;
     let mut reference = Vec::new();

@@ -31,7 +31,7 @@ fn arbitrary_problem(g: &mut Gen) -> Problem {
     }
     Problem {
         mesh,
-        xs: CrossSectionLibrary::synthetic(512, seed),
+        materials: neutral_xs::MaterialSet::single(CrossSectionLibrary::synthetic(512, seed)),
         source: Rect::new(sx, sx + 0.2, sy, sy + 0.2),
         n_particles: particles,
         dt: 1.0e-7,

@@ -85,7 +85,7 @@ fn rng_family_swap_preserves_statistics() {
         let rng = Threefry2x64::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };
@@ -100,7 +100,7 @@ fn rng_family_swap_preserves_statistics() {
         let rng = Philox4x32::new([problem.seed, 1]);
         let ctx = TransportCtx {
             mesh: &problem.mesh,
-            xs: &problem.xs,
+            materials: &problem.materials,
             rng: &rng,
             cfg: &problem.transport,
         };
