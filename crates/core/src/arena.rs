@@ -1,0 +1,120 @@
+//! Reusable scratch buffers for the batched (lane-block) hot paths.
+//!
+//! The event-based and SoA drivers stage per-particle lanes — energies,
+//! material ids, table hints, lookup results, candidate distances — in
+//! temporary arrays before every batched cross-section lookup and every
+//! restructured kernel pass. Allocating those arrays per window/chunk
+//! (`Vec::with_capacity` five-plus times per kernel invocation) puts the
+//! allocator on the hot path of exactly the loops the paper restructured
+//! for vector efficiency (§VI-G).
+//!
+//! A [`ScratchArena`] owns one copy of every such lane buffer. Each
+//! worker (or each breadth-first window, which is pinned to one worker
+//! per pass) holds one arena and reuses it across kernel invocations:
+//! after the first round every buffer has reached its high-water capacity
+//! and the steady-state loop performs no *per-particle lane* allocations
+//! (the remaining allocation per kernel pass is one `Vec` of window
+//! descriptors, O(windows) pointers, not O(particles) lanes).
+//!
+//! The arena is plain data — clearing it between uses is the caller's
+//! responsibility (see [`ScratchArena::clear`]), and the buffers carry no
+//! cross-call meaning. Nothing here affects physics: arenas hold staging
+//! lanes only, never particle state.
+
+use neutral_xs::MaterialId;
+
+/// Reusable lane buffers for batched lookups, restructured kernel passes
+/// and coherence sorting. One arena per worker or per window; cleared
+/// (not shrunk) between uses so capacity is retained.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Compacted lane indices (window- or chunk-local).
+    pub idx: Vec<u32>,
+    /// Lane energies fed to the batched lookup (eV).
+    pub energies: Vec<f64>,
+    /// Lane material ids fed to the batched lookup.
+    pub mats: Vec<MaterialId>,
+    /// Lane capture-table hints (updated in place by the lookup).
+    pub hints_absorb: Vec<u32>,
+    /// Lane scatter-table hints (updated in place by the lookup).
+    pub hints_scatter: Vec<u32>,
+    /// Lane capture cross-section results (barns).
+    pub out_absorb: Vec<f64>,
+    /// Lane scatter cross-section results (barns).
+    pub out_scatter: Vec<f64>,
+    /// General-purpose `f64` lane (candidate distances, gathered micro
+    /// cross sections, ...).
+    pub f64_a: Vec<f64>,
+    /// Second general-purpose `f64` lane.
+    pub f64_b: Vec<f64>,
+    /// Third general-purpose `f64` lane.
+    pub f64_c: Vec<f64>,
+    /// General-purpose flag lane (e.g. "nearest facet is an x facet").
+    pub flags: Vec<bool>,
+}
+
+impl ScratchArena {
+    /// A fresh, empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every lane, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.energies.clear();
+        self.mats.clear();
+        self.hints_absorb.clear();
+        self.hints_scatter.clear();
+        self.out_absorb.clear();
+        self.out_scatter.clear();
+        self.f64_a.clear();
+        self.f64_b.clear();
+        self.f64_c.clear();
+        self.flags.clear();
+    }
+
+    /// Total bytes currently reserved across all lanes — visibility into
+    /// the steady-state footprint (capacity, not length).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.idx.capacity() * 4
+            + self.energies.capacity() * 8
+            + self.mats.capacity() * std::mem::size_of::<MaterialId>()
+            + self.hints_absorb.capacity() * 4
+            + self.hints_scatter.capacity() * 4
+            + self.out_absorb.capacity() * 8
+            + self.out_scatter.capacity() * 8
+            + self.f64_a.capacity() * 8
+            + self.f64_b.capacity() * 8
+            + self.f64_c.capacity() * 8
+            + self.flags.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut a = ScratchArena::new();
+        a.energies.extend((0..1000).map(|i| i as f64));
+        a.idx.extend(0..1000u32);
+        let cap_e = a.energies.capacity();
+        let cap_i = a.idx.capacity();
+        a.clear();
+        assert!(a.energies.is_empty() && a.idx.is_empty());
+        assert_eq!(a.energies.capacity(), cap_e);
+        assert_eq!(a.idx.capacity(), cap_i);
+    }
+
+    #[test]
+    fn footprint_tracks_capacity() {
+        let mut a = ScratchArena::new();
+        assert_eq!(a.footprint_bytes(), 0);
+        a.out_absorb.reserve(128);
+        assert!(a.footprint_bytes() >= 128 * 8);
+    }
+}

@@ -44,6 +44,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
 pub mod config;
 pub mod counters;
 pub mod events;
@@ -64,6 +65,7 @@ pub mod prelude {
         CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, TallyStrategy,
         TestCase, TransportConfig, XsSearch,
     };
+    pub use crate::arena::ScratchArena;
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};
     pub use crate::scenario::Scenario;

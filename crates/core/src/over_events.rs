@@ -18,6 +18,7 @@
 //! * per-kernel wall-clock timings ([`KernelTimings`]) — the data behind
 //!   the tally-share and vectorisation figures.
 
+use crate::arena::ScratchArena;
 use crate::counters::EventCounters;
 use crate::events::{
     energy_deposition, handle_collision, handle_facet, move_particle, next_event,
@@ -126,9 +127,19 @@ enum Status {
     Dead = 2,
 }
 
+/// Per-window coherence state that persists across kernel invocations:
+/// the scratch arena for batched lookups and restructured passes. One
+/// instance per breadth-first window, created once per solve, so the
+/// steady-state round loop performs no allocations.
+#[derive(Default)]
+struct WindowState {
+    arena: ScratchArena,
+}
+
 /// The per-particle state arrays of the breadth-first driver — the data
 /// that the Over-Particles scheme would have kept in registers ("Any time
-/// data is to be cached, it must be stored per particle", §V-B).
+/// data is to be cached, it must be stored per particle", §V-B) — plus
+/// the per-window coherence state.
 struct EventState {
     micro_a: Vec<f64>,
     micro_s: Vec<f64>,
@@ -139,10 +150,17 @@ struct EventState {
     pending_cell: Vec<u32>,
     tag: Vec<Tag>,
     status: Vec<Status>,
+    wins: Vec<WindowState>,
+    /// Window size the state was built for; [`windows`] always cuts at
+    /// this boundary, so the window count can never drift from `wins`.
+    chunk: usize,
 }
 
 impl EventState {
-    fn new(n: usize) -> Self {
+    /// State for `n` particles cut into `chunk`-sized windows.
+    fn new(n: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "window chunk must be positive");
+        let n_windows = if n == 0 { 0 } else { n.div_ceil(chunk) };
         Self {
             micro_a: vec![0.0; n],
             micro_s: vec![0.0; n],
@@ -153,6 +171,8 @@ impl EventState {
             pending_cell: vec![0; n],
             tag: vec![Tag::None; n],
             status: vec![Status::Active; n],
+            wins: (0..n_windows).map(|_| WindowState::default()).collect(),
+            chunk,
         }
     }
 }
@@ -169,15 +189,24 @@ struct Window<'a> {
     pending_cell: &'a mut [u32],
     tag: &'a mut [Tag],
     status: &'a mut [Status],
+    ws: &'a mut WindowState,
 }
 
-fn windows<'a>(
-    particles: &'a mut [Particle],
-    st: &'a mut EventState,
-    chunk: usize,
-) -> Vec<Window<'a>> {
-    let mut out = Vec::new();
-    let mut w = Window {
+fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Window<'a>> {
+    let chunk = st.chunk;
+    struct Rest<'a> {
+        particles: &'a mut [Particle],
+        micro_a: &'a mut [f64],
+        micro_s: &'a mut [f64],
+        n_dens: &'a mut [f64],
+        mat: &'a mut [MaterialId],
+        dist: &'a mut [f64],
+        pending: &'a mut [f64],
+        pending_cell: &'a mut [u32],
+        tag: &'a mut [Tag],
+        status: &'a mut [Status],
+    }
+    let mut rest = Rest {
         particles,
         micro_a: &mut st.micro_a,
         micro_s: &mut st.micro_s,
@@ -189,17 +218,28 @@ fn windows<'a>(
         tag: &mut st.tag,
         status: &mut st.status,
     };
-    while w.particles.len() > chunk {
-        let (p0, p1) = w.particles.split_at_mut(chunk);
-        let (a0, a1) = w.micro_a.split_at_mut(chunk);
-        let (s0, s1) = w.micro_s.split_at_mut(chunk);
-        let (n0, n1) = w.n_dens.split_at_mut(chunk);
-        let (m0m, m1m) = w.mat.split_at_mut(chunk);
-        let (d0, d1) = w.dist.split_at_mut(chunk);
-        let (pe0, pe1) = w.pending.split_at_mut(chunk);
-        let (pc0, pc1) = w.pending_cell.split_at_mut(chunk);
-        let (t0, t1) = w.tag.split_at_mut(chunk);
-        let (st0, st1) = w.status.split_at_mut(chunk);
+    assert_eq!(
+        st.wins.len(),
+        if rest.particles.is_empty() {
+            0
+        } else {
+            rest.particles.len().div_ceil(chunk)
+        },
+        "particle list changed length since EventState::new"
+    );
+    let mut out = Vec::with_capacity(st.wins.len());
+    for ws in &mut st.wins {
+        let cut = chunk.min(rest.particles.len());
+        let (p0, p1) = rest.particles.split_at_mut(cut);
+        let (a0, a1) = rest.micro_a.split_at_mut(cut);
+        let (s0, s1) = rest.micro_s.split_at_mut(cut);
+        let (n0, n1) = rest.n_dens.split_at_mut(cut);
+        let (m0m, m1m) = rest.mat.split_at_mut(cut);
+        let (d0, d1) = rest.dist.split_at_mut(cut);
+        let (pe0, pe1) = rest.pending.split_at_mut(cut);
+        let (pc0, pc1) = rest.pending_cell.split_at_mut(cut);
+        let (t0, t1) = rest.tag.split_at_mut(cut);
+        let (st0, st1) = rest.status.split_at_mut(cut);
         out.push(Window {
             particles: p0,
             micro_a: a0,
@@ -211,8 +251,9 @@ fn windows<'a>(
             pending_cell: pc0,
             tag: t0,
             status: st0,
+            ws,
         });
-        w = Window {
+        rest = Rest {
             particles: p1,
             micro_a: a1,
             micro_s: s1,
@@ -225,9 +266,7 @@ fn windows<'a>(
             status: st1,
         };
     }
-    if !w.particles.is_empty() {
-        out.push(w);
-    }
+    debug_assert!(rest.particles.is_empty());
     out
 }
 
@@ -244,18 +283,18 @@ pub fn run_over_events<R: CbRng>(
     parallel: bool,
 ) -> (EventCounters, KernelTimings) {
     let n = particles.len();
-    let mut st = EventState::new(n);
-    let mut timings = KernelTimings::default();
-    let mut counters = EventCounters::default();
     let chunk = if parallel {
         (n / (rayon::current_num_threads() * 8)).max(256)
     } else {
         n.max(1)
     };
+    let mut st = EventState::new(n, chunk);
+    let mut timings = KernelTimings::default();
+    let mut counters = EventCounters::default();
 
     // --- init kernel: populate the per-particle cache arrays.
     let t0 = Instant::now();
-    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
         init_kernel(w, ctx)
     }));
     timings.init = t0.elapsed();
@@ -280,7 +319,7 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 1: distances + event selection.
         let t = Instant::now();
-        let decide = for_windows(particles, &mut st, chunk, parallel, |w| match style {
+        let decide = for_windows(particles, &mut st, parallel, |w| match style {
             KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
             KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
         });
@@ -294,21 +333,21 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 2: collisions.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
             collision_kernel(w, ctx, style)
         }));
         timings.collision += t.elapsed();
 
         // Kernel 3: facets.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
             facet_kernel(w, ctx, style)
         }));
         timings.facet += t.elapsed();
 
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
             tally_kernel(w, &mut { tally })
         }));
         timings.tally += t.elapsed();
@@ -316,11 +355,11 @@ pub fn run_over_events<R: CbRng>(
 
     // --- census kernel (Listing 2: handled once, after the event loop).
     let t = Instant::now();
-    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
         census_kernel(w, ctx)
     }));
     // Flush the census deposits.
-    counters.merge(&for_windows(particles, &mut st, chunk, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
         tally_kernel(w, &mut { tally })
     }));
     timings.census += t.elapsed();
@@ -334,14 +373,13 @@ pub fn run_over_events<R: CbRng>(
 fn for_windows<F>(
     particles: &mut [Particle],
     st: &mut EventState,
-    chunk: usize,
     parallel: bool,
     kernel: F,
 ) -> EventCounters
 where
     F: Fn(&mut Window<'_>) -> EventCounters + Sync,
 {
-    let ws = windows(particles, st, chunk);
+    let ws = windows(particles, st);
     if parallel {
         ws.into_par_iter()
             .map(|mut w| kernel(&mut w))
@@ -383,7 +421,7 @@ pub fn run_over_events_lanes<R: CbRng>(
     let mut views: Vec<LaneSink<'_>> = accum.lane_views();
     views.truncate(part.n_lanes);
 
-    let mut st = EventState::new(n);
+    let mut st = EventState::new(n, chunk);
     let mut timings = KernelTimings::default();
     let mut counters = EventCounters::default();
 
@@ -392,7 +430,7 @@ pub fn run_over_events_lanes<R: CbRng>(
     let run_pass = |particles: &mut [Particle],
                     st: &mut EventState,
                     kernel: &(dyn Fn(&mut Window<'_>) -> EventCounters + Sync)| {
-        let mut states: Vec<(Window<'_>, EventCounters)> = windows(particles, st, chunk)
+        let mut states: Vec<(Window<'_>, EventCounters)> = windows(particles, st)
             .into_iter()
             .map(|w| (w, EventCounters::default()))
             .collect();
@@ -407,7 +445,7 @@ pub fn run_over_events_lanes<R: CbRng>(
     let run_tally_pass =
         |particles: &mut [Particle], st: &mut EventState, views: &mut [LaneSink<'_>]| {
             let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
-                windows(particles, st, chunk)
+                windows(particles, st)
                     .into_iter()
                     .zip(views.iter_mut())
                     .map(|(w, v)| (w, v, EventCounters::default()))
@@ -480,15 +518,15 @@ pub fn run_over_events_lanes<R: CbRng>(
 
 /// Populate the per-particle cache arrays. The cross sections of the
 /// whole window resolve through one batched `lookup_many` call — the
-/// lane-block shape the unionized/hashed backends are built for.
+/// lane-block shape the unionized/hashed backends are built for. All
+/// staging lanes live in the window's [`ScratchArena`], so repeated
+/// invocations (one per window per timestep) allocate nothing once the
+/// arena has warmed up.
 fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
     let n = w.particles.len();
-    let mut alive = Vec::with_capacity(n);
-    let mut energies = Vec::with_capacity(n);
-    let mut mats = Vec::with_capacity(n);
-    let mut ha = Vec::with_capacity(n);
-    let mut hs = Vec::with_capacity(n);
+    let a = &mut w.ws.arena;
+    a.clear();
     for i in 0..n {
         let p = &w.particles[i];
         if p.dead {
@@ -497,33 +535,34 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         }
         w.status[i] = Status::Active;
         w.mat[i] = ctx.mesh.material(p.cellx as usize, p.celly as usize);
-        alive.push(i);
-        energies.push(p.energy);
-        mats.push(w.mat[i]);
-        ha.push(p.xs_hints.absorb);
-        hs.push(p.xs_hints.scatter);
+        a.idx.push(i as u32);
+        a.energies.push(p.energy);
+        a.mats.push(w.mat[i]);
+        a.hints_absorb.push(p.xs_hints.absorb);
+        a.hints_scatter.push(p.xs_hints.scatter);
     }
 
-    let mut out_a = vec![0.0; alive.len()];
-    let mut out_s = vec![0.0; alive.len()];
+    a.out_absorb.resize(a.idx.len(), 0.0);
+    a.out_scatter.resize(a.idx.len(), 0.0);
     resolve_micro_xs_many(
         ctx.materials,
         ctx.cfg.xs_search,
-        &mats,
-        &energies,
-        &mut ha,
-        &mut hs,
-        &mut out_a,
-        &mut out_s,
+        &a.mats,
+        &a.energies,
+        &mut a.hints_absorb,
+        &mut a.hints_scatter,
+        &mut a.out_absorb,
+        &mut a.out_scatter,
         &mut c,
     );
 
-    for (j, &i) in alive.iter().enumerate() {
-        w.micro_a[i] = out_a[j];
-        w.micro_s[i] = out_s[j];
+    for (j, &i) in a.idx.iter().enumerate() {
+        let i = i as usize;
+        w.micro_a[i] = a.out_absorb[j];
+        w.micro_s[i] = a.out_scatter[j];
         let p = &mut w.particles[i];
-        p.xs_hints.absorb = ha[j];
-        p.xs_hints.scatter = hs[j];
+        p.xs_hints.absorb = a.hints_absorb[j];
+        p.xs_hints.scatter = a.hints_scatter[j];
         c.density_reads += 1;
         w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
     }
@@ -568,10 +607,17 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
 /// pass assigns tags. The physics is identical to the scalar kernel.
 fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     let n = w.particles.len();
-    let mut d_census = vec![0.0f64; n];
-    let mut d_coll = vec![0.0f64; n];
-    let mut d_facet = vec![0.0f64; n];
-    let mut facet_is_x = vec![false; n];
+    let a = &mut w.ws.arena;
+    a.f64_a.clear();
+    a.f64_a.resize(n, 0.0);
+    a.f64_b.clear();
+    a.f64_b.resize(n, 0.0);
+    a.f64_c.clear();
+    a.f64_c.resize(n, 0.0);
+    a.flags.clear();
+    a.flags.resize(n, false);
+    let (d_census, d_coll, d_facet, facet_is_x) =
+        (&mut a.f64_a, &mut a.f64_b, &mut a.f64_c, &mut a.flags);
 
     // Pass 1: pure arithmetic, no calls, no data-dependent branches beyond
     // selects — the loop the auto-vectoriser gets to chew on.
