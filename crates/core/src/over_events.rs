@@ -10,8 +10,12 @@
 //! * no register caching — the state the Over-Particles loop keeps in
 //!   registers (microscopic cross sections, local number density) lives in
 //!   per-particle arrays and is streamed from memory every round;
-//! * gathered access — every kernel visits the whole particle list and
-//!   checks a predicate, rather than iterating a compacted index list;
+//! * compacted access — the seed reproduced the paper's "every kernel
+//!   visits the whole particle list and checks a predicate" gathers; the
+//!   kernels now iterate maintained compacted index lists (the stream
+//!   compaction cure from the GPU MC literature), with incremental
+//!   compaction at census/death so trip counts shrink as the population
+//!   dies — bitwise identical physics, measurably less memory traffic;
 //! * batched atomics — deposits accumulate in a per-particle pending array
 //!   and a *separate* tally loop flushes them, which is the workaround the
 //!   paper used to get the other loops to vectorise (§VI-G);
@@ -128,12 +132,59 @@ enum Status {
 }
 
 /// Per-window coherence state that persists across kernel invocations:
-/// the scratch arena for batched lookups and restructured passes. One
-/// instance per breadth-first window, created once per solve, so the
-/// steady-state round loop performs no allocations.
+/// the compacted index lists every kernel iterates and the scratch arena
+/// for batched lookups and restructured passes. One instance per
+/// breadth-first window, created once per solve, so the steady-state
+/// round loop performs no allocations.
+///
+/// The lists replace the seed behaviour ("every kernel visits the whole
+/// particle list and checks a predicate") with *stream compaction*:
+/// kernel trip counts shrink as the population dies. All lists hold
+/// window-local indices. `active` is kept in **ascending index order**
+/// (its compaction is an order-preserving `retain`), which is what keeps
+/// every kernel's per-particle operation sequence — and therefore every
+/// `f64` accumulation — bitwise identical to the uncompacted sweeps.
 #[derive(Default)]
 struct WindowState {
     arena: ScratchArena,
+    /// Compacted indices of particles still `Active` at the last
+    /// compaction point (start of each decide kernel), ascending. Until
+    /// the next compaction it also retains particles that died or hit
+    /// census *this* round — exactly the set whose pending deposits the
+    /// round's tally flush must visit.
+    active: Vec<u32>,
+    /// This round's collision-tagged subset of `active` (ascending).
+    coll: Vec<u32>,
+    /// This round's facet-tagged subset of `active` (ascending).
+    facet: Vec<u32>,
+    /// Every index that reached census, accumulated across rounds;
+    /// sorted ascending before the final census kernel so the census
+    /// pass runs in the seed's index order.
+    census: Vec<u32>,
+    /// This round's cutoff deaths as `(index, lost energy)`; summed in
+    /// ascending index order so `lost_energy_ev` accumulates in exactly
+    /// the seed's sequence whatever order the collision kernel ran in.
+    deaths: Vec<(u32, f64)>,
+    /// Whether any particle left the active set since the last
+    /// compaction (death or census arrival). When false the retain scan
+    /// is skipped entirely — facet-heavy rounds where nobody leaves pay
+    /// nothing for compaction.
+    needs_compact: bool,
+}
+
+impl WindowState {
+    /// Round prologue shared by both decide kernels: compact the active
+    /// list (order-preserving, so it stays ascending — the property the
+    /// bitwise-identity invariant rests on) and reset the round's tagged
+    /// lists.
+    fn begin_round(&mut self, status: &[Status]) {
+        if self.needs_compact {
+            self.active.retain(|&i| status[i as usize] == Status::Active);
+            self.needs_compact = false;
+        }
+        self.coll.clear();
+        self.facet.clear();
+    }
 }
 
 /// The per-particle state arrays of the breadth-first driver — the data
@@ -348,7 +399,7 @@ pub fn run_over_events<R: CbRng>(
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
         counters.merge(&for_windows(particles, &mut st, parallel, |w| {
-            tally_kernel(w, &mut { tally })
+            tally_kernel(w, &mut { tally }, FlushList::Round)
         }));
         timings.tally += t.elapsed();
     }
@@ -360,7 +411,7 @@ pub fn run_over_events<R: CbRng>(
     }));
     // Flush the census deposits.
     counters.merge(&for_windows(particles, &mut st, parallel, |w| {
-        tally_kernel(w, &mut { tally })
+        tally_kernel(w, &mut { tally }, FlushList::Census)
     }));
     timings.census += t.elapsed();
 
@@ -442,20 +493,22 @@ pub fn run_over_events_lanes<R: CbRng>(
     };
     // As `run_pass`, but pairing window `i` with lane sink `i` for the
     // tally-flush kernel.
-    let run_tally_pass =
-        |particles: &mut [Particle], st: &mut EventState, views: &mut [LaneSink<'_>]| {
-            let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
-                windows(particles, st)
-                    .into_iter()
-                    .zip(views.iter_mut())
-                    .map(|(w, v)| (w, v, EventCounters::default()))
-                    .collect();
-            parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
-                *c = tally_kernel(w, v);
-            });
-            let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
-            EventCounters::merge_deterministic(&partials)
-        };
+    let run_tally_pass = |particles: &mut [Particle],
+                          st: &mut EventState,
+                          views: &mut [LaneSink<'_>],
+                          list: FlushList| {
+        let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
+            windows(particles, st)
+                .into_iter()
+                .zip(views.iter_mut())
+                .map(|(w, v)| (w, v, EventCounters::default()))
+                .collect();
+        parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
+            *c = tally_kernel(w, v, list);
+        });
+        let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
+        EventCounters::merge_deterministic(&partials)
+    };
 
     // --- init kernel.
     let t0 = Instant::now();
@@ -502,31 +555,55 @@ pub fn run_over_events_lanes<R: CbRng>(
         timings.facet += t.elapsed();
 
         let t = Instant::now();
-        counters.merge(&run_tally_pass(particles, &mut st, &mut views));
+        counters.merge(&run_tally_pass(
+            particles,
+            &mut st,
+            &mut views,
+            FlushList::Round,
+        ));
         timings.tally += t.elapsed();
     }
 
     // --- census kernel + final flush.
     let t = Instant::now();
     counters.merge(&run_pass(particles, &mut st, &|w| census_kernel(w, ctx)));
-    counters.merge(&run_tally_pass(particles, &mut st, &mut views));
+    counters.merge(&run_tally_pass(
+        particles,
+        &mut st,
+        &mut views,
+        FlushList::Census,
+    ));
     timings.census += t.elapsed();
 
     counters.census_energy_ev = crate::particle::total_weighted_energy(particles);
     (counters, timings)
 }
 
-/// Populate the per-particle cache arrays. The cross sections of the
-/// whole window resolve through one batched `lookup_many` call — the
-/// lane-block shape the unionized/hashed backends are built for. All
-/// staging lanes live in the window's [`ScratchArena`], so repeated
-/// invocations (one per window per timestep) allocate nothing once the
-/// arena has warmed up.
+/// Populate the per-particle cache arrays and build the initial
+/// compacted index list. The cross sections of the whole window resolve
+/// through one batched `lookup_many` call — the lane-block shape the
+/// unionized/hashed backends are built for. All staging lanes live in
+/// the window's [`ScratchArena`], so repeated invocations (one per
+/// window per timestep) allocate nothing once the arena has warmed up.
 fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
     let n = w.particles.len();
-    let a = &mut w.ws.arena;
+    let WindowState {
+        arena: a,
+        active,
+        coll,
+        facet,
+        census,
+        deaths,
+        needs_compact,
+    } = &mut *w.ws;
     a.clear();
+    active.clear();
+    coll.clear();
+    facet.clear();
+    census.clear();
+    deaths.clear();
+    *needs_compact = false;
     for i in 0..n {
         let p = &w.particles[i];
         if p.dead {
@@ -535,15 +612,15 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         }
         w.status[i] = Status::Active;
         w.mat[i] = ctx.mesh.material(p.cellx as usize, p.celly as usize);
-        a.idx.push(i as u32);
+        active.push(i as u32);
         a.energies.push(p.energy);
         a.mats.push(w.mat[i]);
         a.hints_absorb.push(p.xs_hints.absorb);
         a.hints_scatter.push(p.xs_hints.scatter);
     }
 
-    a.out_absorb.resize(a.idx.len(), 0.0);
-    a.out_scatter.resize(a.idx.len(), 0.0);
+    a.out_absorb.resize(active.len(), 0.0);
+    a.out_scatter.resize(active.len(), 0.0);
     resolve_micro_xs_many(
         ctx.materials,
         ctx.cfg.xs_search,
@@ -556,7 +633,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         &mut c,
     );
 
-    for (j, &i) in a.idx.iter().enumerate() {
+    for (j, &i) in active.iter().enumerate() {
         let i = i as usize;
         w.micro_a[i] = a.out_absorb[j];
         w.micro_s[i] = a.out_scatter[j];
@@ -569,31 +646,39 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     c
 }
 
-/// Scalar event selection: per-particle call into the shared
-/// [`next_event`] physics.
+/// Scalar event selection over the compacted index list: compact away
+/// last round's deaths and census arrivals (order-preserving, so the
+/// list stays ascending), then one per-particle call into the shared
+/// [`next_event`] physics for each remaining active particle. Tagged
+/// indices are streamed into the round's collision/facet lists, which is
+/// what shrinks every downstream kernel's trip count.
 fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     let mut c = EventCounters::default();
-    for i in 0..w.particles.len() {
-        if w.status[i] != Status::Active {
-            w.tag[i] = Tag::None;
-            continue;
-        }
+    w.ws.begin_round(w.status);
+    let WindowState { active, coll, facet, census, needs_compact, .. } = &mut *w.ws;
+    let status = &mut *w.status;
+    for &iu in active.iter() {
+        let i = iu as usize;
         let p = &w.particles[i];
         let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
         let bounds = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
         match next_event(p, sigma_t, bounds) {
             NextEvent::Census(_) => {
-                w.status[i] = Status::AtCensus;
+                status[i] = Status::AtCensus;
                 w.tag[i] = Tag::None;
+                census.push(iu);
+                *needs_compact = true;
             }
             NextEvent::Facet(d, f) => {
                 w.tag[i] = Tag::facet(f);
                 w.dist[i] = d;
+                facet.push(iu);
                 c.collisions += 1; // "active" count (see caller)
             }
             NextEvent::Collision(d) => {
                 w.tag[i] = Tag::Collision;
                 w.dist[i] = d;
+                coll.push(iu);
                 c.collisions += 1;
             }
         }
@@ -601,32 +686,37 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
     c
 }
 
-/// Vectorisable event selection: a branch-light arithmetic pass computes
-/// the three candidate distances for *every* particle (the paper's
-/// "kernels visit the entire list" gather behaviour), then a short scalar
-/// pass assigns tags. The physics is identical to the scalar kernel.
+/// Vectorisable event selection over the compacted index list: a
+/// branch-light arithmetic pass computes the three candidate distances
+/// for every *live* lane (dead lanes no longer dilute the vector — the
+/// compaction cure for the divergent alive-mask of fig. 8), then a short
+/// scalar pass assigns tags. The physics is identical to the scalar
+/// kernel.
 fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
-    let n = w.particles.len();
-    let a = &mut w.ws.arena;
+    w.ws.begin_round(w.status);
+    let WindowState { arena: a, active, coll, facet, census, needs_compact, .. } = &mut *w.ws;
+    let status = &mut *w.status;
+    let m = active.len();
     a.f64_a.clear();
-    a.f64_a.resize(n, 0.0);
+    a.f64_a.resize(m, 0.0);
     a.f64_b.clear();
-    a.f64_b.resize(n, 0.0);
+    a.f64_b.resize(m, 0.0);
     a.f64_c.clear();
-    a.f64_c.resize(n, 0.0);
+    a.f64_c.resize(m, 0.0);
     a.flags.clear();
-    a.flags.resize(n, false);
+    a.flags.resize(m, false);
     let (d_census, d_coll, d_facet, facet_is_x) =
         (&mut a.f64_a, &mut a.f64_b, &mut a.f64_c, &mut a.flags);
 
     // Pass 1: pure arithmetic, no calls, no data-dependent branches beyond
     // selects — the loop the auto-vectoriser gets to chew on.
-    for i in 0..n {
+    for (j, &iu) in active.iter().enumerate() {
+        let i = iu as usize;
         let p = &w.particles[i];
         let speed = speed_m_per_s(p.energy);
         let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
-        d_census[i] = speed * p.dt_to_census;
-        d_coll[i] = if sigma_t > 0.0 {
+        d_census[j] = speed * p.dt_to_census;
+        d_coll[j] = if sigma_t > 0.0 {
             p.mfp_to_collision / sigma_t
         } else {
             f64::INFINITY
@@ -646,23 +736,22 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
         } else {
             f64::INFINITY
         };
-        facet_is_x[i] = dx <= dy;
-        d_facet[i] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
+        facet_is_x[j] = dx <= dy;
+        d_facet[j] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
     }
 
     // Pass 2: tag assignment (scalar fix-up).
     let mut c = EventCounters::default();
-    for i in 0..n {
-        if w.status[i] != Status::Active {
+    for (j, &iu) in active.iter().enumerate() {
+        let i = iu as usize;
+        if d_census[j] <= d_coll[j] && d_census[j] <= d_facet[j] {
+            status[i] = Status::AtCensus;
             w.tag[i] = Tag::None;
-            continue;
-        }
-        if d_census[i] <= d_coll[i] && d_census[i] <= d_facet[i] {
-            w.status[i] = Status::AtCensus;
-            w.tag[i] = Tag::None;
-        } else if d_facet[i] <= d_coll[i] {
+            census.push(iu);
+            *needs_compact = true;
+        } else if d_facet[j] <= d_coll[j] {
             let p = &w.particles[i];
-            let f = if facet_is_x[i] {
+            let f = if facet_is_x[j] {
                 if p.omega_x >= 0.0 {
                     Facet::XHigh
                 } else {
@@ -674,11 +763,13 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
                 Facet::YLow
             };
             w.tag[i] = Tag::facet(f);
-            w.dist[i] = d_facet[i];
+            w.dist[i] = d_facet[j];
+            facet.push(iu);
             c.collisions += 1;
         } else {
             w.tag[i] = Tag::Collision;
-            w.dist[i] = d_coll[i];
+            w.dist[i] = d_coll[j];
+            coll.push(iu);
             c.collisions += 1;
         }
     }
@@ -692,14 +783,22 @@ fn collision_kernel<R: CbRng>(
 ) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
+    let WindowState { arena: a, coll, deaths, needs_compact, .. } = &mut *w.ws;
+    // The batched re-lookup pays a gather/scatter pass; only the grid
+    // backends, whose `lookup_many` has a sorted-block fast path, win it
+    // back. The walking backends keep the seed's per-particle calls
+    // (same lookups, same counters either way).
+    let batch = matches!(
+        ctx.cfg.xs_search,
+        crate::config::LookupStrategy::Unionized | crate::config::LookupStrategy::Hashed
+    );
 
     if style == KernelStyle::Vectorized {
         // Vectorisable pre-pass: movement + deposit arithmetic for all
         // colliding particles, hoisted out of the branchy handler.
-        for i in 0..w.particles.len() {
-            if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
-                continue;
-            }
+        for &iu in coll.iter() {
+            let i = iu as usize;
+            debug_assert!(w.status[i] == Status::Active && w.tag[i] == Tag::Collision);
             let micro = MicroXs {
                 absorb_barns: w.micro_a[i],
                 scatter_barns: w.micro_s[i],
@@ -713,10 +812,10 @@ fn collision_kernel<R: CbRng>(
         }
     }
 
-    for i in 0..w.particles.len() {
-        if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
-            continue;
-        }
+    a.clear();
+    deaths.clear();
+    for &iu in coll.iter() {
+        let i = iu as usize;
         let micro = MicroXs {
             absorb_barns: w.micro_a[i],
             scatter_barns: w.micro_s[i],
@@ -731,13 +830,62 @@ fn collision_kernel<R: CbRng>(
         }
         let p = &mut w.particles[i];
         let mut stream = CounterStream::new(ctx.rng, p.key);
+        // Capture this particle's cutoff loss separately so the `f64`
+        // accumulation below can run in ascending index order whatever
+        // order this loop iterated in (the sort stage may permute it).
+        let outer_lost = c.lost_energy_ev;
+        c.lost_energy_ev = 0.0;
         let died = handle_collision(p, &mut stream, micro, ctx.cfg, &mut c);
         if died {
+            deaths.push((iu, c.lost_energy_ev));
             w.status[i] = Status::Dead;
+            *needs_compact = true;
+        } else if batch {
+            a.idx.push(iu);
+            a.energies.push(p.energy);
+            a.mats.push(w.mat[i]);
+            a.hints_absorb.push(p.xs_hints.absorb);
+            a.hints_scatter.push(p.xs_hints.scatter);
         } else {
             let micro = crate::history::lookup_micro(p, ctx, w.mat[i], &mut c);
             w.micro_a[i] = micro.absorb_barns;
             w.micro_s[i] = micro.scatter_barns;
+        }
+        c.lost_energy_ev = outer_lost;
+    }
+
+    // Deterministic `f64` reduction: lost energy sums in particle-index
+    // order, exactly the sequence the uncompacted sweep produced.
+    deaths.sort_unstable_by_key(|d| d.0);
+    for &(_, e) in deaths.iter() {
+        c.lost_energy_ev += e;
+    }
+
+    // The collisions changed the survivors' energies: re-resolve their
+    // cross sections through one batched lane-block lookup (bitwise
+    // identical to the per-particle calls, but a single tight sweep the
+    // sorted-block fast paths of the grid backends can exploit).
+    if batch {
+        a.out_absorb.resize(a.idx.len(), 0.0);
+        a.out_scatter.resize(a.idx.len(), 0.0);
+        resolve_micro_xs_many(
+            ctx.materials,
+            ctx.cfg.xs_search,
+            &a.mats,
+            &a.energies,
+            &mut a.hints_absorb,
+            &mut a.hints_scatter,
+            &mut a.out_absorb,
+            &mut a.out_scatter,
+            &mut c,
+        );
+        for (j, &iu) in a.idx.iter().enumerate() {
+            let i = iu as usize;
+            w.micro_a[i] = a.out_absorb[j];
+            w.micro_s[i] = a.out_scatter[j];
+            let p = &mut w.particles[i];
+            p.xs_hints.absorb = a.hints_absorb[j];
+            p.xs_hints.scatter = a.hints_scatter[j];
         }
     }
     c
@@ -750,14 +898,14 @@ fn facet_kernel<R: CbRng>(
 ) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
+    let facet_list = &w.ws.facet;
 
     if style == KernelStyle::Vectorized {
         // Vectorisable pre-pass: movement + deposit for all facet-bound
         // particles.
-        for i in 0..w.particles.len() {
-            if w.status[i] != Status::Active || w.tag[i].to_facet().is_none() {
-                continue;
-            }
+        for &iu in facet_list.iter() {
+            let i = iu as usize;
+            debug_assert!(w.status[i] == Status::Active && w.tag[i].to_facet().is_some());
             let micro = MicroXs {
                 absorb_barns: w.micro_a[i],
                 scatter_barns: w.micro_s[i],
@@ -771,11 +919,10 @@ fn facet_kernel<R: CbRng>(
         }
     }
 
-    for i in 0..w.particles.len() {
-        if w.status[i] != Status::Active {
-            continue;
-        }
+    for &iu in facet_list.iter() {
+        let i = iu as usize;
         let Some(facet) = w.tag[i].to_facet() else {
+            debug_assert!(false, "facet list member without a facet tag");
             continue;
         };
         if style == KernelStyle::Scalar {
@@ -809,9 +956,27 @@ fn facet_kernel<R: CbRng>(
     c
 }
 
-fn tally_kernel<T: TallySink>(w: &mut Window<'_>, sink: &mut T) -> EventCounters {
+/// Which compacted list a tally flush drains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlushList {
+    /// The round flush: every particle that was active at the start of
+    /// the round (including this round's deaths and census arrivals,
+    /// whose last deposits are still pending). Ascending index order —
+    /// the seed's flush sequence.
+    Round,
+    /// The final flush after the census kernel: only census arrivals can
+    /// hold pending deposits at that point.
+    Census,
+}
+
+fn tally_kernel<T: TallySink>(w: &mut Window<'_>, sink: &mut T, list: FlushList) -> EventCounters {
     let mut c = EventCounters::default();
-    for i in 0..w.particles.len() {
+    let indices = match list {
+        FlushList::Round => &w.ws.active,
+        FlushList::Census => &w.ws.census,
+    };
+    for &iu in indices.iter() {
+        let i = iu as usize;
         if w.pending[i] != 0.0 {
             sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
             w.pending[i] = 0.0;
@@ -821,13 +986,18 @@ fn tally_kernel<T: TallySink>(w: &mut Window<'_>, sink: &mut T) -> EventCounters
     c
 }
 
+/// Handle every census arrival, accumulated across rounds in the
+/// window's census list. The list is sorted ascending first so the pass
+/// (and the final flush that follows it) runs in the seed's index order
+/// — census entries arrive round by round, not index by index.
 fn census_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
-    for i in 0..w.particles.len() {
-        if w.status[i] != Status::AtCensus {
-            continue;
-        }
+    let census = &mut w.ws.census;
+    census.sort_unstable();
+    for &iu in census.iter() {
+        let i = iu as usize;
+        debug_assert_eq!(w.status[i], Status::AtCensus);
         let micro = MicroXs {
             absorb_barns: w.micro_a[i],
             scatter_barns: w.micro_s[i],
@@ -869,6 +1039,71 @@ mod tests {
             materials: &problem.materials,
             rng,
             cfg: &problem.transport,
+        }
+    }
+
+    /// The compaction invariant: after every decide kernel (the round's
+    /// compaction point), the maintained index list is exactly the set
+    /// the alive-predicate would select, in ascending order — and the
+    /// round's collision/facet lists are exactly the tagged subsets.
+    #[test]
+    fn compacted_list_matches_alive_predicate() {
+        for case in [TestCase::Scatter, TestCase::Csp] {
+            let (problem, rng) = fixture(case);
+            let c = ctx(&problem, &rng);
+            let mut particles = spawn_particles(&problem);
+            let n = particles.len();
+            let tally = AtomicTally::new(problem.mesh.num_cells());
+            let mut st = EventState::new(n, n.max(1));
+            let mut ws = windows(&mut particles, &mut st);
+            let w = &mut ws[0];
+            init_kernel(w, &c);
+            let alive: Vec<u32> = (0..n as u32)
+                .filter(|&i| w.status[i as usize] == Status::Active)
+                .collect();
+            assert_eq!(w.ws.active, alive, "{case:?}: init list");
+
+            for round in 0..200 {
+                // The set the predicate selects at the compaction point.
+                let expected: Vec<u32> = (0..n as u32)
+                    .filter(|&i| w.status[i as usize] == Status::Active)
+                    .collect();
+                let decide = decide_kernel_scalar(w, c.mesh);
+                assert_eq!(
+                    w.ws.active, expected,
+                    "{case:?} round {round}: compacted list != alive predicate set"
+                );
+                let tagged: Vec<u32> = expected
+                    .iter()
+                    .copied()
+                    .filter(|&i| w.status[i as usize] == Status::Active)
+                    .collect();
+                let colls: Vec<u32> = tagged
+                    .iter()
+                    .copied()
+                    .filter(|&i| w.tag[i as usize] == Tag::Collision)
+                    .collect();
+                let facets: Vec<u32> = tagged
+                    .iter()
+                    .copied()
+                    .filter(|&i| w.tag[i as usize].to_facet().is_some())
+                    .collect();
+                assert_eq!(w.ws.coll, colls, "{case:?} round {round}: collision list");
+                assert_eq!(w.ws.facet, facets, "{case:?} round {round}: facet list");
+                if decide.collisions == 0 {
+                    break;
+                }
+                collision_kernel(w, &c, KernelStyle::Scalar);
+                facet_kernel(w, &c, KernelStyle::Scalar);
+                tally_kernel(w, &mut { &tally }, FlushList::Round);
+            }
+            // The census list holds exactly the AtCensus set once sorted.
+            let mut census = w.ws.census.clone();
+            census.sort_unstable();
+            let expected: Vec<u32> = (0..n as u32)
+                .filter(|&i| w.status[i as usize] == Status::AtCensus)
+                .collect();
+            assert_eq!(census, expected, "{case:?}: census list");
         }
     }
 
