@@ -7,6 +7,7 @@
 //!             [--threads N] [--schedule static|dynamic,N|guided,N]
 //!             [--lookup binary|hinted|unionized|hashed]
 //!             [--tally atomic|replicated|privatized]
+//!             [--sort off|by_cell|by_energy_band]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //! ```
 //!
@@ -28,6 +29,7 @@ struct CliArgs {
     options: RunOptions,
     lookup: Option<LookupStrategy>,
     tally: Option<TallyStrategy>,
+    sort: Option<SortPolicy>,
     dump_tally: Option<String>,
 }
 
@@ -73,6 +75,7 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut options = RunOptions::default();
     let mut lookup = None;
     let mut tally = None;
+    let mut sort = None;
     let mut dump_tally = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
@@ -124,6 +127,14 @@ fn parse_args() -> Result<CliArgs, String> {
                     argv.get(i)
                         .ok_or("--tally atomic|replicated|privatized")?
                         .parse::<TallyStrategy>()?,
+                );
+            }
+            "--sort" => {
+                i += 1;
+                sort = Some(
+                    argv.get(i)
+                        .ok_or("--sort off|by_cell|by_energy_band")?
+                        .parse::<SortPolicy>()?,
                 );
             }
             "--scenario" => {
@@ -195,6 +206,7 @@ fn parse_args() -> Result<CliArgs, String> {
         options,
         lookup,
         tally,
+        sort,
         dump_tally,
     })
 }
@@ -252,6 +264,9 @@ fn main() -> ExitCode {
     if let Some(tally) = args.tally {
         problem.transport.tally_strategy = tally;
     }
+    if let Some(sort) = args.sort {
+        problem.transport.sort_policy = sort;
+    }
     println!(
         "neutral: {}x{} mesh, {} particles, {} material(s), {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
@@ -263,10 +278,11 @@ fn main() -> ExitCode {
         problem.seed,
     );
     println!(
-        "options: {:?}, lookup: {}, tally: {}",
+        "options: {:?}, lookup: {}, tally: {}, sort: {}",
         args.options,
         problem.transport.xs_search.name(),
-        problem.transport.tally_strategy.name()
+        problem.transport.tally_strategy.name(),
+        problem.transport.sort_policy.name()
     );
 
     let sim = Simulation::new(problem);

@@ -38,6 +38,75 @@ pub type XsSearch = LookupStrategy;
 /// deterministic-merge invariant.
 pub use neutral_mesh::TallyStrategy;
 
+/// How the batched drivers order their compacted iteration lists before
+/// each round's kernels (the coherence sort stage; DESIGN.md §13).
+///
+/// Sorting permutes **iteration order only** — never the physical
+/// particle arrays. Lanes, tally lanes and the per-particle counter-based
+/// RNG streams are all keyed by fixed particle index, and every
+/// order-sensitive `f64` reduction in the kernels is anchored back to
+/// ascending index order, so each policy is bitwise identical to
+/// [`SortPolicy::Off`]; only the memory-access pattern (and therefore
+/// the speed) changes. The one observable that legitimately moves is the
+/// [`crate::EventCounters::cs_search_steps`] work meter — reducing search
+/// work is the point of [`SortPolicy::ByEnergyBand`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SortPolicy {
+    /// Iterate the compacted list in ascending particle-index order (the
+    /// seed behaviour).
+    #[default]
+    Off,
+    /// Stable-sort the iteration list by mesh cell: mesh reads cluster
+    /// and the separated tally flush writes each cell's deposits
+    /// back-to-back instead of scattering across the tally mesh.
+    ByCell,
+    /// Stable-sort the iteration list by energy band (exponent plus the
+    /// top mantissa bits): batched `lookup_many` gathers walk monotone
+    /// energy-grid runs, which the unionized/hashed backends turn into
+    /// run-detection hits instead of fresh searches.
+    ByEnergyBand,
+}
+
+impl SortPolicy {
+    /// All policies, in benchmarking order.
+    pub const ALL: [SortPolicy; 3] = [
+        SortPolicy::Off,
+        SortPolicy::ByCell,
+        SortPolicy::ByEnergyBand,
+    ];
+
+    /// Stable lower-case name (parameter files, CLI flags, figure output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SortPolicy::Off => "off",
+            SortPolicy::ByCell => "by_cell",
+            SortPolicy::ByEnergyBand => "by_energy_band",
+        }
+    }
+}
+
+impl std::str::FromStr for SortPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(SortPolicy::Off),
+            "by_cell" => Ok(SortPolicy::ByCell),
+            "by_energy_band" => Ok(SortPolicy::ByEnergyBand),
+            other => Err(format!(
+                "unknown sort policy `{other}` (off|by_cell|by_energy_band)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SortPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What happens when a particle's weight falls below the cutoff
 /// (variance-reduction policy, paper §IV-E).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,6 +141,9 @@ pub struct TransportConfig {
     /// Tally-accumulation backend (§VI-F: shared atomics vs replication
     /// vs cell-block privatization).
     pub tally_strategy: TallyStrategy,
+    /// Coherence sort of the batched drivers' iteration lists
+    /// (DESIGN.md §13; bitwise identical physics under every policy).
+    pub sort_policy: SortPolicy,
     /// Low-weight policy (termination vs Russian roulette).
     pub low_weight: LowWeightPolicy,
     /// Safety valve: abandon a history after this many events and count it
@@ -87,6 +159,7 @@ impl Default for TransportConfig {
             collision_model: CollisionModel::Analogue,
             xs_search: LookupStrategy::Hinted,
             tally_strategy: TallyStrategy::Atomic,
+            sort_policy: SortPolicy::Off,
             low_weight: LowWeightPolicy::Terminate,
             max_events_per_history: 1_000_000,
         }

@@ -61,11 +61,11 @@ pub mod validate;
 
 /// The things almost every user of the crate needs.
 pub mod prelude {
-    pub use crate::config::{
-        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, TallyStrategy,
-        TestCase, TransportConfig, XsSearch,
-    };
     pub use crate::arena::ScratchArena;
+    pub use crate::config::{
+        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, SortPolicy,
+        TallyStrategy, TestCase, TransportConfig, XsSearch,
+    };
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};
     pub use crate::scenario::Scenario;

@@ -23,6 +23,7 @@
 //!   the tally-share and vectorisation figures.
 
 use crate::arena::ScratchArena;
+use crate::config::SortPolicy;
 use crate::counters::EventCounters;
 use crate::events::{
     energy_deposition, handle_collision, handle_facet, move_particle, next_event,
@@ -177,9 +178,19 @@ impl WindowState {
     /// list (order-preserving, so it stays ascending — the property the
     /// bitwise-identity invariant rests on) and reset the round's tagged
     /// lists.
+    ///
+    /// Note the kernels always *iterate* in ascending index order: the
+    /// particle state lives in index-ordered arrays, so a permuted
+    /// iteration order would turn every state access into a random
+    /// gather (measurably slower on CPUs, where — unlike the GPU codes
+    /// that physically regroup particles — identity must stay put). The
+    /// [`SortPolicy`] instead reorders the two memory streams where
+    /// clustering pays: the separated tally flush and the batched
+    /// lookup lane blocks.
     fn begin_round(&mut self, status: &[Status]) {
         if self.needs_compact {
-            self.active.retain(|&i| status[i as usize] == Status::Active);
+            self.active
+                .retain(|&i| status[i as usize] == Status::Active);
             self.needs_compact = false;
         }
         self.coll.clear();
@@ -385,7 +396,7 @@ pub fn run_over_events<R: CbRng>(
         // Kernel 2: collisions.
         let t = Instant::now();
         counters.merge(&for_windows(particles, &mut st, parallel, |w| {
-            collision_kernel(w, ctx, style)
+            collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
         }));
         timings.collision += t.elapsed();
 
@@ -399,7 +410,7 @@ pub fn run_over_events<R: CbRng>(
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
         counters.merge(&for_windows(particles, &mut st, parallel, |w| {
-            tally_kernel(w, &mut { tally }, FlushList::Round)
+            tally_kernel(w, &mut { tally }, FlushList::Round, ctx.cfg.sort_policy)
         }));
         timings.tally += t.elapsed();
     }
@@ -411,7 +422,7 @@ pub fn run_over_events<R: CbRng>(
     }));
     // Flush the census deposits.
     counters.merge(&for_windows(particles, &mut st, parallel, |w| {
-        tally_kernel(w, &mut { tally }, FlushList::Census)
+        tally_kernel(w, &mut { tally }, FlushList::Census, ctx.cfg.sort_policy)
     }));
     timings.census += t.elapsed();
 
@@ -504,7 +515,7 @@ pub fn run_over_events_lanes<R: CbRng>(
                 .map(|(w, v)| (w, v, EventCounters::default()))
                 .collect();
         parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
-            *c = tally_kernel(w, v, list);
+            *c = tally_kernel(w, v, list, ctx.cfg.sort_policy);
         });
         let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
         EventCounters::merge_deterministic(&partials)
@@ -544,7 +555,7 @@ pub fn run_over_events_lanes<R: CbRng>(
 
         let t = Instant::now();
         counters.merge(&run_pass(particles, &mut st, &|w| {
-            collision_kernel(w, ctx, style)
+            collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
         }));
         timings.collision += t.elapsed();
 
@@ -655,7 +666,14 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
 fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     let mut c = EventCounters::default();
     w.ws.begin_round(w.status);
-    let WindowState { active, coll, facet, census, needs_compact, .. } = &mut *w.ws;
+    let WindowState {
+        active,
+        coll,
+        facet,
+        census,
+        needs_compact,
+        ..
+    } = &mut *w.ws;
     let status = &mut *w.status;
     for &iu in active.iter() {
         let i = iu as usize;
@@ -694,7 +712,15 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
 /// kernel.
 fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     w.ws.begin_round(w.status);
-    let WindowState { arena: a, active, coll, facet, census, needs_compact, .. } = &mut *w.ws;
+    let WindowState {
+        arena: a,
+        active,
+        coll,
+        facet,
+        census,
+        needs_compact,
+        ..
+    } = &mut *w.ws;
     let status = &mut *w.status;
     let m = active.len();
     a.f64_a.clear();
@@ -780,10 +806,17 @@ fn collision_kernel<R: CbRng>(
     w: &mut Window<'_>,
     ctx: &TransportCtx<'_, R>,
     style: KernelStyle,
+    policy: SortPolicy,
 ) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
-    let WindowState { arena: a, coll, deaths, needs_compact, .. } = &mut *w.ws;
+    let WindowState {
+        arena: a,
+        coll,
+        deaths,
+        needs_compact,
+        ..
+    } = &mut *w.ws;
     // The batched re-lookup pays a gather/scatter pass; only the grid
     // backends, whose `lookup_many` has a sorted-block fast path, win it
     // back. The walking backends keep the seed's per-particle calls
@@ -792,6 +825,12 @@ fn collision_kernel<R: CbRng>(
         ctx.cfg.xs_search,
         crate::config::LookupStrategy::Unionized | crate::config::LookupStrategy::Hashed
     );
+    // Under `ByEnergyBand` the survivors' lookup lanes are gathered in
+    // energy-band order, so the batched `lookup_many` below walks
+    // monotone energy-grid runs (the run-detection fast path of the
+    // unionized/hashed backends). Per-lane results are independent and
+    // scattered back by index, so the physics is order-blind.
+    let sort_lanes = batch && policy == SortPolicy::ByEnergyBand;
 
     if style == KernelStyle::Vectorized {
         // Vectorisable pre-pass: movement + deposit arithmetic for all
@@ -840,6 +879,8 @@ fn collision_kernel<R: CbRng>(
             deaths.push((iu, c.lost_energy_ev));
             w.status[i] = Status::Dead;
             *needs_compact = true;
+        } else if sort_lanes {
+            a.idx.push(iu);
         } else if batch {
             a.idx.push(iu);
             a.energies.push(p.energy);
@@ -859,6 +900,32 @@ fn collision_kernel<R: CbRng>(
     deaths.sort_unstable_by_key(|d| d.0);
     for &(_, e) in deaths.iter() {
         c.lost_energy_ev += e;
+    }
+
+    if sort_lanes {
+        // Stable sort by energy band (exponent + top 8 mantissa bits,
+        // monotone for the positive energies in play; ~0.4% bands), then
+        // gather the survivor lanes in that order. Equal bands keep
+        // ascending index order — irrelevant for the physics (per-lane
+        // lookups are independent) but it keeps the lane block
+        // deterministic, so `cs_search_steps` is reproducible.
+        a.sort_keys.clear();
+        for &iu in &a.idx {
+            let band = (w.particles[iu as usize].energy.to_bits() >> 44) as u32;
+            a.sort_keys.push((band, iu));
+        }
+        crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
+        a.idx.clear();
+        for k in 0..a.sort_keys.len() {
+            let iu = a.sort_keys[k].1;
+            let i = iu as usize;
+            let p = &w.particles[i];
+            a.idx.push(iu);
+            a.energies.push(p.energy);
+            a.mats.push(w.mat[i]);
+            a.hints_absorb.push(p.xs_hints.absorb);
+            a.hints_scatter.push(p.xs_hints.scatter);
+        }
     }
 
     // The collisions changed the survivors' energies: re-resolve their
@@ -969,12 +1036,47 @@ enum FlushList {
     Census,
 }
 
-fn tally_kernel<T: TallySink>(w: &mut Window<'_>, sink: &mut T, list: FlushList) -> EventCounters {
+fn tally_kernel<T: TallySink>(
+    w: &mut Window<'_>,
+    sink: &mut T,
+    list: FlushList,
+    policy: SortPolicy,
+) -> EventCounters {
     let mut c = EventCounters::default();
-    let indices = match list {
-        FlushList::Round => &w.ws.active,
-        FlushList::Census => &w.ws.census,
+    let WindowState {
+        arena: a,
+        active,
+        census,
+        ..
+    } = &mut *w.ws;
+    let indices: &[u32] = match list {
+        FlushList::Round => active,
+        FlushList::Census => census,
     };
+    if policy == SortPolicy::ByCell {
+        // Cell-clustered flush: deposits drain grouped by tally cell, so
+        // the mesh writes land back-to-back instead of scattering. The
+        // radix sort is stable and keyed by exactly the cell each
+        // pending deposit targets, so every cell's deposit sequence
+        // stays in ascending index order — the same `f64` add sequence,
+        // and therefore the same bits, as the unsorted flush.
+        a.sort_keys.clear();
+        for &iu in indices.iter() {
+            let i = iu as usize;
+            if w.pending[i] != 0.0 {
+                a.sort_keys.push((w.pending_cell[i], iu));
+            }
+        }
+        crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
+        for k in 0..a.sort_keys.len() {
+            let (cell, iu) = a.sort_keys[k];
+            let i = iu as usize;
+            sink.deposit(cell as usize, w.pending[i]);
+            w.pending[i] = 0.0;
+            c.tally_flushes += 1;
+        }
+        return c;
+    }
     for &iu in indices.iter() {
         let i = iu as usize;
         if w.pending[i] != 0.0 {
@@ -1093,9 +1195,9 @@ mod tests {
                 if decide.collisions == 0 {
                     break;
                 }
-                collision_kernel(w, &c, KernelStyle::Scalar);
+                collision_kernel(w, &c, KernelStyle::Scalar, SortPolicy::Off);
                 facet_kernel(w, &c, KernelStyle::Scalar);
-                tally_kernel(w, &mut { &tally }, FlushList::Round);
+                tally_kernel(w, &mut { &tally }, FlushList::Round, SortPolicy::Off);
             }
             // The census list holds exactly the AtCensus set once sorted.
             let mut census = w.ws.census.clone();

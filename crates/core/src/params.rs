@@ -43,12 +43,15 @@
 //! collision_model analogue     # or implicit_capture
 //! lookup_strategy hinted       # or binary | unionized | hashed
 //! tally_strategy atomic        # or replicated | privatized
+//! sort_policy off              # or by_cell | by_energy_band
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
 //! `ProblemScale::small()`.
 
-use crate::config::{CollisionModel, LookupStrategy, Problem, TallyStrategy, TransportConfig};
+use crate::config::{
+    CollisionModel, LookupStrategy, Problem, SortPolicy, TallyStrategy, TransportConfig,
+};
 use neutral_mesh::{MaterialId, Rect, StructuredMesh2D};
 use neutral_xs::{constants, MaterialKind, MaterialSet, MaterialSpec};
 use std::fmt;
@@ -135,6 +138,8 @@ pub struct ProblemParams {
     pub lookup_strategy: LookupStrategy,
     /// Tally-accumulation backend.
     pub tally_strategy: TallyStrategy,
+    /// Coherence sort of the batched drivers (DESIGN.md §13).
+    pub sort_policy: SortPolicy,
 }
 
 impl Default for ProblemParams {
@@ -159,6 +164,7 @@ impl Default for ProblemParams {
             collision_model: CollisionModel::Analogue,
             lookup_strategy: LookupStrategy::default(),
             tally_strategy: TallyStrategy::default(),
+            sort_policy: SortPolicy::default(),
         }
     }
 }
@@ -247,6 +253,9 @@ impl ProblemParams {
                 }
                 "tally_strategy" => {
                     p.tally_strategy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                "sort_policy" => {
+                    p.sort_policy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {
@@ -497,6 +506,7 @@ impl ProblemParams {
                 collision_model: self.collision_model,
                 xs_search: self.lookup_strategy,
                 tally_strategy: self.tally_strategy,
+                sort_policy: self.sort_policy,
                 ..Default::default()
             },
         }
@@ -599,6 +609,22 @@ region 0.5 1.0 0.0 0.5 7.0
         let e = ProblemParams::parse("nx 4\nlookup_strategy magic\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("magic"));
+    }
+
+    #[test]
+    fn parses_sort_policy() {
+        for (name, expect) in [
+            ("off", SortPolicy::Off),
+            ("by_cell", SortPolicy::ByCell),
+            ("by_energy_band", SortPolicy::ByEnergyBand),
+        ] {
+            let p = ProblemParams::parse(&format!("sort_policy {name}\n")).unwrap();
+            assert_eq!(p.sort_policy, expect);
+            assert_eq!(p.build().transport.sort_policy, expect);
+        }
+        let e = ProblemParams::parse("nx 4\nsort_policy fastest\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("fastest"));
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! costs SoA its performance), track it entirely in registers, and `store`
 //! it back.
 
+use crate::arena::{radix_sort_pairs, ScratchArena};
+use crate::config::SortPolicy;
 use crate::counters::EventCounters;
 use crate::events::{resolve_micro_xs_many, TallySink};
 use crate::history::{step_particle_uncached, track_to_census_primed, StepOutcome, TransportCtx};
 use crate::particle::Particle;
-use crate::scheduler::{parallel_for_owned, Schedule};
+use crate::scheduler::{parallel_for_owned_scratch, Schedule};
 use neutral_mesh::tally::AtomicTally;
 use neutral_mesh::{LanePartition, LaneSink, TallyAccum};
 use neutral_rng::CbRng;
@@ -337,47 +339,90 @@ impl<'a> SoAChunkMut<'a> {
 /// chunk's live lanes, then gather → track → scatter per history. Shared
 /// by the Rayon and lane-decomposed drivers so both produce bitwise
 /// identical trajectories.
+///
+/// All staging lanes live in the caller's [`ScratchArena`] (per worker
+/// or per Rayon task), so the steady-state loop performs no per-lane
+/// allocations. Under [`SortPolicy::ByEnergyBand`] the lookup lanes are
+/// gathered in energy-band order — the batched lookup walks monotone
+/// energy-grid runs — while histories are still *tracked* in ascending
+/// lane order, so trajectories and deposit sequences stay bitwise
+/// identical to every other policy.
 fn track_soa_chunk<R: CbRng, T: TallySink>(
     chunk: &mut SoAChunkMut<'_>,
     ctx: &TransportCtx<'_, R>,
     sink: &mut T,
     local: &mut EventCounters,
+    arena: &mut ScratchArena,
 ) {
     let n = chunk.len();
-    // Batched lane-block lookup over the chunk's live lanes, each lane
-    // resolved in its birth cell's material.
-    let alive: Vec<usize> = (0..n).filter(|&i| !chunk.dead[i]).collect();
-    let energies: Vec<f64> = alive.iter().map(|&i| chunk.energy[i]).collect();
-    let mats: Vec<neutral_xs::MaterialId> = alive
-        .iter()
-        .map(|&i| {
+    let a = arena;
+    a.clear();
+    // Live lanes in ascending order, then (optionally) permuted into
+    // energy-band order for the lookup gather only.
+    for i in 0..n {
+        if !chunk.dead[i] {
+            a.idx.push(i as u32);
+        }
+    }
+    // Band-sorting the lanes only pays on the grid backends, whose
+    // batched lookup carries the run-detection memo; the walking
+    // backends would pay the sort and permuted gather for nothing.
+    let sort_lanes = ctx.cfg.sort_policy == SortPolicy::ByEnergyBand
+        && matches!(
+            ctx.cfg.xs_search,
+            crate::config::LookupStrategy::Unionized | crate::config::LookupStrategy::Hashed
+        );
+    if sort_lanes {
+        a.sort_keys.clear();
+        for &iu in &a.idx {
+            let band = (chunk.energy[iu as usize].to_bits() >> 44) as u32;
+            a.sort_keys.push((band, iu));
+        }
+        radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
+        a.idx.clear();
+        a.idx.extend(a.sort_keys.iter().map(|&(_, iu)| iu));
+    }
+    for &iu in &a.idx {
+        let i = iu as usize;
+        a.energies.push(chunk.energy[i]);
+        a.mats.push(
             ctx.mesh
-                .material(chunk.cellx[i] as usize, chunk.celly[i] as usize)
-        })
-        .collect();
-    let mut ha: Vec<u32> = alive.iter().map(|&i| chunk.absorb_hint[i]).collect();
-    let mut hs: Vec<u32> = alive.iter().map(|&i| chunk.scatter_hint[i]).collect();
-    let mut out_a = vec![0.0; alive.len()];
-    let mut out_s = vec![0.0; alive.len()];
+                .material(chunk.cellx[i] as usize, chunk.celly[i] as usize),
+        );
+        a.hints_absorb.push(chunk.absorb_hint[i]);
+        a.hints_scatter.push(chunk.scatter_hint[i]);
+    }
+    a.out_absorb.resize(a.idx.len(), 0.0);
+    a.out_scatter.resize(a.idx.len(), 0.0);
     resolve_micro_xs_many(
         ctx.materials,
         ctx.cfg.xs_search,
-        &mats,
-        &energies,
-        &mut ha,
-        &mut hs,
-        &mut out_a,
-        &mut out_s,
+        &a.mats,
+        &a.energies,
+        &mut a.hints_absorb,
+        &mut a.hints_scatter,
+        &mut a.out_absorb,
+        &mut a.out_scatter,
         local,
     );
-    for (j, &i) in alive.iter().enumerate() {
-        chunk.absorb_hint[i] = ha[j];
-        chunk.scatter_hint[i] = hs[j];
+    // Scatter the per-lane results back to lane-indexed storage, then
+    // track in ascending lane order — the bitwise anchor.
+    a.f64_a.resize(n, 0.0);
+    a.f64_b.resize(n, 0.0);
+    for (j, &iu) in a.idx.iter().enumerate() {
+        let i = iu as usize;
+        chunk.absorb_hint[i] = a.hints_absorb[j];
+        chunk.scatter_hint[i] = a.hints_scatter[j];
+        a.f64_a[i] = a.out_absorb[j];
+        a.f64_b[i] = a.out_scatter[j];
     }
-    for (j, &i) in alive.iter().enumerate() {
+    for i in 0..n {
+        if chunk.dead[i] {
+            continue;
+        }
         let micro = MicroXs {
-            absorb_barns: out_a[j],
-            scatter_barns: out_s[j],
+            absorb_barns: a.f64_a[i],
+            scatter_barns: a.f64_b[i],
         };
         let mut p = chunk.load(i);
         track_to_census_primed(&mut p, ctx, sink, local, micro);
@@ -438,15 +483,22 @@ pub fn run_rayon_soa<R: CbRng>(
     let chunks = soa.chunks_mut(chunk);
     let mut counters = chunks
         .into_par_iter()
-        .fold(EventCounters::default, |mut local, mut chunk| {
-            let mut sink = tally;
-            track_soa_chunk(&mut chunk, ctx, &mut sink, &mut local);
-            local
-        })
-        .reduce(EventCounters::default, |mut a, b| {
-            a.merge(&b);
-            a
-        });
+        .fold(
+            || (EventCounters::default(), ScratchArena::new()),
+            |(mut local, mut arena), mut chunk| {
+                let mut sink = tally;
+                track_soa_chunk(&mut chunk, ctx, &mut sink, &mut local, &mut arena);
+                (local, arena)
+            },
+        )
+        .reduce(
+            || (EventCounters::default(), ScratchArena::new()),
+            |(mut a, arena), (b, _)| {
+                a.merge(&b);
+                (a, arena)
+            },
+        )
+        .0;
     counters.census_energy_ev = (0..soa.len())
         .filter(|&i| !soa.dead[i])
         .map(|i| soa.weight[i] * soa.energy[i])
@@ -511,15 +563,18 @@ pub fn run_lanes_soa<R: CbRng>(
             .zip(accum.lane_views())
             .map(|(chunk, view)| (chunk, view, EventCounters::default()))
             .collect();
-        parallel_for_owned(
-            n_threads,
+        // One reusable arena per *worker*, not per lane: workers claim
+        // many lanes, and the staging lanes carry no cross-lane meaning.
+        let mut arenas: Vec<ScratchArena> = (0..n_threads).map(|_| ScratchArena::new()).collect();
+        parallel_for_owned_scratch(
             schedule.lane_granular(),
             &mut states,
-            |_, (chunk, sink, local)| {
+            &mut arenas,
+            |_, (chunk, sink, local), arena| {
                 if stepped {
                     track_soa_chunk_stepped(chunk, ctx, sink, local);
                 } else {
-                    track_soa_chunk(chunk, ctx, sink, local);
+                    track_soa_chunk(chunk, ctx, sink, local, arena);
                 }
             },
         );

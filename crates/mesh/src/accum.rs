@@ -35,7 +35,44 @@
 
 use crate::tally::AtomicTally;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
+
+/// Multiplicative hasher for the privatized spill maps, whose keys are
+/// plain `u32` cell indices: one `wrapping_mul` by a 64-bit odd constant
+/// (Fibonacci hashing) replaces the default SipHash on the write path of
+/// every out-of-block deposit. Deterministic and DoS-hardening-free by
+/// design — the keys are mesh cells, not attacker input, and the merged
+/// result never depends on map iteration order (per-cell contributions
+/// are re-sorted by lane before the pairwise tree).
+#[derive(Default)]
+pub struct CellHasher {
+    state: u64,
+}
+
+impl Hasher for CellHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only taken for compound keys; fold bytes in deterministically.
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = u64::from(v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The spill buffer of one privatized lane: running per-cell sums for
+/// deposits outside the lane's owned cell block.
+pub type SpillMap = HashMap<u32, f64, BuildHasherDefault<CellHasher>>;
 
 /// Default lane count: the concurrency ceiling of the lane-decomposed
 /// drivers (a lane is processed by one worker) and the replication
@@ -178,7 +215,7 @@ pub enum LaneSink<'a> {
         /// Running per-cell sums for deposits outside the owned block.
         /// Each cell's adds land in chronological order, which is what
         /// makes the replayed partial bitwise-equal to a dense one.
-        spill: &'a mut HashMap<u32, f64>,
+        spill: &'a mut SpillMap,
     },
 }
 
@@ -378,7 +415,7 @@ pub struct PrivatizedAccum {
     cells: usize,
     block_size: usize,
     owned: Vec<Vec<f64>>,
-    spill: Vec<HashMap<u32, f64>>,
+    spill: Vec<SpillMap>,
 }
 
 impl PrivatizedAccum {
@@ -399,7 +436,7 @@ impl PrivatizedAccum {
             cells,
             block_size,
             owned,
-            spill: (0..n_lanes).map(|_| HashMap::new()).collect(),
+            spill: (0..n_lanes).map(|_| SpillMap::default()).collect(),
         }
     }
 }

@@ -369,16 +369,32 @@ impl UnionizedGrid {
     /// absorb_bin, scatter_bin)`.
     #[inline]
     fn resolve(&self, e: f64) -> (f64, f64, u32, u32, u32) {
+        self.resolve_run(e, &mut None)
+    }
+
+    /// As [`Self::resolve`], with a *run-detection* memo: when `e` falls
+    /// in the same union bin as the previous in-range lane (`run`), the
+    /// bucket hash and scan are skipped outright. Sorted (or repeated —
+    /// e.g. a birth population at one energy) lane blocks turn almost
+    /// every search into this O(1) reuse. Union bins partition the
+    /// in-range axis, so a memo hit yields exactly the bin the scan
+    /// would find: outputs and hints are bitwise identical, and only
+    /// the `steps` work meter (honestly) reports the skipped scan work.
+    #[inline]
+    fn resolve_run(&self, e: f64, run: &mut Option<usize>) -> (f64, f64, u32, u32, u32) {
         let m = self.energy.len();
         let mut steps = 0u32;
         let k = if e <= self.energy[0] {
             0
         } else if e >= self.energy[m - 1] {
             m - 2
+        } else if let Some(k) = run.filter(|&k| self.energy[k] <= e && e < self.energy[k + 1]) {
+            k
         } else {
             let start = (self.hash.start[self.hash.bucket(e)] as usize).min(m - 2);
             let (i, ns) = scan_to_bin(&self.energy, start, e);
             steps = ns;
+            *run = Some(i);
             i
         };
         let seg = &self.segments[k];
@@ -446,8 +462,9 @@ impl XsLookup for UnionizedLookup<'_> {
         assert_eq!(energies.len(), out_absorb.len());
         assert_eq!(energies.len(), out_scatter.len());
         let mut steps = 0u64;
+        let mut run = None;
         for (i, &e) in energies.iter().enumerate() {
-            let (a, s, ns, ia, is) = self.grid.resolve(e);
+            let (a, s, ns, ia, is) = self.grid.resolve_run(e, &mut run);
             out_absorb[i] = a;
             out_scatter[i] = s;
             hints_absorb[i] = ia;
@@ -555,6 +572,21 @@ impl HashedGrid {
 
 #[inline]
 fn hashed_one(t: &CrossSection, h: &TableHash, e: f64, hint: &mut u32) -> (f64, u32) {
+    hashed_one_run(t, h, e, hint, &mut None)
+}
+
+/// As [`hashed_one`], with the run-detection memo of the batched path:
+/// a lane landing in the previous lane's bin reuses it without touching
+/// the bucket index. Bins partition the in-range axis, so a memo hit is
+/// exactly the scan's answer — bitwise-identical value and hint.
+#[inline]
+fn hashed_one_run(
+    t: &CrossSection,
+    h: &TableHash,
+    e: f64,
+    hint: &mut u32,
+    run: &mut Option<usize>,
+) -> (f64, u32) {
     let eg = t.energies();
     let n = eg.len();
     if e <= eg[0] {
@@ -565,8 +597,13 @@ fn hashed_one(t: &CrossSection, h: &TableHash, e: f64, hint: &mut u32) -> (f64, 
         *hint = (n - 2) as u32;
         return (t.values()[n - 1], 0);
     }
+    if let Some(i) = run.filter(|&i| eg[i] <= e && e < eg[i + 1]) {
+        *hint = i as u32;
+        return (t.lerp(i, e), 0);
+    }
     let start = (h.start[h.bucket(e)] as usize).min(n - 2);
     let (i, steps) = scan_to_bin(eg, start, e);
+    *run = Some(i);
     *hint = i as u32;
     (t.lerp(i, e), steps)
 }
@@ -592,6 +629,19 @@ impl HashedLookup<'_> {
     /// stay bitwise equal to the two-index path.
     #[inline]
     fn lookup_shared(&self, e: f64, hints: &mut XsHints) -> (MicroXs, u32) {
+        self.lookup_shared_run(e, hints, &mut None)
+    }
+
+    /// [`Self::lookup_shared`] with the run-detection memo (see
+    /// [`hashed_one_run`]): the batched path threads one memo across the
+    /// lane block, so sorted or repeated energies skip the bucket+scan.
+    #[inline]
+    fn lookup_shared_run(
+        &self,
+        e: f64,
+        hints: &mut XsHints,
+        run: &mut Option<usize>,
+    ) -> (MicroXs, u32) {
         let absorb = &self.lib.absorb;
         let scatter = &self.lib.scatter;
         let eg = absorb.energies();
@@ -618,9 +668,15 @@ impl HashedLookup<'_> {
                 0,
             );
         }
-        let h = &self.grid.absorb;
-        let start = (h.start[h.bucket(e)] as usize).min(n - 2);
-        let (i, steps) = scan_to_bin(eg, start, e);
+        let (i, steps) = if let Some(i) = run.filter(|&i| eg[i] <= e && e < eg[i + 1]) {
+            (i, 0)
+        } else {
+            let h = &self.grid.absorb;
+            let start = (h.start[h.bucket(e)] as usize).min(n - 2);
+            let (i, steps) = scan_to_bin(eg, start, e);
+            *run = Some(i);
+            (i, steps)
+        };
         hints.absorb = i as u32;
         hints.scatter = i as u32;
         (
@@ -677,16 +733,39 @@ impl XsLookup for HashedLookup<'_> {
         assert_eq!(energies.len(), out_absorb.len());
         assert_eq!(energies.len(), out_scatter.len());
         let mut steps = 0u64;
+        let mut run_a = None;
+        let mut run_s = None;
         for (i, &e) in energies.iter().enumerate() {
             let mut hints = XsHints {
                 absorb: hints_absorb[i],
                 scatter: hints_scatter[i],
             };
-            let (micro, ns) = self.lookup(e, &mut hints);
+            let ns = if let Some(scatter_hash) = &self.grid.scatter {
+                let (a, na) = hashed_one_run(
+                    &self.lib.absorb,
+                    &self.grid.absorb,
+                    e,
+                    &mut hints.absorb,
+                    &mut run_a,
+                );
+                let (sv, nsv) = hashed_one_run(
+                    &self.lib.scatter,
+                    scatter_hash,
+                    e,
+                    &mut hints.scatter,
+                    &mut run_s,
+                );
+                out_absorb[i] = a;
+                out_scatter[i] = sv;
+                na + nsv
+            } else {
+                let (micro, ns) = self.lookup_shared_run(e, &mut hints, &mut run_a);
+                out_absorb[i] = micro.absorb_barns;
+                out_scatter[i] = micro.scatter_barns;
+                ns
+            };
             hints_absorb[i] = hints.absorb;
             hints_scatter[i] = hints.scatter;
-            out_absorb[i] = micro.absorb_barns;
-            out_scatter[i] = micro.scatter_barns;
             steps += u64::from(ns);
         }
         steps
@@ -861,9 +940,135 @@ mod tests {
                 );
             }
             // The hinted backend walks from the per-call hints, which the
-            // scalar replay above resets each time; steps must still match
-            // because the batched default does exactly the same.
-            assert_eq!(batch_steps, scalar_steps, "{strategy:?}");
+            // scalar replay above resets each time; steps must still
+            // match because the batched default does exactly the same.
+            // The grid backends' batched paths carry a run-detection
+            // memo, so on this monotone block they honestly report
+            // *less* search work than the scalar replay.
+            match strategy {
+                LookupStrategy::Binary | LookupStrategy::Hinted => {
+                    assert_eq!(batch_steps, scalar_steps, "{strategy:?}");
+                }
+                LookupStrategy::Unionized | LookupStrategy::Hashed => {
+                    assert!(
+                        batch_steps <= scalar_steps,
+                        "{strategy:?}: run detection must never add steps \
+                         ({batch_steps} vs {scalar_steps})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The run-detection contract: whatever the lane order — sorted,
+    /// reversed, repeated, boundary-hopping — the batched grid lookups
+    /// return bitwise the same values and hints as scalar lookups.
+    #[test]
+    fn run_detection_is_bitwise_invisible() {
+        for lib in [lib(1024, 33), mismatched_lib()] {
+            let (lo, hi) = lib.absorb.energy_range();
+            let mut blocks: Vec<Vec<f64>> = Vec::new();
+            // Ascending fine sweep (many lanes per bin).
+            blocks.push(
+                (0..800)
+                    .map(|i| lo * (hi / lo).powf(i as f64 / 800.0))
+                    .collect(),
+            );
+            // Descending (memo misses going backwards).
+            let mut desc = blocks[0].clone();
+            desc.reverse();
+            blocks.push(desc);
+            // All-identical lanes (a birth population).
+            blocks.push(vec![(lo * hi).sqrt(); 300]);
+            // In/out-of-range hops around both boundaries.
+            blocks.push(vec![
+                lo / 2.0,
+                lo,
+                lo * 1.0001,
+                lo / 3.0,
+                hi,
+                hi * 2.0,
+                hi * 0.9999,
+                lo,
+                hi * 5.0,
+            ]);
+            // Exact grid points interleaved with midpoints.
+            let eg: Vec<f64> = lib.absorb.energies().iter().copied().take(64).collect();
+            let mut mixed = Vec::new();
+            for w in eg.windows(2) {
+                mixed.push(w[0]);
+                mixed.push(0.5 * (w[0] + w[1]));
+            }
+            blocks.push(mixed);
+
+            for strategy in [LookupStrategy::Unionized, LookupStrategy::Hashed] {
+                let backend = lib.backend(strategy);
+                for (bi, block) in blocks.iter().enumerate() {
+                    let n = block.len();
+                    let mut ha = vec![7u32; n];
+                    let mut hs = vec![2u32; n];
+                    let mut oa = vec![0.0; n];
+                    let mut os = vec![0.0; n];
+                    backend.lookup_many(block, &mut ha, &mut hs, &mut oa, &mut os);
+                    for (j, &e) in block.iter().enumerate() {
+                        let mut hints = XsHints {
+                            absorb: 7,
+                            scatter: 2,
+                        };
+                        let (micro, _) = backend.lookup(e, &mut hints);
+                        assert_eq!(
+                            micro.absorb_barns.to_bits(),
+                            oa[j].to_bits(),
+                            "{strategy:?} block {bi} lane {j} (E={e}): absorb"
+                        );
+                        assert_eq!(
+                            micro.scatter_barns.to_bits(),
+                            os[j].to_bits(),
+                            "{strategy:?} block {bi} lane {j} (E={e}): scatter"
+                        );
+                        assert_eq!(
+                            (hints.absorb, hints.scatter),
+                            (ha[j], hs[j]),
+                            "{strategy:?} block {bi} lane {j} (E={e}): hints"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run detection pays where it is designed to: a lane block of
+    /// identical energies (every birth population) resolves with zero
+    /// scan steps after the first lane.
+    #[test]
+    fn run_detection_skips_repeated_lanes() {
+        let lib = lib(4096, 55);
+        let (lo, hi) = lib.absorb.energy_range();
+        // An interior energy whose bucket start needs a non-zero scan,
+        // found by probing; fall back to any interior energy.
+        let e = (0..1000)
+            .map(|i| lo * (hi / lo).powf(i as f64 / 1000.0))
+            .find(|&e| {
+                let mut h = XsHints::default();
+                lib.backend(LookupStrategy::Hashed).lookup(e, &mut h).1 > 0
+            })
+            .unwrap_or((lo * hi).sqrt());
+        for strategy in [LookupStrategy::Unionized, LookupStrategy::Hashed] {
+            let backend = lib.backend(strategy);
+            let mut h = XsHints::default();
+            let (_, scalar_steps) = backend.lookup(e, &mut h);
+            let n = 64;
+            let block = vec![e; n];
+            let mut ha = vec![0u32; n];
+            let mut hs = vec![0u32; n];
+            let mut oa = vec![0.0; n];
+            let mut os = vec![0.0; n];
+            let batch_steps = backend.lookup_many(&block, &mut ha, &mut hs, &mut oa, &mut os);
+            assert_eq!(
+                batch_steps,
+                u64::from(scalar_steps),
+                "{strategy:?}: only the first lane may search"
+            );
         }
     }
 
