@@ -1,4 +1,5 @@
-//! Figure 8: per-method vectorisation of the Over-Events kernels.
+//! Figure 8: per-method vectorisation of the Over-Events kernels, plus
+//! the coherence subsystem sweep (compaction + sort policies).
 //!
 //! The paper restructured the Over-Events loops so the compiler could
 //! vectorise them — notably hoisting the atomic tally updates into a
@@ -7,16 +8,26 @@
 //!
 //! Part 1 measures the per-kernel wall-clock of the scalar vs restructured
 //! ("vectorizable") kernels on this host for a facet-heavy (stream) and a
-//! collision-heavy (scatter) problem. Part 2 models the KNL's AVX-512
-//! advantage with the architecture model's vector-efficiency term.
+//! collision-heavy (scatter) problem. Part 2 sweeps the coherence
+//! subsystem (DESIGN.md §13): the event-based driver under every
+//! [`SortPolicy`], on the deterministic replicated-tally path whose
+//! separated flush dominates the seed profile — every cell of the sweep
+//! computes bitwise identical physics, so the columns compare speed
+//! only. Part 3 models the KNL's AVX-512 advantage with the architecture
+//! model's vector-efficiency term.
+//!
+//! `--quick` runs a seconds-scale smoke sweep (used by CI); `--json PATH`
+//! additionally writes the measurements as a machine-readable
+//! [`neutral_bench::report::BenchReport`].
 
+use neutral_bench::report::{BenchRecord, BenchReport};
 use neutral_bench::*;
 use neutral_core::prelude::*;
 use neutral_perf::arch::{BROADWELL_2S, KNL_7210_MCDRAM};
 use neutral_perf::calibrate::ModelParams;
 use neutral_perf::model::predict;
 
-fn kernel_row(case: TestCase, args: &HarnessArgs) -> Vec<Vec<String>> {
+fn kernel_row(case: TestCase, args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>> {
     let run = |style| {
         run_median(
             case,
@@ -28,11 +39,21 @@ fn kernel_row(case: TestCase, args: &HarnessArgs) -> Vec<Vec<String>> {
             },
             args,
         )
-        .kernel_timings
-        .expect("OE reports timings")
     };
-    let scalar = run(KernelStyle::Scalar);
-    let vector = run(KernelStyle::Vectorized);
+    let scalar_report = run(KernelStyle::Scalar);
+    let vector_report = run(KernelStyle::Vectorized);
+    for (name, r) in [("scalar", &scalar_report), ("vectorized", &vector_report)] {
+        report.push(
+            BenchRecord::new(format!("oe/{}/{name}", case.name()))
+                .config("part", "kernel_styles")
+                .config("case", case.name())
+                .config("kernel_style", name)
+                .metric("elapsed_s", r.elapsed.as_secs_f64())
+                .metric("events_per_s", r.events_per_second()),
+        );
+    }
+    let scalar = scalar_report.kernel_timings.expect("OE reports timings");
+    let vector = vector_report.kernel_timings.expect("OE reports timings");
 
     let mut rows = Vec::new();
     for (name, s, v) in [
@@ -52,18 +73,112 @@ fn kernel_row(case: TestCase, args: &HarnessArgs) -> Vec<Vec<String>> {
     rows
 }
 
+/// Part 2: the coherence sweep — compacted event-based driver on the
+/// replicated-tally lane path. The paper's three cases run the scalar
+/// kernels per sort policy; `core_escape` (the catalogue's compaction
+/// stress shape: most histories die early, the rest stream thousands of
+/// rounds) runs both kernel styles — the vectorized kernels are where
+/// dead-lane dilution hurt the seed most, and where compaction pays
+/// 2x on this sweep.
+fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let measure = |label: &str,
+                   problem: &mut Problem,
+                   style: KernelStyle,
+                   policy: SortPolicy,
+                   rows: &mut Vec<Vec<String>>,
+                   report: &mut BenchReport| {
+        problem.transport.sort_policy = policy;
+        let r = median_run(
+            problem,
+            RunOptions {
+                scheme: Scheme::OverEvents,
+                kernel_style: style,
+                execution: Execution::Rayon,
+                ..Default::default()
+            },
+            args.reps,
+        );
+        let t = r.kernel_timings.expect("OE reports timings");
+        let style_name = match style {
+            KernelStyle::Scalar => "scalar",
+            KernelStyle::Vectorized => "vectorized",
+        };
+        rows.push(vec![
+            label.to_owned(),
+            style_name.to_owned(),
+            policy.name().to_owned(),
+            format!("{:.3}", r.elapsed.as_secs_f64()),
+            format!("{:.3e}", r.events_per_second()),
+            format!("{:.0}%", 100.0 * t.tally_fraction()),
+            format!("{}", r.counters.cs_search_steps),
+        ]);
+        report.push(
+            BenchRecord::new(format!("oe/{label}/{style_name}/{}", policy.name()))
+                .config("part", "coherence")
+                .config("case", label)
+                .config("driver", "over_events")
+                .config("kernel_style", style_name)
+                .config("tally", "replicated")
+                .config("sort", policy.name())
+                .metric("elapsed_s", r.elapsed.as_secs_f64())
+                .metric("events_per_s", r.events_per_second())
+                .metric("tally_fraction", t.tally_fraction())
+                .metric("cs_search_steps", r.counters.cs_search_steps as f64),
+        );
+    };
+    for case in TestCase::ALL {
+        let mut problem = case.build(args.scale, args.seed);
+        problem.transport.tally_strategy = TallyStrategy::Replicated;
+        for policy in SortPolicy::ALL {
+            measure(
+                case.name(),
+                &mut problem,
+                KernelStyle::Scalar,
+                policy,
+                &mut rows,
+                report,
+            );
+        }
+    }
+    let mut problem = Scenario::CoreEscape.build(args.scale, args.seed);
+    problem.transport.tally_strategy = TallyStrategy::Replicated;
+    for style in [KernelStyle::Scalar, KernelStyle::Vectorized] {
+        for policy in SortPolicy::ALL {
+            measure(
+                "core_escape",
+                &mut problem,
+                style,
+                policy,
+                &mut rows,
+                report,
+            );
+        }
+    }
+    rows
+}
+
 fn main() {
     let args = HarnessArgs::from_env();
+    let mut report = BenchReport::new("fig08_vectorization");
+    report.note(format!(
+        "scale={}x{} mesh, particle_div={}, reps={}, seed={}",
+        args.scale.mesh_cells,
+        args.scale.mesh_cells,
+        args.scale.particle_divisor,
+        args.reps,
+        args.seed
+    ));
     banner(
         "Figure 8",
-        "vectorisation per method, Over Events",
-        "part 1 measured on this host; part 2 modeled (KNL AVX-512 vs scalar)",
+        "vectorisation per method + coherence sweep, Over Events",
+        "parts 1-2 measured on this host; part 3 modeled (KNL AVX-512 vs scalar)",
     );
 
     println!("\n-- measured per-kernel times, scalar vs restructured --");
     let mut rows = Vec::new();
-    rows.extend(kernel_row(TestCase::Stream, &args));
-    rows.extend(kernel_row(TestCase::Scatter, &args));
+    rows.extend(kernel_row(TestCase::Stream, &args, &mut report));
+    rows.extend(kernel_row(TestCase::Scatter, &args, &mut report));
     print_table(
         &[
             "problem",
@@ -73,6 +188,25 @@ fn main() {
             "speedup",
         ],
         &rows,
+    );
+
+    println!("\n-- coherence sweep: compacted OE driver x sort policy (replicated tally) --");
+    let rows = coherence_rows(&args, &mut report);
+    print_table(
+        &[
+            "problem",
+            "kernels",
+            "sort",
+            "time (s)",
+            "events/s",
+            "tally share",
+            "search steps",
+        ],
+        &rows,
+    );
+    println!(
+        "  (physics is bitwise identical across every row of a problem; the\n\
+         \x20  coherence suite in tests/tests/coherence.rs enforces it)"
     );
 
     println!("\n-- modeled whole-scheme vectorisation effect --");
@@ -109,4 +243,9 @@ fn main() {
          latency-bound (paper: only facets improved), while the KNL's 8-wide\n\
          AVX-512 with MCDRAM benefits substantially (paper: all methods)."
     );
+
+    if let Some(path) = &args.json {
+        report.write(path).expect("write --json report");
+        println!("\nmachine-readable report written to {path}");
+    }
 }

@@ -11,10 +11,13 @@
 //! Figure 15 lookup sweep.
 //!
 //! Run with `cargo run --release -p neutral-bench --bin fig16_scenarios
-//! [--quick]`. `--quick` runs a seconds-scale smoke sweep (used by CI);
-//! measured numbers are only meaningful from `--release` builds.
+//! [--quick] [--json PATH]`. `--quick` runs a seconds-scale smoke sweep
+//! (used by CI); `--json` additionally writes the measurements as a
+//! machine-readable [`neutral_bench::report::BenchReport`]; measured
+//! numbers are only meaningful from `--release` builds.
 
-use neutral_bench::{banner, host_threads, print_table};
+use neutral_bench::report::{BenchRecord, BenchReport};
+use neutral_bench::{banner, host_threads, median_run, print_table};
 use neutral_core::prelude::*;
 
 /// `(label, scheme, layout)` of the four driver families.
@@ -25,15 +28,14 @@ const DRIVERS: [(&str, Scheme, Layout); 4] = [
     ("soa", Scheme::OverParticles, Layout::Soa),
 ];
 
-fn median_run(problem: &Problem, options: RunOptions, reps: usize) -> RunReport {
-    let sim = Simulation::new(problem.clone());
-    let mut reports: Vec<RunReport> = (0..reps.max(1)).map(|_| sim.run(options)).collect();
-    reports.sort_by_key(|r| r.elapsed);
-    reports.swap_remove(reports.len() / 2)
-}
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let json = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1)
+            .unwrap_or_else(|| panic!("--json requires a PATH operand"))
+            .clone()
+    });
     let seed = 20_170_905;
     banner(
         "Figure 16 (scenario catalogue)",
@@ -60,6 +62,11 @@ fn main() {
         vec![LookupStrategy::Hinted, LookupStrategy::Unionized]
     };
     let threads = host_threads();
+    let mut report = BenchReport::new("fig16_scenarios");
+    report.note(format!(
+        "scale={}x{} mesh, particle_div={}, reps={reps}, seed={seed}, threads={threads}",
+        scale.mesh_cells, scale.mesh_cells, scale.particle_divisor
+    ));
 
     for scenario in Scenario::ALL {
         let mut problem = scenario.build(scale, seed);
@@ -93,6 +100,18 @@ fn main() {
                 let r = median_run(&problem, options, reps);
                 let c = &r.counters;
                 let histories = (c.census + c.deaths).max(1);
+                report.push(
+                    BenchRecord::new(format!("{}/{}/{}", scenario.name(), label, lookup.name()))
+                        .config("scenario", scenario.name())
+                        .config("driver", label)
+                        .config("lookup", lookup.name())
+                        .metric("elapsed_s", r.elapsed.as_secs_f64())
+                        .metric("events_per_s", r.events_per_second())
+                        .metric(
+                            "switches_per_history",
+                            c.material_switches as f64 / histories as f64,
+                        ),
+                );
                 rows.push(vec![
                     lookup.name().to_owned(),
                     label.to_owned(),
@@ -123,4 +142,9 @@ fn main() {
          table (DESIGN.md §12) predicts, and the lookup-strategy ranking of \
          Figure 15 carries over to multi-material workloads."
     );
+
+    if let Some(path) = &json {
+        report.write(path).expect("write --json report");
+        println!("machine-readable report written to {path}");
+    }
 }

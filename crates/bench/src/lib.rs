@@ -16,12 +16,14 @@
 
 #![warn(clippy::all)]
 
+pub mod report;
+
 use neutral_core::prelude::*;
 use neutral_perf::model::{KernelProfile, SchemeKind};
 use std::time::Duration;
 
 /// Command-line options shared by the figure binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Problem scale for measured runs.
     pub scale: ProblemScale,
@@ -29,6 +31,9 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Repetitions per measured configuration (median is reported).
     pub reps: usize,
+    /// Where to write the machine-readable [`report::BenchReport`]
+    /// (`--json PATH`); `None` prints tables only.
+    pub json: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -37,6 +42,7 @@ impl Default for HarnessArgs {
             scale: ProblemScale::small(),
             seed: 20170905, // the paper's conference date
             reps: 3,
+            json: None,
         }
     }
 }
@@ -69,6 +75,16 @@ impl HarnessArgs {
                     i += 1;
                     out.reps = args[i].parse::<usize>().expect("--reps N").max(1);
                 }
+                // Seconds-scale smoke mode, used by CI to catch panics
+                // in the sweep binaries.
+                "--quick" => {
+                    out.scale = ProblemScale::tiny();
+                    out.reps = 1;
+                }
+                "--json" => {
+                    i += 1;
+                    out.json = Some(args[i].clone());
+                }
                 other => panic!("unknown argument: {other}"),
             }
             i += 1;
@@ -99,8 +115,15 @@ pub fn run_once(case: TestCase, options: RunOptions, args: &HarnessArgs) -> RunR
 /// Run `reps` times and return the median-wall-clock report.
 #[must_use]
 pub fn run_median(case: TestCase, options: RunOptions, args: &HarnessArgs) -> RunReport {
-    let sim = Simulation::new(case.build(args.scale, args.seed));
-    let mut reports: Vec<RunReport> = (0..args.reps).map(|_| sim.run(options)).collect();
+    median_run(&case.build(args.scale, args.seed), options, args.reps)
+}
+
+/// Median-of-`reps` run of an already-built problem (shared by the
+/// figure binaries that configure transport options themselves).
+#[must_use]
+pub fn median_run(problem: &Problem, options: RunOptions, reps: usize) -> RunReport {
+    let sim = Simulation::new(problem.clone());
+    let mut reports: Vec<RunReport> = (0..reps.max(1)).map(|_| sim.run(options)).collect();
     reports.sort_by_key(|r| r.elapsed);
     reports.swap_remove(reports.len() / 2)
 }

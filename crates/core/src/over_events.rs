@@ -133,30 +133,45 @@ enum Status {
 }
 
 /// Per-window coherence state that persists across kernel invocations:
-/// the compacted index lists every kernel iterates and the scratch arena
-/// for batched lookups and restructured passes. One instance per
-/// breadth-first window, created once per solve, so the steady-state
-/// round loop performs no allocations.
+/// the compacted index lists, the occupancy-dispatch bookkeeping and the
+/// scratch arena for batched lookups and restructured passes. One
+/// instance per breadth-first window, created once per solve, so the
+/// steady-state round loop performs no allocations.
 ///
-/// The lists replace the seed behaviour ("every kernel visits the whole
-/// particle list and checks a predicate") with *stream compaction*:
-/// kernel trip counts shrink as the population dies. All lists hold
-/// window-local indices. `active` is kept in **ascending index order**
-/// (its compaction is an order-preserving `retain`), which is what keeps
-/// every kernel's per-particle operation sequence — and therefore every
-/// `f64` accumulation — bitwise identical to the uncompacted sweeps.
+/// **Hybrid occupancy dispatch.** The seed's kernels swept the whole
+/// particle array and checked an alive/tag predicate per lane; pure
+/// list iteration replaces the predictable linear sweep with an
+/// index-indirected gather, which *loses* on near-full windows (the
+/// index loads and list maintenance cost more than the few skipped
+/// lanes save). Each round therefore picks one of two bitwise-identical
+/// iteration modes, per window:
+///
+/// * **sweep** (live fraction ≥ [`SWEEP_NUM`]/[`SWEEP_DEN`]) — the
+///   seed's predicate sweeps, untouched;
+/// * **list** (below the threshold) — stream compaction: every kernel
+///   iterates maintained compacted index lists, so trip counts track
+///   the live population instead of the allocation.
+///
+/// Both modes visit the same particles in the same ascending order, so
+/// the physics — including every order-sensitive `f64` accumulation —
+/// is bitwise identical; only the memory-access pattern changes.
+/// `active` is kept ascending (its compaction is an order-preserving
+/// `retain`), which is what the identity argument rests on.
 #[derive(Default)]
 struct WindowState {
     arena: ScratchArena,
     /// Compacted indices of particles still `Active` at the last
-    /// compaction point (start of each decide kernel), ascending. Until
-    /// the next compaction it also retains particles that died or hit
-    /// census *this* round — exactly the set whose pending deposits the
-    /// round's tally flush must visit.
+    /// compaction point, ascending. Between compactions it also retains
+    /// particles that died or hit census since — in list mode exactly
+    /// the set whose pending deposits the round's tally flush must
+    /// visit. Stale (and unread) while sweep mode holds; the entry
+    /// `retain` on switching to list mode removes every departure at
+    /// once.
     active: Vec<u32>,
-    /// This round's collision-tagged subset of `active` (ascending).
+    /// This round's collision-tagged live subset (ascending; list mode
+    /// only — sweep mode re-checks tags like the seed).
     coll: Vec<u32>,
-    /// This round's facet-tagged subset of `active` (ascending).
+    /// This round's facet-tagged live subset (ascending; list mode only).
     facet: Vec<u32>,
     /// Every index that reached census, accumulated across rounds;
     /// sorted ascending before the final census kernel so the census
@@ -166,21 +181,34 @@ struct WindowState {
     /// ascending index order so `lost_energy_ev` accumulates in exactly
     /// the seed's sequence whatever order the collision kernel ran in.
     deaths: Vec<(u32, f64)>,
+    /// Live (`Active`) particles in this window, maintained by the
+    /// decide (census departures) and collision (deaths) kernels — the
+    /// occupancy the dispatch decides on without scanning anything.
+    live: usize,
+    /// Whether this round runs the sweep arm (set by `begin_round`).
+    sweep: bool,
     /// Whether any particle left the active set since the last
     /// compaction (death or census arrival). When false the retain scan
-    /// is skipped entirely — facet-heavy rounds where nobody leaves pay
-    /// nothing for compaction.
+    /// is skipped entirely — rounds where nobody leaves pay nothing for
+    /// compaction.
     needs_compact: bool,
 }
 
+/// Occupancy threshold of the hybrid dispatch: sweep while
+/// `live * SWEEP_DEN >= window_len * SWEEP_NUM`.
+const SWEEP_NUM: usize = 7;
+/// See [`SWEEP_NUM`].
+const SWEEP_DEN: usize = 8;
+
 impl WindowState {
-    /// Round prologue shared by both decide kernels: compact the active
+    /// Round prologue shared by both decide kernels: pick the iteration
+    /// mode from the live occupancy, and in list mode compact the active
     /// list (order-preserving, so it stays ascending — the property the
     /// bitwise-identity invariant rests on) and reset the round's tagged
     /// lists.
     ///
-    /// Note the kernels always *iterate* in ascending index order: the
-    /// particle state lives in index-ordered arrays, so a permuted
+    /// Note that even list mode iterates in ascending index order: the
+    /// particle state lives in index-ordered arrays, so a *permuted*
     /// iteration order would turn every state access into a random
     /// gather (measurably slower on CPUs, where — unlike the GPU codes
     /// that physically regroup particles — identity must stay put). The
@@ -188,7 +216,8 @@ impl WindowState {
     /// clustering pays: the separated tally flush and the batched
     /// lookup lane blocks.
     fn begin_round(&mut self, status: &[Status]) {
-        if self.needs_compact {
+        self.sweep = self.live * SWEEP_DEN >= status.len() * SWEEP_NUM;
+        if !self.sweep && self.needs_compact {
             self.active
                 .retain(|&i| status[i as usize] == Status::Active);
             self.needs_compact = false;
@@ -606,7 +635,9 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         facet,
         census,
         deaths,
+        live,
         needs_compact,
+        ..
     } = &mut *w.ws;
     a.clear();
     active.clear();
@@ -629,6 +660,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         a.hints_absorb.push(p.xs_hints.absorb);
         a.hints_scatter.push(p.xs_hints.scatter);
     }
+    *live = active.len();
 
     a.out_absorb.resize(active.len(), 0.0);
     a.out_scatter.resize(active.len(), 0.0);
@@ -657,12 +689,13 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     c
 }
 
-/// Scalar event selection over the compacted index list: compact away
-/// last round's deaths and census arrivals (order-preserving, so the
-/// list stays ascending), then one per-particle call into the shared
-/// [`next_event`] physics for each remaining active particle. Tagged
-/// indices are streamed into the round's collision/facet lists, which is
-/// what shrinks every downstream kernel's trip count.
+/// Scalar event selection under the hybrid dispatch: a predicate sweep
+/// on near-full windows (the seed behaviour bit for bit), the compacted
+/// index list once the population has thinned. Both arms call the same
+/// [`next_event`] physics per live particle in ascending order; the
+/// list arm additionally streams the tagged indices into the round's
+/// collision/facet lists, which is what shrinks every downstream
+/// kernel's trip count.
 fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     let mut c = EventCounters::default();
     w.ws.begin_round(w.status);
@@ -671,45 +704,80 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
         coll,
         facet,
         census,
+        live,
+        sweep,
         needs_compact,
         ..
     } = &mut *w.ws;
+    let sweep = *sweep;
     let status = &mut *w.status;
-    for &iu in active.iter() {
-        let i = iu as usize;
-        let p = &w.particles[i];
-        let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
-        let bounds = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
-        match next_event(p, sigma_t, bounds) {
-            NextEvent::Census(_) => {
-                status[i] = Status::AtCensus;
-                w.tag[i] = Tag::None;
-                census.push(iu);
-                *needs_compact = true;
+    let (particles, micro_a, micro_s, n_dens, tag, dist) = (
+        &*w.particles,
+        &*w.micro_a,
+        &*w.micro_s,
+        &*w.n_dens,
+        &mut *w.tag,
+        &mut *w.dist,
+    );
+    // One body, two explicitly unswitched loops (macro-expanded so both
+    // arms inline): the seed's predicate sweep and the compacted-list
+    // walk generate tight codegen instead of a per-iteration mode branch.
+    macro_rules! body {
+        ($i:expr, $sweeping:expr) => {{
+            let i = $i;
+            let p = &particles[i];
+            let sigma_t = macroscopic_per_m(micro_a[i] + micro_s[i], n_dens[i]);
+            let bounds = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
+            match next_event(p, sigma_t, bounds) {
+                NextEvent::Census(_) => {
+                    status[i] = Status::AtCensus;
+                    tag[i] = Tag::None;
+                    census.push(i as u32);
+                    *live -= 1;
+                    *needs_compact = true;
+                }
+                NextEvent::Facet(d, f) => {
+                    tag[i] = Tag::facet(f);
+                    dist[i] = d;
+                    if !$sweeping {
+                        facet.push(i as u32);
+                    }
+                    c.collisions += 1; // "active" count (see caller)
+                }
+                NextEvent::Collision(d) => {
+                    tag[i] = Tag::Collision;
+                    dist[i] = d;
+                    if !$sweeping {
+                        coll.push(i as u32);
+                    }
+                    c.collisions += 1;
+                }
             }
-            NextEvent::Facet(d, f) => {
-                w.tag[i] = Tag::facet(f);
-                w.dist[i] = d;
-                facet.push(iu);
-                c.collisions += 1; // "active" count (see caller)
+        }};
+    }
+    if sweep {
+        for i in 0..particles.len() {
+            if status[i] != Status::Active {
+                tag[i] = Tag::None;
+                continue;
             }
-            NextEvent::Collision(d) => {
-                w.tag[i] = Tag::Collision;
-                w.dist[i] = d;
-                coll.push(iu);
-                c.collisions += 1;
-            }
+            body!(i, true);
+        }
+    } else {
+        for &iu in active.iter() {
+            body!(iu as usize, false);
         }
     }
     c
 }
 
-/// Vectorisable event selection over the compacted index list: a
-/// branch-light arithmetic pass computes the three candidate distances
-/// for every *live* lane (dead lanes no longer dilute the vector — the
-/// compaction cure for the divergent alive-mask of fig. 8), then a short
-/// scalar pass assigns tags. The physics is identical to the scalar
-/// kernel.
+/// Vectorisable event selection under the hybrid dispatch: a
+/// branch-light arithmetic pass computes the three candidate distances —
+/// over the whole window in sweep mode (the seed's "kernels visit the
+/// entire list" gather), over the live lanes only in list mode (dead
+/// lanes no longer dilute the vector — the compaction cure for the
+/// divergent alive-mask of fig. 8) — then a short scalar pass assigns
+/// tags. The physics is identical to the scalar kernel.
 fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
     w.ws.begin_round(w.status);
     let WindowState {
@@ -718,11 +786,18 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
         coll,
         facet,
         census,
+        live,
+        sweep,
         needs_compact,
         ..
     } = &mut *w.ws;
+    let sweep = *sweep;
     let status = &mut *w.status;
-    let m = active.len();
+    let m = if sweep {
+        w.particles.len()
+    } else {
+        active.len()
+    };
     a.f64_a.clear();
     a.f64_a.resize(m, 0.0);
     a.f64_b.clear();
@@ -735,68 +810,108 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
         (&mut a.f64_a, &mut a.f64_b, &mut a.f64_c, &mut a.flags);
 
     // Pass 1: pure arithmetic, no calls, no data-dependent branches beyond
-    // selects — the loop the auto-vectoriser gets to chew on.
-    for (j, &iu) in active.iter().enumerate() {
-        let i = iu as usize;
-        let p = &w.particles[i];
-        let speed = speed_m_per_s(p.energy);
-        let sigma_t = macroscopic_per_m(w.micro_a[i] + w.micro_s[i], w.n_dens[i]);
-        d_census[j] = speed * p.dt_to_census;
-        d_coll[j] = if sigma_t > 0.0 {
-            p.mfp_to_collision / sigma_t
+    // selects — the loop the auto-vectoriser gets to chew on. Explicitly
+    // unswitched on the dispatch mode so the sweep arm stays the seed's
+    // dense loop.
+    {
+        let (particles, micro_a, micro_s, n_dens) =
+            (&*w.particles, &*w.micro_a, &*w.micro_s, &*w.n_dens);
+        macro_rules! pass1 {
+            ($j:expr, $i:expr) => {{
+                let (j, i) = ($j, $i);
+                let p = &particles[i];
+                let speed = speed_m_per_s(p.energy);
+                let sigma_t = macroscopic_per_m(micro_a[i] + micro_s[i], n_dens[i]);
+                d_census[j] = speed * p.dt_to_census;
+                d_coll[j] = if sigma_t > 0.0 {
+                    p.mfp_to_collision / sigma_t
+                } else {
+                    f64::INFINITY
+                };
+                let (x0, x1, y0, y1) = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
+                let dx = if p.omega_x > 0.0 {
+                    (x1 - p.x) / p.omega_x
+                } else if p.omega_x < 0.0 {
+                    (x0 - p.x) / p.omega_x
+                } else {
+                    f64::INFINITY
+                };
+                let dy = if p.omega_y > 0.0 {
+                    (y1 - p.y) / p.omega_y
+                } else if p.omega_y < 0.0 {
+                    (y0 - p.y) / p.omega_y
+                } else {
+                    f64::INFINITY
+                };
+                facet_is_x[j] = dx <= dy;
+                d_facet[j] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
+            }};
+        }
+        if sweep {
+            for j in 0..m {
+                pass1!(j, j);
+            }
         } else {
-            f64::INFINITY
-        };
-        let (x0, x1, y0, y1) = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
-        let dx = if p.omega_x > 0.0 {
-            (x1 - p.x) / p.omega_x
-        } else if p.omega_x < 0.0 {
-            (x0 - p.x) / p.omega_x
-        } else {
-            f64::INFINITY
-        };
-        let dy = if p.omega_y > 0.0 {
-            (y1 - p.y) / p.omega_y
-        } else if p.omega_y < 0.0 {
-            (y0 - p.y) / p.omega_y
-        } else {
-            f64::INFINITY
-        };
-        facet_is_x[j] = dx <= dy;
-        d_facet[j] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
+            for (j, &iu) in active.iter().enumerate() {
+                pass1!(j, iu as usize);
+            }
+        }
     }
 
-    // Pass 2: tag assignment (scalar fix-up).
+    // Pass 2: tag assignment (scalar fix-up), unswitched the same way.
     let mut c = EventCounters::default();
-    for (j, &iu) in active.iter().enumerate() {
-        let i = iu as usize;
-        if d_census[j] <= d_coll[j] && d_census[j] <= d_facet[j] {
-            status[i] = Status::AtCensus;
-            w.tag[i] = Tag::None;
-            census.push(iu);
-            *needs_compact = true;
-        } else if d_facet[j] <= d_coll[j] {
-            let p = &w.particles[i];
-            let f = if facet_is_x[j] {
-                if p.omega_x >= 0.0 {
-                    Facet::XHigh
+    {
+        let (particles, tag, dist) = (&*w.particles, &mut *w.tag, &mut *w.dist);
+        macro_rules! pass2 {
+            ($j:expr, $i:expr, $sweeping:expr) => {{
+                let (j, i) = ($j, $i);
+                if d_census[j] <= d_coll[j] && d_census[j] <= d_facet[j] {
+                    status[i] = Status::AtCensus;
+                    tag[i] = Tag::None;
+                    census.push(i as u32);
+                    *live -= 1;
+                    *needs_compact = true;
+                } else if d_facet[j] <= d_coll[j] {
+                    let p = &particles[i];
+                    let f = if facet_is_x[j] {
+                        if p.omega_x >= 0.0 {
+                            Facet::XHigh
+                        } else {
+                            Facet::XLow
+                        }
+                    } else if p.omega_y >= 0.0 {
+                        Facet::YHigh
+                    } else {
+                        Facet::YLow
+                    };
+                    tag[i] = Tag::facet(f);
+                    dist[i] = d_facet[j];
+                    if !$sweeping {
+                        facet.push(i as u32);
+                    }
+                    c.collisions += 1;
                 } else {
-                    Facet::XLow
+                    tag[i] = Tag::Collision;
+                    dist[i] = d_coll[j];
+                    if !$sweeping {
+                        coll.push(i as u32);
+                    }
+                    c.collisions += 1;
                 }
-            } else if p.omega_y >= 0.0 {
-                Facet::YHigh
-            } else {
-                Facet::YLow
-            };
-            w.tag[i] = Tag::facet(f);
-            w.dist[i] = d_facet[j];
-            facet.push(iu);
-            c.collisions += 1;
+            }};
+        }
+        if sweep {
+            for j in 0..m {
+                if status[j] != Status::Active {
+                    tag[j] = Tag::None;
+                    continue;
+                }
+                pass2!(j, j, true);
+            }
         } else {
-            w.tag[i] = Tag::Collision;
-            w.dist[i] = d_coll[j];
-            coll.push(iu);
-            c.collisions += 1;
+            for (j, &iu) in active.iter().enumerate() {
+                pass2!(j, iu as usize, false);
+            }
         }
     }
     c
@@ -814,9 +929,12 @@ fn collision_kernel<R: CbRng>(
         arena: a,
         coll,
         deaths,
+        live,
+        sweep,
         needs_compact,
         ..
     } = &mut *w.ws;
+    let sweep = *sweep;
     // The batched re-lookup pays a gather/scatter pass; only the grid
     // backends, whose `lookup_many` has a sorted-block fast path, win it
     // back. The walking backends keep the seed's per-particle calls
@@ -834,27 +952,47 @@ fn collision_kernel<R: CbRng>(
 
     if style == KernelStyle::Vectorized {
         // Vectorisable pre-pass: movement + deposit arithmetic for all
-        // colliding particles, hoisted out of the branchy handler.
-        for &iu in coll.iter() {
-            let i = iu as usize;
-            debug_assert!(w.status[i] == Status::Active && w.tag[i] == Tag::Collision);
-            let micro = MicroXs {
-                absorb_barns: w.micro_a[i],
-                scatter_barns: w.micro_s[i],
-            };
-            let p = &mut w.particles[i];
-            let d = w.dist[i];
-            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-            w.pending_cell[i] = p.cell_index(nx) as u32;
-            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-            move_particle(p, d, sigma_t);
+        // colliding particles, hoisted out of the branchy handler
+        // (unswitched on the dispatch mode, like decide).
+        macro_rules! prepass {
+            ($i:expr) => {{
+                let i = $i;
+                debug_assert!(w.status[i] == Status::Active && w.tag[i] == Tag::Collision);
+                let micro = MicroXs {
+                    absorb_barns: w.micro_a[i],
+                    scatter_barns: w.micro_s[i],
+                };
+                let p = &mut w.particles[i];
+                let d = w.dist[i];
+                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+                w.pending_cell[i] = p.cell_index(nx) as u32;
+                let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+                move_particle(p, d, sigma_t);
+            }};
+        }
+        if sweep {
+            for i in 0..w.particles.len() {
+                if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
+                    continue;
+                }
+                prepass!(i);
+            }
+        } else {
+            for &iu in coll.iter() {
+                prepass!(iu as usize);
+            }
         }
     }
 
     a.clear();
     deaths.clear();
-    for &iu in coll.iter() {
-        let i = iu as usize;
+    let trips = if sweep { w.particles.len() } else { coll.len() };
+    #[allow(clippy::needless_range_loop)] // dual-mode index source
+    for k in 0..trips {
+        let i = if sweep { k } else { coll[k] as usize };
+        if sweep && (w.tag[i] != Tag::Collision || w.status[i] != Status::Active) {
+            continue;
+        }
         let micro = MicroXs {
             absorb_barns: w.micro_a[i],
             scatter_barns: w.micro_s[i],
@@ -871,18 +1009,19 @@ fn collision_kernel<R: CbRng>(
         let mut stream = CounterStream::new(ctx.rng, p.key);
         // Capture this particle's cutoff loss separately so the `f64`
         // accumulation below can run in ascending index order whatever
-        // order this loop iterated in (the sort stage may permute it).
+        // order produced it.
         let outer_lost = c.lost_energy_ev;
         c.lost_energy_ev = 0.0;
         let died = handle_collision(p, &mut stream, micro, ctx.cfg, &mut c);
         if died {
-            deaths.push((iu, c.lost_energy_ev));
+            deaths.push((i as u32, c.lost_energy_ev));
             w.status[i] = Status::Dead;
+            *live -= 1;
             *needs_compact = true;
         } else if sort_lanes {
-            a.idx.push(iu);
+            a.idx.push(i as u32);
         } else if batch {
-            a.idx.push(iu);
+            a.idx.push(i as u32);
             a.energies.push(p.energy);
             a.mats.push(w.mat[i]);
             a.hints_absorb.push(p.xs_hints.absorb);
@@ -965,71 +1104,106 @@ fn facet_kernel<R: CbRng>(
 ) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
+    let sweep = w.ws.sweep;
     let facet_list = &w.ws.facet;
 
     if style == KernelStyle::Vectorized {
         // Vectorisable pre-pass: movement + deposit for all facet-bound
-        // particles.
-        for &iu in facet_list.iter() {
-            let i = iu as usize;
-            debug_assert!(w.status[i] == Status::Active && w.tag[i].to_facet().is_some());
-            let micro = MicroXs {
-                absorb_barns: w.micro_a[i],
-                scatter_barns: w.micro_s[i],
-            };
-            let p = &mut w.particles[i];
-            let d = w.dist[i];
-            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-            w.pending_cell[i] = p.cell_index(nx) as u32;
-            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-            move_particle(p, d, sigma_t);
+        // particles (unswitched on the dispatch mode, like decide).
+        macro_rules! prepass {
+            ($i:expr) => {{
+                let i = $i;
+                debug_assert!(w.status[i] == Status::Active && w.tag[i].to_facet().is_some());
+                let micro = MicroXs {
+                    absorb_barns: w.micro_a[i],
+                    scatter_barns: w.micro_s[i],
+                };
+                let p = &mut w.particles[i];
+                let d = w.dist[i];
+                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+                w.pending_cell[i] = p.cell_index(nx) as u32;
+                let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+                move_particle(p, d, sigma_t);
+            }};
+        }
+        if sweep {
+            for i in 0..w.particles.len() {
+                if w.status[i] != Status::Active || w.tag[i].to_facet().is_none() {
+                    continue;
+                }
+                prepass!(i);
+            }
+        } else {
+            for &iu in facet_list.iter() {
+                prepass!(iu as usize);
+            }
         }
     }
 
-    for &iu in facet_list.iter() {
-        let i = iu as usize;
-        let Some(facet) = w.tag[i].to_facet() else {
-            debug_assert!(false, "facet list member without a facet tag");
-            continue;
-        };
-        if style == KernelStyle::Scalar {
-            let micro = MicroXs {
-                absorb_barns: w.micro_a[i],
-                scatter_barns: w.micro_s[i],
-            };
+    macro_rules! body {
+        ($i:expr, $facet:expr) => {{
+            let i = $i;
+            let facet = $facet;
+            if style == KernelStyle::Scalar {
+                let micro = MicroXs {
+                    absorb_barns: w.micro_a[i],
+                    scatter_barns: w.micro_s[i],
+                };
+                let p = &mut w.particles[i];
+                let d = w.dist[i];
+                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
+                w.pending_cell[i] = p.cell_index(nx) as u32;
+                let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
+                move_particle(p, d, sigma_t);
+            }
             let p = &mut w.particles[i];
-            let d = w.dist[i];
-            w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-            w.pending_cell[i] = p.cell_index(nx) as u32;
-            let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-            move_particle(p, d, sigma_t);
+            handle_facet(p, facet, ctx.mesh, &mut c);
+            c.density_reads += 1;
+            w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+            // Crossing into a different material invalidates the cached
+            // microscopic cross sections (same order of operations as the
+            // history loop, so the counters and hints stay identical).
+            let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+            if mat != w.mat[i] {
+                w.mat[i] = mat;
+                c.material_switches += 1;
+                let micro = crate::history::lookup_micro(p, ctx, mat, &mut c);
+                w.micro_a[i] = micro.absorb_barns;
+                w.micro_s[i] = micro.scatter_barns;
+            }
+        }};
+    }
+    if sweep {
+        for i in 0..w.particles.len() {
+            if w.status[i] != Status::Active {
+                continue;
+            }
+            let Some(facet) = w.tag[i].to_facet() else {
+                continue;
+            };
+            body!(i, facet);
         }
-        let p = &mut w.particles[i];
-        handle_facet(p, facet, ctx.mesh, &mut c);
-        c.density_reads += 1;
-        w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
-        // Crossing into a different material invalidates the cached
-        // microscopic cross sections (same order of operations as the
-        // history loop, so the counters and hints stay identical).
-        let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
-        if mat != w.mat[i] {
-            w.mat[i] = mat;
-            c.material_switches += 1;
-            let micro = crate::history::lookup_micro(p, ctx, mat, &mut c);
-            w.micro_a[i] = micro.absorb_barns;
-            w.micro_s[i] = micro.scatter_barns;
+    } else {
+        for &iu in facet_list.iter() {
+            let i = iu as usize;
+            let Some(facet) = w.tag[i].to_facet() else {
+                debug_assert!(false, "facet list member without a facet tag");
+                continue;
+            };
+            body!(i, facet);
         }
     }
     c
 }
 
-/// Which compacted list a tally flush drains.
+/// Which set a tally flush drains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum FlushList {
     /// The round flush: every particle that was active at the start of
     /// the round (including this round's deaths and census arrivals,
-    /// whose last deposits are still pending). Ascending index order —
-    /// the seed's flush sequence.
+    /// whose last deposits are still pending), in ascending index order
+    /// — the seed's flush sequence. In sweep mode this is the seed's
+    /// whole-window sweep.
     Round,
     /// The final flush after the census kernel: only census arrivals can
     /// hold pending deposits at that point.
@@ -1047,13 +1221,14 @@ fn tally_kernel<T: TallySink>(
         arena: a,
         active,
         census,
+        sweep,
         ..
     } = &mut *w.ws;
-    let indices: &[u32] = match list {
-        FlushList::Round => active,
-        FlushList::Census => census,
+    let (sweep, indices): (bool, &[u32]) = match list {
+        FlushList::Round => (*sweep, active),
+        FlushList::Census => (false, census),
     };
-    if policy == SortPolicy::ByCell {
+    if policy == SortPolicy::ByCell && list == FlushList::Round {
         // Cell-clustered flush: deposits drain grouped by tally cell, so
         // the mesh writes land back-to-back instead of scattering. The
         // radix sort is stable and keyed by exactly the cell each
@@ -1061,10 +1236,18 @@ fn tally_kernel<T: TallySink>(
         // stays in ascending index order — the same `f64` add sequence,
         // and therefore the same bits, as the unsorted flush.
         a.sort_keys.clear();
-        for &iu in indices.iter() {
-            let i = iu as usize;
-            if w.pending[i] != 0.0 {
-                a.sort_keys.push((w.pending_cell[i], iu));
+        if sweep {
+            for i in 0..w.particles.len() {
+                if w.pending[i] != 0.0 {
+                    a.sort_keys.push((w.pending_cell[i], i as u32));
+                }
+            }
+        } else {
+            for &iu in indices.iter() {
+                let i = iu as usize;
+                if w.pending[i] != 0.0 {
+                    a.sort_keys.push((w.pending_cell[i], i as u32));
+                }
             }
         }
         crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
@@ -1077,12 +1260,22 @@ fn tally_kernel<T: TallySink>(
         }
         return c;
     }
-    for &iu in indices.iter() {
-        let i = iu as usize;
-        if w.pending[i] != 0.0 {
-            sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
-            w.pending[i] = 0.0;
-            c.tally_flushes += 1;
+    if sweep {
+        for i in 0..w.particles.len() {
+            if w.pending[i] != 0.0 {
+                sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
+                w.pending[i] = 0.0;
+                c.tally_flushes += 1;
+            }
+        }
+    } else {
+        for &iu in indices.iter() {
+            let i = iu as usize;
+            if w.pending[i] != 0.0 {
+                sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
+                w.pending[i] = 0.0;
+                c.tally_flushes += 1;
+            }
         }
     }
     c
@@ -1144,10 +1337,12 @@ mod tests {
         }
     }
 
-    /// The compaction invariant: after every decide kernel (the round's
-    /// compaction point), the maintained index list is exactly the set
-    /// the alive-predicate would select, in ascending order — and the
-    /// round's collision/facet lists are exactly the tagged subsets.
+    /// The compaction invariant under the hybrid dispatch: the live
+    /// counter always equals the alive-predicate count; in list mode the
+    /// maintained index list is exactly the set the alive-predicate
+    /// would select, in ascending order, and the round's collision/facet
+    /// lists are exactly the tagged subsets. Both dispatch arms must be
+    /// exercised (scatter's population decays through the threshold).
     #[test]
     fn compacted_list_matches_alive_predicate() {
         for case in [TestCase::Scatter, TestCase::Csp] {
@@ -1164,41 +1359,55 @@ mod tests {
                 .filter(|&i| w.status[i as usize] == Status::Active)
                 .collect();
             assert_eq!(w.ws.active, alive, "{case:?}: init list");
+            assert_eq!(w.ws.live, alive.len(), "{case:?}: init live count");
 
-            for round in 0..200 {
+            let (mut sweep_rounds, mut list_rounds) = (0u32, 0u32);
+            for round in 0..1000 {
                 // The set the predicate selects at the compaction point.
                 let expected: Vec<u32> = (0..n as u32)
                     .filter(|&i| w.status[i as usize] == Status::Active)
                     .collect();
                 let decide = decide_kernel_scalar(w, c.mesh);
-                assert_eq!(
-                    w.ws.active, expected,
-                    "{case:?} round {round}: compacted list != alive predicate set"
-                );
-                let tagged: Vec<u32> = expected
-                    .iter()
-                    .copied()
-                    .filter(|&i| w.status[i as usize] == Status::Active)
-                    .collect();
-                let colls: Vec<u32> = tagged
-                    .iter()
-                    .copied()
-                    .filter(|&i| w.tag[i as usize] == Tag::Collision)
-                    .collect();
-                let facets: Vec<u32> = tagged
-                    .iter()
-                    .copied()
-                    .filter(|&i| w.tag[i as usize].to_facet().is_some())
-                    .collect();
-                assert_eq!(w.ws.coll, colls, "{case:?} round {round}: collision list");
-                assert_eq!(w.ws.facet, facets, "{case:?} round {round}: facet list");
+                if w.ws.sweep {
+                    sweep_rounds += 1;
+                } else {
+                    list_rounds += 1;
+                    assert_eq!(
+                        w.ws.active, expected,
+                        "{case:?} round {round}: compacted list != alive predicate set"
+                    );
+                    let tagged: Vec<u32> = expected
+                        .iter()
+                        .copied()
+                        .filter(|&i| w.status[i as usize] == Status::Active)
+                        .collect();
+                    let colls: Vec<u32> = tagged
+                        .iter()
+                        .copied()
+                        .filter(|&i| w.tag[i as usize] == Tag::Collision)
+                        .collect();
+                    let facets: Vec<u32> = tagged
+                        .iter()
+                        .copied()
+                        .filter(|&i| w.tag[i as usize].to_facet().is_some())
+                        .collect();
+                    assert_eq!(w.ws.coll, colls, "{case:?} round {round}: collision list");
+                    assert_eq!(w.ws.facet, facets, "{case:?} round {round}: facet list");
+                }
                 if decide.collisions == 0 {
                     break;
                 }
                 collision_kernel(w, &c, KernelStyle::Scalar, SortPolicy::Off);
                 facet_kernel(w, &c, KernelStyle::Scalar);
                 tally_kernel(w, &mut { &tally }, FlushList::Round, SortPolicy::Off);
+                let live_now = (0..n).filter(|&i| w.status[i] == Status::Active).count();
+                assert_eq!(w.ws.live, live_now, "{case:?} round {round}: live count");
             }
+            assert!(
+                sweep_rounds > 0 && list_rounds > 0,
+                "{case:?}: both dispatch arms must be exercised \
+                 (sweep={sweep_rounds}, list={list_rounds})"
+            );
             // The census list holds exactly the AtCensus set once sorted.
             let mut census = w.ws.census.clone();
             census.sort_unstable();

@@ -52,11 +52,19 @@ pub enum Scenario {
     /// reactor-lattice workload, collision-heavy with frequent
     /// moderator/fuel material switches.
     FuelLattice,
+    /// A dense core in a near-vacuum with the source *inside* the core:
+    /// most histories die in the core within a couple hundred rounds,
+    /// while the escaping few stream across the vacuum for thousands
+    /// more. The live fraction collapses early, making this the stress
+    /// shape for the event-based driver's stream compaction
+    /// (DESIGN.md §13) — the seed's whole-array kernel sweeps paid for
+    /// the dead ~90% on every one of those streaming rounds.
+    CoreEscape,
 }
 
 impl Scenario {
     /// The whole catalogue, paper cases first.
-    pub const ALL: [Scenario; 7] = [
+    pub const ALL: [Scenario; 8] = [
         Scenario::Stream,
         Scenario::Scatter,
         Scenario::Csp,
@@ -64,6 +72,7 @@ impl Scenario {
         Scenario::StreamingDuct,
         Scenario::GradedModerator,
         Scenario::FuelLattice,
+        Scenario::CoreEscape,
     ];
 
     /// The multi-material scenarios beyond the paper's three.
@@ -85,6 +94,7 @@ impl Scenario {
             Scenario::StreamingDuct => "streaming_duct",
             Scenario::GradedModerator => "graded_moderator",
             Scenario::FuelLattice => "fuel_lattice",
+            Scenario::CoreEscape => "core_escape",
         }
     }
 
@@ -99,6 +109,7 @@ impl Scenario {
             Scenario::StreamingDuct => "empty duct through thick moderator walls",
             Scenario::GradedModerator => "graded moderator bands with an absorber back wall",
             Scenario::FuelLattice => "4x4 fuel-pin lattice in a moderator bath",
+            Scenario::CoreEscape => "interior source in a dense core; escapees stream a vacuum",
         }
     }
 
@@ -114,6 +125,7 @@ impl Scenario {
             Scenario::StreamingDuct => "duct streaming + wall collision clusters",
             Scenario::GradedModerator => "facet->collision gradient, many interfaces",
             Scenario::FuelLattice => "collision-heavy, frequent material switches",
+            Scenario::CoreEscape => "collision burst, then a thin streaming tail",
         }
     }
 
@@ -225,6 +237,17 @@ impl Scenario {
                     .collect();
                 p.regions.push((Rect::new(0.9, 1.0, 0.0, 1.0), 80.0, 2));
                 p.source = Rect::new(0.0, 0.05, 0.4, 0.6);
+            }
+            Scenario::CoreEscape => {
+                // Dense-but-leaky core (a ~10 cm square at 100 kg/m^3)
+                // with the source inside it: ~85-90% of histories hit
+                // the energy cutoff inside the core, the rest escape and
+                // stream the near-vacuum to census. Tuned so the escape
+                // fraction is large enough to measure and small enough
+                // that dead lanes dominate the late rounds.
+                p.density = 1.0e-30;
+                p.regions = vec![(Rect::new(0.45, 0.55, 0.45, 0.55), 100.0, 0)];
+                p.source = Rect::new(0.47, 0.53, 0.47, 0.53);
             }
             Scenario::FuelLattice => {
                 // Moderator bath with a 4x4 lattice of fuel pins (pitch

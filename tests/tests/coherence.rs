@@ -125,11 +125,12 @@ fn golden_fixtures_hold_under_every_sort_policy() {
         (TestCase::Scatter, 7),
         (TestCase::Stream, 11),
     ];
-    const SCENARIO_CONFIGS: [(Scenario, u64); 4] = [
+    const SCENARIO_CONFIGS: [(Scenario, u64); 5] = [
         (Scenario::ShieldedSlab, 13),
         (Scenario::StreamingDuct, 17),
         (Scenario::GradedModerator, 19),
         (Scenario::FuelLattice, 23),
+        (Scenario::CoreEscape, 29),
     ];
     for policy in [SortPolicy::ByCell, SortPolicy::ByEnergyBand] {
         for driver in DriverKind::ALL {
