@@ -1,0 +1,193 @@
+//! Perf-regression gate: diff a fresh figure-sweep `--json` report
+//! against a committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p neutral-bench --bin fig08_vectorization -- \
+//!     --quick --json fresh.json
+//! cargo run --release -p neutral-bench --bin bench_regress -- \
+//!     --baseline bench/baselines/fig08_quick.json --fresh fresh.json
+//! ```
+//!
+//! Absolute wall-clock is meaningless across machines (the committed
+//! baseline was measured on one host, CI runs on another), so the
+//! comparison is **relative within each report**: every record's metric
+//! is normalised by the median over the labels the two reports share,
+//! and a record regresses only if its normalised throughput fell by more
+//! than `--tolerance` (default 3x — a deliberately generous noise band;
+//! this gate exists to catch "the sweep got 10x slower" class mistakes,
+//! not 10% drift). Labels present in only one report are listed but
+//! never fail the gate, so adding a sweep row doesn't break CI.
+//!
+//! Refreshing a baseline after an intentional perf change:
+//!
+//! ```sh
+//! cargo run --release -p neutral-bench --bin fig08_vectorization -- \
+//!     --quick --json bench/baselines/fig08_quick.json   # and commit it
+//! ```
+
+use neutral_bench::print_table;
+use neutral_bench::report::BenchReport;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    metric: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut metric = "events_per_s".to_owned();
+    let mut tolerance = 3.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(argv.get(i).ok_or("--baseline PATH")?.clone());
+            }
+            "--fresh" => {
+                i += 1;
+                fresh = Some(argv.get(i).ok_or("--fresh PATH")?.clone());
+            }
+            "--metric" => {
+                i += 1;
+                metric = argv.get(i).ok_or("--metric NAME")?.clone();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tolerance FACTOR")?;
+                if tolerance < 1.0 {
+                    return Err("--tolerance must be >= 1.0".into());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline PATH is required")?,
+        fresh: fresh.ok_or("--fresh PATH is required")?,
+        metric,
+        tolerance,
+    })
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Median of a non-empty slice (mutates order).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base, fresh) = match (load(&args.baseline), load(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for e in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let metric_of = |r: &BenchReport, label: &str| -> Option<f64> {
+        r.records
+            .iter()
+            .find(|rec| rec.label == label)
+            .and_then(|rec| rec.metrics.get(&args.metric))
+            .copied()
+            .filter(|v| v.is_finite() && *v > 0.0)
+    };
+    let shared: Vec<String> = base
+        .records
+        .iter()
+        .map(|r| r.label.clone())
+        .filter(|l| metric_of(&base, l).is_some() && metric_of(&fresh, l).is_some())
+        .collect();
+    if shared.is_empty() {
+        eprintln!(
+            "error: no shared labels with metric `{}` between {} and {}",
+            args.metric, args.baseline, args.fresh
+        );
+        return ExitCode::FAILURE;
+    }
+    for r in base.records.iter().chain(&fresh.records) {
+        if !shared.contains(&r.label) {
+            println!("note: label `{}` not in both reports; skipped", r.label);
+        }
+    }
+
+    let mut base_vals: Vec<f64> = shared
+        .iter()
+        .map(|l| metric_of(&base, l).unwrap())
+        .collect();
+    let mut fresh_vals: Vec<f64> = shared
+        .iter()
+        .map(|l| metric_of(&fresh, l).unwrap())
+        .collect();
+    let (base_med, fresh_med) = (median(&mut base_vals), median(&mut fresh_vals));
+
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for label in &shared {
+        let b = metric_of(&base, label).unwrap() / base_med;
+        let f = metric_of(&fresh, label).unwrap() / fresh_med;
+        let ratio = f / b;
+        let regressed = ratio * args.tolerance < 1.0;
+        if regressed {
+            regressions.push(label.clone());
+        }
+        rows.push(vec![
+            label.clone(),
+            format!("{b:.3}"),
+            format!("{f:.3}"),
+            format!("{ratio:.2}x"),
+            if regressed { "REGRESSED" } else { "ok" }.to_owned(),
+        ]);
+    }
+    println!(
+        "comparing `{}` over {} shared labels (normalised by per-report median; tolerance {}x)",
+        args.metric,
+        shared.len(),
+        args.tolerance
+    );
+    print_table(
+        &["label", "baseline (rel)", "fresh (rel)", "ratio", "status"],
+        &rows,
+    );
+
+    if regressions.is_empty() {
+        println!("no regressions beyond the {}x noise band", args.tolerance);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} label(s) regressed beyond {}x: {}",
+            regressions.len(),
+            args.tolerance,
+            regressions.join(", ")
+        );
+        eprintln!(
+            "if intentional, refresh the baseline: rerun the sweep with --json {} and commit",
+            args.baseline
+        );
+        ExitCode::FAILURE
+    }
+}

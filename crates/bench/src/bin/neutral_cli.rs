@@ -7,7 +7,9 @@
 //!             [--threads N] [--schedule static|dynamic,N|guided,N]
 //!             [--lookup binary|hinted|unionized|hashed]
 //!             [--tally atomic|replicated|privatized]
-//!             [--sort off|by_cell|by_energy_band]
+//!             [--sort off|by_cell|by_energy_band|auto]
+//!             [--regroup off|by_cell|by_energy_band|by_alive]
+//!             [--timesteps N]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //! ```
 //!
@@ -30,6 +32,8 @@ struct CliArgs {
     lookup: Option<LookupStrategy>,
     tally: Option<TallyStrategy>,
     sort: Option<SortPolicy>,
+    regroup: Option<RegroupPolicy>,
+    timesteps: Option<usize>,
     dump_tally: Option<String>,
 }
 
@@ -76,6 +80,8 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut lookup = None;
     let mut tally = None;
     let mut sort = None;
+    let mut regroup = None;
+    let mut timesteps = None;
     let mut dump_tally = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
@@ -133,9 +139,28 @@ fn parse_args() -> Result<CliArgs, String> {
                 i += 1;
                 sort = Some(
                     argv.get(i)
-                        .ok_or("--sort off|by_cell|by_energy_band")?
+                        .ok_or("--sort off|by_cell|by_energy_band|auto")?
                         .parse::<SortPolicy>()?,
                 );
+            }
+            "--regroup" => {
+                i += 1;
+                regroup = Some(
+                    argv.get(i)
+                        .ok_or("--regroup off|by_cell|by_energy_band|by_alive")?
+                        .parse::<RegroupPolicy>()?,
+                );
+            }
+            "--timesteps" => {
+                i += 1;
+                let n: usize = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--timesteps N")?;
+                if n == 0 {
+                    return Err("--timesteps needs at least one step".into());
+                }
+                timesteps = Some(n);
             }
             "--scenario" => {
                 i += 1;
@@ -207,6 +232,8 @@ fn parse_args() -> Result<CliArgs, String> {
         lookup,
         tally,
         sort,
+        regroup,
+        timesteps,
         dump_tally,
     })
 }
@@ -267,6 +294,12 @@ fn main() -> ExitCode {
     if let Some(sort) = args.sort {
         problem.transport.sort_policy = sort;
     }
+    if let Some(regroup) = args.regroup {
+        problem.transport.regroup_policy = regroup;
+    }
+    if let Some(timesteps) = args.timesteps {
+        problem.n_timesteps = timesteps;
+    }
     println!(
         "neutral: {}x{} mesh, {} particles, {} material(s), {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
@@ -278,11 +311,12 @@ fn main() -> ExitCode {
         problem.seed,
     );
     println!(
-        "options: {:?}, lookup: {}, tally: {}, sort: {}",
+        "options: {:?}, lookup: {}, tally: {}, sort: {}, regroup: {}",
         args.options,
         problem.transport.xs_search.name(),
         problem.transport.tally_strategy.name(),
-        problem.transport.sort_policy.name()
+        problem.transport.sort_policy.name(),
+        problem.transport.regroup_policy.name()
     );
 
     let sim = Simulation::new(problem);

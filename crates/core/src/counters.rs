@@ -39,6 +39,13 @@ pub struct EventCounters {
     pub tally_flushes: u64,
     /// Grid steps walked by the hinted cross-section searches (§VI-A).
     pub cs_search_steps: u64,
+    /// Tally-flush passes that ran the cell-clustered (radix-sorted)
+    /// flush — every pass under [`crate::SortPolicy::ByCell`], and
+    /// exactly the passes the per-window heuristic enabled under
+    /// [`crate::SortPolicy::Auto`]. A decision/work meter like
+    /// `cs_search_steps`: it moves between sort policies without any
+    /// physics change, so the policy-equality contract excludes it.
+    pub clustered_flushes: u64,
     /// Cross-section table lookups performed.
     pub cs_lookups: u64,
     /// Subset of `cs_lookups` resolved through the batched
@@ -70,6 +77,7 @@ impl EventCounters {
         self.stuck += other.stuck;
         self.tally_flushes += other.tally_flushes;
         self.cs_search_steps += other.cs_search_steps;
+        self.clustered_flushes += other.clustered_flushes;
         self.cs_lookups += other.cs_lookups;
         self.batched_lookups += other.batched_lookups;
         self.density_reads += other.density_reads;

@@ -101,7 +101,9 @@ pub fn resolve_micro_xs(
 /// material set's grouped `lookup_many`, updating the SoA hint lanes in
 /// place. Slices must have equal lengths. Bitwise identical to
 /// per-particle [`resolve_micro_xs`] calls against each particle's
-/// material library.
+/// material library. `scratch` holds the mixed-material staging lanes
+/// (untouched on single-material blocks), so multi-material blocks stop
+/// allocating per call.
 #[allow(clippy::too_many_arguments)] // mirrors the five parallel SoA lanes
 pub fn resolve_micro_xs_many(
     materials: &MaterialSet,
@@ -113,10 +115,11 @@ pub fn resolve_micro_xs_many(
     out_absorb: &mut [f64],
     out_scatter: &mut [f64],
     counters: &mut EventCounters,
+    scratch: &mut neutral_xs::LaneScratch,
 ) {
     counters.cs_lookups += energies.len() as u64;
     counters.batched_lookups += energies.len() as u64;
-    counters.cs_search_steps += materials.lookup_many_with(
+    counters.cs_search_steps += materials.lookup_many_with_scratch(
         strategy,
         mats,
         energies,
@@ -124,6 +127,7 @@ pub fn resolve_micro_xs_many(
         hints_scatter,
         out_absorb,
         out_scatter,
+        scratch,
     );
 }
 

@@ -63,8 +63,8 @@ pub mod validate;
 pub mod prelude {
     pub use crate::arena::ScratchArena;
     pub use crate::config::{
-        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, SortPolicy,
-        TallyStrategy, TestCase, TransportConfig, XsSearch,
+        CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, RegroupPolicy,
+        SortPolicy, TallyStrategy, TestCase, TransportConfig, XsSearch,
     };
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};

@@ -174,13 +174,42 @@ struct WindowState {
     /// This round's facet-tagged live subset (ascending; list mode only).
     facet: Vec<u32>,
     /// Every index that reached census, accumulated across rounds;
-    /// sorted ascending before the final census kernel so the census
-    /// pass runs in the seed's index order.
+    /// sorted into identity order before the final census kernel so the
+    /// census pass runs in the seed's sequence.
     census: Vec<u32>,
-    /// This round's cutoff deaths as `(index, lost energy)`; summed in
-    /// ascending index order so `lost_energy_ev` accumulates in exactly
-    /// the seed's sequence whatever order the collision kernel ran in.
+    /// This round's cutoff deaths as `(identity rank, lost energy)`;
+    /// summed in ascending rank order so `lost_energy_ev` accumulates in
+    /// exactly the seed's sequence whatever order the collision kernel
+    /// ran in (rank == global index when the storage is unpermuted).
     deaths: Vec<(u32, f64)>,
+    /// Identity rank of each window slot: the particle's `key` (its
+    /// birth index), refreshed by the init kernel each solve. This is
+    /// the sort key that anchors every order-sensitive stream — death
+    /// sums, census order, tally-flush order — to identity order, which
+    /// under [`crate::config::RegroupPolicy`] is what keeps a regrouped
+    /// run bitwise identical to an unregrouped one.
+    rank: Vec<u32>,
+    /// Global index of this window's first slot (set once at state
+    /// construction); `rank[i] == base + i` exactly when the window's
+    /// storage order is identity order.
+    base: u32,
+    /// Whether this window's storage has been physically regrouped
+    /// (`rank[i] != base + i` somewhere): gates the identity-order sort
+    /// of the tally flush, so the unregrouped hot path stays untouched.
+    permuted: bool,
+    /// Deposits drained by this window's last Round flush — the numerator
+    /// of the [`crate::config::SortPolicy::Auto`] heuristic.
+    last_flush_deposits: u32,
+    /// Adjacent cell changes in that flush sequence (the heuristic's
+    /// denominator): the exact distinct-cell count when the flush was
+    /// clustered, a proxy otherwise. An unsorted flush over randomly
+    /// ordered cells can't see sharing (runs ≈ deposits), which is why
+    /// Auto periodically *probes* with a clustered flush — bitwise free
+    /// by the ByCell identity argument — to refresh the exact count.
+    last_flush_cell_runs: u32,
+    /// Rounds until the next Auto probe flush; reset to
+    /// [`AUTO_PROBE_INTERVAL`] by every clustered flush.
+    probe_countdown: u32,
     /// Live (`Active`) particles in this window, maintained by the
     /// decide (census departures) and collision (deaths) kernels — the
     /// occupancy the dispatch decides on without scanning anything.
@@ -230,8 +259,17 @@ impl WindowState {
 /// The per-particle state arrays of the breadth-first driver — the data
 /// that the Over-Particles scheme would have kept in registers ("Any time
 /// data is to be cached, it must be stored per particle", §V-B) — plus
-/// the per-window coherence state.
-struct EventState {
+/// the per-window coherence state (compacted index lists, occupancy
+/// bookkeeping, scratch arenas).
+///
+/// One instance serves a whole multi-timestep solve: the init kernel
+/// re-derives every live field from the particle list at the start of
+/// each `run_over_events*` call, so the arrays — and every arena and
+/// index list inside them, at their high-water capacities — are reused
+/// across timesteps instead of being reallocated per call (the ROADMAP
+/// "arena reuse across timesteps" item). Build one with
+/// [`EventState::ensure`].
+pub struct EventState {
     micro_a: Vec<f64>,
     micro_s: Vec<f64>,
     n_dens: Vec<f64>,
@@ -262,9 +300,35 @@ impl EventState {
             pending_cell: vec![0; n],
             tag: vec![Tag::None; n],
             status: vec![Status::Active; n],
-            wins: (0..n_windows).map(|_| WindowState::default()).collect(),
+            wins: (0..n_windows)
+                .map(|w| WindowState {
+                    base: (w * chunk) as u32,
+                    ..WindowState::default()
+                })
+                .collect(),
             chunk,
         }
+    }
+
+    /// Reuse `slot`'s state when it already fits `n` particles in
+    /// `chunk`-sized windows; (re)build it otherwise. Returns the ready
+    /// state. This is the seam the multi-timestep loop calls every step:
+    /// after the first step it is a pure borrow.
+    pub fn ensure(slot: &mut Option<EventState>, n: usize, chunk: usize) -> &mut EventState {
+        let fits = slot
+            .as_ref()
+            .is_some_and(|s| s.status.len() == n && s.chunk == chunk);
+        if !fits {
+            *slot = Some(EventState::new(n, chunk));
+        }
+        slot.as_mut().expect("just ensured")
+    }
+
+    /// Residual pending deposits (should be drained to zero by the final
+    /// census flush of every solve) — exposed for the state-reuse tests.
+    #[must_use]
+    pub fn pending_total(&self) -> f64 {
+        self.pending.iter().map(|v| v.abs()).sum()
     }
 }
 
@@ -364,14 +428,17 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
 /// Run the Over-Events scheme to census for the whole population.
 ///
 /// `parallel` selects Rayon-parallel kernels (current thread pool) versus
-/// sequential execution of the same kernels. Returns the merged event
-/// counters and the per-kernel timings.
+/// sequential execution of the same kernels. `state` is the reusable
+/// per-solve state: pass the same slot every timestep and the arrays are
+/// allocated once per solve. Returns the merged event counters and the
+/// per-kernel timings.
 pub fn run_over_events<R: CbRng>(
     particles: &mut [Particle],
     ctx: &TransportCtx<'_, R>,
     tally: &AtomicTally,
     style: KernelStyle,
     parallel: bool,
+    state: &mut Option<EventState>,
 ) -> (EventCounters, KernelTimings) {
     let n = particles.len();
     let chunk = if parallel {
@@ -379,13 +446,13 @@ pub fn run_over_events<R: CbRng>(
     } else {
         n.max(1)
     };
-    let mut st = EventState::new(n, chunk);
+    let st = EventState::ensure(state, n, chunk);
     let mut timings = KernelTimings::default();
     let mut counters = EventCounters::default();
 
     // --- init kernel: populate the per-particle cache arrays.
     let t0 = Instant::now();
-    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
         init_kernel(w, ctx)
     }));
     timings.init = t0.elapsed();
@@ -410,7 +477,7 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 1: distances + event selection.
         let t = Instant::now();
-        let decide = for_windows(particles, &mut st, parallel, |w| match style {
+        let decide = for_windows(particles, &mut *st, parallel, |w| match style {
             KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
             KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
         });
@@ -424,21 +491,21 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 2: collisions.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
             collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
         }));
         timings.collision += t.elapsed();
 
         // Kernel 3: facets.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
             facet_kernel(w, ctx, style)
         }));
         timings.facet += t.elapsed();
 
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
             tally_kernel(w, &mut { tally }, FlushList::Round, ctx.cfg.sort_policy)
         }));
         timings.tally += t.elapsed();
@@ -446,11 +513,11 @@ pub fn run_over_events<R: CbRng>(
 
     // --- census kernel (Listing 2: handled once, after the event loop).
     let t = Instant::now();
-    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
         census_kernel(w, ctx)
     }));
     // Flush the census deposits.
-    counters.merge(&for_windows(particles, &mut st, parallel, |w| {
+    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
         tally_kernel(w, &mut { tally }, FlushList::Census, ctx.cfg.sort_policy)
     }));
     timings.census += t.elapsed();
@@ -494,6 +561,17 @@ where
 /// drains window `i`'s pending deposits through lane sink `i`. With a
 /// deterministic backend the merged tally and the counters are bitwise
 /// identical for any worker count.
+///
+/// `state` is the reusable per-solve state (arrays + per-window arenas,
+/// allocated once across a multi-timestep run). `order`, when present,
+/// is the regrouped population's identity map (`order[k]` = physical
+/// position of key `k`): windows keep walking their ranges in plain
+/// ascending order — the point of regrouping — while every
+/// order-sensitive `f64` stream (death sums, census order, tally-flush
+/// order, the census-energy fold) is anchored back to identity order via
+/// the per-slot rank, so the merged tally and counters stay bitwise
+/// identical to the unregrouped run.
+#[allow(clippy::too_many_arguments)] // the solve's full configuration surface
 pub fn run_over_events_lanes<R: CbRng>(
     particles: &mut [Particle],
     ctx: &TransportCtx<'_, R>,
@@ -501,6 +579,8 @@ pub fn run_over_events_lanes<R: CbRng>(
     style: KernelStyle,
     n_threads: usize,
     schedule: crate::scheduler::Schedule,
+    state: &mut Option<EventState>,
+    order: Option<&[u32]>,
 ) -> (EventCounters, KernelTimings) {
     use crate::scheduler::parallel_for_owned;
     use neutral_mesh::{LanePartition, LaneSink};
@@ -512,7 +592,7 @@ pub fn run_over_events_lanes<R: CbRng>(
     let mut views: Vec<LaneSink<'_>> = accum.lane_views();
     views.truncate(part.n_lanes);
 
-    let mut st = EventState::new(n, chunk);
+    let st = EventState::ensure(state, n, chunk);
     let mut timings = KernelTimings::default();
     let mut counters = EventCounters::default();
 
@@ -552,7 +632,7 @@ pub fn run_over_events_lanes<R: CbRng>(
 
     // --- init kernel.
     let t0 = Instant::now();
-    counters.merge(&run_pass(particles, &mut st, &|w| init_kernel(w, ctx)));
+    counters.merge(&run_pass(particles, &mut *st, &|w| init_kernel(w, ctx)));
     timings.init = t0.elapsed();
 
     // --- breadth-first rounds (same loop as `run_over_events`).
@@ -573,7 +653,7 @@ pub fn run_over_events_lanes<R: CbRng>(
         }
 
         let t = Instant::now();
-        let decide = run_pass(particles, &mut st, &|w| match style {
+        let decide = run_pass(particles, &mut *st, &|w| match style {
             KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
             KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
         });
@@ -583,13 +663,13 @@ pub fn run_over_events_lanes<R: CbRng>(
         }
 
         let t = Instant::now();
-        counters.merge(&run_pass(particles, &mut st, &|w| {
+        counters.merge(&run_pass(particles, &mut *st, &|w| {
             collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
         }));
         timings.collision += t.elapsed();
 
         let t = Instant::now();
-        counters.merge(&run_pass(particles, &mut st, &|w| {
+        counters.merge(&run_pass(particles, &mut *st, &|w| {
             facet_kernel(w, ctx, style)
         }));
         timings.facet += t.elapsed();
@@ -597,7 +677,7 @@ pub fn run_over_events_lanes<R: CbRng>(
         let t = Instant::now();
         counters.merge(&run_tally_pass(
             particles,
-            &mut st,
+            &mut *st,
             &mut views,
             FlushList::Round,
         ));
@@ -606,16 +686,19 @@ pub fn run_over_events_lanes<R: CbRng>(
 
     // --- census kernel + final flush.
     let t = Instant::now();
-    counters.merge(&run_pass(particles, &mut st, &|w| census_kernel(w, ctx)));
+    counters.merge(&run_pass(particles, &mut *st, &|w| census_kernel(w, ctx)));
     counters.merge(&run_tally_pass(
         particles,
-        &mut st,
+        &mut *st,
         &mut views,
         FlushList::Census,
     ));
     timings.census += t.elapsed();
 
-    counters.census_energy_ev = crate::particle::total_weighted_energy(particles);
+    counters.census_energy_ev = match order {
+        Some(ord) => crate::particle::total_weighted_energy_ordered(particles, ord),
+        None => crate::particle::total_weighted_energy(particles),
+    };
     (counters, timings)
 }
 
@@ -635,6 +718,12 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         facet,
         census,
         deaths,
+        rank,
+        base,
+        permuted,
+        last_flush_deposits,
+        last_flush_cell_runs,
+        probe_countdown,
         live,
         needs_compact,
         ..
@@ -645,9 +734,22 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     facet.clear();
     census.clear();
     deaths.clear();
+    rank.clear();
     *needs_compact = false;
+    *permuted = false;
+    *last_flush_deposits = 0;
+    *last_flush_cell_runs = 0;
+    // First flush gathers data, second may probe (see AUTO_PROBE_INTERVAL).
+    *probe_countdown = 1;
     for i in 0..n {
         let p = &w.particles[i];
+        // Identity rank of the slot: the particle's key (= birth index).
+        // Equal to `base + i` exactly when the storage is unpermuted.
+        rank.push(p.key as u32);
+        *permuted |= p.key != u64::from(*base) + i as u64;
+        // A previous timestep's runaway guard abandons histories without
+        // flushing them; a reused state must not leak those deposits.
+        w.pending[i] = 0.0;
         if p.dead {
             w.status[i] = Status::Dead;
             continue;
@@ -674,6 +776,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         &mut a.out_absorb,
         &mut a.out_scatter,
         &mut c,
+        &mut a.xs,
     );
 
     for (j, &i) in active.iter().enumerate() {
@@ -929,6 +1032,7 @@ fn collision_kernel<R: CbRng>(
         arena: a,
         coll,
         deaths,
+        rank,
         live,
         sweep,
         needs_compact,
@@ -1014,7 +1118,7 @@ fn collision_kernel<R: CbRng>(
         c.lost_energy_ev = 0.0;
         let died = handle_collision(p, &mut stream, micro, ctx.cfg, &mut c);
         if died {
-            deaths.push((i as u32, c.lost_energy_ev));
+            deaths.push((rank[i], c.lost_energy_ev));
             w.status[i] = Status::Dead;
             *live -= 1;
             *needs_compact = true;
@@ -1034,8 +1138,8 @@ fn collision_kernel<R: CbRng>(
         c.lost_energy_ev = outer_lost;
     }
 
-    // Deterministic `f64` reduction: lost energy sums in particle-index
-    // order, exactly the sequence the uncompacted sweep produced.
+    // Deterministic `f64` reduction: lost energy sums in identity (rank)
+    // order — the sequence the uncompacted, unregrouped sweep produced.
     deaths.sort_unstable_by_key(|d| d.0);
     for &(_, e) in deaths.iter() {
         c.lost_energy_ev += e;
@@ -1050,7 +1154,7 @@ fn collision_kernel<R: CbRng>(
         // deterministic, so `cs_search_steps` is reproducible.
         a.sort_keys.clear();
         for &iu in &a.idx {
-            let band = (w.particles[iu as usize].energy.to_bits() >> 44) as u32;
+            let band = crate::particle::energy_band(w.particles[iu as usize].energy);
             a.sort_keys.push((band, iu));
         }
         crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
@@ -1084,6 +1188,7 @@ fn collision_kernel<R: CbRng>(
             &mut a.out_absorb,
             &mut a.out_scatter,
             &mut c,
+            &mut a.xs,
         );
         for (j, &iu) in a.idx.iter().enumerate() {
             let i = iu as usize;
@@ -1210,6 +1315,18 @@ enum FlushList {
     Census,
 }
 
+/// Minimum deposits in the previous Round flush before the
+/// [`SortPolicy::Auto`] heuristic will even consider clustering — below
+/// this the sort cannot pay for itself.
+const AUTO_MIN_DEPOSITS: u32 = 16;
+
+/// Rounds between [`SortPolicy::Auto`] probe flushes: a clustered flush
+/// measures the exact deposits-per-distinct-cell ratio (the unsorted
+/// flush can only see adjacent runs), so Auto re-probes at this cadence
+/// while the unsorted arm holds. Probes are bitwise free — a clustered
+/// flush computes identical bits — so the cadence tunes only overhead.
+const AUTO_PROBE_INTERVAL: u32 = 32;
+
 fn tally_kernel<T: TallySink>(
     w: &mut Window<'_>,
     sink: &mut T,
@@ -1221,75 +1338,157 @@ fn tally_kernel<T: TallySink>(
         arena: a,
         active,
         census,
+        rank,
+        permuted,
+        last_flush_deposits,
+        last_flush_cell_runs,
+        probe_countdown,
         sweep,
         ..
     } = &mut *w.ws;
+    let permuted = *permuted;
     let (sweep, indices): (bool, &[u32]) = match list {
         FlushList::Round => (*sweep, active),
         FlushList::Census => (false, census),
     };
-    if policy == SortPolicy::ByCell && list == FlushList::Round {
-        // Cell-clustered flush: deposits drain grouped by tally cell, so
-        // the mesh writes land back-to-back instead of scattering. The
-        // radix sort is stable and keyed by exactly the cell each
-        // pending deposit targets, so every cell's deposit sequence
-        // stays in ascending index order — the same `f64` add sequence,
-        // and therefore the same bits, as the unsorted flush.
+    // Clustered (cell-sorted) flush: unconditional under ByCell; under
+    // Auto only when the previous round's flush showed deposits genuinely
+    // sharing cells (mean ≥ 2 deposits per adjacent-cell run and enough
+    // volume for the sort to pay). The decision uses only per-window
+    // state, so it is identical for any worker count.
+    let cluster = list == FlushList::Round
+        && match policy {
+            SortPolicy::ByCell => true,
+            SortPolicy::Auto => {
+                *last_flush_deposits >= AUTO_MIN_DEPOSITS
+                    && (*last_flush_deposits >= 2 * (*last_flush_cell_runs).max(1)
+                        || *probe_countdown == 0)
+            }
+            SortPolicy::Off | SortPolicy::ByEnergyBand => false,
+        };
+    if cluster {
+        c.clustered_flushes += 1;
+    }
+
+    // The heuristic's observation window: deposits drained and adjacent
+    // cell changes in this flush's final order (exact distinct-cell count
+    // when clustered, an upper-bound proxy otherwise). Only Auto reads
+    // these, so only Auto pays for tracking them — the other policies
+    // keep the seed's bare flush loop.
+    let want_stats = policy == SortPolicy::Auto && list == FlushList::Round;
+    let mut deposits = 0u32;
+    let mut cell_runs = 0u32;
+    let mut last_cell = u32::MAX;
+    macro_rules! drain {
+        ($cell:expr, $i:expr) => {{
+            let (cell, i) = ($cell, $i);
+            sink.deposit(cell as usize, w.pending[i]);
+            w.pending[i] = 0.0;
+            c.tally_flushes += 1;
+            if want_stats {
+                deposits += 1;
+                if cell != last_cell {
+                    cell_runs += 1;
+                    last_cell = cell;
+                }
+            }
+        }};
+    }
+
+    if permuted || cluster {
+        // Collect the flush candidates, then order them. The identity
+        // anchor: candidates are keyed by rank first, so the unclustered
+        // permuted flush drains in exactly the unregrouped sequence, and
+        // the clustered flush's stable cell sort keeps every cell's
+        // deposits in that same rank order — the same `f64` add sequence,
+        // and therefore the same bits, as the seed's unsorted flush.
         a.sort_keys.clear();
         if sweep {
+            #[allow(clippy::needless_range_loop)] // indexes three arrays
             for i in 0..w.particles.len() {
                 if w.pending[i] != 0.0 {
-                    a.sort_keys.push((w.pending_cell[i], i as u32));
+                    a.sort_keys.push((rank[i], i as u32));
                 }
             }
         } else {
             for &iu in indices.iter() {
                 let i = iu as usize;
                 if w.pending[i] != 0.0 {
-                    a.sort_keys.push((w.pending_cell[i], i as u32));
+                    a.sort_keys.push((rank[i], i as u32));
                 }
             }
         }
-        crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
-        for k in 0..a.sort_keys.len() {
-            let (cell, iu) = a.sort_keys[k];
-            let i = iu as usize;
-            sink.deposit(cell as usize, w.pending[i]);
-            w.pending[i] = 0.0;
-            c.tally_flushes += 1;
+        if permuted {
+            crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
         }
-        return c;
-    }
-    if sweep {
+        // Unpermuted candidates were pushed in index order == rank order
+        // already, so the rank sort is skipped (bitwise a no-op).
+        if cluster {
+            a.sort_keys2.clear();
+            a.sort_keys2.extend(
+                a.sort_keys
+                    .iter()
+                    .map(|&(_, iu)| (w.pending_cell[iu as usize], iu)),
+            );
+            crate::arena::radix_sort_pairs(&mut a.sort_keys2, &mut a.sort_tmp);
+            for k in 0..a.sort_keys2.len() {
+                let (cell, iu) = a.sort_keys2[k];
+                drain!(cell, iu as usize);
+            }
+        } else {
+            for k in 0..a.sort_keys.len() {
+                let (_, iu) = a.sort_keys[k];
+                let i = iu as usize;
+                drain!(w.pending_cell[i], i);
+            }
+        }
+    } else if sweep {
         for i in 0..w.particles.len() {
             if w.pending[i] != 0.0 {
-                sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
-                w.pending[i] = 0.0;
-                c.tally_flushes += 1;
+                drain!(w.pending_cell[i], i);
             }
         }
     } else {
         for &iu in indices.iter() {
             let i = iu as usize;
             if w.pending[i] != 0.0 {
-                sink.deposit(w.pending_cell[i] as usize, w.pending[i]);
-                w.pending[i] = 0.0;
-                c.tally_flushes += 1;
+                drain!(w.pending_cell[i], i);
             }
+        }
+    }
+
+    if list == FlushList::Round {
+        *last_flush_deposits = deposits;
+        *last_flush_cell_runs = cell_runs;
+        if cluster {
+            *probe_countdown = AUTO_PROBE_INTERVAL;
+        } else if *probe_countdown > 0 {
+            *probe_countdown -= 1;
         }
     }
     c
 }
 
 /// Handle every census arrival, accumulated across rounds in the
-/// window's census list. The list is sorted ascending first so the pass
-/// (and the final flush that follows it) runs in the seed's index order
-/// — census entries arrive round by round, not index by index.
+/// window's census list. The list is sorted into identity (rank) order
+/// first so the pass (and the final flush that follows it) runs in the
+/// seed's sequence — census entries arrive round by round, not index by
+/// index, and under regrouping physical order is not identity order.
 fn census_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
-    let census = &mut w.ws.census;
-    census.sort_unstable();
+    let WindowState {
+        census,
+        rank,
+        permuted,
+        ..
+    } = &mut *w.ws;
+    if *permuted {
+        census.sort_unstable_by_key(|&iu| rank[iu as usize]);
+    } else {
+        // rank == base + index: plain index order is identity order.
+        census.sort_unstable();
+    }
     for &iu in census.iter() {
         let i = iu as usize;
         debug_assert_eq!(w.status[i], Status::AtCensus);
@@ -1435,8 +1634,14 @@ mod tests {
                 for parallel in [false, true] {
                     let mut oe_particles = spawn_particles(&problem);
                     let oe_tally = AtomicTally::new(problem.mesh.num_cells());
-                    let (oe_counters, _t) =
-                        run_over_events(&mut oe_particles, &c, &oe_tally, style, parallel);
+                    let (oe_counters, _t) = run_over_events(
+                        &mut oe_particles,
+                        &c,
+                        &oe_tally,
+                        style,
+                        parallel,
+                        &mut None,
+                    );
                     assert_eq!(
                         op_particles, oe_particles,
                         "{case:?}/{style:?}/parallel={parallel}: trajectories"
@@ -1469,7 +1674,14 @@ mod tests {
 
         let mut oe_particles = spawn_particles(&problem);
         let oe_tally = AtomicTally::new(problem.mesh.num_cells());
-        run_over_events(&mut oe_particles, &c, &oe_tally, KernelStyle::Scalar, false);
+        run_over_events(
+            &mut oe_particles,
+            &c,
+            &oe_tally,
+            KernelStyle::Scalar,
+            false,
+            &mut None,
+        );
 
         let total = op_tally.total();
         for (i, (a, b)) in op_tally
@@ -1489,8 +1701,14 @@ mod tests {
         let c = ctx(&problem, &rng);
         let mut particles = spawn_particles(&problem);
         let tally = AtomicTally::new(problem.mesh.num_cells());
-        let (_counters, t) =
-            run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
+        let (_counters, t) = run_over_events(
+            &mut particles,
+            &c,
+            &tally,
+            KernelStyle::Scalar,
+            false,
+            &mut None,
+        );
         assert!(t.rounds > 1);
         assert!(t.total() > Duration::ZERO);
         let f = t.tally_fraction();
@@ -1504,8 +1722,99 @@ mod tests {
         let c = ctx(&problem, &rng);
         let mut particles = spawn_particles(&problem);
         let tally = AtomicTally::new(problem.mesh.num_cells());
-        let (counters, _) = run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false);
+        let (counters, _) = run_over_events(
+            &mut particles,
+            &c,
+            &tally,
+            KernelStyle::Scalar,
+            false,
+            &mut None,
+        );
         assert!(counters.stuck > 0);
         assert!(particles.iter().all(|p| p.dead || p.dt_to_census == 0.0));
+    }
+
+    /// A reused `EventState` must behave exactly like a fresh one on
+    /// every subsequent timestep: same trajectories, counters and tally
+    /// bits — no stale per-window data (lists, arenas, pending deposits)
+    /// may survive the init kernel.
+    #[test]
+    fn state_reuse_across_timesteps_matches_fresh_state() {
+        for case in [TestCase::Scatter, TestCase::Csp] {
+            let (problem, rng) = fixture(case);
+            let c = ctx(&problem, &rng);
+            let run2 = |reuse: bool| {
+                let mut particles = spawn_particles(&problem);
+                let tally = AtomicTally::new(problem.mesh.num_cells());
+                let mut slot: Option<EventState> = None;
+                let mut counters = EventCounters::default();
+                for step in 0..2 {
+                    if step > 0 {
+                        for p in particles.iter_mut().filter(|p| !p.dead) {
+                            p.dt_to_census = problem.dt;
+                        }
+                    }
+                    let mut fresh: Option<EventState> = None;
+                    let st = if reuse { &mut slot } else { &mut fresh };
+                    let (c0, _) =
+                        run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false, st);
+                    counters.merge(&c0);
+                }
+                (particles, counters, tally.snapshot(), slot)
+            };
+            let (pa, ca, ta, slot) = run2(true);
+            let (pb, cb, tb, _) = run2(false);
+            assert_eq!(pa, pb, "{case:?}: trajectories");
+            assert_eq!(ca, cb, "{case:?}: counters");
+            assert!(
+                ta.iter().zip(&tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{case:?}: tally bits"
+            );
+            // A clean solve drains every pending deposit.
+            assert_eq!(
+                slot.expect("state was reused").pending_total(),
+                0.0,
+                "{case:?}: residual pending deposits after a clean solve"
+            );
+        }
+    }
+
+    /// Even a runaway-guard abort leaves no pending deposits behind (the
+    /// guard fires at the top of a round, after the previous round's
+    /// flush), and a reused state after such an abort still matches a
+    /// fresh one bitwise. The init kernel additionally re-zeroes pending
+    /// defensively, so this invariant survives future changes to where
+    /// the guard fires.
+    #[test]
+    fn state_reuse_is_clean_after_runaway_abort() {
+        let (mut problem, rng) = fixture(TestCase::Scatter);
+        problem.transport.max_events_per_history = 6;
+        let c = ctx(&problem, &rng);
+        let run2 = |reuse: bool| {
+            let mut particles = spawn_particles(&problem);
+            let tally = AtomicTally::new(problem.mesh.num_cells());
+            let mut slot: Option<EventState> = None;
+            for step in 0..2 {
+                if step > 0 {
+                    assert_eq!(
+                        slot.as_ref().map_or(0.0, EventState::pending_total),
+                        0.0,
+                        "an aborted solve must not leave pending deposits"
+                    );
+                    for p in particles.iter_mut().filter(|p| !p.dead) {
+                        p.dt_to_census = problem.dt;
+                    }
+                }
+                let mut fresh: Option<EventState> = None;
+                let st = if reuse { &mut slot } else { &mut fresh };
+                let _ = run_over_events(&mut particles, &c, &tally, KernelStyle::Scalar, false, st);
+            }
+            tally.total()
+        };
+        assert_eq!(
+            run2(true).to_bits(),
+            run2(false).to_bits(),
+            "reused state after an abort diverges from fresh state"
+        );
     }
 }

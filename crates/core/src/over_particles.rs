@@ -21,7 +21,7 @@
 use crate::counters::EventCounters;
 use crate::events::TallySink;
 use crate::history::{track_to_census, TransportCtx};
-use crate::particle::{total_weighted_energy, Particle};
+use crate::particle::{total_weighted_energy, total_weighted_energy_ordered, Particle};
 use crate::scheduler::{parallel_for_owned, parallel_for_stateful, Schedule, SharedSliceMut};
 use neutral_mesh::tally::{AtomicTally, PrivatizedTally};
 use neutral_mesh::{LanePartition, LaneSink, TallyAccum};
@@ -153,15 +153,28 @@ pub fn run_scheduled<R: CbRng>(
 /// merged with the deterministic pairwise reduction, so for the
 /// deterministic backends the merged tally *and* the counters are bitwise
 /// identical for any `n_threads`.
+///
+/// `order`, when present, is the identity map of a regrouped population
+/// (`order[k]` = physical position of the particle with key `k`, a
+/// permutation of `0..n` that never crosses a lane boundary): each lane
+/// then tracks *its own* particles in ascending key order, so every
+/// deposit and counter accumulates in exactly the sequence the
+/// unregrouped run produces — the identity-remap invariant of
+/// DESIGN.md §14. One extra gather per history; the history itself still
+/// runs register-resident.
 pub fn run_lanes<R: CbRng>(
     particles: &mut [Particle],
     ctx: &TransportCtx<'_, R>,
     accum: &mut TallyAccum,
     n_threads: usize,
     schedule: Schedule,
+    order: Option<&[u32]>,
 ) -> EventCounters {
     assert!(n_threads > 0, "need at least one thread");
     let part = LanePartition::new(particles.len(), accum.n_lanes());
+    if let Some(ord) = order {
+        assert_eq!(ord.len(), particles.len(), "order must be a permutation");
+    }
     let shared = SharedSliceMut::new(particles);
 
     let mut states: Vec<(LaneSink<'_>, EventCounters)> = accum
@@ -174,18 +187,33 @@ pub fn run_lanes<R: CbRng>(
         n_threads,
         schedule.lane_granular(),
         &mut states,
-        |lane, (sink, local)| {
-            // SAFETY: lane ranges are disjoint (see LanePartition).
-            let chunk = unsafe { shared.range_mut(part.range(lane)) };
-            for p in chunk {
-                track_to_census(p, ctx, sink, local);
+        |lane, (sink, local)| match order {
+            None => {
+                // SAFETY: lane ranges are disjoint (see LanePartition).
+                let chunk = unsafe { shared.range_mut(part.range(lane)) };
+                for p in chunk {
+                    track_to_census(p, ctx, sink, local);
+                }
+            }
+            Some(ord) => {
+                for &pos in &ord[part.range(lane)] {
+                    let pos = pos as usize;
+                    // SAFETY: `order` is a permutation, and the key
+                    // ranges of distinct lanes are disjoint, so distinct
+                    // lanes touch disjoint physical positions.
+                    let p = unsafe { &mut shared.range_mut(pos..pos + 1)[0] };
+                    track_to_census(p, ctx, sink, local);
+                }
             }
         },
     );
 
     let partials: Vec<EventCounters> = states.iter().map(|(_, c)| *c).collect();
     let mut merged = EventCounters::merge_deterministic(&partials);
-    merged.census_energy_ev = total_weighted_energy(particles);
+    merged.census_energy_ev = match order {
+        Some(ord) => total_weighted_energy_ordered(particles, ord),
+        None => total_weighted_energy(particles),
+    };
     merged
 }
 
@@ -322,7 +350,14 @@ mod tests {
         let run = |strategy: TallyStrategy, threads: usize, schedule: Schedule| {
             let mut particles = spawn_particles(&fx.problem);
             let mut accum = TallyAccum::new(strategy, cells, 16);
-            let counters = run_lanes(&mut particles, &fx.ctx(), &mut accum, threads, schedule);
+            let counters = run_lanes(
+                &mut particles,
+                &fx.ctx(),
+                &mut accum,
+                threads,
+                schedule,
+                None,
+            );
             (accum.merge(), counters, particles)
         };
         for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {

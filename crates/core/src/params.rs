@@ -43,14 +43,16 @@
 //! collision_model analogue     # or implicit_capture
 //! lookup_strategy hinted       # or binary | unionized | hashed
 //! tally_strategy atomic        # or replicated | privatized
-//! sort_policy off              # or by_cell | by_energy_band
+//! sort_policy off              # or by_cell | by_energy_band | auto
+//! regroup_policy off           # or by_cell | by_energy_band | by_alive
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
 //! `ProblemScale::small()`.
 
 use crate::config::{
-    CollisionModel, LookupStrategy, Problem, SortPolicy, TallyStrategy, TransportConfig,
+    CollisionModel, LookupStrategy, Problem, RegroupPolicy, SortPolicy, TallyStrategy,
+    TransportConfig,
 };
 use neutral_mesh::{MaterialId, Rect, StructuredMesh2D};
 use neutral_xs::{constants, MaterialKind, MaterialSet, MaterialSpec};
@@ -140,6 +142,8 @@ pub struct ProblemParams {
     pub tally_strategy: TallyStrategy,
     /// Coherence sort of the batched drivers (DESIGN.md §13).
     pub sort_policy: SortPolicy,
+    /// Between-timestep physical regrouping (DESIGN.md §14).
+    pub regroup_policy: RegroupPolicy,
 }
 
 impl Default for ProblemParams {
@@ -165,6 +169,7 @@ impl Default for ProblemParams {
             lookup_strategy: LookupStrategy::default(),
             tally_strategy: TallyStrategy::default(),
             sort_policy: SortPolicy::default(),
+            regroup_policy: RegroupPolicy::default(),
         }
     }
 }
@@ -256,6 +261,9 @@ impl ProblemParams {
                 }
                 "sort_policy" => {
                     p.sort_policy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                "regroup_policy" => {
+                    p.regroup_policy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {
@@ -507,6 +515,7 @@ impl ProblemParams {
                 xs_search: self.lookup_strategy,
                 tally_strategy: self.tally_strategy,
                 sort_policy: self.sort_policy,
+                regroup_policy: self.regroup_policy,
                 ..Default::default()
             },
         }
@@ -617,6 +626,7 @@ region 0.5 1.0 0.0 0.5 7.0
             ("off", SortPolicy::Off),
             ("by_cell", SortPolicy::ByCell),
             ("by_energy_band", SortPolicy::ByEnergyBand),
+            ("auto", SortPolicy::Auto),
         ] {
             let p = ProblemParams::parse(&format!("sort_policy {name}\n")).unwrap();
             assert_eq!(p.sort_policy, expect);
@@ -625,6 +635,23 @@ region 0.5 1.0 0.0 0.5 7.0
         let e = ProblemParams::parse("nx 4\nsort_policy fastest\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("fastest"));
+    }
+
+    #[test]
+    fn parses_regroup_policy() {
+        for (name, expect) in [
+            ("off", RegroupPolicy::Off),
+            ("by_cell", RegroupPolicy::ByCell),
+            ("by_energy_band", RegroupPolicy::ByEnergyBand),
+            ("by_alive", RegroupPolicy::ByAlive),
+        ] {
+            let p = ProblemParams::parse(&format!("regroup_policy {name}\n")).unwrap();
+            assert_eq!(p.regroup_policy, expect);
+            assert_eq!(p.build().transport.regroup_policy, expect);
+        }
+        let e = ProblemParams::parse("nx 4\nregroup_policy shuffle\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("shuffle"));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! on for the whole history. The Structure-of-Arrays alternative lives in
 //! [`crate::soa`].
 
-use crate::config::Problem;
+use crate::arena::{apply_permutation_in_place, radix_sort_pairs, ScratchArena};
+use crate::config::{Problem, RegroupPolicy};
 use neutral_rng::{dist, CounterStream, Threefry2x64};
 use neutral_xs::XsHints;
 
@@ -124,6 +125,104 @@ pub fn total_weighted_energy(particles: &[Particle]) -> f64 {
         .sum()
 }
 
+/// [`total_weighted_energy`] accumulated in **identity** (`key`) order:
+/// `order[k]` is the physical position of the particle with key `k` (the
+/// inverse of the regroup permutation). A regrouped run must report the
+/// exact bits an unregrouped run reports, and this `f64` fold is one of
+/// the order-sensitive reductions the bitwise contract anchors to key
+/// order.
+#[must_use]
+pub fn total_weighted_energy_ordered(particles: &[Particle], order: &[u32]) -> f64 {
+    order
+        .iter()
+        .map(|&pos| &particles[pos as usize])
+        .filter(|p| !p.dead)
+        .map(Particle::weighted_energy)
+        .sum()
+}
+
+/// Energy-band key of the regroup/sort stages: the exponent plus the top
+/// 8 mantissa bits, monotone for the positive energies in play (~0.4%
+/// bands) — the same banding the [`crate::config::SortPolicy`] lane sort
+/// uses.
+#[inline]
+#[must_use]
+pub fn energy_band(energy_ev: f64) -> u32 {
+    (energy_ev.to_bits() >> 44) as u32
+}
+
+/// Physically regroup the population for the next timestep (DESIGN.md
+/// §14): within each tally-lane block of `lane_size` particles, stably
+/// permute the records into the grouping `policy` asks for, dead
+/// particles always last. Identity — `key`, the RNG counter, the cached
+/// hints — moves with each record; lane membership is preserved because
+/// the permutation never crosses a lane boundary, which (together with
+/// the drivers' identity-order accumulation anchors) keeps merged
+/// tallies and counters bitwise identical to [`RegroupPolicy::Off`].
+///
+/// Returns `true` if any particle actually moved. All staging lives in
+/// `scratch` (`sort_keys`/`sort_tmp`/`perm`), so repeated calls allocate
+/// nothing once warm.
+pub fn regroup_particles(
+    particles: &mut [Particle],
+    policy: RegroupPolicy,
+    nx: usize,
+    lane_size: usize,
+    scratch: &mut ScratchArena,
+) -> bool {
+    if policy == RegroupPolicy::Off || particles.is_empty() {
+        return false;
+    }
+    let lane_size = lane_size.max(1);
+    let n = particles.len();
+    let mut moved = false;
+    let mut start = 0;
+    while start < n {
+        let end = (start + lane_size).min(n);
+        let lane = &mut particles[start..end];
+        scratch.sort_keys.clear();
+        for (i, p) in lane.iter().enumerate() {
+            let group = match policy {
+                RegroupPolicy::Off => unreachable!("handled above"),
+                RegroupPolicy::ByAlive => u32::from(p.dead),
+                RegroupPolicy::ByCell => {
+                    if p.dead {
+                        u32::MAX
+                    } else {
+                        p.cell_index(nx) as u32
+                    }
+                }
+                RegroupPolicy::ByEnergyBand => {
+                    if p.dead {
+                        u32::MAX
+                    } else {
+                        energy_band(p.energy)
+                    }
+                }
+            };
+            scratch.sort_keys.push((group, i as u32));
+        }
+        // Stable by construction (payloads are insertion indices), so
+        // equal-group particles keep ascending key order within the lane.
+        radix_sort_pairs(&mut scratch.sort_keys, &mut scratch.sort_tmp);
+        if scratch
+            .sort_keys
+            .iter()
+            .enumerate()
+            .any(|(k, &(_, src))| src as usize != k)
+        {
+            moved = true;
+            scratch.perm.clear();
+            scratch
+                .perm
+                .extend(scratch.sort_keys.iter().map(|&(_, src)| src));
+            apply_permutation_in_place(lane, &mut scratch.perm);
+        }
+        start = end;
+    }
+    moved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +280,141 @@ mod tests {
         particles[0].dead = true;
         let less = total_weighted_energy(&particles);
         assert!((full - less - p.initial_energy_ev).abs() < 1e-3);
+    }
+
+    #[test]
+    fn regroup_groups_within_lanes_and_keeps_identity() {
+        let p = problem();
+        let nx = p.mesh.nx();
+        let mut particles = spawn_particles(&p);
+        let n = particles.len();
+        // Kill a scattered subset and scramble cells so grouping is
+        // non-trivial.
+        for (i, part) in particles.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                part.dead = true;
+            }
+            part.cellx = (i as u32 * 7) % 11;
+            part.celly = (i as u32 * 3) % 5;
+        }
+        let original = particles.clone();
+        let lane_size = 16;
+        let mut scratch = ScratchArena::new();
+        for policy in [
+            RegroupPolicy::ByAlive,
+            RegroupPolicy::ByCell,
+            RegroupPolicy::ByEnergyBand,
+        ] {
+            let mut pop = original.clone();
+            let moved = regroup_particles(&mut pop, policy, nx, lane_size, &mut scratch);
+            assert!(moved, "{policy:?}");
+            let mut start = 0;
+            while start < n {
+                let end = (start + lane_size).min(n);
+                let lane = &pop[start..end];
+                // Same multiset of records (identity travels with the
+                // particle and never crosses a lane boundary)...
+                let mut keys: Vec<u64> = lane.iter().map(|p| p.key).collect();
+                keys.sort_unstable();
+                let expect: Vec<u64> = (start as u64..end as u64).collect();
+                assert_eq!(keys, expect, "{policy:?}: lane {start}..{end} membership");
+                for part in lane {
+                    assert_eq!(
+                        *part, original[part.key as usize],
+                        "{policy:?}: record moved intact"
+                    );
+                }
+                // ...grouped by the policy key, dead last, stable within
+                // equal groups (ascending key).
+                let group = |p: &Particle| match policy {
+                    RegroupPolicy::ByAlive => u64::from(p.dead),
+                    RegroupPolicy::ByCell => {
+                        if p.dead {
+                            u64::MAX
+                        } else {
+                            p.cell_index(nx) as u64
+                        }
+                    }
+                    _ => {
+                        if p.dead {
+                            u64::MAX
+                        } else {
+                            u64::from(energy_band(p.energy))
+                        }
+                    }
+                };
+                for w in lane.windows(2) {
+                    let (ga, gb) = (group(&w[0]), group(&w[1]));
+                    assert!(ga <= gb, "{policy:?}: lane not grouped");
+                    if ga == gb {
+                        assert!(w[0].key < w[1].key, "{policy:?}: equal group not stable");
+                    }
+                }
+                start = end;
+            }
+        }
+        // Off and an already-grouped lane report no movement.
+        let mut pop = original.clone();
+        assert!(!regroup_particles(
+            &mut pop,
+            RegroupPolicy::Off,
+            nx,
+            lane_size,
+            &mut scratch
+        ));
+        assert_eq!(pop, original);
+        let mut grouped = original.clone();
+        regroup_particles(
+            &mut grouped,
+            RegroupPolicy::ByAlive,
+            nx,
+            lane_size,
+            &mut scratch,
+        );
+        let snapshot = grouped.clone();
+        assert!(!regroup_particles(
+            &mut grouped,
+            RegroupPolicy::ByAlive,
+            nx,
+            lane_size,
+            &mut scratch
+        ));
+        assert_eq!(grouped, snapshot);
+    }
+
+    #[test]
+    fn ordered_energy_matches_identity_order() {
+        let p = problem();
+        let mut particles = spawn_particles(&p);
+        for (i, part) in particles.iter_mut().enumerate() {
+            // Distinct magnitudes so summation order matters in f64.
+            part.energy = 10f64.powi((i % 13) as i32 - 6);
+            part.dead = i % 4 == 0;
+        }
+        let baseline = total_weighted_energy(&particles);
+        let mut scratch = ScratchArena::new();
+        let mut pop = particles.clone();
+        regroup_particles(
+            &mut pop,
+            RegroupPolicy::ByEnergyBand,
+            p.mesh.nx(),
+            8,
+            &mut scratch,
+        );
+        let mut order = vec![0u32; pop.len()];
+        for (pos, part) in pop.iter().enumerate() {
+            order[part.key as usize] = pos as u32;
+        }
+        let ordered = total_weighted_energy_ordered(&pop, &order);
+        assert_eq!(
+            ordered.to_bits(),
+            baseline.to_bits(),
+            "identity-order fold must reproduce the unregrouped bits"
+        );
+        // Physical-order fold over the regrouped population generally
+        // does NOT (that is the hazard the ordered fold exists for).
+        let physical = total_weighted_energy(&pop);
+        assert!((physical - baseline).abs() <= 1e-9 * baseline.abs());
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! it wires together the drivers in [`crate::over_particles`],
 //! [`crate::over_events`] and [`crate::soa`].
 
-use crate::config::Problem;
+use crate::arena::ScratchArena;
+use crate::config::{Problem, RegroupPolicy};
 use crate::counters::EventCounters;
 use crate::history::TransportCtx;
-use crate::over_events::{run_over_events, run_over_events_lanes, KernelStyle, KernelTimings};
+use crate::over_events::{
+    run_over_events, run_over_events_lanes, EventState, KernelStyle, KernelTimings,
+};
 use crate::over_particles::{run_lanes, run_rayon, run_scheduled, run_sequential, ScheduledTally};
-use crate::particle::{spawn_particles, Particle};
+use crate::particle::{regroup_particles, spawn_particles, Particle};
 use crate::scheduler::Schedule;
 use crate::soa::{run_lanes_soa, run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
 use crate::validate::{population_balance, EnergyBalance};
@@ -154,6 +157,62 @@ impl RunReport {
     }
 }
 
+/// Per-solve transport state that persists **across timesteps** (ROADMAP
+/// "arena reuse across timesteps"): the event-driver state arrays and
+/// per-window arenas, the SoA column buffers and per-worker arenas, the
+/// regroup scratch, and the identity map of a regrouped population. One
+/// instance is created per [`Simulation::run`] call and threaded through
+/// every step, so multi-timestep solves stop rebuilding `EventState`,
+/// `WindowState` arenas and SoA chunk trackers per call.
+#[derive(Default)]
+struct TransportState {
+    /// Reusable state of the lane-decomposed event driver (windows cut
+    /// at lane boundaries).
+    oe_lanes: Option<EventState>,
+    /// Reusable state of the legacy shared-atomic event driver (windows
+    /// cut by thread count — a different chunk, hence a separate slot).
+    oe_plain: Option<EventState>,
+    /// Reusable SoA column buffers, re-gathered from the (possibly
+    /// regrouped) AoS master each step.
+    soa: ParticleSoA,
+    /// Per-worker arenas of the lane-decomposed SoA driver.
+    soa_arenas: Vec<ScratchArena>,
+    /// Staging of the between-timestep regroup permutation.
+    scratch: ScratchArena,
+    /// Identity map of a regrouped population: `order[key]` = physical
+    /// position. Empty (and unused) until the first regroup actually
+    /// moves a particle.
+    order: Vec<u32>,
+    /// Whether any regroup has moved a particle this solve — gates the
+    /// identity-map indirection so an `Off` run (or a regroup that found
+    /// everything already grouped) keeps the exact unpermuted code paths.
+    permuted: bool,
+}
+
+impl TransportState {
+    /// The identity-order walk the drivers should use, if any.
+    fn order(&self) -> Option<&[u32]> {
+        self.permuted.then_some(self.order.as_slice())
+    }
+
+    /// Regroup the population for the next timestep and refresh the
+    /// identity map. Lane blocks match the tally-lane partition the lane
+    /// drivers use, so lane membership (and with it the bitwise-merge
+    /// invariant) is preserved.
+    fn regroup(&mut self, particles: &mut [Particle], policy: RegroupPolicy, nx: usize) {
+        let part = LanePartition::new(particles.len(), DEFAULT_LANES);
+        if regroup_particles(particles, policy, nx, part.lane_size, &mut self.scratch) {
+            self.permuted = true;
+        }
+        if self.permuted {
+            self.order.resize(particles.len(), 0);
+            for (pos, p) in particles.iter().enumerate() {
+                self.order[p.key as usize] = pos as u32;
+            }
+        }
+    }
+}
+
 /// A configured simulation: problem + spawned particle population.
 pub struct Simulation {
     problem: Problem,
@@ -188,6 +247,16 @@ impl Simulation {
     /// Run the configured number of timesteps with `options`, returning
     /// the report. Each call spawns a fresh particle population, so
     /// repeated calls with the same options are reproducible.
+    ///
+    /// A `TransportState` is created once per call and reused across
+    /// every timestep: the event-driver arenas, SoA buffers and regroup
+    /// scratch reach their high-water capacities in step one and are
+    /// never reallocated. At each census boundary the population is
+    /// physically regrouped per
+    /// [`crate::config::TransportConfig::regroup_policy`] — identity
+    /// travels with each record, so every policy reports bitwise the
+    /// same tallies and counters as `Off` under the deterministic tally
+    /// backends.
     #[must_use]
     pub fn run(&self, options: RunOptions) -> RunReport {
         let problem = &self.problem;
@@ -205,6 +274,7 @@ impl Simulation {
         // should measure transport, not one-off setup.
         problem.materials.prepare(problem.transport.xs_search);
 
+        let mut state = TransportState::default();
         let mut counters = EventCounters::default();
         let mut kernel_timings: Option<KernelTimings> = None;
         let mut tally_vec: Vec<f64> = vec![0.0; cells];
@@ -216,6 +286,14 @@ impl Simulation {
                 for p in particles.iter_mut().filter(|p| !p.dead) {
                     p.dt_to_census = problem.dt;
                 }
+                // The census boundary: physically regroup the survivors
+                // (regroup time is charged to the solve — it is part of
+                // the cost the policy must win back).
+                state.regroup(
+                    &mut particles,
+                    problem.transport.regroup_policy,
+                    problem.mesh.nx(),
+                );
             }
             let step_counters = self.run_step(
                 &mut particles,
@@ -224,6 +302,7 @@ impl Simulation {
                 &mut tally_vec,
                 &mut kernel_timings,
                 &mut tally_footprint,
+                &mut state,
             );
             counters.merge(&step_counters);
             // The residual is a snapshot, not a sum across steps.
@@ -252,6 +331,7 @@ impl Simulation {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal step dispatcher
     fn run_step(
         &self,
         particles: &mut [Particle],
@@ -260,6 +340,7 @@ impl Simulation {
         tally_vec: &mut [f64],
         kernel_timings: &mut Option<KernelTimings>,
         tally_footprint: &mut usize,
+        state: &mut TransportState,
     ) -> EventCounters {
         let cells = tally_vec.len();
         // The deterministic backends run every scheme and layout through
@@ -282,6 +363,7 @@ impl Simulation {
                 tally_vec,
                 kernel_timings,
                 tally_footprint,
+                state,
             );
         }
         match options.scheme {
@@ -289,8 +371,14 @@ impl Simulation {
                 let tally = AtomicTally::new(cells);
                 *tally_footprint = tally.footprint_bytes();
                 let parallel = !matches!(options.execution, Execution::Sequential);
-                let (counters, timings) =
-                    run_over_events(particles, ctx, &tally, options.kernel_style, parallel);
+                let (counters, timings) = run_over_events(
+                    particles,
+                    ctx,
+                    &tally,
+                    options.kernel_style,
+                    parallel,
+                    &mut state.oe_plain,
+                );
                 accumulate(tally_vec, &tally.snapshot());
                 merge_timings(kernel_timings, timings);
                 counters
@@ -346,15 +434,15 @@ impl Simulation {
                     );
                     let tally = AtomicTally::new(cells);
                     *tally_footprint = tally.footprint_bytes();
-                    let mut soa = ParticleSoA::from_aos(particles);
+                    let soa = &mut state.soa;
+                    soa.copy_from_aos(particles);
                     let chunk = crate::over_particles::rayon_chunk_size(soa.len());
                     let counters = if layout == Layout::Soa {
-                        run_rayon_soa(&mut soa, ctx, &tally, chunk)
+                        run_rayon_soa(soa, ctx, &tally, chunk)
                     } else {
-                        run_rayon_soa_stepped(&mut soa, ctx, &tally, chunk)
+                        run_rayon_soa_stepped(soa, ctx, &tally, chunk)
                     };
-                    let back = soa.to_aos();
-                    particles.copy_from_slice(&back);
+                    soa.write_aos(particles);
                     accumulate(tally_vec, &tally.snapshot());
                     counters
                 }
@@ -365,7 +453,10 @@ impl Simulation {
     /// One timestep through the pluggable tally subsystem: build the
     /// configured backend with a worker-count-independent lane partition,
     /// run the scheme's lane driver, and fold the deterministically
-    /// merged mesh into the running tally.
+    /// merged mesh into the running tally. The drivers receive the
+    /// persistent per-solve state (event arrays, SoA buffers, arenas)
+    /// and, when the population has been regrouped, its identity map.
+    #[allow(clippy::too_many_arguments)] // internal step dispatcher
     fn run_step_lanes(
         &self,
         particles: &mut [Particle],
@@ -374,6 +465,7 @@ impl Simulation {
         tally_vec: &mut [f64],
         kernel_timings: &mut Option<KernelTimings>,
         tally_footprint: &mut usize,
+        state: &mut TransportState,
     ) -> EventCounters {
         let cells = tally_vec.len();
         let strategy = ctx.cfg.tally_strategy;
@@ -397,6 +489,12 @@ impl Simulation {
 
         let counters = match options.scheme {
             Scheme::OverEvents => {
+                let TransportState {
+                    oe_lanes,
+                    order,
+                    permuted,
+                    ..
+                } = state;
                 let (counters, timings) = run_over_events_lanes(
                     particles,
                     ctx,
@@ -404,24 +502,36 @@ impl Simulation {
                     options.kernel_style,
                     workers,
                     schedule,
+                    oe_lanes,
+                    permuted.then_some(order.as_slice()),
                 );
                 merge_timings(kernel_timings, timings);
                 counters
             }
             Scheme::OverParticles => match options.layout {
-                Layout::Aos => run_lanes(particles, ctx, &mut accum, workers, schedule),
+                Layout::Aos => {
+                    run_lanes(particles, ctx, &mut accum, workers, schedule, state.order())
+                }
                 layout @ (Layout::Soa | Layout::SoaEventStepped) => {
-                    let mut soa = ParticleSoA::from_aos(particles);
+                    let TransportState {
+                        soa,
+                        soa_arenas,
+                        order,
+                        permuted,
+                        ..
+                    } = state;
+                    soa.copy_from_aos(particles);
                     let counters = run_lanes_soa(
-                        &mut soa,
+                        soa,
                         ctx,
                         &mut accum,
                         workers,
                         schedule,
                         layout == Layout::SoaEventStepped,
+                        soa_arenas,
+                        permuted.then_some(order.as_slice()),
                     );
-                    let back = soa.to_aos();
-                    particles.copy_from_slice(&back);
+                    soa.write_aos(particles);
                     counters
                 }
             },

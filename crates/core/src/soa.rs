@@ -62,41 +62,8 @@ impl ParticleSoA {
     /// Convert from the AoS layout.
     #[must_use]
     pub fn from_aos(particles: &[Particle]) -> Self {
-        let n = particles.len();
-        let mut soa = Self {
-            x: Vec::with_capacity(n),
-            y: Vec::with_capacity(n),
-            omega_x: Vec::with_capacity(n),
-            omega_y: Vec::with_capacity(n),
-            energy: Vec::with_capacity(n),
-            weight: Vec::with_capacity(n),
-            dt_to_census: Vec::with_capacity(n),
-            mfp_to_collision: Vec::with_capacity(n),
-            cellx: Vec::with_capacity(n),
-            celly: Vec::with_capacity(n),
-            absorb_hint: Vec::with_capacity(n),
-            scatter_hint: Vec::with_capacity(n),
-            key: Vec::with_capacity(n),
-            rng_counter: Vec::with_capacity(n),
-            dead: Vec::with_capacity(n),
-        };
-        for p in particles {
-            soa.x.push(p.x);
-            soa.y.push(p.y);
-            soa.omega_x.push(p.omega_x);
-            soa.omega_y.push(p.omega_y);
-            soa.energy.push(p.energy);
-            soa.weight.push(p.weight);
-            soa.dt_to_census.push(p.dt_to_census);
-            soa.mfp_to_collision.push(p.mfp_to_collision);
-            soa.cellx.push(p.cellx);
-            soa.celly.push(p.celly);
-            soa.absorb_hint.push(p.xs_hints.absorb);
-            soa.scatter_hint.push(p.xs_hints.scatter);
-            soa.key.push(p.key);
-            soa.rng_counter.push(p.rng_counter);
-            soa.dead.push(p.dead);
-        }
+        let mut soa = Self::default();
+        soa.copy_from_aos(particles);
         soa
     }
 
@@ -104,6 +71,61 @@ impl ParticleSoA {
     #[must_use]
     pub fn to_aos(&self) -> Vec<Particle> {
         (0..self.len()).map(|i| self.load(i)).collect()
+    }
+
+    /// Refill every column from an AoS population, reusing the existing
+    /// column capacity: the multi-timestep loop re-gathers the (possibly
+    /// regrouped) AoS master into the same SoA buffers each step instead
+    /// of allocating fifteen fresh `Vec`s per call. One pass over the
+    /// AoS array (like [`ParticleSoA::from_aos`]) — per-column passes
+    /// would re-read the 100-byte records fifteen times.
+    pub fn copy_from_aos(&mut self, particles: &[Particle]) {
+        macro_rules! clear_all {
+            ($($field:ident),+ $(,)?) => {$( self.$field.clear(); )+};
+        }
+        clear_all!(
+            x,
+            y,
+            omega_x,
+            omega_y,
+            energy,
+            weight,
+            dt_to_census,
+            mfp_to_collision,
+            cellx,
+            celly,
+            absorb_hint,
+            scatter_hint,
+            key,
+            rng_counter,
+            dead,
+        );
+        for p in particles {
+            self.x.push(p.x);
+            self.y.push(p.y);
+            self.omega_x.push(p.omega_x);
+            self.omega_y.push(p.omega_y);
+            self.energy.push(p.energy);
+            self.weight.push(p.weight);
+            self.dt_to_census.push(p.dt_to_census);
+            self.mfp_to_collision.push(p.mfp_to_collision);
+            self.cellx.push(p.cellx);
+            self.celly.push(p.celly);
+            self.absorb_hint.push(p.xs_hints.absorb);
+            self.scatter_hint.push(p.xs_hints.scatter);
+            self.key.push(p.key);
+            self.rng_counter.push(p.rng_counter);
+            self.dead.push(p.dead);
+        }
+    }
+
+    /// Scatter every particle back into an existing AoS slice (the
+    /// allocation-free counterpart of [`ParticleSoA::to_aos`]).
+    pub fn write_aos(&self, out: &mut [Particle]) {
+        assert_eq!(out.len(), self.len(), "population size mismatch");
+        for (i, p) in out.iter_mut().enumerate() {
+            *p = self.load(i);
+        }
     }
 
     /// Number of particles.
@@ -347,21 +369,43 @@ impl<'a> SoAChunkMut<'a> {
 /// energy-grid runs — while histories are still *tracked* in ascending
 /// lane order, so trajectories and deposit sequences stay bitwise
 /// identical to every other policy.
+///
+/// `order`, when present, is the chunk's identity walk over a regrouped
+/// population: the *global* physical positions of this lane's particles
+/// in ascending key order, plus the chunk's global base offset.
+/// Tracking (the order-sensitive deposit stream) then follows key order
+/// exactly as the unregrouped run would, while the columns themselves
+/// stay physically grouped.
 fn track_soa_chunk<R: CbRng, T: TallySink>(
     chunk: &mut SoAChunkMut<'_>,
     ctx: &TransportCtx<'_, R>,
     sink: &mut T,
     local: &mut EventCounters,
     arena: &mut ScratchArena,
+    order: Option<(&[u32], u32)>,
 ) {
     let n = chunk.len();
     let a = arena;
     a.clear();
-    // Live lanes in ascending order, then (optionally) permuted into
-    // energy-band order for the lookup gather only.
-    for i in 0..n {
-        if !chunk.dead[i] {
-            a.idx.push(i as u32);
+    // Live lanes in identity (tracking) order — ascending lane order
+    // unregrouped, ascending key order regrouped — then (optionally)
+    // permuted into energy-band order for the lookup gather only.
+    match order {
+        None => {
+            for i in 0..n {
+                if !chunk.dead[i] {
+                    a.idx.push(i as u32);
+                }
+            }
+        }
+        Some((ord, base)) => {
+            debug_assert_eq!(ord.len(), n, "order must cover the chunk");
+            for &g in ord {
+                let i = (g - base) as usize;
+                if !chunk.dead[i] {
+                    a.idx.push(i as u32);
+                }
+            }
         }
     }
     // Band-sorting the lanes only pays on the grid backends, whose
@@ -375,7 +419,7 @@ fn track_soa_chunk<R: CbRng, T: TallySink>(
     if sort_lanes {
         a.sort_keys.clear();
         for &iu in &a.idx {
-            let band = (chunk.energy[iu as usize].to_bits() >> 44) as u32;
+            let band = crate::particle::energy_band(chunk.energy[iu as usize]);
             a.sort_keys.push((band, iu));
         }
         radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
@@ -404,9 +448,10 @@ fn track_soa_chunk<R: CbRng, T: TallySink>(
         &mut a.out_absorb,
         &mut a.out_scatter,
         local,
+        &mut a.xs,
     );
     // Scatter the per-lane results back to lane-indexed storage, then
-    // track in ascending lane order — the bitwise anchor.
+    // track in identity order — the bitwise anchor.
     a.f64_a.resize(n, 0.0);
     a.f64_b.resize(n, 0.0);
     for (j, &iu) in a.idx.iter().enumerate() {
@@ -416,9 +461,9 @@ fn track_soa_chunk<R: CbRng, T: TallySink>(
         a.f64_a[i] = a.out_absorb[j];
         a.f64_b[i] = a.out_scatter[j];
     }
-    for i in 0..n {
+    let mut track = |i: usize, chunk: &mut SoAChunkMut<'_>| {
         if chunk.dead[i] {
-            continue;
+            return;
         }
         let micro = MicroXs {
             absorb_barns: a.f64_a[i],
@@ -427,19 +472,34 @@ fn track_soa_chunk<R: CbRng, T: TallySink>(
         let mut p = chunk.load(i);
         track_to_census_primed(&mut p, ctx, sink, local, micro);
         chunk.store(i, &p);
+    };
+    match order {
+        None => {
+            for i in 0..n {
+                track(i, chunk);
+            }
+        }
+        Some((ord, base)) => {
+            for &g in ord {
+                track((g - base) as usize, chunk);
+            }
+        }
     }
 }
 
 /// Track one SoA chunk with event-granular gather/scatter (the Figure 5
 /// SoA-penalty memory behaviour); shared by the Rayon and lane drivers.
+/// `order` carries the identity walk of a regrouped chunk, exactly as in
+/// [`track_soa_chunk`].
 fn track_soa_chunk_stepped<R: CbRng, T: TallySink>(
     chunk: &mut SoAChunkMut<'_>,
     ctx: &TransportCtx<'_, R>,
     sink: &mut T,
     local: &mut EventCounters,
+    order: Option<(&[u32], u32)>,
 ) {
     let max_events = ctx.cfg.max_events_per_history;
-    for i in 0..chunk.len() {
+    let mut track = |i: usize, chunk: &mut SoAChunkMut<'_>| {
         let mut events = 0u64;
         loop {
             // Gather -> one event -> scatter: the per-event array
@@ -461,6 +521,18 @@ fn track_soa_chunk_stepped<R: CbRng, T: TallySink>(
                     },
                 );
                 break;
+            }
+        }
+    };
+    match order {
+        None => {
+            for i in 0..chunk.len() {
+                track(i, chunk);
+            }
+        }
+        Some((ord, base)) => {
+            for &g in ord {
+                track((g - base) as usize, chunk);
             }
         }
     }
@@ -487,7 +559,7 @@ pub fn run_rayon_soa<R: CbRng>(
             || (EventCounters::default(), ScratchArena::new()),
             |(mut local, mut arena), mut chunk| {
                 let mut sink = tally;
-                track_soa_chunk(&mut chunk, ctx, &mut sink, &mut local, &mut arena);
+                track_soa_chunk(&mut chunk, ctx, &mut sink, &mut local, &mut arena, None);
                 (local, arena)
             },
         )
@@ -527,7 +599,7 @@ pub fn run_rayon_soa_stepped<R: CbRng>(
         .into_par_iter()
         .fold(EventCounters::default, |mut local, mut chunk| {
             let mut sink = tally;
-            track_soa_chunk_stepped(&mut chunk, ctx, &mut sink, &mut local);
+            track_soa_chunk_stepped(&mut chunk, ctx, &mut sink, &mut local, None);
             local
         })
         .reduce(EventCounters::default, |mut a, b| {
@@ -547,6 +619,15 @@ pub fn run_rayon_soa_stepped<R: CbRng>(
 /// [`LaneSink`]. `stepped` selects the event-granular gather/scatter
 /// variant. For the deterministic backends the merged tally and counters
 /// are bitwise identical for any worker count.
+///
+/// `arenas` holds the per-worker scratch (grown to `n_threads` on
+/// demand) — callers that run many timesteps pass the same vector every
+/// step so the staging lanes are allocated once per solve, not once per
+/// call. `order`, when present, is the regrouped population's identity
+/// map (`order[k]` = physical position of key `k`, lane-local): each
+/// chunk then tracks in ascending key order, keeping every `f64` stream
+/// bitwise identical to the unregrouped run.
+#[allow(clippy::too_many_arguments)] // the solve's full configuration surface
 pub fn run_lanes_soa<R: CbRng>(
     soa: &mut ParticleSoA,
     ctx: &TransportCtx<'_, R>,
@@ -554,37 +635,58 @@ pub fn run_lanes_soa<R: CbRng>(
     n_threads: usize,
     schedule: Schedule,
     stepped: bool,
+    arenas: &mut Vec<ScratchArena>,
+    order: Option<&[u32]>,
 ) -> EventCounters {
     let part = LanePartition::new(soa.len(), accum.n_lanes());
+    if let Some(ord) = order {
+        assert_eq!(ord.len(), soa.len(), "order must be a permutation");
+    }
     let mut counters = {
         let chunks = soa.chunks_mut(part.lane_size);
-        let mut states: Vec<(SoAChunkMut<'_>, LaneSink<'_>, EventCounters)> = chunks
+        let mut states: Vec<(usize, SoAChunkMut<'_>, LaneSink<'_>, EventCounters)> = chunks
             .into_iter()
             .zip(accum.lane_views())
-            .map(|(chunk, view)| (chunk, view, EventCounters::default()))
+            .enumerate()
+            .map(|(lane, (chunk, view))| (lane, chunk, view, EventCounters::default()))
             .collect();
         // One reusable arena per *worker*, not per lane: workers claim
         // many lanes, and the staging lanes carry no cross-lane meaning.
-        let mut arenas: Vec<ScratchArena> = (0..n_threads).map(|_| ScratchArena::new()).collect();
+        if arenas.len() < n_threads {
+            arenas.resize_with(n_threads, ScratchArena::new);
+        }
         parallel_for_owned_scratch(
             schedule.lane_granular(),
             &mut states,
-            &mut arenas,
-            |_, (chunk, sink, local), arena| {
+            &mut arenas[..n_threads],
+            |_, (lane, chunk, sink, local), arena| {
+                let chunk_order = order.map(|ord| {
+                    let range = part.range(*lane);
+                    let base = range.start as u32;
+                    (&ord[range], base)
+                });
                 if stepped {
-                    track_soa_chunk_stepped(chunk, ctx, sink, local);
+                    track_soa_chunk_stepped(chunk, ctx, sink, local, chunk_order);
                 } else {
-                    track_soa_chunk(chunk, ctx, sink, local, arena);
+                    track_soa_chunk(chunk, ctx, sink, local, arena, chunk_order);
                 }
             },
         );
-        let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
+        let partials: Vec<EventCounters> = states.iter().map(|(_, _, _, c)| *c).collect();
         EventCounters::merge_deterministic(&partials)
     };
-    counters.census_energy_ev = (0..soa.len())
-        .filter(|&i| !soa.dead[i])
-        .map(|i| soa.weight[i] * soa.energy[i])
-        .sum();
+    counters.census_energy_ev = match order {
+        Some(ord) => ord
+            .iter()
+            .map(|&pos| pos as usize)
+            .filter(|&i| !soa.dead[i])
+            .map(|i| soa.weight[i] * soa.energy[i])
+            .sum(),
+        None => (0..soa.len())
+            .filter(|&i| !soa.dead[i])
+            .map(|i| soa.weight[i] * soa.energy[i])
+            .sum(),
+    };
     counters
 }
 

@@ -56,7 +56,7 @@ pub use lookup::{
     BinaryLookup, HashedGrid, HashedLookup, HintedLookup, LookupStrategy, UnionizedGrid,
     UnionizedLookup, XsLookup,
 };
-pub use material::{MaterialId, MaterialKind, MaterialSet, MaterialSpec};
+pub use material::{LaneScratch, MaterialId, MaterialKind, MaterialSet, MaterialSpec};
 pub use synth::{synthetic_capture, synthetic_scatter, SynthParams};
 pub use table::{lerp_segment, CrossSection};
 

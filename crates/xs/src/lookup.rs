@@ -397,6 +397,16 @@ impl UnionizedGrid {
             *run = Some(i);
             i
         };
+        let (a, s, ia, is) = self.eval_bin(e, k);
+        (a, s, steps, ia, is)
+    }
+
+    /// Evaluate both tables for an energy whose containing union bin `k`
+    /// is already known — the shared tail of the scan, memo and
+    /// lane-blocked memo paths, so all three interpolate (and clamp)
+    /// through literally the same code.
+    #[inline]
+    fn eval_bin(&self, e: f64, k: usize) -> (f64, f64, u32, u32) {
         let seg = &self.segments[k];
         let [ia, is] = self.bins[k];
         let a = if e <= self.absorb_lo.0 {
@@ -413,8 +423,33 @@ impl UnionizedGrid {
         } else {
             lerp_segment(e, seg[4], seg[5], seg[6], seg[7])
         };
-        (a, s, steps, ia, is)
+        (a, s, ia, is)
     }
+}
+
+/// SIMD-width of the lane-blocked run-detection fast path: a whole block
+/// of energies is compared against the cached bin with one branch-light
+/// all-lanes test (a reduction of `RUN_BLOCK` independent compares the
+/// auto-vectoriser can chew), so the monotone runs that
+/// `by_energy_band` sorting and `ByEnergyBand` regrouping produce
+/// resolve at block granularity instead of lane granularity. Results are
+/// bitwise identical to the scalar memo (`cs_search_steps` is already
+/// zero on memo hits, so not even the work meter moves on the block
+/// path).
+const RUN_BLOCK: usize = 8;
+
+/// Branch-light all-lanes test: does every energy in `block` fall in the
+/// cached bin `[lo, hi)` *and* strictly inside the table range
+/// `(e0, etop)` (the same preconditions the scalar memo checks, in the
+/// same order semantics)? Written as an unconditional `&=` reduction so
+/// the compiler vectorises the compares.
+#[inline]
+fn block_in_bin(block: &[f64], e0: f64, etop: f64, lo: f64, hi: f64) -> bool {
+    let mut all = true;
+    for &e in block {
+        all &= e > e0 && e < etop && lo <= e && e < hi;
+    }
+    all
 }
 
 /// One search on the union grid resolves both tables.
@@ -461,15 +496,46 @@ impl XsLookup for UnionizedLookup<'_> {
         assert_eq!(energies.len(), hints_scatter.len());
         assert_eq!(energies.len(), out_absorb.len());
         assert_eq!(energies.len(), out_scatter.len());
+        let g = self.grid;
+        let m = g.energy.len();
+        let (e0, etop) = (g.energy[0], g.energy[m - 1]);
+        let n = energies.len();
         let mut steps = 0u64;
-        let mut run = None;
-        for (i, &e) in energies.iter().enumerate() {
-            let (a, s, ns, ia, is) = self.grid.resolve_run(e, &mut run);
+        let mut run: Option<usize> = None;
+        let mut i = 0;
+        while i < n {
+            // Lane-blocked run detection: test a whole block against the
+            // cached union bin at once; a hit resolves all lanes through
+            // the shared `eval_bin` tail with zero scans (bitwise
+            // identical to the scalar memo, which also reports 0 steps).
+            if let Some(k) = run {
+                if i + RUN_BLOCK <= n
+                    && block_in_bin(
+                        &energies[i..i + RUN_BLOCK],
+                        e0,
+                        etop,
+                        g.energy[k],
+                        g.energy[k + 1],
+                    )
+                {
+                    for j in i..i + RUN_BLOCK {
+                        let (a, s, ia, is) = g.eval_bin(energies[j], k);
+                        out_absorb[j] = a;
+                        out_scatter[j] = s;
+                        hints_absorb[j] = ia;
+                        hints_scatter[j] = is;
+                    }
+                    i += RUN_BLOCK;
+                    continue;
+                }
+            }
+            let (a, s, ns, ia, is) = g.resolve_run(energies[i], &mut run);
             out_absorb[i] = a;
             out_scatter[i] = s;
             hints_absorb[i] = ia;
             hints_scatter[i] = is;
             steps += u64::from(ns);
+            i += 1;
         }
         steps
     }
@@ -687,6 +753,58 @@ impl HashedLookup<'_> {
             steps,
         )
     }
+
+    /// Batched shared-grid path with lane-blocked run detection (see
+    /// [`RUN_BLOCK`]): blocks of energies inside the cached bin resolve
+    /// through the same `lerp` the scalar memo uses — bitwise identical,
+    /// zero scan steps either way.
+    fn lookup_many_shared(
+        &self,
+        energies: &[f64],
+        hints_absorb: &mut [u32],
+        hints_scatter: &mut [u32],
+        out_absorb: &mut [f64],
+        out_scatter: &mut [f64],
+    ) -> u64 {
+        let absorb = &self.lib.absorb;
+        let scatter = &self.lib.scatter;
+        let eg = absorb.energies();
+        let ng = eg.len();
+        let (e0, etop) = (eg[0], eg[ng - 1]);
+        let n = energies.len();
+        let mut steps = 0u64;
+        let mut run: Option<usize> = None;
+        let mut i = 0;
+        while i < n {
+            if let Some(k) = run {
+                if i + RUN_BLOCK <= n
+                    && block_in_bin(&energies[i..i + RUN_BLOCK], e0, etop, eg[k], eg[k + 1])
+                {
+                    for j in i..i + RUN_BLOCK {
+                        let e = energies[j];
+                        hints_absorb[j] = k as u32;
+                        hints_scatter[j] = k as u32;
+                        out_absorb[j] = absorb.lerp(k, e);
+                        out_scatter[j] = scatter.lerp(k, e);
+                    }
+                    i += RUN_BLOCK;
+                    continue;
+                }
+            }
+            let mut hints = XsHints {
+                absorb: hints_absorb[i],
+                scatter: hints_scatter[i],
+            };
+            let (micro, ns) = self.lookup_shared_run(energies[i], &mut hints, &mut run);
+            hints_absorb[i] = hints.absorb;
+            hints_scatter[i] = hints.scatter;
+            out_absorb[i] = micro.absorb_barns;
+            out_scatter[i] = micro.scatter_barns;
+            steps += u64::from(ns);
+            i += 1;
+        }
+        steps
+    }
 }
 
 impl XsLookup for HashedLookup<'_> {
@@ -732,6 +850,17 @@ impl XsLookup for HashedLookup<'_> {
         assert_eq!(energies.len(), hints_scatter.len());
         assert_eq!(energies.len(), out_absorb.len());
         assert_eq!(energies.len(), out_scatter.len());
+        let Some(scatter_hash) = &self.grid.scatter else {
+            // Shared grid (every synthetic library): the lane-blocked
+            // run-detection path.
+            return self.lookup_many_shared(
+                energies,
+                hints_absorb,
+                hints_scatter,
+                out_absorb,
+                out_scatter,
+            );
+        };
         let mut steps = 0u64;
         let mut run_a = None;
         let mut run_s = None;
@@ -740,33 +869,25 @@ impl XsLookup for HashedLookup<'_> {
                 absorb: hints_absorb[i],
                 scatter: hints_scatter[i],
             };
-            let ns = if let Some(scatter_hash) = &self.grid.scatter {
-                let (a, na) = hashed_one_run(
-                    &self.lib.absorb,
-                    &self.grid.absorb,
-                    e,
-                    &mut hints.absorb,
-                    &mut run_a,
-                );
-                let (sv, nsv) = hashed_one_run(
-                    &self.lib.scatter,
-                    scatter_hash,
-                    e,
-                    &mut hints.scatter,
-                    &mut run_s,
-                );
-                out_absorb[i] = a;
-                out_scatter[i] = sv;
-                na + nsv
-            } else {
-                let (micro, ns) = self.lookup_shared_run(e, &mut hints, &mut run_a);
-                out_absorb[i] = micro.absorb_barns;
-                out_scatter[i] = micro.scatter_barns;
-                ns
-            };
+            let (a, na) = hashed_one_run(
+                &self.lib.absorb,
+                &self.grid.absorb,
+                e,
+                &mut hints.absorb,
+                &mut run_a,
+            );
+            let (sv, nsv) = hashed_one_run(
+                &self.lib.scatter,
+                scatter_hash,
+                e,
+                &mut hints.scatter,
+                &mut run_s,
+            );
+            out_absorb[i] = a;
+            out_scatter[i] = sv;
             hints_absorb[i] = hints.absorb;
             hints_scatter[i] = hints.scatter;
-            steps += u64::from(ns);
+            steps += u64::from(na + nsv);
         }
         steps
     }
@@ -1000,6 +1121,25 @@ mod tests {
                 mixed.push(0.5 * (w[0] + w[1]));
             }
             blocks.push(mixed);
+            // Pseudo-random shuffle of the fine sweep: defeats both the
+            // scalar memo and the lane-blocked memo, exercising the
+            // per-lane fallback inside partially-matching blocks.
+            let mut shuffled = blocks[0].clone();
+            let mut x = 0x9e37u64;
+            for j in (1..shuffled.len()).rev() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                shuffled.swap(j, (x >> 33) as usize % (j + 1));
+            }
+            blocks.push(shuffled);
+            // Runs of exactly the SIMD block width, then a bin hop —
+            // every block test either fully hits or straddles a boundary.
+            let mut runs = Vec::new();
+            for w in eg.windows(2).take(16) {
+                let mid = 0.5 * (w[0] + w[1]);
+                runs.extend(std::iter::repeat_n(mid, 8));
+                runs.push(w[1]);
+            }
+            blocks.push(runs);
 
             for strategy in [LookupStrategy::Unionized, LookupStrategy::Hashed] {
                 let backend = lib.backend(strategy);

@@ -138,6 +138,54 @@ impl MaterialSpec {
     }
 }
 
+/// Reusable staging lanes for [`MaterialSet::lookup_many_with_scratch`]
+/// on mixed-material lane blocks: the per-material gather (indices,
+/// energies, hints) and scatter (results) buffers, cleared but never
+/// shrunk between calls so the steady-state grouped lookup performs no
+/// allocations. The buffers carry no cross-call meaning.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// Lane indices of the material group being resolved.
+    pub idx: Vec<u32>,
+    /// Gathered group energies (eV).
+    pub energies: Vec<f64>,
+    /// Gathered capture-table hints.
+    pub hints_absorb: Vec<u32>,
+    /// Gathered scatter-table hints.
+    pub hints_scatter: Vec<u32>,
+    /// Group capture results (barns).
+    pub out_absorb: Vec<f64>,
+    /// Group scatter results (barns).
+    pub out_scatter: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// A fresh, empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every lane, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.energies.clear();
+        self.hints_absorb.clear();
+        self.hints_scatter.clear();
+        self.out_absorb.clear();
+        self.out_scatter.clear();
+    }
+
+    /// Total bytes currently reserved across all lanes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.idx.capacity() * 4
+            + self.energies.capacity() * 8
+            + (self.hints_absorb.capacity() + self.hints_scatter.capacity()) * 4
+            + (self.out_absorb.capacity() + self.out_scatter.capacity()) * 8
+    }
+}
+
 /// The per-material cross-section libraries of a transport problem,
 /// indexed by [`MaterialId`] (the ids stored in the mesh material map).
 ///
@@ -256,6 +304,36 @@ impl MaterialSet {
         out_absorb: &mut [f64],
         out_scatter: &mut [f64],
     ) -> u64 {
+        let mut scratch = LaneScratch::new();
+        self.lookup_many_with_scratch(
+            strategy,
+            mats,
+            energies,
+            hints_absorb,
+            hints_scatter,
+            out_absorb,
+            out_scatter,
+            &mut scratch,
+        )
+    }
+
+    /// [`MaterialSet::lookup_many_with`] with caller-owned staging lanes:
+    /// the per-material gather/scatter buffers of a mixed block live in
+    /// `scratch` and are reused across calls, so the grouped path stops
+    /// allocating per invocation (a single-material block never touches
+    /// the scratch at all). Bitwise identical to the allocating variant.
+    #[allow(clippy::too_many_arguments)] // mirrors the parallel SoA lanes
+    pub fn lookup_many_with_scratch(
+        &self,
+        strategy: LookupStrategy,
+        mats: &[MaterialId],
+        energies: &[f64],
+        hints_absorb: &mut [u32],
+        hints_scatter: &mut [u32],
+        out_absorb: &mut [f64],
+        out_scatter: &mut [f64],
+        scratch: &mut LaneScratch,
+    ) -> u64 {
         assert_eq!(mats.len(), energies.len(), "lane block lengths must match");
         let uniform = self.is_single() || mats.windows(2).all(|w| w[0] == w[1]);
         if uniform {
@@ -272,25 +350,39 @@ impl MaterialSet {
 
         // Mixed block: group by material id (ascending — a deterministic
         // order, though the per-particle results are order-independent).
+        // One pass per declared id over the reusable staging lanes (the
+        // set is small; the mesh validated every id at construction).
         let mut steps = 0u64;
-        let mut present: Vec<MaterialId> = mats.to_vec();
-        present.sort_unstable();
-        present.dedup();
-        for id in present {
-            let idx: Vec<usize> = (0..mats.len()).filter(|&i| mats[i] == id).collect();
-            let e: Vec<f64> = idx.iter().map(|&i| energies[i]).collect();
-            let mut ha: Vec<u32> = idx.iter().map(|&i| hints_absorb[i]).collect();
-            let mut hs: Vec<u32> = idx.iter().map(|&i| hints_scatter[i]).collect();
-            let mut oa = vec![0.0; idx.len()];
-            let mut os = vec![0.0; idx.len()];
-            steps += self
-                .library(id)
-                .lookup_many_with(strategy, &e, &mut ha, &mut hs, &mut oa, &mut os);
-            for (j, &i) in idx.iter().enumerate() {
-                hints_absorb[i] = ha[j];
-                hints_scatter[i] = hs[j];
-                out_absorb[i] = oa[j];
-                out_scatter[i] = os[j];
+        for id_us in 0..self.len() {
+            let id = id_us as MaterialId;
+            scratch.clear();
+            for (i, &m) in mats.iter().enumerate() {
+                if m == id {
+                    scratch.idx.push(i as u32);
+                    scratch.energies.push(energies[i]);
+                    scratch.hints_absorb.push(hints_absorb[i]);
+                    scratch.hints_scatter.push(hints_scatter[i]);
+                }
+            }
+            if scratch.idx.is_empty() {
+                continue;
+            }
+            scratch.out_absorb.resize(scratch.idx.len(), 0.0);
+            scratch.out_scatter.resize(scratch.idx.len(), 0.0);
+            steps += self.library(id).lookup_many_with(
+                strategy,
+                &scratch.energies,
+                &mut scratch.hints_absorb,
+                &mut scratch.hints_scatter,
+                &mut scratch.out_absorb,
+                &mut scratch.out_scatter,
+            );
+            for (j, &iu) in scratch.idx.iter().enumerate() {
+                let i = iu as usize;
+                hints_absorb[i] = scratch.hints_absorb[j];
+                hints_scatter[i] = scratch.hints_scatter[j];
+                out_absorb[i] = scratch.out_absorb[j];
+                out_scatter[i] = scratch.out_scatter[j];
             }
         }
         steps
@@ -412,6 +504,52 @@ mod tests {
             assert_eq!(ha, ha2, "{strategy:?}: absorb hints");
             assert_eq!(hs, hs2, "{strategy:?}: scatter hints");
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let set = two_material_set();
+        let mut scratch = LaneScratch::new();
+        for strategy in LookupStrategy::ALL {
+            set.prepare(strategy);
+            let n = 96;
+            // Ragged material pattern so group sizes differ.
+            let mats: Vec<MaterialId> = (0..n).map(|i| ((i / 3) % 2) as MaterialId).collect();
+            let energies: Vec<f64> = (0..n)
+                .map(|i| 1.0e-1 * 1.7f64.powi((i % 50) as i32))
+                .collect();
+            let mut ha = vec![1u32; n];
+            let mut hs = vec![2u32; n];
+            let mut oa = vec![0.0; n];
+            let mut os = vec![0.0; n];
+            let s1 = set.lookup_many_with(
+                strategy, &mats, &energies, &mut ha, &mut hs, &mut oa, &mut os,
+            );
+            let mut ha2 = vec![1u32; n];
+            let mut hs2 = vec![2u32; n];
+            let mut oa2 = vec![0.0; n];
+            let mut os2 = vec![0.0; n];
+            let s2 = set.lookup_many_with_scratch(
+                strategy,
+                &mats,
+                &energies,
+                &mut ha2,
+                &mut hs2,
+                &mut oa2,
+                &mut os2,
+                &mut scratch,
+            );
+            assert_eq!(s1, s2, "{strategy:?}: steps");
+            assert_eq!(ha, ha2, "{strategy:?}");
+            assert_eq!(hs, hs2, "{strategy:?}");
+            assert!(oa.iter().zip(&oa2).all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(os.iter().zip(&os2).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        // The scratch retains its high-water capacity between calls.
+        assert!(scratch.footprint_bytes() > 0);
+        let cap = scratch.energies.capacity();
+        scratch.clear();
+        assert_eq!(scratch.energies.capacity(), cap);
     }
 
     #[test]

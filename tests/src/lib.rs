@@ -23,6 +23,45 @@ pub fn tiny_with_tally(case: TestCase, seed: u64, strategy: TallyStrategy) -> Si
     Simulation::new(problem)
 }
 
+/// The committed multi-timestep golden configs (fixture names
+/// `<case>_t<steps>`, seeds fixed forever): ≥ 2 timesteps so the
+/// between-timestep machinery — persistent transport state,
+/// census-boundary regrouping — actually executes. Captured by the
+/// golden suite under `RegroupPolicy::Off`; the regroup suite proves
+/// every other policy reproduces them byte-identically.
+pub const MULTISTEP_CONFIGS: [(TestCase, usize, u64); 2] =
+    [(TestCase::Csp, 3, 41), (TestCase::Scatter, 2, 43)];
+
+/// Counters with the work/decision meters masked out: reducing search
+/// work (`cs_search_steps`) and choosing when to cluster the flush
+/// (`clustered_flushes`) are exactly what the sort/regroup stages are
+/// for — they move between policies without any physics change, so the
+/// policy-equality contracts exclude them.
+#[must_use]
+pub fn physics_counters(mut c: EventCounters) -> EventCounters {
+    c.cs_search_steps = 0;
+    c.clustered_flushes = 0;
+    c
+}
+
+/// Build a tiny-scale, multi-timestep simulation with an explicit tally
+/// strategy and regroup policy — the fixture shape of the regroup suite
+/// (≥ 2 timesteps so the between-timestep regroup stage and the
+/// persistent transport state actually execute).
+pub fn tiny_multistep(
+    case: TestCase,
+    timesteps: usize,
+    seed: u64,
+    strategy: TallyStrategy,
+    regroup: RegroupPolicy,
+) -> Simulation {
+    let mut problem = case.build(ProblemScale::tiny(), seed);
+    problem.n_timesteps = timesteps;
+    problem.transport.tally_strategy = strategy;
+    problem.transport.regroup_policy = regroup;
+    Simulation::new(problem)
+}
+
 /// Build a tiny-scale catalogue scenario with an explicit tally strategy.
 pub fn tiny_scenario_with_tally(
     scenario: Scenario,

@@ -16,7 +16,9 @@
 
 use neutral_core::prelude::*;
 use neutral_integration::golden::{blessing, fixture_dir, GoldenTally};
-use neutral_integration::{tiny_scenario_with_tally, tiny_with_tally, DriverKind};
+use neutral_integration::{
+    physics_counters, tiny_scenario_with_tally, tiny_with_tally, DriverKind,
+};
 
 fn run_with(
     case: TestCase,
@@ -31,13 +33,6 @@ fn run_with(
     problem.transport.sort_policy = policy;
     problem.transport.xs_search = lookup;
     Simulation::new(problem).run(driver.options(workers))
-}
-
-/// Counters with the search-work meter masked out: reducing search work
-/// without changing physics is exactly what the sort stage is for.
-fn physics_counters(mut c: EventCounters) -> EventCounters {
-    c.cs_search_steps = 0;
-    c
 }
 
 #[test]
@@ -175,6 +170,74 @@ fn golden_fixtures_hold_under_every_sort_policy() {
             }
         }
     }
+}
+
+/// The `sort_policy auto` heuristic: when a window's deposits genuinely
+/// share tally cells (a dense collision core on a coarse mesh), the
+/// deposits-per-distinct-cell measurement must *sustain* the clustered
+/// flush — well beyond the periodic probe floor — and the decisions,
+/// recorded in the `clustered_flushes` meter, must be identical for any
+/// worker count. On the streaming problem (no deposits at all in the
+/// near-vacuum) the heuristic must hold fire entirely.
+#[test]
+fn auto_sort_policy_decides_per_window_and_stays_bitwise() {
+    let seed = 29;
+    // Scatter physics on a coarse mesh: each window's ~150 deposits land
+    // in a handful of cells every round, so clustering genuinely pays.
+    let dense_run = |workers: usize, sort: SortPolicy| {
+        let mut problem = TestCase::Scatter.build(ProblemScale::tiny(), seed);
+        problem.mesh = neutral_mesh::StructuredMesh2D::uniform(16, 16, 1.0, 1.0, 1.0e3);
+        problem.transport.tally_strategy = TallyStrategy::Replicated;
+        problem.transport.sort_policy = sort;
+        Simulation::new(problem).run(DriverKind::OverEvents.options(workers))
+    };
+    let auto = dense_run(2, SortPolicy::Auto);
+    let off = dense_run(2, SortPolicy::Off);
+    let rounds = auto.kernel_timings.expect("OE reports timings").rounds;
+    assert!(
+        auto.counters.clustered_flushes > 2 * rounds,
+        "auto must sustain clustering on the dense core (got {} over {rounds} rounds \
+         — the probe floor alone is ~1 per round)",
+        auto.counters.clustered_flushes
+    );
+    // ...while computing bitwise the same physics as Off.
+    assert_eq!(
+        physics_counters(auto.counters),
+        physics_counters(off.counters)
+    );
+    assert!(auto
+        .tally
+        .iter()
+        .zip(&off.tally)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    // Decisions are per-window state, so the meter is worker-count
+    // invariant like everything else.
+    for workers in [1usize, 7] {
+        let r = dense_run(workers, SortPolicy::Auto);
+        assert_eq!(
+            r.counters.clustered_flushes, auto.counters.clustered_flushes,
+            "{workers} workers: auto decisions must not depend on workers"
+        );
+    }
+    // The streaming problem's deposits never share cells (every history
+    // is off in its own corner of the vacuum), so the measurement must
+    // keep rejecting clustering: only the periodic probes fire, bounded
+    // by the probe cadence (≈ windows × rounds / interval ≈ rounds).
+    let sparse = run_with(
+        TestCase::Stream,
+        seed,
+        DriverKind::OverEvents,
+        2,
+        SortPolicy::Auto,
+        LookupStrategy::Hinted,
+    );
+    let sparse_rounds = sparse.kernel_timings.expect("OE reports timings").rounds;
+    assert!(
+        sparse.counters.clustered_flushes <= sparse_rounds,
+        "auto must hold fire on the streaming problem beyond the probe floor \
+         (got {} clustered over {sparse_rounds} rounds)",
+        sparse.counters.clustered_flushes
+    );
 }
 
 /// Banded lane blocks through the grid backends: the run-detection fast

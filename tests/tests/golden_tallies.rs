@@ -16,7 +16,9 @@
 
 use neutral_core::prelude::*;
 use neutral_integration::golden::{blessing, fixture_dir, tally_hash, GoldenTally};
-use neutral_integration::{tiny_scenario_with_tally, tiny_with_tally, DriverKind};
+use neutral_integration::{
+    tiny_multistep, tiny_scenario_with_tally, tiny_with_tally, DriverKind, MULTISTEP_CONFIGS,
+};
 
 /// The three canonical configs: one per test case, seeds fixed forever.
 const CONFIGS: [(TestCase, u64); 3] = [
@@ -92,6 +94,55 @@ fn golden_tallies_match_fixtures() {
     }
     if blessed > 0 {
         println!("blessed {blessed} golden fixtures");
+    }
+}
+
+/// Multi-timestep runs locked the same way: one fixture per config ×
+/// driver, captured with the replicated strategy (and the default
+/// `RegroupPolicy::Off`).
+#[test]
+fn multistep_golden_tallies_match_fixtures() {
+    let mut blessed = 0;
+    for (case, steps, seed) in MULTISTEP_CONFIGS {
+        for driver in DriverKind::ALL {
+            let report = tiny_multistep(
+                case,
+                steps,
+                seed,
+                TallyStrategy::Replicated,
+                RegroupPolicy::Off,
+            )
+            .run(driver.options(GOLDEN_WORKERS));
+            assert_eq!(report.timesteps, steps);
+            let name = format!("{}_t{}", case.name(), steps);
+            let captured = GoldenTally::capture(&name, driver.name(), seed, &report);
+            let path = fixture_dir().join(format!("{}_{}.json", name, driver.name()));
+
+            if blessing() {
+                std::fs::create_dir_all(fixture_dir()).expect("create tests/golden");
+                std::fs::write(&path, captured.to_json()).expect("write fixture");
+                blessed += 1;
+                continue;
+            }
+
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden fixture {path:?} ({e}); run with NEUTRAL_BLESS=1 to generate"
+                )
+            });
+            let expected = GoldenTally::from_json(&text).expect("parse fixture");
+            assert_eq!(
+                captured.fields,
+                expected.fields,
+                "{}/{}: run diverges from golden fixture {path:?} \
+                 (if the physics change is intentional, re-bless)",
+                name,
+                driver.name()
+            );
+        }
+    }
+    if blessed > 0 {
+        println!("blessed {blessed} multistep fixtures");
     }
 }
 

@@ -1,0 +1,308 @@
+//! Regroup-subsystem invariants (DESIGN.md §14): the between-timestep
+//! [`RegroupPolicy`] stage physically permutes the particle population —
+//! identity (`key`, RNG counters, cached hints, tally-lane assignment)
+//! travels with each record — and the drivers anchor every
+//! order-sensitive `f64` stream back to identity order. Consequently
+//! every policy must compute **bitwise** the same merged tallies,
+//! counters (minus the documented work meters) and RNG consumption as
+//! [`RegroupPolicy::Off`], for every driver family and any worker count.
+//!
+//! The suite locks four things:
+//!
+//! * **policy invariance** — regroup × driver × workers {1, 2, 7} on
+//!   multi-timestep problems: merged tallies bitwise identical, counters
+//!   identical (modulo `cs_search_steps`/`clustered_flushes`);
+//! * **golden locks** — the committed multi-timestep fixtures reproduce
+//!   byte-identically under every non-default regroup policy;
+//! * **permute-then-run == run** — the underlying shuffle-invariance
+//!   property: an *arbitrary* lane-local permutation applied to the
+//!   spawned population (not just the policy-produced groupings) leaves
+//!   merged tallies, counters and every particle's final record —
+//!   including its RNG draw counter — bitwise unchanged;
+//! * **regroup × sort interplay** — regrouping composes with the
+//!   coherence sort stage without moving a bit.
+
+use neutral_core::history::TransportCtx;
+use neutral_core::over_events::{run_over_events_lanes, KernelStyle};
+use neutral_core::over_particles::run_lanes;
+use neutral_core::particle::{regroup_particles, spawn_particles, Particle};
+use neutral_core::prelude::*;
+use neutral_core::soa::{run_lanes_soa, ParticleSoA};
+use neutral_integration::golden::{blessing, fixture_dir, GoldenTally};
+use neutral_integration::{
+    for_cases, physics_counters, tiny_multistep, DriverKind, Gen, MULTISTEP_CONFIGS,
+};
+use neutral_mesh::accum::DEFAULT_LANES;
+use neutral_mesh::{LanePartition, TallyAccum};
+use neutral_rng::Threefry2x64;
+
+fn assert_bitwise_tally(a: &[f64], b: &[f64], what: &str) {
+    assert!(
+        a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "{what}: merged tally bits diverge"
+    );
+}
+
+#[test]
+fn regroup_policies_bitwise_across_drivers_and_workers() {
+    for (case, steps, seed) in MULTISTEP_CONFIGS {
+        for driver in DriverKind::ALL {
+            let base = tiny_multistep(
+                case,
+                steps,
+                seed,
+                TallyStrategy::Replicated,
+                RegroupPolicy::Off,
+            )
+            .run(driver.options(2));
+            for policy in RegroupPolicy::ALL {
+                for workers in [1usize, 2, 7] {
+                    let r = tiny_multistep(case, steps, seed, TallyStrategy::Replicated, policy)
+                        .run(driver.options(workers));
+                    let what = format!(
+                        "{}x{}/{}/{}/{}w",
+                        case.name(),
+                        steps,
+                        driver.name(),
+                        policy.name(),
+                        workers
+                    );
+                    assert_eq!(
+                        physics_counters(r.counters),
+                        physics_counters(base.counters),
+                        "{what}: physics counters diverge from RegroupPolicy::Off"
+                    );
+                    assert_eq!(
+                        r.counters.census_energy_ev.to_bits(),
+                        base.counters.census_energy_ev.to_bits(),
+                        "{what}: census-energy fold diverges"
+                    );
+                    assert_bitwise_tally(&r.tally, &base.tally, &what);
+                }
+            }
+        }
+    }
+}
+
+/// The committed multi-timestep golden fixtures (captured under
+/// `RegroupPolicy::Off` by the golden suite) must reproduce
+/// byte-identically under every other policy.
+#[test]
+fn multistep_fixtures_hold_under_every_regroup_policy() {
+    if blessing() {
+        return; // fixtures are blessed by the golden_tallies suite
+    }
+    for policy in [
+        RegroupPolicy::ByCell,
+        RegroupPolicy::ByEnergyBand,
+        RegroupPolicy::ByAlive,
+    ] {
+        for (case, steps, seed) in MULTISTEP_CONFIGS {
+            for driver in DriverKind::ALL {
+                let name = format!("{}_t{}", case.name(), steps);
+                let report = tiny_multistep(case, steps, seed, TallyStrategy::Replicated, policy)
+                    .run(driver.options(2));
+                let captured = GoldenTally::capture(&name, driver.name(), seed, &report);
+                let path = fixture_dir().join(format!("{}_{}.json", name, driver.name()));
+                let expected =
+                    GoldenTally::from_json(&std::fs::read_to_string(&path).expect("fixture"))
+                        .expect("parse fixture");
+                assert_eq!(
+                    captured.fields,
+                    expected.fields,
+                    "{}/{}/{}: diverges from golden fixture",
+                    name,
+                    driver.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+/// Regrouping composes with the coherence sort stage: a regrouped run
+/// under every sort policy still reproduces the Off/Off bits.
+#[test]
+fn regroup_and_sort_policies_compose_bitwise() {
+    let (case, steps, seed) = MULTISTEP_CONFIGS[0];
+    let base = tiny_multistep(
+        case,
+        steps,
+        seed,
+        TallyStrategy::Replicated,
+        RegroupPolicy::Off,
+    )
+    .run(DriverKind::OverEvents.options(2));
+    for regroup in [RegroupPolicy::ByCell, RegroupPolicy::ByAlive] {
+        for sort in SortPolicy::ALL {
+            let sim = tiny_multistep(case, steps, seed, TallyStrategy::Replicated, regroup);
+            let mut problem = sim.problem().clone();
+            problem.transport.sort_policy = sort;
+            let r = Simulation::new(problem).run(DriverKind::OverEvents.options(3));
+            let what = format!("regroup={}/sort={}", regroup.name(), sort.name());
+            assert_eq!(
+                physics_counters(r.counters),
+                physics_counters(base.counters),
+                "{what}"
+            );
+            assert_bitwise_tally(&r.tally, &base.tally, &what);
+        }
+    }
+}
+
+/// Apply an arbitrary random permutation *within each tally-lane block*
+/// (the granularity the regroup stage is specified at), returning the
+/// identity map `order[key] = position`.
+fn shuffle_within_lanes(particles: &mut [Particle], g: &mut Gen) -> Vec<u32> {
+    let part = LanePartition::new(particles.len(), DEFAULT_LANES);
+    for lane in 0..part.n_lanes {
+        let range = part.range(lane);
+        let lane_slice = &mut particles[range];
+        for j in (1..lane_slice.len()).rev() {
+            let k = g.usize_in(0, j + 1);
+            lane_slice.swap(j, k);
+        }
+    }
+    let mut order = vec![0u32; particles.len()];
+    for (pos, p) in particles.iter().enumerate() {
+        order[p.key as usize] = pos as u32;
+    }
+    order
+}
+
+/// The shuffle-invariance property behind the whole subsystem:
+/// permute-then-run == run, bitwise, for every lane driver — not just
+/// for the groupings the policies produce, but for *any* lane-local
+/// permutation. Final particle records (sorted back into key order) must
+/// match bitwise too, RNG draw counters included: identity consumption
+/// is position-independent.
+#[test]
+fn permute_then_run_equals_run() {
+    for_cases(6, |g| {
+        let case = [TestCase::Csp, TestCase::Scatter, TestCase::Stream][g.usize_in(0, 3)];
+        let seed = 1 + g.usize_in(0, 500) as u64;
+        let problem = {
+            let mut p = case.build(ProblemScale::tiny(), seed);
+            p.transport.tally_strategy = TallyStrategy::Replicated;
+            p
+        };
+        let rng = Threefry2x64::new([problem.seed, 1]);
+        let ctx = TransportCtx {
+            mesh: &problem.mesh,
+            materials: &problem.materials,
+            rng: &rng,
+            cfg: &problem.transport,
+        };
+        let cells = problem.mesh.num_cells();
+        let schedule = Schedule::Dynamic { chunk: 1 };
+        let workers = 1 + g.usize_in(0, 4);
+
+        // Driver runner: (merged tally, counters, final particles).
+        let run_driver = |driver: DriverKind,
+                          particles: &mut Vec<Particle>,
+                          order: Option<&[u32]>|
+         -> (Vec<f64>, EventCounters) {
+            let mut accum = TallyAccum::new(TallyStrategy::Replicated, cells, DEFAULT_LANES);
+            let counters = match driver {
+                DriverKind::OverParticles | DriverKind::History => {
+                    run_lanes(particles, &ctx, &mut accum, workers, schedule, order)
+                }
+                DriverKind::OverEvents => {
+                    let (c, _) = run_over_events_lanes(
+                        particles,
+                        &ctx,
+                        &mut accum,
+                        KernelStyle::Scalar,
+                        workers,
+                        schedule,
+                        &mut None,
+                        order,
+                    );
+                    c
+                }
+                DriverKind::Soa => {
+                    let mut soa = ParticleSoA::from_aos(particles);
+                    let mut arenas = Vec::new();
+                    let c = run_lanes_soa(
+                        &mut soa,
+                        &ctx,
+                        &mut accum,
+                        workers,
+                        schedule,
+                        false,
+                        &mut arenas,
+                        order,
+                    );
+                    soa.write_aos(particles);
+                    c
+                }
+            };
+            (accum.merge(), counters)
+        };
+
+        for driver in [
+            DriverKind::OverParticles,
+            DriverKind::OverEvents,
+            DriverKind::Soa,
+        ] {
+            let mut straight = spawn_particles(&problem);
+            let (tally_a, counters_a) = run_driver(driver, &mut straight, None);
+
+            let mut permuted = spawn_particles(&problem);
+            let order = shuffle_within_lanes(&mut permuted, g);
+            let (tally_b, counters_b) = run_driver(driver, &mut permuted, Some(&order));
+
+            let what = format!("{}/{}w/{}", case.name(), workers, driver.name());
+            assert_eq!(
+                physics_counters(counters_a),
+                physics_counters(counters_b),
+                "{what}: counters"
+            );
+            assert_eq!(
+                counters_a.census_energy_ev.to_bits(),
+                counters_b.census_energy_ev.to_bits(),
+                "{what}: census energy bits"
+            );
+            assert_bitwise_tally(&tally_a, &tally_b, &what);
+
+            // Identity travels: sorting the permuted population back into
+            // key order must reproduce every final record bitwise —
+            // trajectory, weight, hints and RNG draw counter included.
+            permuted.sort_unstable_by_key(|p| p.key);
+            assert_eq!(straight, permuted, "{what}: final particle records diverge");
+        }
+    });
+}
+
+/// The policy-level regroup entry point actually moves particles on a
+/// multi-timestep run (sanity that the invariance above is not vacuous),
+/// and the permutation helper groups what it claims to group.
+#[test]
+fn regroup_actually_regroups() {
+    let problem = TestCase::Scatter.build(ProblemScale::tiny(), 7);
+    let mut particles = spawn_particles(&problem);
+    // Scatter a fake kill pattern so ByAlive has something to do.
+    for (i, p) in particles.iter_mut().enumerate() {
+        p.dead = i % 3 == 1;
+    }
+    let part = LanePartition::new(particles.len(), DEFAULT_LANES);
+    let mut scratch = ScratchArena::new();
+    let moved = regroup_particles(
+        &mut particles,
+        RegroupPolicy::ByAlive,
+        problem.mesh.nx(),
+        part.lane_size,
+        &mut scratch,
+    );
+    assert!(moved, "a striped kill pattern must move records");
+    for lane in 0..part.n_lanes {
+        let lane_slice = &particles[part.range(lane)];
+        let first_dead = lane_slice.iter().position(|p| p.dead);
+        if let Some(fd) = first_dead {
+            assert!(
+                lane_slice[fd..].iter().all(|p| p.dead),
+                "lane {lane}: survivors must form a contiguous prefix"
+            );
+        }
+    }
+}
