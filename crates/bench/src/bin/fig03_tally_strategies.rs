@@ -10,10 +10,14 @@
 //! run, and the backend's accumulation footprint.
 //!
 //! Run with `cargo run --release -p neutral-bench --bin
-//! fig03_tally_strategies [--quick]`. `--quick` runs a seconds-scale
-//! smoke sweep (used by CI); measured numbers are only meaningful from
-//! `--release` builds.
+//! fig03_tally_strategies [--quick] [--json PATH]`. `--quick` runs a
+//! seconds-scale smoke sweep (used by CI); `--json` additionally writes
+//! the measurements as a machine-readable
+//! [`neutral_bench::report::BenchReport`] (the perf-regression gate
+//! diffs these); measured numbers are only meaningful from `--release`
+//! builds.
 
+use neutral_bench::report::{BenchRecord, BenchReport};
 use neutral_bench::{banner, host_threads, print_table, thread_ladder};
 use neutral_core::prelude::*;
 
@@ -41,7 +45,13 @@ fn human_bytes(b: usize) -> String {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let json = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1)
+            .unwrap_or_else(|| panic!("--json requires a PATH operand"))
+            .clone()
+    });
     let seed = 20170905;
     banner(
         "Figure 3 (tally strategies)",
@@ -81,6 +91,12 @@ fn main() {
         )
     };
 
+    let mut report = BenchReport::new("fig03_tally_strategies");
+    report.note(format!(
+        "mode={}, ladder={ladder:?}, seed={seed}",
+        if quick { "quick" } else { "full" }
+    ));
+
     for point in &points {
         let scale = ProblemScale {
             mesh_cells: point.mesh_cells,
@@ -105,9 +121,21 @@ fn main() {
                     },
                     ..Default::default()
                 };
-                let report = median_run(&problem, options, point.reps);
-                let secs = report.elapsed.as_secs_f64();
-                let eps = report.events_per_second();
+                let r = median_run(&problem, options, point.reps);
+                let secs = r.elapsed.as_secs_f64();
+                let eps = r.events_per_second();
+                report.push(
+                    BenchRecord::new(format!(
+                        "{}/{}/{}t",
+                        point.mesh_cells,
+                        strategy.name(),
+                        threads
+                    ))
+                    .config("strategy", strategy.name())
+                    .config("threads", threads.to_string())
+                    .metric("elapsed_s", secs)
+                    .metric("events_per_s", eps),
+                );
                 let base_secs = *base.get_or_insert(secs);
                 let efficiency = base_secs / (secs * threads as f64);
                 if threads == *ladder.last().unwrap() {
@@ -122,7 +150,7 @@ fn main() {
                     format!("{secs:.3}"),
                     format!("{eps:.3e}"),
                     format!("{:.0}%", 100.0 * efficiency),
-                    human_bytes(report.tally_footprint_bytes),
+                    human_bytes(r.tally_footprint_bytes),
                 ]);
             }
         }
@@ -152,4 +180,9 @@ fn main() {
          canonical path; see DESIGN.md §11. Sweep mode: {}.)",
         if quick { "quick" } else { "full" }
     );
+
+    if let Some(path) = &json {
+        report.write(path).expect("write --json report");
+        println!("machine-readable report written to {path}");
+    }
 }

@@ -12,9 +12,13 @@
 //!   backends.
 //!
 //! Run with `cargo run --release -p neutral-bench --bin
-//! fig15_xs_strategies [--quick]`. Measured numbers are only meaningful
-//! from `--release` builds.
+//! fig15_xs_strategies [--quick] [--json PATH]`. `--json` additionally
+//! writes the measurements as a machine-readable
+//! [`neutral_bench::report::BenchReport`] (the perf-regression gate
+//! diffs these on the `lookups_per_s` metric). Measured numbers are
+//! only meaningful from `--release` builds.
 
+use neutral_bench::report::{BenchRecord, BenchReport};
 use neutral_xs::{CrossSectionLibrary, LookupStrategy, XsHints};
 use std::hint::black_box;
 use std::time::Instant;
@@ -70,7 +74,13 @@ fn measure(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let json = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1)
+            .unwrap_or_else(|| panic!("--json requires a PATH operand"))
+            .clone()
+    });
     let sizes: &[usize] = if quick {
         &[4_096]
     } else {
@@ -82,6 +92,12 @@ fn main() {
     ];
     // Scale repetitions so each measurement lasts long enough to be stable.
     let reps = if quick { 40 } else { 200 };
+
+    let mut report = BenchReport::new("fig15_xs_strategies");
+    report.note(format!(
+        "mode={}, sizes={sizes:?}, reps={reps}",
+        if quick { "quick" } else { "full" }
+    ));
 
     println!("fig15: cross-section lookup strategies (ns/lookup, median of {reps} passes)");
     println!("       speedups are vs the binary-search baseline on the same row\n");
@@ -97,6 +113,16 @@ fn main() {
                 .iter()
                 .map(|&s| measure(&lib, s, energies, reps))
                 .collect();
+            for (&s, &ns) in LookupStrategy::ALL.iter().zip(&t) {
+                let slug = pattern.replace(' ', "_");
+                report.push(
+                    BenchRecord::new(format!("{slug}/{n}/{}", s.name()))
+                        .config("pattern", slug.clone())
+                        .config("strategy", s.name())
+                        .metric("ns_per_lookup", ns)
+                        .metric("lookups_per_s", 1.0e9 / ns.max(1e-12)),
+                );
+            }
             println!(
                 "  {:>9} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x {:>7.2}x {:>7.2}x",
                 n,
@@ -112,4 +138,9 @@ fn main() {
         println!();
     }
     println!("(acceptance: unionized and hashed ≥ 2x over binary at 4096 points)");
+
+    if let Some(path) = &json {
+        report.write(path).expect("write --json report");
+        println!("machine-readable report written to {path}");
+    }
 }

@@ -11,12 +11,21 @@
 //!             [--regroup off|by_cell|by_energy_band|by_alive]
 //!             [--timesteps N]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
+//!             [--checkpoint FILE] [--fault SPEC]
 //! ```
 //!
 //! `--scenario` runs a workload from the scenario catalogue
 //! (`neutral_core::scenario`) — `--scenario help` lists it. With neither
 //! a file nor a scenario, the built-in default (a small csp) runs. The
 //! tally dump is a plain-text `ix iy value` triple per non-empty cell.
+//!
+//! `--checkpoint FILE` enables the checkpoint/restart subsystem: a
+//! crash-safe checkpoint is written to FILE at every census boundary,
+//! and a run finding a valid checkpoint there resumes instead of
+//! restarting (a checkpoint from a different problem is a hard error).
+//! `--fault SPEC` (e.g. `kill@2` or `torn@1,bitflip@2`) deterministically
+//! injects checkpoint-layer failures for testing the recovery path; it
+//! requires `--checkpoint`.
 
 use neutral_core::params::ProblemParams;
 use neutral_core::prelude::*;
@@ -35,6 +44,8 @@ struct CliArgs {
     regroup: Option<RegroupPolicy>,
     timesteps: Option<usize>,
     dump_tally: Option<String>,
+    checkpoint: Option<String>,
+    fault: Option<FaultPlan>,
 }
 
 fn scenario_catalogue() -> String {
@@ -83,6 +94,8 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut regroup = None;
     let mut timesteps = None;
     let mut dump_tally = None;
+    let mut checkpoint = None;
+    let mut fault = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
     let mut privatized = false;
@@ -192,6 +205,18 @@ fn parse_args() -> Result<CliArgs, String> {
                 i += 1;
                 dump_tally = Some(argv.get(i).ok_or("--dump-tally FILE")?.clone());
             }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(argv.get(i).ok_or("--checkpoint FILE")?.clone());
+            }
+            "--fault" => {
+                i += 1;
+                fault = Some(
+                    argv.get(i)
+                        .ok_or("--fault SPEC (e.g. kill@2 or torn@1,bitflip@2)")?
+                        .parse::<FaultPlan>()?,
+                );
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if params_file.replace(file.to_owned()).is_some() {
@@ -235,6 +260,8 @@ fn parse_args() -> Result<CliArgs, String> {
         regroup,
         timesteps,
         dump_tally,
+        checkpoint,
+        fault,
     })
 }
 
@@ -319,8 +346,53 @@ fn main() -> ExitCode {
         problem.transport.regroup_policy.name()
     );
 
+    // CLI flags override the params file's checkpoint/fault keys.
+    let checkpoint_path = args.checkpoint.clone().or(params.checkpoint_file.clone());
+    let fault_plan = args.fault.clone().unwrap_or(params.fault.clone());
+    if !fault_plan.is_empty() && checkpoint_path.is_none() {
+        eprintln!("error: --fault requires --checkpoint (or a `checkpoint_file` params key)");
+        return ExitCode::FAILURE;
+    }
+
     let sim = Simulation::new(problem);
-    let report = sim.run(args.options);
+    let report = match &checkpoint_path {
+        None => sim.run(args.options),
+        Some(path) => {
+            let store = CheckpointStore::new(path);
+            match run_with_checkpoints(&sim, args.options, &store, &fault_plan) {
+                Ok(SolveOutcome::Complete {
+                    report,
+                    resumed_from,
+                    recovery,
+                }) => {
+                    match (resumed_from, recovery) {
+                        (Some(step), Some(Recovery::Primary)) => {
+                            println!("checkpoint: resumed from {path} at timestep {step}");
+                        }
+                        (Some(step), Some(Recovery::Fallback { primary_error })) => {
+                            println!(
+                                "checkpoint: primary invalid ({primary_error}); \
+                                 resumed from fallback at timestep {step}"
+                            );
+                        }
+                        _ => println!("checkpoint: no prior state at {path}, fresh solve"),
+                    }
+                    report
+                }
+                Ok(SolveOutcome::Killed { after_step }) => {
+                    println!(
+                        "checkpoint: injected kill after timestep {after_step}; \
+                         rerun with --checkpoint {path} to resume"
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     println!("{}", report.summary());
     if report.counters.material_switches > 0 {
         println!(

@@ -1,0 +1,1014 @@
+//! Crash-safe checkpoint/restart of a transport solve, plus the
+//! fault-injection harness that proves it (DESIGN.md §15).
+//!
+//! A checkpoint captures the **complete resumable state** of a solve at a
+//! census boundary: every particle record (position, direction, energy,
+//! weight, event timers, cell, cached table hints, and — crucially — the
+//! per-particle counter-based RNG key/counter pair, which makes each
+//! record self-contained: re-opening stream `key` at `rng_counter`
+//! reproduces the next draw exactly, even mid-block), the accumulated
+//! tally mesh and event counters, the timestep index, and a fingerprint
+//! of the full problem/`TransportConfig` so a checkpoint can never be
+//! resumed against a different problem silently.
+//!
+//! # Format (version 1)
+//!
+//! Little-endian, length-prefixed, checksummed:
+//!
+//! ```text
+//! magic "NEUTCKPT" | version u32 | payload_len u64 | payload | fnv1a64 u64
+//! ```
+//!
+//! The checksum is FNV-1a 64 — the same hasher the golden-tally fixtures
+//! use — computed over every preceding byte (magic and version included).
+//! FNV-1a's per-byte step is bijective in the running hash, so any
+//! single-byte corruption is detected with certainty; `payload_len` lets
+//! the reader distinguish a torn (truncated) file from a bit-flipped one
+//! and report the actual cause.
+//!
+//! # Crash safety
+//!
+//! [`CheckpointStore::save`] never overwrites the last good checkpoint in
+//! place: the current primary is first rotated to a `.prev` fallback,
+//! then the new bytes are written to a temporary file, fsynced, and
+//! atomically renamed over the primary. A crash at any point leaves
+//! either the new checkpoint, or the fallback, valid on disk;
+//! [`CheckpointStore::load`] transparently falls back (reporting why) when
+//! the primary is missing, torn or corrupt.
+//!
+//! # Fault injection
+//!
+//! [`FaultPlan`] deterministically injects the failure modes the loader
+//! must survive — torn writes (`torn@N[:KEEP]`), bit flips
+//! (`bitflip@N[:OFFSET]`) and process kills (`kill@N`, which crash the
+//! solve *before* the boundary-N checkpoint is written) — by deliberately
+//! bypassing the atomic-write protocol. [`run_with_checkpoints`] threads
+//! a plan through a solve; the restart test suite asserts every fault is
+//! either recovered from the last valid checkpoint or surfaced as a hard
+//! error naming the cause, and that every interrupt/resume schedule
+//! reproduces the uninterrupted run bit for bit.
+
+use crate::config::Problem;
+use crate::counters::EventCounters;
+use crate::particle::Particle;
+use crate::sim::{RunOptions, RunReport, Simulation, Solve};
+use neutral_xs::XsHints;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// File magic of the checkpoint format.
+pub const MAGIC: &[u8; 8] = b"NEUTCKPT";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Bytes before the payload: magic + version + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Serialized size of one particle record.
+const PARTICLE_RECORD_LEN: usize = 8 * 8 + 4 * 4 + 2 * 8 + 1;
+
+/// FNV-1a 64-bit over a byte stream — the same hash the golden-tally
+/// fixtures lock with (`neutral-integration`'s `golden::fnv1a64`).
+#[must_use]
+pub fn fnv1a64(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything that can go wrong loading or resuming a checkpoint. Every
+/// variant names its cause — corruption is never silently absorbed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error reading or writing checkpoint files.
+    Io(std::io::Error),
+    /// No checkpoint exists at the store's path (fresh start).
+    NotFound,
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its own length prefix promises — the
+    /// signature of a torn write.
+    Truncated,
+    /// The FNV-1a checksum does not match the file's bytes — the
+    /// signature of in-place corruption (e.g. a bit flip).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum recomputed over the file's bytes.
+        found: u64,
+    },
+    /// The checkpoint was written by a different problem/transport
+    /// configuration and must not be resumed.
+    ConfigMismatch {
+        /// Fingerprint of the problem being resumed.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// The file checksums correctly but its contents are inconsistent
+    /// (impossible counts, non-permutation keys, trailing bytes, ...).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::NotFound => write!(f, "no checkpoint found"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+            }
+            CheckpointError::Truncated => {
+                write!(f, "checkpoint truncated (torn write: file shorter than its length prefix)")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {expected:#018x}, computed {found:#018x}): file corrupted"
+            ),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different problem (config fingerprint {found:#018x}, this problem is {expected:#018x})"
+            ),
+            CheckpointError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CheckpointError::NotFound
+        } else {
+            CheckpointError::Io(e)
+        }
+    }
+}
+
+/// Fingerprint of everything a checkpoint must agree with the resuming
+/// problem on: mesh shape, particle count, timestep controls, seed, and
+/// the full [`crate::config::TransportConfig`]. Two problems that could
+/// produce different trajectories get different fingerprints; resuming
+/// across a mismatch is a hard [`CheckpointError::ConfigMismatch`].
+#[must_use]
+pub fn config_fingerprint(problem: &Problem) -> u64 {
+    let mut bytes: Vec<u8> = Vec::with_capacity(256);
+    bytes.extend_from_slice(&problem.seed.to_le_bytes());
+    bytes.extend_from_slice(&(problem.n_particles as u64).to_le_bytes());
+    bytes.extend_from_slice(&problem.dt.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&(problem.n_timesteps as u64).to_le_bytes());
+    bytes.extend_from_slice(&problem.initial_energy_ev.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&(problem.mesh.nx() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(problem.mesh.ny() as u64).to_le_bytes());
+    bytes.extend_from_slice(&problem.mesh.width().to_bits().to_le_bytes());
+    bytes.extend_from_slice(&problem.mesh.height().to_bits().to_le_bytes());
+    bytes.extend_from_slice(&(problem.materials.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&problem.source.x0.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&problem.source.x1.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&problem.source.y0.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&problem.source.y1.to_bits().to_le_bytes());
+    // The transport knobs (enums and floats alike) through their stable
+    // Debug rendering — any knob that can change a trajectory is in here.
+    bytes.extend_from_slice(format!("{:?}", problem.transport).as_bytes());
+    fnv1a64(bytes.into_iter())
+}
+
+/// A complete resumable solve snapshot, taken at a census boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// [`config_fingerprint`] of the problem that wrote this checkpoint.
+    pub fingerprint: u64,
+    /// Next timestep to execute (= timesteps already completed).
+    pub next_step: usize,
+    /// Total timesteps of the solve (sanity cross-check).
+    pub n_timesteps: usize,
+    /// Solve wall-clock accumulated so far.
+    pub elapsed: Duration,
+    /// Last reported tally footprint (bytes).
+    pub tally_footprint_bytes: usize,
+    /// Event counters accumulated over the completed timesteps.
+    pub counters: EventCounters,
+    /// Accumulated energy-deposition tally (merged mesh).
+    pub tally: Vec<f64>,
+    /// The full particle population, in current (possibly regrouped)
+    /// storage order; each record carries its own identity and RNG state.
+    pub particles: Vec<Particle>,
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned, length-prefixed, checksummed format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len = 5 * 8
+            + 17 * 8
+            + 8
+            + self.tally.len() * 8
+            + 8
+            + self.particles.len() * PARTICLE_RECORD_LEN;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload_len + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+
+        let put_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        let put_f64 = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+        let put_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+
+        put_u64(&mut out, self.fingerprint);
+        put_u64(&mut out, self.next_step as u64);
+        put_u64(&mut out, self.n_timesteps as u64);
+        put_u64(&mut out, self.elapsed.as_nanos() as u64);
+        put_u64(&mut out, self.tally_footprint_bytes as u64);
+
+        let c = &self.counters;
+        for v in [
+            c.collisions,
+            c.facets,
+            c.census,
+            c.absorptions,
+            c.scatters,
+            c.reflections,
+            c.deaths,
+            c.stuck,
+            c.tally_flushes,
+            c.cs_search_steps,
+            c.clustered_flushes,
+            c.cs_lookups,
+            c.batched_lookups,
+            c.density_reads,
+            c.material_switches,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_f64(&mut out, c.lost_energy_ev);
+        put_f64(&mut out, c.census_energy_ev);
+
+        put_u64(&mut out, self.tally.len() as u64);
+        for &v in &self.tally {
+            put_f64(&mut out, v);
+        }
+
+        put_u64(&mut out, self.particles.len() as u64);
+        for p in &self.particles {
+            put_f64(&mut out, p.x);
+            put_f64(&mut out, p.y);
+            put_f64(&mut out, p.omega_x);
+            put_f64(&mut out, p.omega_y);
+            put_f64(&mut out, p.energy);
+            put_f64(&mut out, p.weight);
+            put_f64(&mut out, p.dt_to_census);
+            put_f64(&mut out, p.mfp_to_collision);
+            put_u32(&mut out, p.cellx);
+            put_u32(&mut out, p.celly);
+            put_u32(&mut out, p.xs_hints.absorb);
+            put_u32(&mut out, p.xs_hints.scatter);
+            put_u64(&mut out, p.key);
+            put_u64(&mut out, p.rng_counter);
+            out.push(u8::from(p.dead));
+        }
+
+        debug_assert_eq!(out.len(), HEADER_LEN + payload_len);
+        let checksum = fnv1a64(out.iter().copied());
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parse and validate a checkpoint, naming the failure cause: torn
+    /// files report [`CheckpointError::Truncated`], in-place corruption
+    /// reports [`CheckpointError::ChecksumMismatch`], inconsistent (but
+    /// correctly-checksummed) contents report [`CheckpointError::Corrupt`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CheckpointError> {
+        if buf.len() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        if &buf[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if buf.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(buf[12..20].try_into().unwrap()) as usize;
+        let total = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|v| v.checked_add(8))
+            .ok_or_else(|| CheckpointError::Corrupt("payload length overflows".into()))?;
+        if buf.len() < total {
+            return Err(CheckpointError::Truncated);
+        }
+        if buf.len() > total {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after checksum",
+                buf.len() - total
+            )));
+        }
+        let expected = u64::from_le_bytes(buf[total - 8..].try_into().unwrap());
+        let found = fnv1a64(buf[..total - 8].iter().copied());
+        if expected != found {
+            return Err(CheckpointError::ChecksumMismatch { expected, found });
+        }
+
+        let mut r = Reader {
+            buf: &buf[HEADER_LEN..total - 8],
+            pos: 0,
+        };
+        let fingerprint = r.u64()?;
+        let next_step = r.u64()? as usize;
+        let n_timesteps = r.u64()? as usize;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        let tally_footprint_bytes = r.u64()? as usize;
+
+        let mut counters = EventCounters {
+            collisions: r.u64()?,
+            facets: r.u64()?,
+            census: r.u64()?,
+            absorptions: r.u64()?,
+            scatters: r.u64()?,
+            reflections: r.u64()?,
+            deaths: r.u64()?,
+            stuck: r.u64()?,
+            tally_flushes: r.u64()?,
+            cs_search_steps: r.u64()?,
+            clustered_flushes: r.u64()?,
+            cs_lookups: r.u64()?,
+            batched_lookups: r.u64()?,
+            density_reads: r.u64()?,
+            material_switches: r.u64()?,
+            ..Default::default()
+        };
+        counters.lost_energy_ev = r.f64()?;
+        counters.census_energy_ev = r.f64()?;
+
+        let n_tally = r.u64()? as usize;
+        if n_tally * 8 > r.remaining() {
+            return Err(CheckpointError::Corrupt(format!(
+                "tally count {n_tally} exceeds payload"
+            )));
+        }
+        let mut tally = Vec::with_capacity(n_tally);
+        for _ in 0..n_tally {
+            tally.push(r.f64()?);
+        }
+
+        let n_particles = r.u64()? as usize;
+        if n_particles * PARTICLE_RECORD_LEN != r.remaining() {
+            return Err(CheckpointError::Corrupt(format!(
+                "particle count {n_particles} inconsistent with payload size"
+            )));
+        }
+        let mut particles = Vec::with_capacity(n_particles);
+        for _ in 0..n_particles {
+            particles.push(Particle {
+                x: r.f64()?,
+                y: r.f64()?,
+                omega_x: r.f64()?,
+                omega_y: r.f64()?,
+                energy: r.f64()?,
+                weight: r.f64()?,
+                dt_to_census: r.f64()?,
+                mfp_to_collision: r.f64()?,
+                cellx: r.u32()?,
+                celly: r.u32()?,
+                xs_hints: XsHints {
+                    absorb: r.u32()?,
+                    scatter: r.u32()?,
+                },
+                key: r.u64()?,
+                rng_counter: r.u64()?,
+                dead: r.u8()? != 0,
+            });
+        }
+
+        if next_step > n_timesteps {
+            return Err(CheckpointError::Corrupt(format!(
+                "next_step {next_step} exceeds n_timesteps {n_timesteps}"
+            )));
+        }
+
+        Ok(Self {
+            fingerprint,
+            next_step,
+            n_timesteps,
+            elapsed,
+            tally_footprint_bytes,
+            counters,
+            tally,
+            particles,
+        })
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.remaining() < n {
+            // The length prefix and checksum agreed, so an overrun here is
+            // an internally-inconsistent payload, not a torn file.
+            return Err(CheckpointError::Corrupt(
+                "payload ends mid-field".to_owned(),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// How [`CheckpointStore::load`] obtained the checkpoint it returned.
+#[derive(Debug)]
+pub enum Recovery {
+    /// The primary checkpoint file was valid.
+    Primary,
+    /// The primary was missing or invalid; the `.prev` fallback was used.
+    Fallback {
+        /// Why the primary could not be used.
+        primary_error: Box<CheckpointError>,
+    },
+}
+
+/// A checkpoint location on disk with crash-safe write and
+/// fallback-aware read semantics.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `path` (the primary checkpoint file; the
+    /// fallback and temporary files live next to it).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The primary checkpoint path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The rotated last-good checkpoint (`<path>.prev`).
+    #[must_use]
+    pub fn fallback_path(&self) -> PathBuf {
+        append_ext(&self.path, "prev")
+    }
+
+    fn temp_path(&self) -> PathBuf {
+        append_ext(&self.path, "tmp")
+    }
+
+    /// Rotate the current primary (if any) to the `.prev` fallback, so a
+    /// subsequent (possibly failing) write can never destroy the last
+    /// good checkpoint.
+    fn rotate(&self) -> Result<(), CheckpointError> {
+        match std::fs::rename(&self.path, self.fallback_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CheckpointError::Io(e)),
+        }
+    }
+
+    /// Crash-safe save: rotate the last good checkpoint to `.prev`, write
+    /// the new bytes to a temporary file, fsync it, and atomically rename
+    /// it over the primary path. A crash at any point leaves a valid
+    /// checkpoint (new or fallback) on disk.
+    pub fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+        let bytes = checkpoint.to_bytes();
+        self.rotate()?;
+        let tmp = self.temp_path();
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(CheckpointError::Io)?;
+            std::io::Write::write_all(&mut f, &bytes).map_err(CheckpointError::Io)?;
+            f.sync_all().map_err(CheckpointError::Io)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(CheckpointError::Io)?;
+        Ok(())
+    }
+
+    /// Fault injection: write `bytes` **directly** to the primary path,
+    /// bypassing the temp/fsync/rename protocol (after rotating the last
+    /// good checkpoint, which a real torn write would also leave intact —
+    /// the rename into place had not happened yet). This is how the
+    /// harness plants torn or bit-flipped files for the loader to detect.
+    pub fn save_raw(&self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.rotate()?;
+        std::fs::write(&self.path, bytes).map_err(CheckpointError::Io)?;
+        Ok(())
+    }
+
+    /// Load the newest valid checkpoint: the primary if it parses, else
+    /// the `.prev` fallback (reporting why the primary was rejected).
+    /// Returns [`CheckpointError::NotFound`] only when neither exists;
+    /// a corrupt primary with no fallback surfaces the corruption as a
+    /// hard error.
+    pub fn load(&self) -> Result<(Checkpoint, Recovery), CheckpointError> {
+        let primary = std::fs::read(&self.path)
+            .map_err(CheckpointError::from)
+            .and_then(|bytes| Checkpoint::from_bytes(&bytes));
+        let primary_error = match primary {
+            Ok(ckpt) => return Ok((ckpt, Recovery::Primary)),
+            Err(e) => e,
+        };
+        let fallback = std::fs::read(self.fallback_path())
+            .map_err(CheckpointError::from)
+            .and_then(|bytes| Checkpoint::from_bytes(&bytes));
+        match (primary_error, fallback) {
+            (e, Err(CheckpointError::NotFound)) => Err(e),
+            (primary_error, Ok(ckpt)) => Ok((
+                ckpt,
+                Recovery::Fallback {
+                    primary_error: Box::new(primary_error),
+                },
+            )),
+            // Both exist, both invalid: report the primary's cause.
+            (e, Err(_)) => Err(e),
+        }
+    }
+}
+
+fn append_ext(path: &Path, ext: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".");
+    s.push(ext);
+    PathBuf::from(s)
+}
+
+/// One deterministically-injected failure, keyed by the census boundary
+/// (1-based count of completed timesteps) it fires at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The boundary-`after_step` checkpoint write is torn: only the first
+    /// `keep_bytes` bytes reach disk (the atomic protocol is bypassed).
+    TornWrite {
+        /// Census boundary (completed timesteps) the fault fires at.
+        after_step: usize,
+        /// Prefix of the checkpoint that survives.
+        keep_bytes: usize,
+    },
+    /// One byte of the boundary-`after_step` checkpoint is bit-flipped
+    /// in place on disk.
+    BitFlip {
+        /// Census boundary (completed timesteps) the fault fires at.
+        after_step: usize,
+        /// Byte offset to corrupt (clamped into the file).
+        offset: usize,
+    },
+    /// The process "crashes" right after completing timestep
+    /// `after_step`, **before** that boundary's checkpoint is written.
+    Kill {
+        /// Census boundary (completed timesteps) the fault fires at.
+        after_step: usize,
+    },
+}
+
+impl Fault {
+    /// The census boundary this fault fires at.
+    #[must_use]
+    pub fn after_step(self) -> usize {
+        match self {
+            Fault::TornWrite { after_step, .. }
+            | Fault::BitFlip { after_step, .. }
+            | Fault::Kill { after_step } => after_step,
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults, parsed from a spec such
+/// as `torn@1,kill@2` (see [`std::str::FromStr`] below for the grammar).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, in spec order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults scheduled for the census boundary after `completed` steps.
+    pub fn for_step(&self, completed: usize) -> impl Iterator<Item = Fault> + '_ {
+        self.faults
+            .iter()
+            .copied()
+            .filter(move |f| f.after_step() == completed)
+    }
+}
+
+/// Grammar: comma-separated specs, each one of
+///
+/// * `kill@N` — crash after timestep `N`, before its checkpoint write;
+/// * `torn@N[:KEEP]` — tear the boundary-`N` checkpoint to its first
+///   `KEEP` bytes (default 40, cutting inside the header);
+/// * `bitflip@N[:OFFSET]` — flip one bit of byte `OFFSET` (default 96,
+///   inside the counters region) of the boundary-`N` checkpoint.
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut faults = Vec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, rest) = part
+                .split_once('@')
+                .ok_or_else(|| bad_fault_spec(part, "missing `@`"))?;
+            let (step_str, arg) = match rest.split_once(':') {
+                Some((a, b)) => (a, Some(b)),
+                None => (rest, None),
+            };
+            let after_step: usize = step_str
+                .parse()
+                .map_err(|_| bad_fault_spec(part, "timestep is not a number"))?;
+            if after_step == 0 {
+                return Err(bad_fault_spec(part, "timestep must be >= 1"));
+            }
+            let parse_arg = |default: usize| -> Result<usize, String> {
+                match arg {
+                    None => Ok(default),
+                    Some(a) => a
+                        .parse()
+                        .map_err(|_| bad_fault_spec(part, "argument is not a number")),
+                }
+            };
+            let fault = match kind {
+                "kill" => {
+                    if arg.is_some() {
+                        return Err(bad_fault_spec(part, "kill takes no argument"));
+                    }
+                    Fault::Kill { after_step }
+                }
+                "torn" => Fault::TornWrite {
+                    after_step,
+                    keep_bytes: parse_arg(40)?,
+                },
+                "bitflip" => Fault::BitFlip {
+                    after_step,
+                    offset: parse_arg(96)?,
+                },
+                other => return Err(bad_fault_spec(part, &format!("unknown kind `{other}`"))),
+            };
+            faults.push(fault);
+        }
+        Ok(Self { faults })
+    }
+}
+
+fn bad_fault_spec(part: &str, why: &str) -> String {
+    format!("bad fault spec `{part}`: {why} (expected kill@N, torn@N[:KEEP] or bitflip@N[:OFFSET])")
+}
+
+/// How a checkpointed run ended (see [`run_with_checkpoints`]).
+// One value exists per solve, so the size gap between a full report and
+// a bare step count costs nothing — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SolveOutcome {
+    /// The solve ran to completion.
+    Complete {
+        /// The completed run's report.
+        report: RunReport,
+        /// Timestep index the solve resumed from (`None` = fresh start).
+        resumed_from: Option<usize>,
+        /// How the resume checkpoint was obtained, if the solve resumed.
+        recovery: Option<Recovery>,
+    },
+    /// An injected [`Fault::Kill`] crashed the solve after `after_step`
+    /// completed timesteps (before that boundary's checkpoint write).
+    Killed {
+        /// Completed timesteps at the crash.
+        after_step: usize,
+    },
+}
+
+/// Run (or resume) a checkpointed solve end to end, applying `plan`'s
+/// injected faults at their census boundaries.
+///
+/// * If `store` holds a valid (or recoverable) checkpoint for this
+///   problem, the solve resumes from it; otherwise it starts fresh.
+///   A corrupt store with no valid fallback, or a checkpoint from a
+///   different configuration, is a hard error.
+/// * After each timestep, the boundary checkpoint is written with the
+///   crash-safe protocol — unless a fault replaces it with a torn or
+///   bit-flipped file, or a kill crashes the solve first.
+pub fn run_with_checkpoints(
+    sim: &Simulation,
+    options: RunOptions,
+    store: &CheckpointStore,
+    plan: &FaultPlan,
+) -> Result<SolveOutcome, CheckpointError> {
+    let (mut solve, resumed) = match store.load() {
+        Ok((ckpt, recovery)) => {
+            let solve = Solve::resume(sim, options, &ckpt)?;
+            (solve, Some((ckpt.next_step, recovery)))
+        }
+        Err(CheckpointError::NotFound) => (Solve::new(sim, options), None),
+        Err(e) => return Err(e),
+    };
+    let resumed_from = resumed.as_ref().map(|(step, _)| *step);
+    let recovery = resumed.map(|(_, r)| r);
+
+    while !solve.is_done() {
+        solve.step();
+        let boundary = solve.steps_done();
+        let mut killed = false;
+        let mut planted = false;
+        for fault in plan.for_step(boundary) {
+            match fault {
+                Fault::Kill { .. } => killed = true,
+                Fault::TornWrite { keep_bytes, .. } => {
+                    let bytes = solve.checkpoint().to_bytes();
+                    let keep = keep_bytes.min(bytes.len());
+                    store.save_raw(&bytes[..keep])?;
+                    planted = true;
+                }
+                Fault::BitFlip { offset, .. } => {
+                    let mut bytes = solve.checkpoint().to_bytes();
+                    let off = offset.min(bytes.len() - 1);
+                    bytes[off] ^= 0x80;
+                    store.save_raw(&bytes)?;
+                    planted = true;
+                }
+            }
+        }
+        if killed {
+            // The crash happens before this boundary's checkpoint write:
+            // the store still holds the previous boundary's state.
+            return Ok(SolveOutcome::Killed {
+                after_step: boundary,
+            });
+        }
+        if !planted {
+            store.save(&solve.checkpoint())?;
+        }
+    }
+    Ok(SolveOutcome::Complete {
+        report: solve.finish(),
+        resumed_from,
+        recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+    use crate::particle::spawn_particles;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let problem = TestCase::Csp.build(ProblemScale::tiny(), 3);
+        let particles = spawn_particles(&problem);
+        Checkpoint {
+            fingerprint: config_fingerprint(&problem),
+            next_step: 1,
+            n_timesteps: 3,
+            elapsed: Duration::from_millis(7),
+            tally_footprint_bytes: 4096,
+            counters: EventCounters {
+                collisions: 123,
+                facets: 456,
+                lost_energy_ev: 1.25,
+                census_energy_ev: -0.5,
+                ..Default::default()
+            },
+            tally: vec![0.0, 1.5, -2.25, 3.0e10],
+            particles,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for keep in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..keep]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "keep={keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        // Sample every 97th byte (plus the tail) to keep the test fast;
+        // FNV-1a detects any single-byte change with certainty.
+        let mut offsets: Vec<usize> = (0..bytes.len()).step_by(97).collect();
+        offsets.extend(bytes.len() - 9..bytes.len());
+        for off in offsets {
+            let mut corrupt = bytes.clone();
+            corrupt[off] ^= 0x01;
+            assert!(
+                Checkpoint::from_bytes(&corrupt).is_err(),
+                "flip at {off} was silently absorbed"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let bytes = sample_checkpoint().to_bytes();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-checksum so the version check (not the checksum) fires.
+        let total = wrong_version.len();
+        let sum = fnv1a64(wrong_version[..total - 8].iter().copied());
+        wrong_version[total - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong_version),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = TestCase::Csp.build(ProblemScale::tiny(), 3);
+        let mut b = a.clone();
+        b.seed = 4;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        let mut c = a.clone();
+        c.transport.weight_cutoff *= 2.0;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+        let mut d = a.clone();
+        d.n_timesteps += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&d));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn store_save_load_and_rotation() {
+        let dir = std::env::temp_dir().join(format!("neutral_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("solve.ckpt"));
+        let _ = std::fs::remove_file(store.path());
+        let _ = std::fs::remove_file(store.fallback_path());
+
+        assert!(matches!(store.load(), Err(CheckpointError::NotFound)));
+
+        let mut ckpt = sample_checkpoint();
+        store.save(&ckpt).unwrap();
+        let (loaded, recovery) = store.load().unwrap();
+        assert_eq!(loaded, ckpt);
+        assert!(matches!(recovery, Recovery::Primary));
+
+        // Second save rotates the first to .prev.
+        ckpt.next_step = 2;
+        store.save(&ckpt).unwrap();
+        assert!(store.fallback_path().exists());
+
+        // Tear the primary: load falls back to the rotated boundary-2...
+        // no — save_raw rotates again, so .prev now holds next_step=2.
+        let good = ckpt.to_bytes();
+        store.save_raw(&good[..25]).unwrap();
+        let (recovered, recovery) = store.load().unwrap();
+        assert_eq!(recovered.next_step, 2);
+        match recovery {
+            Recovery::Fallback { primary_error } => {
+                assert!(matches!(*primary_error, CheckpointError::Truncated));
+            }
+            Recovery::Primary => panic!("expected fallback"),
+        }
+
+        // Corrupt both: hard error naming the primary's cause.
+        store.save_raw(&good[..25]).unwrap();
+        std::fs::write(store.fallback_path(), &good[..10]).unwrap();
+        assert!(matches!(store.load(), Err(CheckpointError::Truncated)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_grammar() {
+        let plan: FaultPlan = "kill@3".parse().unwrap();
+        assert_eq!(plan.faults, vec![Fault::Kill { after_step: 3 }]);
+
+        let plan: FaultPlan = "torn@1:10, bitflip@2:5, kill@2".parse().unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::TornWrite {
+                    after_step: 1,
+                    keep_bytes: 10
+                },
+                Fault::BitFlip {
+                    after_step: 2,
+                    offset: 5
+                },
+                Fault::Kill { after_step: 2 },
+            ]
+        );
+        assert_eq!(plan.for_step(2).count(), 2);
+        assert_eq!(plan.for_step(7).count(), 0);
+
+        let plan: FaultPlan = "torn@4".parse().unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![Fault::TornWrite {
+                after_step: 4,
+                keep_bytes: 40
+            }]
+        );
+
+        for bad in [
+            "torn",
+            "kill@x",
+            "kill@0",
+            "kill@1:2",
+            "explode@1",
+            "torn@1:x",
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert!(err.contains("bad fault spec"), "{bad}: {err}");
+        }
+        assert!("".parse::<FaultPlan>().unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_messages_name_the_cause() {
+        assert!(CheckpointError::Truncated.to_string().contains("torn"));
+        assert!(CheckpointError::ChecksumMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum"));
+        assert!(CheckpointError::ConfigMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("different problem"));
+        assert!(CheckpointError::UnsupportedVersion(9)
+            .to_string()
+            .contains("version 9"));
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod arena;
+pub mod checkpoint;
 pub mod config;
 pub mod counters;
 pub mod events;
@@ -62,6 +63,10 @@ pub mod validate;
 /// The things almost every user of the crate needs.
 pub mod prelude {
     pub use crate::arena::ScratchArena;
+    pub use crate::checkpoint::{
+        config_fingerprint, run_with_checkpoints, Checkpoint, CheckpointError, CheckpointStore,
+        Fault, FaultPlan, Recovery, SolveOutcome,
+    };
     pub use crate::config::{
         CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, RegroupPolicy,
         SortPolicy, TallyStrategy, TestCase, TransportConfig, XsSearch,
@@ -70,7 +75,7 @@ pub mod prelude {
     pub use crate::over_events::{KernelStyle, KernelTimings};
     pub use crate::scenario::Scenario;
     pub use crate::scheduler::Schedule;
-    pub use crate::sim::{Execution, Layout, RunOptions, RunReport, Scheme, Simulation};
+    pub use crate::sim::{Execution, Layout, RunOptions, RunReport, Scheme, Simulation, Solve};
     pub use crate::validate::EnergyBalance;
     pub use neutral_xs::{MaterialKind, MaterialSet, MaterialSpec};
 }

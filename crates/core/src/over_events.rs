@@ -214,6 +214,13 @@ struct WindowState {
     /// decide (census departures) and collision (deaths) kernels — the
     /// occupancy the dispatch decides on without scanning anything.
     live: usize,
+    /// One past the last initially-active slot: the sweep bound. After a
+    /// `by_alive` regroup packs the live particles into a prefix, slots
+    /// `scan..` are dead at init (zero pending, never revived — particles
+    /// only *leave* the active set during a timestep), so every sweep
+    /// loop iterates `0..scan` instead of the whole allocation. Equal to
+    /// the window length when the storage is unregrouped or fully live.
+    scan: usize,
     /// Whether this round runs the sweep arm (set by `begin_round`).
     sweep: bool,
     /// Whether any particle left the active set since the last
@@ -224,7 +231,8 @@ struct WindowState {
 }
 
 /// Occupancy threshold of the hybrid dispatch: sweep while
-/// `live * SWEEP_DEN >= window_len * SWEEP_NUM`.
+/// `live * SWEEP_DEN >= scan * SWEEP_NUM` (`scan` being the initially
+/// active prefix — the whole window when unregrouped).
 const SWEEP_NUM: usize = 7;
 /// See [`SWEEP_NUM`].
 const SWEEP_DEN: usize = 8;
@@ -245,7 +253,7 @@ impl WindowState {
     /// clustering pays: the separated tally flush and the batched
     /// lookup lane blocks.
     fn begin_round(&mut self, status: &[Status]) {
-        self.sweep = self.live * SWEEP_DEN >= status.len() * SWEEP_NUM;
+        self.sweep = self.live * SWEEP_DEN >= self.scan * SWEEP_NUM;
         if !self.sweep && self.needs_compact {
             self.active
                 .retain(|&i| status[i as usize] == Status::Active);
@@ -725,6 +733,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         last_flush_cell_runs,
         probe_countdown,
         live,
+        scan,
         needs_compact,
         ..
     } = &mut *w.ws;
@@ -763,6 +772,10 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         a.hints_scatter.push(p.xs_hints.scatter);
     }
     *live = active.len();
+    // Sweep bound: one past the last initially-active slot. A `by_alive`
+    // regroup packs the live population into a prefix, so this shrinks
+    // every sweep loop to the part of the window that can hold work.
+    *scan = active.last().map_or(0, |&i| i as usize + 1);
 
     a.out_absorb.resize(active.len(), 0.0);
     a.out_scatter.resize(active.len(), 0.0);
@@ -809,10 +822,11 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
         census,
         live,
         sweep,
+        scan,
         needs_compact,
         ..
     } = &mut *w.ws;
-    let sweep = *sweep;
+    let (sweep, scan) = (*sweep, *scan);
     let status = &mut *w.status;
     let (particles, micro_a, micro_s, n_dens, tag, dist) = (
         &*w.particles,
@@ -859,7 +873,7 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
         }};
     }
     if sweep {
-        for i in 0..particles.len() {
+        for i in 0..scan {
             if status[i] != Status::Active {
                 tag[i] = Tag::None;
                 continue;
@@ -891,16 +905,13 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
         census,
         live,
         sweep,
+        scan,
         needs_compact,
         ..
     } = &mut *w.ws;
     let sweep = *sweep;
     let status = &mut *w.status;
-    let m = if sweep {
-        w.particles.len()
-    } else {
-        active.len()
-    };
+    let m = if sweep { *scan } else { active.len() };
     a.f64_a.clear();
     a.f64_a.resize(m, 0.0);
     a.f64_b.clear();
@@ -1035,10 +1046,11 @@ fn collision_kernel<R: CbRng>(
         rank,
         live,
         sweep,
+        scan,
         needs_compact,
         ..
     } = &mut *w.ws;
-    let sweep = *sweep;
+    let (sweep, scan) = (*sweep, *scan);
     // The batched re-lookup pays a gather/scatter pass; only the grid
     // backends, whose `lookup_many` has a sorted-block fast path, win it
     // back. The walking backends keep the seed's per-particle calls
@@ -1075,7 +1087,7 @@ fn collision_kernel<R: CbRng>(
             }};
         }
         if sweep {
-            for i in 0..w.particles.len() {
+            for i in 0..scan {
                 if w.tag[i] != Tag::Collision || w.status[i] != Status::Active {
                     continue;
                 }
@@ -1090,7 +1102,7 @@ fn collision_kernel<R: CbRng>(
 
     a.clear();
     deaths.clear();
-    let trips = if sweep { w.particles.len() } else { coll.len() };
+    let trips = if sweep { scan } else { coll.len() };
     #[allow(clippy::needless_range_loop)] // dual-mode index source
     for k in 0..trips {
         let i = if sweep { k } else { coll[k] as usize };
@@ -1210,6 +1222,7 @@ fn facet_kernel<R: CbRng>(
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
     let sweep = w.ws.sweep;
+    let scan = w.ws.scan;
     let facet_list = &w.ws.facet;
 
     if style == KernelStyle::Vectorized {
@@ -1232,7 +1245,7 @@ fn facet_kernel<R: CbRng>(
             }};
         }
         if sweep {
-            for i in 0..w.particles.len() {
+            for i in 0..scan {
                 if w.status[i] != Status::Active || w.tag[i].to_facet().is_none() {
                     continue;
                 }
@@ -1279,7 +1292,7 @@ fn facet_kernel<R: CbRng>(
         }};
     }
     if sweep {
-        for i in 0..w.particles.len() {
+        for i in 0..scan {
             if w.status[i] != Status::Active {
                 continue;
             }
@@ -1344,9 +1357,11 @@ fn tally_kernel<T: TallySink>(
         last_flush_cell_runs,
         probe_countdown,
         sweep,
+        scan,
         ..
     } = &mut *w.ws;
     let permuted = *permuted;
+    let scan = *scan;
     let (sweep, indices): (bool, &[u32]) = match list {
         FlushList::Round => (*sweep, active),
         FlushList::Census => (false, census),
@@ -1405,7 +1420,7 @@ fn tally_kernel<T: TallySink>(
         a.sort_keys.clear();
         if sweep {
             #[allow(clippy::needless_range_loop)] // indexes three arrays
-            for i in 0..w.particles.len() {
+            for i in 0..scan {
                 if w.pending[i] != 0.0 {
                     a.sort_keys.push((rank[i], i as u32));
                 }
@@ -1443,7 +1458,7 @@ fn tally_kernel<T: TallySink>(
             }
         }
     } else if sweep {
-        for i in 0..w.particles.len() {
+        for i in 0..scan {
             if w.pending[i] != 0.0 {
                 drain!(w.pending_cell[i], i);
             }
@@ -1615,6 +1630,72 @@ mod tests {
                 .collect();
             assert_eq!(census, expected, "{case:?}: census list");
         }
+    }
+
+    /// The live-prefix sweep bound: after a `by_alive` regroup packs the
+    /// live population into a prefix, `scan` shrinks to the live count
+    /// (sweep loops skip the dead tail entirely), and the solve still
+    /// computes bitwise-identical tallies and counters — the regroup
+    /// identity invariant extended to the shortened sweep.
+    #[test]
+    fn scan_bound_tracks_live_prefix_after_regroup() {
+        let (problem, rng) = fixture(TestCase::Scatter);
+        let c = ctx(&problem, &rng);
+        let base = spawn_particles(&problem);
+        let n = base.len();
+
+        // Kill a scattered subset so the population is fragmented, then
+        // advance both copies one timestep: unregrouped vs by_alive.
+        let mut plain = base.clone();
+        for (i, p) in plain.iter_mut().enumerate() {
+            if i % 3 == 1 {
+                p.dead = true;
+            }
+        }
+        let mut packed = plain.clone();
+        let mut scratch = ScratchArena::default();
+        let moved = crate::particle::regroup_particles(
+            &mut packed,
+            crate::config::RegroupPolicy::ByAlive,
+            c.mesh.nx(),
+            n,
+            &mut scratch,
+        );
+        assert!(moved, "fragmented population must actually regroup");
+        let alive = plain.iter().filter(|p| !p.dead).count();
+        let plain_bound = plain.iter().rposition(|p| !p.dead).unwrap() + 1;
+
+        // Init alone exposes the bound: one past the last alive slot for
+        // the fragmented window, the live prefix for the packed one.
+        let mut st = EventState::new(n, n.max(1));
+        let mut probe = plain.clone();
+        let mut ws = windows(&mut probe, &mut st);
+        init_kernel(&mut ws[0], &c);
+        assert_eq!(ws[0].ws.scan, plain_bound, "fragmented scan bound");
+        assert!(alive < plain_bound, "fragmentation leaves holes in scan");
+        drop(ws);
+        let mut probe = packed.clone();
+        let mut ws = windows(&mut probe, &mut st);
+        init_kernel(&mut ws[0], &c);
+        assert_eq!(ws[0].ws.scan, alive, "packed scan == live prefix");
+        drop(ws);
+
+        // And the shortened sweep is bitwise clean: identical tallies
+        // (per cell) and counters, with trajectories matching by key.
+        let run = |particles: &mut Vec<Particle>| {
+            let tally = AtomicTally::new(problem.mesh.num_cells());
+            let (counters, _t) =
+                run_over_events(particles, &c, &tally, KernelStyle::Scalar, false, &mut None);
+            let bits: Vec<u64> = tally.snapshot().iter().map(|v| v.to_bits()).collect();
+            (counters, bits)
+        };
+        let (c_plain, t_plain) = run(&mut plain);
+        let (c_packed, t_packed) = run(&mut packed);
+        assert_eq!(t_plain, t_packed, "tally bits");
+        assert_eq!(c_plain, c_packed, "counters");
+        let mut by_key = packed.clone();
+        by_key.sort_unstable_by_key(|p| p.key);
+        assert_eq!(plain, by_key, "trajectories (identity order)");
     }
 
     /// The headline validation property: Over Events computes the exact

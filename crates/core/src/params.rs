@@ -45,11 +45,16 @@
 //! tally_strategy atomic        # or replicated | privatized
 //! sort_policy off              # or by_cell | by_energy_band | auto
 //! regroup_policy off           # or by_cell | by_energy_band | by_alive
+//!
+//! # checkpoint/restart (optional)
+//! checkpoint_file run.ckpt     # enable checkpointed solves at this path
+//! fault kill@2                 # inject faults (testing; see FaultPlan)
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
 //! `ProblemScale::small()`.
 
+use crate::checkpoint::FaultPlan;
 use crate::config::{
     CollisionModel, LookupStrategy, Problem, RegroupPolicy, SortPolicy, TallyStrategy,
     TransportConfig,
@@ -144,6 +149,12 @@ pub struct ProblemParams {
     pub sort_policy: SortPolicy,
     /// Between-timestep physical regrouping (DESIGN.md §14).
     pub regroup_policy: RegroupPolicy,
+    /// Checkpoint file path; `Some` enables checkpointed solves
+    /// (crash-safe writes at every census boundary, resume on restart).
+    pub checkpoint_file: Option<String>,
+    /// Deterministic fault-injection schedule for the checkpoint layer
+    /// (testing/verification; empty = no faults).
+    pub fault: FaultPlan,
 }
 
 impl Default for ProblemParams {
@@ -170,6 +181,8 @@ impl Default for ProblemParams {
             tally_strategy: TallyStrategy::default(),
             sort_policy: SortPolicy::default(),
             regroup_policy: RegroupPolicy::default(),
+            checkpoint_file: None,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -264,6 +277,10 @@ impl ProblemParams {
                 }
                 "regroup_policy" => {
                     p.regroup_policy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                "checkpoint_file" => p.checkpoint_file = Some(one(&rest)?),
+                "fault" => {
+                    p.fault = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {

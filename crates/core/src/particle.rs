@@ -7,6 +7,7 @@
 
 use crate::arena::{apply_permutation_in_place, radix_sort_pairs, ScratchArena};
 use crate::config::{Problem, RegroupPolicy};
+use crate::scheduler::{parallel_for_owned_scratch, Schedule};
 use neutral_rng::{dist, CounterStream, Threefry2x64};
 use neutral_xs::XsHints;
 
@@ -174,53 +175,107 @@ pub fn regroup_particles(
         return false;
     }
     let lane_size = lane_size.max(1);
-    let n = particles.len();
     let mut moved = false;
-    let mut start = 0;
-    while start < n {
-        let end = (start + lane_size).min(n);
-        let lane = &mut particles[start..end];
-        scratch.sort_keys.clear();
-        for (i, p) in lane.iter().enumerate() {
-            let group = match policy {
-                RegroupPolicy::Off => unreachable!("handled above"),
-                RegroupPolicy::ByAlive => u32::from(p.dead),
-                RegroupPolicy::ByCell => {
-                    if p.dead {
-                        u32::MAX
-                    } else {
-                        p.cell_index(nx) as u32
-                    }
-                }
-                RegroupPolicy::ByEnergyBand => {
-                    if p.dead {
-                        u32::MAX
-                    } else {
-                        energy_band(p.energy)
-                    }
-                }
-            };
-            scratch.sort_keys.push((group, i as u32));
-        }
-        // Stable by construction (payloads are insertion indices), so
-        // equal-group particles keep ascending key order within the lane.
-        radix_sort_pairs(&mut scratch.sort_keys, &mut scratch.sort_tmp);
-        if scratch
-            .sort_keys
-            .iter()
-            .enumerate()
-            .any(|(k, &(_, src))| src as usize != k)
-        {
-            moved = true;
-            scratch.perm.clear();
-            scratch
-                .perm
-                .extend(scratch.sort_keys.iter().map(|&(_, src)| src));
-            apply_permutation_in_place(lane, &mut scratch.perm);
-        }
-        start = end;
+    for lane in particles.chunks_mut(lane_size) {
+        moved |= regroup_block(lane, policy, nx, scratch);
     }
     moved
+}
+
+/// Regroup one lane block in place (the per-lane body of
+/// [`regroup_particles`]); returns `true` if any particle moved.
+fn regroup_block(
+    lane: &mut [Particle],
+    policy: RegroupPolicy,
+    nx: usize,
+    scratch: &mut ScratchArena,
+) -> bool {
+    scratch.sort_keys.clear();
+    for (i, p) in lane.iter().enumerate() {
+        let group = match policy {
+            RegroupPolicy::Off => unreachable!("rejected by the entry points"),
+            RegroupPolicy::ByAlive => u32::from(p.dead),
+            RegroupPolicy::ByCell => {
+                if p.dead {
+                    u32::MAX
+                } else {
+                    p.cell_index(nx) as u32
+                }
+            }
+            RegroupPolicy::ByEnergyBand => {
+                if p.dead {
+                    u32::MAX
+                } else {
+                    energy_band(p.energy)
+                }
+            }
+        };
+        scratch.sort_keys.push((group, i as u32));
+    }
+    // Stable by construction (payloads are insertion indices), so
+    // equal-group particles keep ascending key order within the lane.
+    radix_sort_pairs(&mut scratch.sort_keys, &mut scratch.sort_tmp);
+    if scratch
+        .sort_keys
+        .iter()
+        .enumerate()
+        .any(|(k, &(_, src))| src as usize != k)
+    {
+        scratch.perm.clear();
+        scratch
+            .perm
+            .extend(scratch.sort_keys.iter().map(|&(_, src)| src));
+        apply_permutation_in_place(lane, &mut scratch.perm);
+        return true;
+    }
+    false
+}
+
+/// [`regroup_particles`] with the lane blocks scheduled across `workers`
+/// workers through the lane scheduler (the same item-owned dispatch the
+/// tally drivers use, at lane granularity).
+///
+/// Each lane block is an independent, deterministic permutation — no lane
+/// reads or writes another — so the regrouped array is **identical for
+/// any worker count and any schedule** to the serial
+/// [`regroup_particles`]; only wall-clock changes. `scratches` is grown
+/// to `workers` arenas and reused across calls (one arena per worker, as
+/// in [`parallel_for_owned_scratch`]).
+pub fn regroup_particles_parallel(
+    particles: &mut [Particle],
+    policy: RegroupPolicy,
+    nx: usize,
+    lane_size: usize,
+    workers: usize,
+    schedule: Schedule,
+    scratches: &mut Vec<ScratchArena>,
+) -> bool {
+    if policy == RegroupPolicy::Off || particles.is_empty() {
+        return false;
+    }
+    if scratches.is_empty() {
+        scratches.push(ScratchArena::new());
+    }
+    let lane_size = lane_size.max(1);
+    if workers <= 1 || particles.len() <= lane_size {
+        return regroup_particles(particles, policy, nx, lane_size, &mut scratches[0]);
+    }
+    if scratches.len() < workers {
+        scratches.resize_with(workers, ScratchArena::new);
+    }
+    let mut lanes: Vec<(&mut [Particle], bool)> = particles
+        .chunks_mut(lane_size)
+        .map(|lane| (lane, false))
+        .collect();
+    parallel_for_owned_scratch(
+        schedule.lane_granular(),
+        &mut lanes,
+        &mut scratches[..workers],
+        |_, (lane, moved), scratch| {
+            *moved = regroup_block(lane, policy, nx, scratch);
+        },
+    );
+    lanes.iter().any(|&(_, moved)| moved)
 }
 
 #[cfg(test)]
@@ -380,6 +435,62 @@ mod tests {
             &mut scratch
         ));
         assert_eq!(grouped, snapshot);
+    }
+
+    #[test]
+    fn parallel_regroup_matches_serial_for_any_worker_count() {
+        let p = problem();
+        let nx = p.mesh.nx();
+        let mut original = spawn_particles(&p);
+        for (i, part) in original.iter_mut().enumerate() {
+            part.dead = i % 5 == 0;
+            part.cellx = (i as u32 * 13) % 17;
+            part.celly = (i as u32 * 7) % 9;
+        }
+        let lane_size = 16;
+        for policy in [
+            RegroupPolicy::ByAlive,
+            RegroupPolicy::ByCell,
+            RegroupPolicy::ByEnergyBand,
+        ] {
+            let mut serial = original.clone();
+            let mut scratch = ScratchArena::new();
+            let moved = regroup_particles(&mut serial, policy, nx, lane_size, &mut scratch);
+            for workers in [1usize, 2, 7] {
+                for schedule in [
+                    Schedule::Static { chunk: None },
+                    Schedule::Dynamic { chunk: 16 },
+                    Schedule::Guided { min_chunk: 2 },
+                ] {
+                    let mut par = original.clone();
+                    let mut scratches = Vec::new();
+                    let par_moved = regroup_particles_parallel(
+                        &mut par,
+                        policy,
+                        nx,
+                        lane_size,
+                        workers,
+                        schedule,
+                        &mut scratches,
+                    );
+                    assert_eq!(par_moved, moved, "{policy:?}/{workers}/{schedule:?}");
+                    assert_eq!(par, serial, "{policy:?}/{workers}/{schedule:?}");
+                }
+            }
+        }
+        // Off injects nothing regardless of worker count.
+        let mut par = original.clone();
+        let mut scratches = Vec::new();
+        assert!(!regroup_particles_parallel(
+            &mut par,
+            RegroupPolicy::Off,
+            nx,
+            lane_size,
+            4,
+            Schedule::Dynamic { chunk: 1 },
+            &mut scratches,
+        ));
+        assert_eq!(par, original);
     }
 
     #[test]

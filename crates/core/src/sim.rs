@@ -7,6 +7,7 @@
 //! [`crate::over_events`] and [`crate::soa`].
 
 use crate::arena::ScratchArena;
+use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
 use crate::config::{Problem, RegroupPolicy};
 use crate::counters::EventCounters;
 use crate::history::TransportCtx;
@@ -14,7 +15,7 @@ use crate::over_events::{
     run_over_events, run_over_events_lanes, EventState, KernelStyle, KernelTimings,
 };
 use crate::over_particles::{run_lanes, run_rayon, run_scheduled, run_sequential, ScheduledTally};
-use crate::particle::{regroup_particles, spawn_particles, Particle};
+use crate::particle::{regroup_particles_parallel, spawn_particles, Particle};
 use crate::scheduler::Schedule;
 use crate::soa::{run_lanes_soa, run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
 use crate::validate::{population_balance, EnergyBalance};
@@ -177,8 +178,10 @@ struct TransportState {
     soa: ParticleSoA,
     /// Per-worker arenas of the lane-decomposed SoA driver.
     soa_arenas: Vec<ScratchArena>,
-    /// Staging of the between-timestep regroup permutation.
-    scratch: ScratchArena,
+    /// Per-worker staging of the between-timestep regroup permutation
+    /// (the regroup stage runs per lane block through the lane
+    /// scheduler; one arena per worker).
+    regroup_scratches: Vec<ScratchArena>,
     /// Identity map of a regrouped population: `order[key]` = physical
     /// position. Empty (and unused) until the first regroup actually
     /// moves a particle.
@@ -198,10 +201,28 @@ impl TransportState {
     /// Regroup the population for the next timestep and refresh the
     /// identity map. Lane blocks match the tally-lane partition the lane
     /// drivers use, so lane membership (and with it the bitwise-merge
-    /// invariant) is preserved.
-    fn regroup(&mut self, particles: &mut [Particle], policy: RegroupPolicy, nx: usize) {
+    /// invariant) is preserved. The per-lane permutations are scheduled
+    /// across `workers` through the lane scheduler — each lane is
+    /// independent and deterministic, so the regrouped array is
+    /// identical for any worker count.
+    fn regroup(
+        &mut self,
+        particles: &mut [Particle],
+        policy: RegroupPolicy,
+        nx: usize,
+        workers: usize,
+        schedule: Schedule,
+    ) {
         let part = LanePartition::new(particles.len(), DEFAULT_LANES);
-        if regroup_particles(particles, policy, nx, part.lane_size, &mut self.scratch) {
+        if regroup_particles_parallel(
+            particles,
+            policy,
+            nx,
+            part.lane_size,
+            workers,
+            schedule,
+            &mut self.regroup_scratches,
+        ) {
             self.permuted = true;
         }
         if self.permuted {
@@ -210,6 +231,37 @@ impl TransportState {
                 self.order[p.key as usize] = pos as u32;
             }
         }
+    }
+
+    /// Rebuild the permutation bookkeeping from a (possibly regrouped)
+    /// checkpointed population: `permuted` is re-derived from the actual
+    /// storage order, and the identity map rebuilt when needed. A
+    /// population that happens to sit in identity order resumes through
+    /// the direct (unpermuted) code paths, which compute the same bits
+    /// as an identity map would.
+    fn restore_order(&mut self, particles: &[Particle]) {
+        self.permuted = particles
+            .iter()
+            .enumerate()
+            .any(|(pos, p)| p.key as usize != pos);
+        if self.permuted {
+            self.order.resize(particles.len(), 0);
+            for (pos, p) in particles.iter().enumerate() {
+                self.order[p.key as usize] = pos as u32;
+            }
+        }
+    }
+}
+
+/// Worker count and schedule implied by an [`Execution`] — used for the
+/// stages (like the census-boundary regroup) that run through the lane
+/// scheduler outside the main drivers.
+fn execution_workers(execution: Execution) -> (usize, Schedule) {
+    match execution {
+        Execution::Sequential => (1, Schedule::Static { chunk: None }),
+        Execution::Rayon => (rayon::current_num_threads(), Schedule::Dynamic { chunk: 1 }),
+        Execution::Scheduled { threads, schedule }
+        | Execution::ScheduledPrivatized { threads, schedule } => (threads, schedule),
     }
 }
 
@@ -259,76 +311,9 @@ impl Simulation {
     /// backends.
     #[must_use]
     pub fn run(&self, options: RunOptions) -> RunReport {
-        let problem = &self.problem;
-        let ctx = TransportCtx {
-            mesh: &problem.mesh,
-            materials: &problem.materials,
-            rng: &self.rng,
-            cfg: &problem.transport,
-        };
-        let mut particles = spawn_particles(problem);
-        let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
-        let cells = problem.mesh.num_cells();
-        // Build any lookup acceleration structure (union grid, hash
-        // buckets) for every material outside the timed region: the solve
-        // should measure transport, not one-off setup.
-        problem.materials.prepare(problem.transport.xs_search);
-
-        let mut state = TransportState::default();
-        let mut counters = EventCounters::default();
-        let mut kernel_timings: Option<KernelTimings> = None;
-        let mut tally_vec: Vec<f64> = vec![0.0; cells];
-        let mut tally_footprint = 0usize;
-
-        let start = Instant::now();
-        for step in 0..problem.n_timesteps {
-            if step > 0 {
-                for p in particles.iter_mut().filter(|p| !p.dead) {
-                    p.dt_to_census = problem.dt;
-                }
-                // The census boundary: physically regroup the survivors
-                // (regroup time is charged to the solve — it is part of
-                // the cost the policy must win back).
-                state.regroup(
-                    &mut particles,
-                    problem.transport.regroup_policy,
-                    problem.mesh.nx(),
-                );
-            }
-            let step_counters = self.run_step(
-                &mut particles,
-                &ctx,
-                options,
-                &mut tally_vec,
-                &mut kernel_timings,
-                &mut tally_footprint,
-                &mut state,
-            );
-            counters.merge(&step_counters);
-            // The residual is a snapshot, not a sum across steps.
-            counters.census_energy_ev = step_counters.census_energy_ev;
-        }
-        let elapsed = start.elapsed();
-
-        let alive = particles.iter().filter(|p| !p.dead).count();
-        // Per-step population balance: step k processes the histories that
-        // were alive at its start, so census + deaths + stuck across the
-        // whole run equals n_particles plus one extra census per survivor
-        // per additional timestep.
-        debug_assert!(
-            problem.n_timesteps > 1 || population_balance(problem.n_particles as u64, &counters)
-        );
-
-        RunReport {
-            elapsed,
-            counters,
-            tally: tally_vec,
-            kernel_timings,
-            alive,
-            initial_energy_ev,
-            tally_footprint_bytes: tally_footprint,
-            timesteps: problem.n_timesteps,
-        }
+        let mut solve = Solve::new(self, options);
+        while solve.step() {}
+        solve.finish()
     }
 
     #[allow(clippy::too_many_arguments)] // internal step dispatcher
@@ -539,6 +524,255 @@ impl Simulation {
         *tally_footprint = accum.footprint_bytes();
         accumulate(tally_vec, &accum.merge());
         counters
+    }
+}
+
+/// A resumable solve handle: [`Simulation::run`] sliced into
+/// per-timestep chunks (the enabling refactor of the checkpoint/restart
+/// subsystem — see [`crate::checkpoint`] and DESIGN.md §15).
+///
+/// ```
+/// use neutral_core::prelude::*;
+///
+/// let mut problem = TestCase::Csp.build(ProblemScale::tiny(), 42);
+/// problem.n_timesteps = 2;
+/// let sim = Simulation::new(problem);
+/// let mut solve = Solve::new(&sim, RunOptions::default());
+/// solve.step();                      // timestep 0
+/// let ckpt = solve.checkpoint();     // census-boundary snapshot
+/// let mut resumed = Solve::resume(&sim, RunOptions::default(), &ckpt).unwrap();
+/// while resumed.step() {}
+/// let report = resumed.finish();     // bitwise identical to sim.run(..)
+/// assert_eq!(report.timesteps, 2);
+/// ```
+///
+/// Stepping, checkpointing at any census boundary and resuming produces
+/// tallies, counters and final particle records **byte-identical** to an
+/// uninterrupted [`Simulation::run`]: each particle record carries its
+/// own RNG key/counter (resuming the counter-based stream exactly, even
+/// mid-block), regrouped storage order is reconstructed from the records
+/// themselves, and every per-step driver state is rebuilt from scratch
+/// each timestep by design.
+pub struct Solve<'a> {
+    sim: &'a Simulation,
+    options: RunOptions,
+    particles: Vec<Particle>,
+    state: TransportState,
+    counters: EventCounters,
+    kernel_timings: Option<KernelTimings>,
+    tally: Vec<f64>,
+    tally_footprint: usize,
+    initial_energy_ev: f64,
+    step: usize,
+    elapsed: Duration,
+}
+
+impl<'a> Solve<'a> {
+    /// Start a fresh solve: spawn the particle population and prepare
+    /// the lookup acceleration structures (outside the timed region —
+    /// the solve should measure transport, not one-off setup).
+    #[must_use]
+    pub fn new(sim: &'a Simulation, options: RunOptions) -> Self {
+        let problem = &sim.problem;
+        let particles = spawn_particles(problem);
+        let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
+        problem.materials.prepare(problem.transport.xs_search);
+        Self {
+            sim,
+            options,
+            particles,
+            state: TransportState::default(),
+            counters: EventCounters::default(),
+            kernel_timings: None,
+            tally: vec![0.0; problem.mesh.num_cells()],
+            tally_footprint: 0,
+            initial_energy_ev,
+            step: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Resume a solve from a census-boundary checkpoint.
+    ///
+    /// Rejects, as hard errors: a checkpoint written by a different
+    /// problem/transport configuration
+    /// ([`CheckpointError::ConfigMismatch`]) and internally-inconsistent
+    /// contents — wrong particle or tally counts, keys that are not a
+    /// permutation ([`CheckpointError::Corrupt`]).
+    pub fn resume(
+        sim: &'a Simulation,
+        options: RunOptions,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        let problem = &sim.problem;
+        let expected = config_fingerprint(problem);
+        if checkpoint.fingerprint != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: checkpoint.fingerprint,
+            });
+        }
+        if checkpoint.n_timesteps != problem.n_timesteps {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint ran {} timesteps, problem wants {}",
+                checkpoint.n_timesteps, problem.n_timesteps
+            )));
+        }
+        if checkpoint.particles.len() != problem.n_particles {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint holds {} particles, problem spawns {}",
+                checkpoint.particles.len(),
+                problem.n_particles
+            )));
+        }
+        if checkpoint.tally.len() != problem.mesh.num_cells() {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint tally has {} cells, mesh has {}",
+                checkpoint.tally.len(),
+                problem.mesh.num_cells()
+            )));
+        }
+        let n = checkpoint.particles.len();
+        let mut seen = vec![false; n];
+        for p in &checkpoint.particles {
+            let k = p.key as usize;
+            if k >= n || seen[k] {
+                return Err(CheckpointError::Corrupt(format!(
+                    "particle keys are not a permutation (key {} duplicated or out of range)",
+                    p.key
+                )));
+            }
+            seen[k] = true;
+        }
+        problem.materials.prepare(problem.transport.xs_search);
+        let mut state = TransportState::default();
+        state.restore_order(&checkpoint.particles);
+        Ok(Self {
+            sim,
+            options,
+            particles: checkpoint.particles.clone(),
+            state,
+            counters: checkpoint.counters,
+            kernel_timings: None,
+            tally: checkpoint.tally.clone(),
+            tally_footprint: checkpoint.tally_footprint_bytes,
+            initial_energy_ev: n as f64 * problem.initial_energy_ev,
+            step: checkpoint.next_step,
+            elapsed: checkpoint.elapsed,
+        })
+    }
+
+    /// Whether every timestep has been executed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.step >= self.sim.problem.n_timesteps
+    }
+
+    /// Timesteps completed so far (= the next timestep index to run).
+    #[must_use]
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// The current particle records (current storage order) — the state a
+    /// checkpoint would capture.
+    #[must_use]
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Execute the next timestep. Returns `false` (doing nothing) once
+    /// all timesteps have run.
+    pub fn step(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let problem = &self.sim.problem;
+        let ctx = TransportCtx {
+            mesh: &problem.mesh,
+            materials: &problem.materials,
+            rng: &self.sim.rng,
+            cfg: &problem.transport,
+        };
+        let start = Instant::now();
+        if self.step > 0 {
+            for p in self.particles.iter_mut().filter(|p| !p.dead) {
+                p.dt_to_census = problem.dt;
+            }
+            // The census boundary: physically regroup the survivors
+            // (regroup time is charged to the solve — it is part of the
+            // cost the policy must win back). The per-lane permutations
+            // run through the lane scheduler.
+            let (workers, schedule) = execution_workers(self.options.execution);
+            self.state.regroup(
+                &mut self.particles,
+                problem.transport.regroup_policy,
+                problem.mesh.nx(),
+                workers,
+                schedule,
+            );
+        }
+        let step_counters = self.sim.run_step(
+            &mut self.particles,
+            &ctx,
+            self.options,
+            &mut self.tally,
+            &mut self.kernel_timings,
+            &mut self.tally_footprint,
+            &mut self.state,
+        );
+        self.counters.merge(&step_counters);
+        // The residual is a snapshot, not a sum across steps.
+        self.counters.census_energy_ev = step_counters.census_energy_ev;
+        self.elapsed += start.elapsed();
+        self.step += 1;
+        true
+    }
+
+    /// Snapshot the complete resumable state at the current census
+    /// boundary (call between [`Solve::step`]s; the particle records are
+    /// pre-regroup for the next step, which [`Solve::resume`] replays
+    /// exactly as an uninterrupted run would).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            fingerprint: config_fingerprint(&self.sim.problem),
+            next_step: self.step,
+            n_timesteps: self.sim.problem.n_timesteps,
+            elapsed: self.elapsed,
+            tally_footprint_bytes: self.tally_footprint,
+            counters: self.counters,
+            tally: self.tally.clone(),
+            particles: self.particles.clone(),
+        }
+    }
+
+    /// Finish the solve and build the report. Call after the last
+    /// timestep (stepping a finished solve is a no-op, so this is safe
+    /// to call whenever [`Solve::is_done`]).
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        let problem = &self.sim.problem;
+        let alive = self.particles.iter().filter(|p| !p.dead).count();
+        // Per-step population balance: step k processes the histories that
+        // were alive at its start, so census + deaths + stuck across the
+        // whole run equals n_particles plus one extra census per survivor
+        // per additional timestep.
+        debug_assert!(
+            !self.is_done()
+                || problem.n_timesteps > 1
+                || population_balance(problem.n_particles as u64, &self.counters)
+        );
+        RunReport {
+            elapsed: self.elapsed,
+            counters: self.counters,
+            tally: self.tally,
+            kernel_timings: self.kernel_timings,
+            alive,
+            initial_energy_ev: self.initial_energy_ev,
+            tally_footprint_bytes: self.tally_footprint,
+            timesteps: self.step,
+        }
     }
 }
 

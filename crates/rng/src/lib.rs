@@ -54,7 +54,7 @@ mod stream;
 mod threefry;
 
 pub use philox::Philox4x32;
-pub use stream::{uniforms, CounterStream};
+pub use stream::{draw_position, uniforms, CounterStream};
 pub use threefry::Threefry2x64;
 
 /// A counter-based random number generator: a keyed pseudo-random function

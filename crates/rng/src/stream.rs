@@ -45,8 +45,7 @@ impl<'a, R: CbRng> CounterStream<'a, R> {
     /// resume the stream exactly, even mid-block.
     #[inline]
     pub fn next_u64(&mut self, counter: &mut u64) -> u64 {
-        let block_idx = *counter / 2;
-        let word_idx = (*counter % 2) as u8;
+        let (block_idx, word_idx) = draw_position(*counter);
         if self.cursor > word_idx || self.buffered_at != block_idx {
             self.buffer = self.rng.block([block_idx, self.stream_id]);
             self.buffered_at = block_idx;
@@ -73,6 +72,17 @@ impl<'a, R: CbRng> CounterStream<'a, R> {
     pub fn stream_id(&self) -> u64 {
         self.stream_id
     }
+}
+
+/// Decompose a persisted draw counter into its PRF position: the 128-bit
+/// block index and the word within that block. This is the stream
+/// position a checkpoint exports — draws `2k` and `2k+1` both live in
+/// block `k`, so `(key, counter)` alone re-seeks a [`CounterStream`] to
+/// the exact draw, even mid-block. The inverse is `block * 2 + word`.
+#[must_use]
+#[inline]
+pub const fn draw_position(counter: u64) -> (u64, u8) {
+    (counter / 2, (counter % 2) as u8)
 }
 
 /// Draw `n` uniforms on `[0,1)` from a fresh stream — convenience for
@@ -103,6 +113,30 @@ mod tests {
         assert_eq!(s1.next_u64(&mut c1), all[1]);
         assert_eq!(s1.next_u64(&mut c1), all[2]);
         assert_eq!(s1.next_u64(&mut c1), all[3]);
+    }
+
+    /// The checkpoint contract: persisting `(stream_id, counter)` at any
+    /// draw offset and re-opening a fresh stream from it continues the
+    /// sequence bit-for-bit — the property particle-record serialization
+    /// relies on to resume transport mid-history.
+    #[test]
+    fn exported_counter_resumes_any_offset_exactly() {
+        let rng = Threefry2x64::new([99, 1]);
+        let mut c = 0u64;
+        let mut s = CounterStream::new(&rng, 7);
+        let all: Vec<u64> = (0..12).map(|_| s.next_u64(&mut c)).collect();
+        for cut in 0..=all.len() {
+            // "Export" the counter at the cut, "import" into a new stream.
+            let mut resumed = cut as u64;
+            let (block, word) = draw_position(resumed);
+            assert_eq!(block * 2 + u64::from(word), resumed, "position inverse");
+            let mut s2 = CounterStream::new(&rng, 7);
+            let tail: Vec<u64> = (cut..all.len())
+                .map(|_| s2.next_u64(&mut resumed))
+                .collect();
+            assert_eq!(tail, all[cut..], "resume at draw {cut}");
+            assert_eq!(resumed, all.len() as u64);
+        }
     }
 
     #[test]

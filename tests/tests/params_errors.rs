@@ -1,0 +1,210 @@
+//! Params-file error paths: every malformed or inconsistent input must
+//! be a hard error whose message names the offending key/value and (for
+//! line-scoped failures) the 1-based line number — typos must never
+//! silently change the physics. Covers the classic keys, the scenario
+//! interaction rules, and the checkpoint/fault keys the restart
+//! subsystem added.
+
+use neutral_core::params::{ParamsError, ProblemParams};
+use neutral_core::prelude::*;
+
+/// Parse `text`, demand failure, and return the error.
+fn fail(text: &str) -> ParamsError {
+    match ProblemParams::parse(text) {
+        Err(e) => e,
+        Ok(_) => panic!("params must be rejected:\n{text}"),
+    }
+}
+
+#[test]
+fn unknown_keys_name_the_key_and_line() {
+    let e = fail("nx 10\nny 10\ntimestep 3\n"); // singular typo of `timesteps`
+    assert_eq!(e.line, 3);
+    assert!(
+        e.message.contains("unknown key `timestep`"),
+        "{}",
+        e.message
+    );
+    // Rendered form carries the line for editor jumps.
+    assert!(e.to_string().starts_with("params line 3:"), "{e}");
+
+    for bad in ["xs_strategy hinted", "tally atomic", "checkpoint run.ckpt"] {
+        let e = fail(&format!("{bad}\n"));
+        let key = bad.split_whitespace().next().unwrap();
+        assert!(
+            e.message.contains(&format!("unknown key `{key}`")),
+            "{bad}: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn out_of_range_timesteps_are_rejected() {
+    // Zero parses but fails validation with an actionable message.
+    let e = fail("timesteps 0\n");
+    assert!(e.message.contains("at least one timestep"), "{}", e.message);
+
+    // Negative/garbage never parse.
+    let e = fail("timesteps -1\n");
+    assert_eq!(e.line, 1);
+    assert!(
+        e.message.contains("not a positive integer"),
+        "{}",
+        e.message
+    );
+    let e = fail("timesteps many\n");
+    assert!(e.message.contains("`many`"), "{}", e.message);
+
+    // Arity is enforced per key.
+    let e = fail("timesteps 1 2\n");
+    assert!(e.message.contains("exactly one value"), "{}", e.message);
+
+    // Zero-sized runs of other kinds are rejected the same way.
+    assert!(fail("particles 0\n")
+        .message
+        .contains("at least one particle"));
+    assert!(fail("dt 0.0\n").message.contains("dt must be positive"));
+    assert!(fail("nx 0\n").message.contains("mesh must have cells"));
+}
+
+#[test]
+fn scenario_conflicts_are_rejected() {
+    // `scenario` after a geometry/region key would silently clobber the
+    // keys parsed before it — hard error naming the rule.
+    let e = fail("region 0.0 0.5 0.0 1.0 5.0\nscenario csp\n");
+    assert_eq!(e.line, 2);
+    assert!(
+        e.message.contains("`scenario` must be the first key"),
+        "{}",
+        e.message
+    );
+    let e = fail("nx 10\nscenario shielded_slab\n");
+    assert_eq!(e.line, 2);
+    assert!(e.message.contains("first key"), "{}", e.message);
+
+    // A region key after a scenario is allowed — but it must still
+    // reference a material the combined setup defines.
+    let e = fail("scenario csp\nregion 0.0 0.5 0.0 1.0 5.0 7\n");
+    assert!(e.message.contains("material `7`"), "{}", e.message);
+    assert!(
+        e.message.contains("material 7"),
+        "fix hint must name the missing declaration: {}",
+        e.message
+    );
+
+    // Unknown scenario names list the catalogue so the fix is obvious.
+    let e = fail("scenario warp_core\n");
+    assert_eq!(e.line, 1);
+    assert!(e.message.contains("warp_core"), "{}", e.message);
+    assert!(e.message.contains("shielded_slab"), "{}", e.message);
+}
+
+#[test]
+fn geometry_and_physics_range_errors_are_actionable() {
+    assert!(fail("width 0.0\n").message.contains("extent"));
+    assert!(fail("density -1.0\n").message.contains("non-negative"));
+    assert!(fail("weight_cutoff 1.5\n")
+        .message
+        .contains("weight cutoff must be in [0, 1)"));
+    assert!(fail("xs_points 1\n").message.contains(">= 2 points"));
+    assert!(fail("initial_energy 0.5\nmin_energy 1.0\n")
+        .message
+        .contains("birth energy below cutoff"));
+    assert!(fail("source 0.5 1.5 0.0 0.5\n")
+        .message
+        .contains("source region outside the domain"));
+    let e = fail("region 0.9 0.4 0.0 1.0 5.0\n");
+    assert!(e.message.contains("inverted"), "{}", e.message);
+}
+
+#[test]
+fn checkpoint_file_key_parses_and_enforces_arity() {
+    let p = ProblemParams::parse("checkpoint_file run.ckpt\n").unwrap();
+    assert_eq!(p.checkpoint_file.as_deref(), Some("run.ckpt"));
+    assert!(p.fault.is_empty(), "no fault key means an empty plan");
+
+    let e = fail("checkpoint_file a b\n");
+    assert_eq!(e.line, 1);
+    assert!(e.message.contains("exactly one value"), "{}", e.message);
+}
+
+#[test]
+fn fault_key_parses_the_full_grammar() {
+    let p = ProblemParams::parse("checkpoint_file run.ckpt\nfault kill@2\n").unwrap();
+    assert_eq!(p.fault.faults, vec![Fault::Kill { after_step: 2 }]);
+
+    let p = ProblemParams::parse("fault torn@1:12,bitflip@2:5,kill@3\n").unwrap();
+    assert_eq!(
+        p.fault.faults,
+        vec![
+            Fault::TornWrite {
+                after_step: 1,
+                keep_bytes: 12
+            },
+            Fault::BitFlip {
+                after_step: 2,
+                offset: 5
+            },
+            Fault::Kill { after_step: 3 },
+        ]
+    );
+}
+
+#[test]
+fn bad_fault_specs_name_spec_and_line() {
+    for (spec, why) in [
+        ("explode@1", "unknown kind `explode`"),
+        ("kill", "missing `@`"),
+        ("kill@0", "timestep must be >= 1"),
+        ("kill@two", "timestep is not a number"),
+        ("kill@1:5", "kill takes no argument"),
+        ("torn@1:lots", "argument is not a number"),
+    ] {
+        let e = fail(&format!("nx 10\nfault {spec}\n"));
+        assert_eq!(e.line, 2, "{spec}");
+        assert!(
+            e.message.contains(&format!("bad fault spec `{spec}`")),
+            "{spec}: {}",
+            e.message
+        );
+        assert!(e.message.contains(why), "{spec}: {}", e.message);
+        assert!(
+            e.message.contains("expected kill@N"),
+            "error must teach the grammar: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn valid_checkpointed_params_build_and_run() {
+    // The happy path through the new keys: a params file that enables
+    // checkpointing still builds a runnable problem, and the keys ride
+    // along without perturbing the physics configuration.
+    let text = "\
+nx 32
+ny 32
+density 1e3
+particles 50
+source 0.4 0.6 0.4 0.6
+xs_points 256
+timesteps 2
+checkpoint_file run.ckpt
+fault kill@1
+";
+    let p = ProblemParams::parse(text).unwrap();
+    assert_eq!(p.checkpoint_file.as_deref(), Some("run.ckpt"));
+    assert_eq!(p.fault.faults.len(), 1);
+    let bare = ProblemParams::parse(&text.lines().take(7).collect::<Vec<_>>().join("\n")).unwrap();
+    assert_eq!(
+        config_fingerprint(&p.build()),
+        config_fingerprint(&bare.build()),
+        "checkpoint keys must not change the problem fingerprint"
+    );
+    let report = Simulation::new(p.build()).run(RunOptions {
+        execution: Execution::Sequential,
+        ..Default::default()
+    });
+    assert!(report.counters.total_events() > 0);
+}
