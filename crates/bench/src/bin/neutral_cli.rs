@@ -29,7 +29,6 @@
 
 use neutral_core::params::ProblemParams;
 use neutral_core::prelude::*;
-use std::io::Write;
 use std::process::ExitCode;
 
 struct CliArgs {
@@ -431,10 +430,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for (i, &v) in report.tally.iter().enumerate() {
-            if v != 0.0 {
-                let _ = writeln!(out, "{} {} {v:e}", i % nx, i / nx);
-            }
+        // The same dump format `GET /solves/:id/tallies` serves, so the
+        // two are `cmp`-comparable for identical configs.
+        if let Err(e) = neutral_bench::serve_http::write_tally_dump(&report.tally, nx, &mut out) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
         println!("tally written to {path}");
     }

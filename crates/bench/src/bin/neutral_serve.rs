@@ -1,0 +1,106 @@
+//! neutral_serve — the scenario catalogue as a solve service.
+//!
+//! ```text
+//! neutral_serve [--addr HOST:PORT] [--runners N] [--threads N]
+//!               [--chunk-delay-ms N]
+//! ```
+//!
+//! Binds a hand-rolled HTTP/1.1 server (vendor/minihttp) over the solve
+//! registry: submit solves with `POST /solves`, poll `GET /solves/:id`,
+//! fetch results with `GET /solves/:id/tallies`, cancel with
+//! `DELETE /solves/:id`. `GET /scenarios` lists the catalogue and
+//! `GET /stats` reports the coalescing/cache counters. See DESIGN.md
+//! §16 and the README quickstart for curl examples.
+//!
+//! `--runners` bounds how many solves advance concurrently (each by one
+//! timestep chunk at a time); `--threads` sets the lane-scheduler
+//! workers inside each chunk. Results are independent of both — that is
+//! the determinism invariant the result cache is built on.
+//! `--chunk-delay-ms` throttles between chunks (demo/testing: it makes
+//! progress polling and mid-solve cancels easy to observe on tiny
+//! problems).
+
+use neutral_bench::serve_http::{serve, ServeConfig, SolveService};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct ServeArgs {
+    addr: String,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<ServeArgs, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv.get(i).ok_or("--addr HOST:PORT")?.clone();
+            }
+            "--runners" => {
+                i += 1;
+                cfg.runners = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--runners N")?;
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads N")?;
+            }
+            "--chunk-delay-ms" => {
+                i += 1;
+                let ms: u64 = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--chunk-delay-ms N")?;
+                cfg.chunk_delay = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(ServeArgs { addr, cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(SolveService::new(args.cfg.clone()));
+    let handle = match serve(Arc::clone(&service), &args.addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "neutral_serve: listening on http://{} ({} runner(s), {} thread(s) per chunk)",
+        handle.addr(),
+        args.cfg.runners.max(1),
+        args.cfg.threads.max(1),
+    );
+    println!(
+        "submit:  curl -d 'scenario csp' http://{}/solves",
+        handle.addr()
+    );
+    println!("catalog: curl http://{}/scenarios", handle.addr());
+
+    // Serve until killed: the accept loop runs in background threads,
+    // so park the main thread indefinitely.
+    loop {
+        std::thread::park();
+    }
+}

@@ -17,6 +17,7 @@
 #![warn(clippy::all)]
 
 pub mod report;
+pub mod serve_http;
 
 use neutral_core::prelude::*;
 use neutral_perf::model::{KernelProfile, SchemeKind};

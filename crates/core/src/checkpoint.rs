@@ -30,8 +30,12 @@
 //!
 //! [`CheckpointStore::save`] never overwrites the last good checkpoint in
 //! place: the current primary is first rotated to a `.prev` fallback,
-//! then the new bytes are written to a temporary file, fsynced, and
-//! atomically renamed over the primary. A crash at any point leaves
+//! then the new bytes are written to a writer-unique temporary file
+//! (pid + counter suffix, so concurrent writers cannot clobber each
+//! other's temp bytes), fsynced, and atomically renamed over the
+//! primary — and after each rename the parent directory is fsynced,
+//! because the rename lives in the directory entry and would otherwise
+//! not be durable across a power loss. A crash at any point leaves
 //! either the new checkpoint, or the fallback, valid on disk;
 //! [`CheckpointStore::load`] transparently falls back (reporting why) when
 //! the primary is missing, torn or corrupt.
@@ -54,6 +58,7 @@ use crate::particle::Particle;
 use crate::sim::{RunOptions, RunReport, Simulation, Solve};
 use neutral_xs::XsHints;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// File magic of the checkpoint format.
@@ -299,14 +304,17 @@ impl Checkpoint {
         if version != VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let payload_len = u64::from_le_bytes(buf[12..20].try_into().unwrap()) as usize;
-        let total = HEADER_LEN
-            .checked_add(payload_len)
-            .and_then(|v| v.checked_add(8))
-            .ok_or_else(|| CheckpointError::Corrupt("payload length overflows".into()))?;
-        if buf.len() < total {
+        // The length field is corruption-controlled: validate it against
+        // the actual buffer length (in wide arithmetic, so a flipped high
+        // bit cannot overflow the total) before it is used for anything —
+        // an oversized claim reads as Truncated, never as an allocation.
+        let payload_len = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let total_wide = HEADER_LEN as u128 + payload_len as u128 + 8;
+        if (buf.len() as u128) < total_wide {
             return Err(CheckpointError::Truncated);
         }
+        let total = total_wide as usize; // fits: bounded by buf.len()
+        debug_assert!(total <= buf.len());
         if buf.len() > total {
             return Err(CheckpointError::Corrupt(format!(
                 "{} trailing bytes after checksum",
@@ -351,7 +359,13 @@ impl Checkpoint {
         counters.census_energy_ev = r.f64()?;
 
         let n_tally = r.u64()? as usize;
-        if n_tally * 8 > r.remaining() {
+        // checked_mul: the count is corruption-controlled, and a wrapping
+        // product could sneak a huge count past the size guard and into
+        // Vec::with_capacity.
+        let tally_bytes = n_tally.checked_mul(8).ok_or_else(|| {
+            CheckpointError::Corrupt(format!("tally count {n_tally} exceeds payload"))
+        })?;
+        if tally_bytes > r.remaining() {
             return Err(CheckpointError::Corrupt(format!(
                 "tally count {n_tally} exceeds payload"
             )));
@@ -362,7 +376,14 @@ impl Checkpoint {
         }
 
         let n_particles = r.u64()? as usize;
-        if n_particles * PARTICLE_RECORD_LEN != r.remaining() {
+        let particle_bytes = n_particles
+            .checked_mul(PARTICLE_RECORD_LEN)
+            .ok_or_else(|| {
+                CheckpointError::Corrupt(format!(
+                    "particle count {n_particles} inconsistent with payload size"
+                ))
+            })?;
+        if particle_bytes != r.remaining() {
             return Err(CheckpointError::Corrupt(format!(
                 "particle count {n_particles} inconsistent with payload size"
             )));
@@ -488,25 +509,37 @@ impl CheckpointStore {
         append_ext(&self.path, "prev")
     }
 
+    /// A temp name unique per writer: two concurrent solves pointed at
+    /// the same primary path (reachable through the solve server) must
+    /// not clobber each other's in-flight temp bytes, so the name
+    /// carries the process id and a process-global counter. (The
+    /// registry additionally refuses two *live* solves on one
+    /// checkpoint file — unique temps keep the bytes safe, not the
+    /// file's logical contents.)
     fn temp_path(&self) -> PathBuf {
-        append_ext(&self.path, "tmp")
+        static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        append_ext(&self.path, &format!("tmp.{}.{n}", std::process::id()))
     }
 
     /// Rotate the current primary (if any) to the `.prev` fallback, so a
     /// subsequent (possibly failing) write can never destroy the last
-    /// good checkpoint.
+    /// good checkpoint. The parent directory is fsynced after the
+    /// rename: without it, a power loss can roll the rename back and
+    /// leave *neither* name pointing at durable bytes.
     fn rotate(&self) -> Result<(), CheckpointError> {
         match std::fs::rename(&self.path, self.fallback_path()) {
-            Ok(()) => Ok(()),
+            Ok(()) => fsync_parent_dir(&self.path),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(CheckpointError::Io(e)),
         }
     }
 
     /// Crash-safe save: rotate the last good checkpoint to `.prev`, write
-    /// the new bytes to a temporary file, fsync it, and atomically rename
-    /// it over the primary path. A crash at any point leaves a valid
-    /// checkpoint (new or fallback) on disk.
+    /// the new bytes to a writer-unique temporary file, fsync it,
+    /// atomically rename it over the primary path, and fsync the parent
+    /// directory so the rename itself is durable. A crash at any point
+    /// leaves a valid checkpoint (new or fallback) on disk.
     pub fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
         let bytes = checkpoint.to_bytes();
         self.rotate()?;
@@ -517,7 +550,7 @@ impl CheckpointStore {
             f.sync_all().map_err(CheckpointError::Io)?;
         }
         std::fs::rename(&tmp, &self.path).map_err(CheckpointError::Io)?;
-        Ok(())
+        fsync_parent_dir(&self.path)
     }
 
     /// Fault injection: write `bytes` **directly** to the primary path,
@@ -559,6 +592,28 @@ impl CheckpointStore {
             (e, Err(_)) => Err(e),
         }
     }
+}
+
+/// Make a completed rename durable: fsync the parent directory so the
+/// directory entry itself survives a power loss (fsyncing the file data
+/// alone is not enough — the rename lives in the directory).
+fn fsync_parent_dir(path: &Path) -> Result<(), CheckpointError> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let dir = std::fs::File::open(parent).map_err(CheckpointError::Io)?;
+        dir.sync_all().map_err(CheckpointError::Io)?;
+    }
+    #[cfg(not(unix))]
+    {
+        // std cannot open a directory handle for fsync off unix;
+        // directory-entry durability is best-effort there.
+        let _ = path;
+    }
+    Ok(())
 }
 
 fn append_ext(path: &Path, ext: &str) -> PathBuf {
@@ -855,6 +910,90 @@ mod tests {
                 "flip at {off} was silently absorbed"
             );
         }
+    }
+
+    #[test]
+    fn length_field_flips_fail_cleanly() {
+        let bytes = sample_checkpoint().to_bytes();
+        // `payload_len` occupies bytes 12..20. Flip every bit of it:
+        // the parser must answer with a clean structural error (an
+        // oversized claim is Truncated, an undersized one leaves
+        // trailing bytes), never an allocation, overflow or panic.
+        for off in 12..HEADER_LEN {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[off] ^= 1 << bit;
+                let err = Checkpoint::from_bytes(&corrupt).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        CheckpointError::Truncated | CheckpointError::Corrupt(_)
+                    ),
+                    "flip bit {bit} of byte {off}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_element_counts_with_valid_checksum_fail_cleanly() {
+        // A corrupter can recompute the FNV checksum, so the in-payload
+        // element counts cannot be trusted either: plant counts whose
+        // byte-size products wrap usize and re-checksum the file. The
+        // parser must reject them via checked arithmetic instead of
+        // letting a wrapped product sneak past the size guard into
+        // Vec::with_capacity.
+        let bytes = sample_checkpoint().to_bytes();
+        // Payload word layout: 5 header words + 17 counter words, then
+        // n_tally; the sample tally holds 4 entries, then n_particles.
+        let n_tally_off = HEADER_LEN + 8 * 22;
+        let n_particles_off = n_tally_off + 8 + 4 * 8;
+        assert_eq!(
+            u64::from_le_bytes(bytes[n_tally_off..n_tally_off + 8].try_into().unwrap()),
+            4,
+            "test out of sync with the payload layout"
+        );
+        for (off, huge) in [
+            // (1<<61)+1 times 8 wraps to 8 — small enough to pass an
+            // unchecked `n * 8 > remaining` guard.
+            (n_tally_off, (1u64 << 61) + 1),
+            (n_particles_off, u64::MAX / 2 + 3),
+        ] {
+            let mut evil = bytes.clone();
+            evil[off..off + 8].copy_from_slice(&huge.to_le_bytes());
+            let n = evil.len();
+            let sum = fnv1a64(evil[..n - 8].iter().copied());
+            evil[n - 8..].copy_from_slice(&sum.to_le_bytes());
+            let err = Checkpoint::from_bytes(&evil).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Corrupt(_)),
+                "count at {off}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_tear() {
+        // Writer-unique temp names: two threads hammering the same
+        // store must never interleave temp bytes — every load observes
+        // one complete, checksummed checkpoint or the rotated fallback.
+        let dir =
+            std::env::temp_dir().join(format!("neutral_ckpt_concurrent_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("shared.ckpt"));
+        let ckpt = sample_checkpoint();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        store.save(&ckpt).unwrap();
+                    }
+                });
+            }
+        });
+        let (loaded, _) = store.load().unwrap();
+        assert_eq!(loaded, ckpt);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

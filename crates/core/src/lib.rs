@@ -54,6 +54,7 @@ pub mod over_events;
 pub mod over_particles;
 pub mod params;
 pub mod particle;
+pub mod registry;
 pub mod scenario;
 pub mod scheduler;
 pub mod sim;
@@ -73,9 +74,15 @@ pub mod prelude {
     };
     pub use crate::counters::EventCounters;
     pub use crate::over_events::{KernelStyle, KernelTimings};
+    pub use crate::registry::{
+        Admission, Registry, RegistryConfig, RegistryStats, SolveState, SolveStatus, SubmitError,
+        SubmitReceipt, SubmitRequest,
+    };
     pub use crate::scenario::Scenario;
     pub use crate::scheduler::Schedule;
-    pub use crate::sim::{Execution, Layout, RunOptions, RunReport, Scheme, Simulation, Solve};
+    pub use crate::sim::{
+        Execution, Layout, RunOptions, RunReport, Scheme, Simulation, Solve, SolveCore,
+    };
     pub use crate::validate::EnergyBalance;
     pub use neutral_xs::{MaterialKind, MaterialSet, MaterialSpec};
 }

@@ -1,0 +1,749 @@
+//! Solve registry: multiplexed, cancellable solves with a
+//! content-addressed result cache and request coalescing.
+//!
+//! This is the serving core behind `neutral_serve` (DESIGN.md §16), kept
+//! free of any HTTP surface so it is testable in-process. A fixed pool
+//! of **runner threads** drains a queue of solve entries, advancing each
+//! leased solve by exactly one timestep chunk (a [`SolveCore::step`])
+//! before handing it back — so many concurrent solves interleave over
+//! one shared worker pool, and cancellation/checkpointing happen at
+//! census-boundary chunk edges, never mid-kernel.
+//!
+//! The cache story rides on the bitwise-determinism invariant: merged
+//! tallies and counters depend only on the problem configuration (never
+//! on worker count or driver schedule), so [`config_fingerprint`] is a
+//! sound content address for finished results. Identical concurrent
+//! submissions **coalesce** onto one in-flight entry; an identical
+//! submission after completion is a **cache hit** answered without
+//! re-running transport. Both are observable through [`Admission`] and
+//! [`RegistryStats`], which the end-to-end tests use as solve-count
+//! instrumentation.
+//!
+//! Checkpoint spill is optional per solve ([`SubmitRequest::checkpoint`])
+//! and the registry enforces that no two *live* solves share one
+//! checkpoint file — the write-temp/rename protocol keeps concurrent
+//! writers from corrupting each other's bytes, but interleaved saves
+//! from two different solves would still leave the file's *contents*
+//! flapping between two configurations.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::checkpoint::{config_fingerprint, CheckpointStore};
+use crate::config::Problem;
+use crate::sim::{RunOptions, RunReport, Simulation, SolveCore};
+
+/// Configuration for a [`Registry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Number of runner threads draining the solve queue (= how many
+    /// solves advance concurrently).
+    pub runners: usize,
+    /// Artificial pause after each timestep chunk. Test/demo throttle:
+    /// it widens the window in which progress polling and mid-solve
+    /// cancellation are observable on tiny problems.
+    pub chunk_delay: Option<Duration>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            runners: 2,
+            chunk_delay: None,
+        }
+    }
+}
+
+/// A solve submission: the fully-validated problem plus run options.
+///
+/// Thread counts and driver schedule belong to `options` and are chosen
+/// by the service, not the client; with a deterministic tally strategy
+/// they do not affect results, which is what makes the fingerprint cache
+/// sound.
+#[derive(Debug)]
+pub struct SubmitRequest {
+    /// The problem to solve (already validated by the params layer).
+    pub problem: Problem,
+    /// Execution options for every chunk of this solve.
+    pub options: RunOptions,
+    /// Optional checkpoint spill target.
+    pub checkpoint_file: Option<PathBuf>,
+    /// Save a checkpoint every this many completed timesteps (only
+    /// meaningful with `checkpoint_file`; clamped to ≥ 1).
+    pub checkpoint_every: usize,
+}
+
+impl SubmitRequest {
+    /// A submission with no checkpoint spill.
+    #[must_use]
+    pub fn new(problem: Problem, options: RunOptions) -> Self {
+        Self {
+            problem,
+            options,
+            checkpoint_file: None,
+            checkpoint_every: 1,
+        }
+    }
+
+    /// Enable checkpoint spill to `path` every `every` timesteps.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_file = Some(path.into());
+        self.checkpoint_every = every.max(1);
+        self
+    }
+}
+
+/// How a submission was admitted (the solve-count instrumentation the
+/// coalescing/caching tests assert on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A new underlying solve was created and queued.
+    Fresh,
+    /// Attached to an identical solve already queued or running.
+    Coalesced,
+    /// Answered by an identical solve that already completed.
+    CacheHit,
+}
+
+impl Admission {
+    /// Stable lowercase name (wire format for the HTTP layer).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Admission::Fresh => "fresh",
+            Admission::Coalesced => "coalesced",
+            Admission::CacheHit => "cache_hit",
+        }
+    }
+}
+
+/// Successful submission: the entry id to poll plus how it was admitted.
+///
+/// Coalesced and cache-hit submissions return the *existing* entry's id,
+/// so every client polling the same configuration shares one entry (and
+/// a cancel on that id cancels it for all of them — documented service
+/// semantics, not an accident).
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitReceipt {
+    /// Entry id for status polling and result fetch.
+    pub id: u64,
+    /// Whether this created, joined, or short-circuited a solve.
+    pub admission: Admission,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Another live (queued/running) solve already spills to this
+    /// checkpoint file.
+    CheckpointFileBusy {
+        /// The contested path.
+        path: PathBuf,
+        /// Entry id of the solve holding it.
+        holder: u64,
+    },
+    /// The registry is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::CheckpointFileBusy { path, holder } => write!(
+                f,
+                "checkpoint file {} is in use by live solve {holder}",
+                path.display()
+            ),
+            SubmitError::ShuttingDown => write!(f, "registry is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lifecycle state of a solve entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveState {
+    /// Waiting for a runner (or between chunks, or still being built).
+    Queued,
+    /// A runner is executing a timestep chunk right now.
+    Running,
+    /// All timesteps ran; the result is cached.
+    Done,
+    /// Cancelled before completion; no result.
+    Cancelled,
+    /// The solve aborted (e.g. checkpoint spill I/O error).
+    Failed(String),
+}
+
+impl SolveState {
+    /// Stable lowercase name (wire format for the HTTP layer).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolveState::Queued => "queued",
+            SolveState::Running => "running",
+            SolveState::Done => "done",
+            SolveState::Cancelled => "cancelled",
+            SolveState::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the entry will never change state again.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            SolveState::Done | SolveState::Cancelled | SolveState::Failed(_)
+        )
+    }
+}
+
+/// A point-in-time snapshot of one solve entry.
+#[derive(Debug, Clone)]
+pub struct SolveStatus {
+    /// Entry id.
+    pub id: u64,
+    /// Content address of the configuration ([`config_fingerprint`]).
+    pub fingerprint: u64,
+    /// Lifecycle state.
+    pub state: SolveState,
+    /// Timesteps completed so far.
+    pub steps_done: usize,
+    /// Total timesteps of the solve.
+    pub n_timesteps: usize,
+    /// Mesh cells along x — lets result consumers render the flat tally
+    /// as `(ix, iy)` without re-deriving the problem.
+    pub mesh_nx: usize,
+}
+
+/// Monotonic registry counters (solve-count instrumentation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Total submissions received.
+    pub submitted: u64,
+    /// Submissions that attached to an in-flight identical solve.
+    pub coalesced: u64,
+    /// Submissions answered from the finished-result cache.
+    pub cache_hits: u64,
+    /// Underlying solves actually created (= fresh admissions).
+    pub solves_started: u64,
+    /// Timestep chunks executed across all solves.
+    pub chunks_run: u64,
+    /// Solves that ran to completion.
+    pub completed: u64,
+    /// Solves cancelled before completion.
+    pub cancelled: u64,
+    /// Solves that aborted with an error.
+    pub failed: u64,
+}
+
+struct SolveTask {
+    sim: Arc<Simulation>,
+    core: SolveCore,
+    store: Option<CheckpointStore>,
+    checkpoint_every: usize,
+}
+
+struct Entry {
+    fingerprint: u64,
+    state: SolveState,
+    /// Present while paused between chunks (and before first enqueue);
+    /// leased out (`None`) while a runner executes a chunk.
+    task: Option<Box<SolveTask>>,
+    steps_done: usize,
+    n_timesteps: usize,
+    mesh_nx: usize,
+    cancel_requested: bool,
+    result: Option<Arc<RunReport>>,
+    checkpoint_file: Option<PathBuf>,
+}
+
+struct State {
+    next_id: u64,
+    entries: HashMap<u64, Entry>,
+    /// Content address → entry id, for live entries (coalescing) and
+    /// done entries (result cache). Removed on cancel/failure.
+    by_fingerprint: HashMap<u64, u64>,
+    /// Checkpoint files held by live entries (exclusivity guard).
+    live_checkpoint_files: HashMap<PathBuf, u64>,
+    queue: VecDeque<u64>,
+    stats: RegistryStats,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cvar: Condvar,
+    cfg: RegistryConfig,
+}
+
+impl Inner {
+    /// Move `entry` to a terminal state, releasing its fingerprint
+    /// mapping (unless Done — finished results stay cached) and its
+    /// checkpoint-file reservation.
+    fn finalize(st: &mut State, id: u64, state: SolveState) {
+        let entry = st.entries.get_mut(&id).expect("finalize of unknown entry");
+        entry.task = None;
+        match &state {
+            SolveState::Done => st.stats.completed += 1,
+            SolveState::Cancelled => st.stats.cancelled += 1,
+            SolveState::Failed(_) => st.stats.failed += 1,
+            _ => unreachable!("finalize with non-terminal state"),
+        }
+        if !matches!(state, SolveState::Done)
+            && st.by_fingerprint.get(&entry.fingerprint) == Some(&id)
+        {
+            st.by_fingerprint.remove(&entry.fingerprint);
+        }
+        if let Some(path) = &entry.checkpoint_file {
+            if st.live_checkpoint_files.get(path) == Some(&id) {
+                let path = path.clone();
+                st.live_checkpoint_files.remove(&path);
+            }
+        }
+        entry.state = state;
+    }
+}
+
+/// The multiplexing solve service core. See the module docs.
+pub struct Registry {
+    inner: Arc<Inner>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl Registry {
+    /// Start a registry with `cfg.runners` runner threads.
+    #[must_use]
+    pub fn new(cfg: RegistryConfig) -> Self {
+        let runners = cfg.runners.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                next_id: 1,
+                entries: HashMap::new(),
+                by_fingerprint: HashMap::new(),
+                live_checkpoint_files: HashMap::new(),
+                queue: VecDeque::new(),
+                stats: RegistryStats::default(),
+                shutdown: false,
+            }),
+            cvar: Condvar::new(),
+            cfg,
+        });
+        let handles = (0..runners)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || runner_loop(&inner))
+            })
+            .collect();
+        Self {
+            inner,
+            runners: handles,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().expect("registry state poisoned")
+    }
+
+    /// Submit a solve. Identical configurations coalesce or hit the
+    /// cache (see [`Admission`]); otherwise the simulation and initial
+    /// population are built *outside* the registry lock and the new
+    /// entry is queued.
+    pub fn submit(&self, req: SubmitRequest) -> Result<SubmitReceipt, SubmitError> {
+        let fingerprint = config_fingerprint(&req.problem);
+        let n_timesteps = req.problem.n_timesteps;
+        let mesh_nx = req.problem.mesh.nx();
+        let id = {
+            let mut st = self.lock();
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            st.stats.submitted += 1;
+            if let Some(&existing) = st.by_fingerprint.get(&fingerprint) {
+                let admission = match st.entries[&existing].state {
+                    SolveState::Done => {
+                        st.stats.cache_hits += 1;
+                        Admission::CacheHit
+                    }
+                    _ => {
+                        st.stats.coalesced += 1;
+                        Admission::Coalesced
+                    }
+                };
+                return Ok(SubmitReceipt {
+                    id: existing,
+                    admission,
+                });
+            }
+            if let Some(path) = &req.checkpoint_file {
+                if let Some(&holder) = st.live_checkpoint_files.get(path) {
+                    return Err(SubmitError::CheckpointFileBusy {
+                        path: path.clone(),
+                        holder,
+                    });
+                }
+            }
+            // Reserve the id, fingerprint and checkpoint file while the
+            // (possibly expensive) population spawn happens unlocked:
+            // concurrent identical submissions must coalesce onto this
+            // entry, so the placeholder goes in first. It is Queued but
+            // *not* in the run queue until the task is installed.
+            let id = st.next_id;
+            st.next_id += 1;
+            st.stats.solves_started += 1;
+            st.by_fingerprint.insert(fingerprint, id);
+            if let Some(path) = &req.checkpoint_file {
+                st.live_checkpoint_files.insert(path.clone(), id);
+            }
+            st.entries.insert(
+                id,
+                Entry {
+                    fingerprint,
+                    state: SolveState::Queued,
+                    task: None,
+                    steps_done: 0,
+                    n_timesteps,
+                    mesh_nx,
+                    cancel_requested: false,
+                    result: None,
+                    checkpoint_file: req.checkpoint_file.clone(),
+                },
+            );
+            id
+        };
+
+        // Build outside the lock: particle spawn + lookup-structure prep.
+        let sim = Arc::new(Simulation::new(req.problem));
+        let core = SolveCore::new(&sim, req.options);
+        let task = Box::new(SolveTask {
+            sim,
+            core,
+            store: req.checkpoint_file.as_ref().map(CheckpointStore::new),
+            checkpoint_every: req.checkpoint_every.max(1),
+        });
+
+        let mut st = self.lock();
+        let entry = st.entries.get_mut(&id).expect("placeholder entry vanished");
+        if entry.cancel_requested {
+            Inner::finalize(&mut st, id, SolveState::Cancelled);
+        } else {
+            entry.task = Some(task);
+            st.queue.push_back(id);
+        }
+        self.inner.cvar.notify_all();
+        Ok(SubmitReceipt {
+            id,
+            admission: Admission::Fresh,
+        })
+    }
+
+    /// Snapshot the status of entry `id`.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<SolveStatus> {
+        let st = self.lock();
+        st.entries.get(&id).map(|e| SolveStatus {
+            id,
+            fingerprint: e.fingerprint,
+            state: e.state.clone(),
+            steps_done: e.steps_done,
+            n_timesteps: e.n_timesteps,
+            mesh_nx: e.mesh_nx,
+        })
+    }
+
+    /// The finished report of entry `id` (None unless `Done`).
+    #[must_use]
+    pub fn result(&self, id: u64) -> Option<Arc<RunReport>> {
+        let st = self.lock();
+        st.entries.get(&id).and_then(|e| e.result.clone())
+    }
+
+    /// Request cancellation of entry `id`. Queued entries cancel
+    /// immediately; running entries cancel at their next chunk boundary.
+    /// Returns `false` for unknown or already-terminal entries.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.lock();
+        let Some(entry) = st.entries.get_mut(&id) else {
+            return false;
+        };
+        if entry.state.is_terminal() {
+            return false;
+        }
+        entry.cancel_requested = true;
+        if entry.state == SolveState::Queued && entry.task.is_some() {
+            Inner::finalize(&mut st, id, SolveState::Cancelled);
+        }
+        self.inner.cvar.notify_all();
+        true
+    }
+
+    /// Block until entry `id` reaches a terminal state; returns its
+    /// final status (None for an unknown id).
+    #[must_use]
+    pub fn wait(&self, id: u64) -> Option<SolveStatus> {
+        let mut st = self.lock();
+        loop {
+            let state = st.entries.get(&id)?.state.clone();
+            if state.is_terminal() {
+                let e = &st.entries[&id];
+                return Some(SolveStatus {
+                    id,
+                    fingerprint: e.fingerprint,
+                    state,
+                    steps_done: e.steps_done,
+                    n_timesteps: e.n_timesteps,
+                    mesh_nx: e.mesh_nx,
+                });
+            }
+            st = self.inner.cvar.wait(st).expect("registry state poisoned");
+        }
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        self.lock().stats
+    }
+
+    /// Stop accepting work, let in-flight chunks finish, and join the
+    /// runner threads. Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.lock();
+            st.shutdown = true;
+        }
+        self.inner.cvar.notify_all();
+        for handle in self.runners.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn runner_loop(inner: &Inner) {
+    loop {
+        // Lease the next runnable entry's task.
+        let (id, mut task) = {
+            let mut st = inner.state.lock().expect("registry state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    let entry = st.entries.get_mut(&id).expect("queued entry vanished");
+                    if entry.state.is_terminal() {
+                        continue; // cancelled while queued
+                    }
+                    entry.state = SolveState::Running;
+                    let task = entry.task.take().expect("queued entry has no task");
+                    break (id, task);
+                }
+                st = inner.cvar.wait(st).expect("registry state poisoned");
+            }
+        };
+
+        // One timestep chunk, outside the lock: other runners keep
+        // draining the queue while this solve advances.
+        task.core.step(&task.sim);
+        let done = task.core.is_done();
+        let spill = match &task.store {
+            Some(store) if done || task.core.steps_done() % task.checkpoint_every == 0 => {
+                store.save(&task.core.checkpoint()).err()
+            }
+            _ => None,
+        };
+        if let Some(delay) = inner.cfg.chunk_delay {
+            std::thread::sleep(delay);
+        }
+
+        // Hand the lease back and decide what happens next.
+        let mut st = inner.state.lock().expect("registry state poisoned");
+        st.stats.chunks_run += 1;
+        let entry = st.entries.get_mut(&id).expect("running entry vanished");
+        entry.steps_done = task.core.steps_done();
+        if let Some(err) = spill {
+            Inner::finalize(
+                &mut st,
+                id,
+                SolveState::Failed(format!("checkpoint spill: {err}")),
+            );
+        } else if entry.cancel_requested {
+            Inner::finalize(&mut st, id, SolveState::Cancelled);
+        } else if done {
+            let report = Arc::new(task.core.finish());
+            let entry = st.entries.get_mut(&id).expect("running entry vanished");
+            entry.result = Some(report);
+            Inner::finalize(&mut st, id, SolveState::Done);
+        } else {
+            entry.task = Some(task);
+            entry.state = SolveState::Queued;
+            st.queue.push_back(id);
+        }
+        inner.cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProblemScale, TestCase};
+
+    fn tiny_problem(seed: u64, steps: usize) -> Problem {
+        let mut p = TestCase::Csp.build(ProblemScale::tiny(), seed);
+        p.n_timesteps = steps;
+        p
+    }
+
+    fn throttled(runners: usize) -> Registry {
+        Registry::new(RegistryConfig {
+            runners,
+            chunk_delay: Some(Duration::from_millis(30)),
+        })
+    }
+
+    #[test]
+    fn served_result_matches_direct_run() {
+        let registry = Registry::new(RegistryConfig::default());
+        let receipt = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(7, 3),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(receipt.admission, Admission::Fresh);
+        let status = registry.wait(receipt.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        assert_eq!(status.steps_done, 3);
+        let served = registry.result(receipt.id).unwrap();
+        let direct = Simulation::new(tiny_problem(7, 3)).run(RunOptions::default());
+        assert_eq!(served.tally, direct.tally);
+        assert_eq!(served.counters, direct.counters);
+        assert_eq!(served.timesteps, direct.timesteps);
+    }
+
+    #[test]
+    fn identical_resubmit_is_cache_hit() {
+        let registry = Registry::new(RegistryConfig::default());
+        let first = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(11, 2),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        registry.wait(first.id).unwrap();
+        let second = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(11, 2),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(second.admission, Admission::CacheHit);
+        assert_eq!(second.id, first.id);
+        let stats = registry.stats();
+        assert_eq!(stats.solves_started, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce() {
+        let registry = throttled(1);
+        let first = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(13, 8),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        let second = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(13, 8),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        let distinct = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(14, 8),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(second.admission, Admission::Coalesced);
+        assert_eq!(second.id, first.id);
+        assert_eq!(distinct.admission, Admission::Fresh);
+        assert_ne!(distinct.id, first.id);
+        registry.wait(first.id).unwrap();
+        registry.wait(distinct.id).unwrap();
+        assert_eq!(registry.stats().solves_started, 2);
+    }
+
+    #[test]
+    fn cancel_mid_solve_is_clean() {
+        let registry = throttled(1);
+        let receipt = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(17, 50),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert!(registry.cancel(receipt.id));
+        let status = registry.wait(receipt.id).unwrap();
+        assert_eq!(status.state, SolveState::Cancelled);
+        assert!(status.steps_done < 50);
+        assert!(registry.result(receipt.id).is_none());
+        // A terminal entry cannot be cancelled again...
+        assert!(!registry.cancel(receipt.id));
+        // ...and the fingerprint is free again: a resubmit runs fresh.
+        let again = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(17, 50),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(again.admission, Admission::Fresh);
+        assert!(registry.cancel(again.id));
+    }
+
+    #[test]
+    fn live_solves_cannot_share_a_checkpoint_file() {
+        let dir =
+            std::env::temp_dir().join(format!("neutral_registry_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("shared.ckpt");
+        let registry = throttled(2);
+        let first = registry
+            .submit(
+                SubmitRequest::new(tiny_problem(19, 30), RunOptions::default())
+                    .checkpoint(&ckpt, 1),
+            )
+            .unwrap();
+        let err = registry
+            .submit(
+                SubmitRequest::new(tiny_problem(20, 30), RunOptions::default())
+                    .checkpoint(&ckpt, 1),
+            )
+            .unwrap_err();
+        match err {
+            SubmitError::CheckpointFileBusy { holder, .. } => assert_eq!(holder, first.id),
+            other => panic!("expected CheckpointFileBusy, got {other}"),
+        }
+        registry.cancel(first.id);
+        registry.wait(first.id).unwrap();
+        // Reservation released on terminal state.
+        let third = registry
+            .submit(
+                SubmitRequest::new(tiny_problem(21, 2), RunOptions::default()).checkpoint(&ckpt, 1),
+            )
+            .unwrap();
+        let status = registry.wait(third.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -527,35 +527,23 @@ impl Simulation {
     }
 }
 
-/// A resumable solve handle: [`Simulation::run`] sliced into
-/// per-timestep chunks (the enabling refactor of the checkpoint/restart
-/// subsystem — see [`crate::checkpoint`] and DESIGN.md §15).
+/// The owning, movable state of a resumable solve — everything a
+/// [`Solve`] carries *except* the borrow of its [`Simulation`].
 ///
-/// ```
-/// use neutral_core::prelude::*;
-///
-/// let mut problem = TestCase::Csp.build(ProblemScale::tiny(), 42);
-/// problem.n_timesteps = 2;
-/// let sim = Simulation::new(problem);
-/// let mut solve = Solve::new(&sim, RunOptions::default());
-/// solve.step();                      // timestep 0
-/// let ckpt = solve.checkpoint();     // census-boundary snapshot
-/// let mut resumed = Solve::resume(&sim, RunOptions::default(), &ckpt).unwrap();
-/// while resumed.step() {}
-/// let report = resumed.finish();     // bitwise identical to sim.run(..)
-/// assert_eq!(report.timesteps, 2);
-/// ```
-///
-/// Stepping, checkpointing at any census boundary and resuming produces
-/// tallies, counters and final particle records **byte-identical** to an
-/// uninterrupted [`Simulation::run`]: each particle record carries its
-/// own RNG key/counter (resuming the counter-based stream exactly, even
-/// mid-block), regrouped storage order is reconstructed from the records
-/// themselves, and every per-step driver state is rebuilt from scratch
-/// each timestep by design.
-pub struct Solve<'a> {
-    sim: &'a Simulation,
+/// This is the chunking seam the solve server builds on: a registry can
+/// hold `(Arc<Simulation>, SolveCore)` pairs, lease a core to whichever
+/// runner thread picks up its next timestep chunk, and hand it back
+/// between chunks — none of which a borrowing handle allows. Every
+/// method that advances or snapshots the solve takes the simulation by
+/// reference; it must be the same simulation the core was created with
+/// (checked against the cached config fingerprint in debug builds, and
+/// structurally impossible to get wrong through the [`Solve`] wrapper).
+pub struct SolveCore {
     options: RunOptions,
+    /// [`config_fingerprint`] of the owning problem, cached at
+    /// construction (it also stamps every checkpoint).
+    fingerprint: u64,
+    n_timesteps: usize,
     particles: Vec<Particle>,
     state: TransportState,
     counters: EventCounters,
@@ -567,19 +555,21 @@ pub struct Solve<'a> {
     elapsed: Duration,
 }
 
-impl<'a> Solve<'a> {
-    /// Start a fresh solve: spawn the particle population and prepare
-    /// the lookup acceleration structures (outside the timed region —
-    /// the solve should measure transport, not one-off setup).
+impl SolveCore {
+    /// Start a fresh solve of `sim`'s problem: spawn the particle
+    /// population and prepare the lookup acceleration structures
+    /// (outside the timed region — the solve should measure transport,
+    /// not one-off setup).
     #[must_use]
-    pub fn new(sim: &'a Simulation, options: RunOptions) -> Self {
+    pub fn new(sim: &Simulation, options: RunOptions) -> Self {
         let problem = &sim.problem;
         let particles = spawn_particles(problem);
         let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
         problem.materials.prepare(problem.transport.xs_search);
         Self {
-            sim,
             options,
+            fingerprint: config_fingerprint(problem),
+            n_timesteps: problem.n_timesteps,
             particles,
             state: TransportState::default(),
             counters: EventCounters::default(),
@@ -600,7 +590,7 @@ impl<'a> Solve<'a> {
     /// contents — wrong particle or tally counts, keys that are not a
     /// permutation ([`CheckpointError::Corrupt`]).
     pub fn resume(
-        sim: &'a Simulation,
+        sim: &Simulation,
         options: RunOptions,
         checkpoint: &Checkpoint,
     ) -> Result<Self, CheckpointError> {
@@ -648,8 +638,9 @@ impl<'a> Solve<'a> {
         let mut state = TransportState::default();
         state.restore_order(&checkpoint.particles);
         Ok(Self {
-            sim,
             options,
+            fingerprint: expected,
+            n_timesteps: problem.n_timesteps,
             particles: checkpoint.particles.clone(),
             state,
             counters: checkpoint.counters,
@@ -665,13 +656,19 @@ impl<'a> Solve<'a> {
     /// Whether every timestep has been executed.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.step >= self.sim.problem.n_timesteps
+        self.step >= self.n_timesteps
     }
 
     /// Timesteps completed so far (= the next timestep index to run).
     #[must_use]
     pub fn steps_done(&self) -> usize {
         self.step
+    }
+
+    /// Total timesteps of the solve.
+    #[must_use]
+    pub fn n_timesteps(&self) -> usize {
+        self.n_timesteps
     }
 
     /// The current particle records (current storage order) — the state a
@@ -681,17 +678,23 @@ impl<'a> Solve<'a> {
         &self.particles
     }
 
-    /// Execute the next timestep. Returns `false` (doing nothing) once
-    /// all timesteps have run.
-    pub fn step(&mut self) -> bool {
+    /// Execute the next timestep against `sim` — which must be the
+    /// simulation this core was created from. Returns `false` (doing
+    /// nothing) once all timesteps have run.
+    pub fn step(&mut self, sim: &Simulation) -> bool {
+        debug_assert_eq!(
+            config_fingerprint(&sim.problem),
+            self.fingerprint,
+            "SolveCore stepped against a different simulation"
+        );
         if self.is_done() {
             return false;
         }
-        let problem = &self.sim.problem;
+        let problem = &sim.problem;
         let ctx = TransportCtx {
             mesh: &problem.mesh,
             materials: &problem.materials,
-            rng: &self.sim.rng,
+            rng: &sim.rng,
             cfg: &problem.transport,
         };
         let start = Instant::now();
@@ -712,7 +715,7 @@ impl<'a> Solve<'a> {
                 schedule,
             );
         }
-        let step_counters = self.sim.run_step(
+        let step_counters = sim.run_step(
             &mut self.particles,
             &ctx,
             self.options,
@@ -730,15 +733,15 @@ impl<'a> Solve<'a> {
     }
 
     /// Snapshot the complete resumable state at the current census
-    /// boundary (call between [`Solve::step`]s; the particle records are
-    /// pre-regroup for the next step, which [`Solve::resume`] replays
-    /// exactly as an uninterrupted run would).
+    /// boundary (call between steps; the particle records are pre-regroup
+    /// for the next step, which [`SolveCore::resume`] replays exactly as
+    /// an uninterrupted run would).
     #[must_use]
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
-            fingerprint: config_fingerprint(&self.sim.problem),
+            fingerprint: self.fingerprint,
             next_step: self.step,
-            n_timesteps: self.sim.problem.n_timesteps,
+            n_timesteps: self.n_timesteps,
             elapsed: self.elapsed,
             tally_footprint_bytes: self.tally_footprint,
             counters: self.counters,
@@ -749,10 +752,9 @@ impl<'a> Solve<'a> {
 
     /// Finish the solve and build the report. Call after the last
     /// timestep (stepping a finished solve is a no-op, so this is safe
-    /// to call whenever [`Solve::is_done`]).
+    /// to call whenever [`SolveCore::is_done`]).
     #[must_use]
     pub fn finish(self) -> RunReport {
-        let problem = &self.sim.problem;
         let alive = self.particles.iter().filter(|p| !p.dead).count();
         // Per-step population balance: step k processes the histories that
         // were alive at its start, so census + deaths + stuck across the
@@ -760,8 +762,8 @@ impl<'a> Solve<'a> {
         // per additional timestep.
         debug_assert!(
             !self.is_done()
-                || problem.n_timesteps > 1
-                || population_balance(problem.n_particles as u64, &self.counters)
+                || self.n_timesteps > 1
+                || population_balance(self.particles.len() as u64, &self.counters)
         );
         RunReport {
             elapsed: self.elapsed,
@@ -773,6 +775,103 @@ impl<'a> Solve<'a> {
             tally_footprint_bytes: self.tally_footprint,
             timesteps: self.step,
         }
+    }
+}
+
+/// A resumable solve handle: [`Simulation::run`] sliced into
+/// per-timestep chunks (the enabling refactor of the checkpoint/restart
+/// subsystem — see [`crate::checkpoint`] and DESIGN.md §15).
+///
+/// ```
+/// use neutral_core::prelude::*;
+///
+/// let mut problem = TestCase::Csp.build(ProblemScale::tiny(), 42);
+/// problem.n_timesteps = 2;
+/// let sim = Simulation::new(problem);
+/// let mut solve = Solve::new(&sim, RunOptions::default());
+/// solve.step();                      // timestep 0
+/// let ckpt = solve.checkpoint();     // census-boundary snapshot
+/// let mut resumed = Solve::resume(&sim, RunOptions::default(), &ckpt).unwrap();
+/// while resumed.step() {}
+/// let report = resumed.finish();     // bitwise identical to sim.run(..)
+/// assert_eq!(report.timesteps, 2);
+/// ```
+///
+/// Stepping, checkpointing at any census boundary and resuming produces
+/// tallies, counters and final particle records **byte-identical** to an
+/// uninterrupted [`Simulation::run`]: each particle record carries its
+/// own RNG key/counter (resuming the counter-based stream exactly, even
+/// mid-block), regrouped storage order is reconstructed from the records
+/// themselves, and every per-step driver state is rebuilt from scratch
+/// each timestep by design.
+///
+/// `Solve` borrows its simulation for convenience; services that need an
+/// owning, thread-movable handle (the solve registry) use the underlying
+/// [`SolveCore`] directly.
+pub struct Solve<'a> {
+    sim: &'a Simulation,
+    core: SolveCore,
+}
+
+impl<'a> Solve<'a> {
+    /// Start a fresh solve (see [`SolveCore::new`]).
+    #[must_use]
+    pub fn new(sim: &'a Simulation, options: RunOptions) -> Self {
+        Self {
+            sim,
+            core: SolveCore::new(sim, options),
+        }
+    }
+
+    /// Resume a solve from a census-boundary checkpoint (see
+    /// [`SolveCore::resume`] for the rejection rules).
+    pub fn resume(
+        sim: &'a Simulation,
+        options: RunOptions,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        Ok(Self {
+            sim,
+            core: SolveCore::resume(sim, options, checkpoint)?,
+        })
+    }
+
+    /// Whether every timestep has been executed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.core.is_done()
+    }
+
+    /// Timesteps completed so far (= the next timestep index to run).
+    #[must_use]
+    pub fn steps_done(&self) -> usize {
+        self.core.steps_done()
+    }
+
+    /// The current particle records (current storage order) — the state a
+    /// checkpoint would capture.
+    #[must_use]
+    pub fn particles(&self) -> &[Particle] {
+        self.core.particles()
+    }
+
+    /// Execute the next timestep. Returns `false` (doing nothing) once
+    /// all timesteps have run.
+    pub fn step(&mut self) -> bool {
+        self.core.step(self.sim)
+    }
+
+    /// Snapshot the complete resumable state at the current census
+    /// boundary (see [`SolveCore::checkpoint`]).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.core.checkpoint()
+    }
+
+    /// Finish the solve and build the report (see [`SolveCore::finish`]).
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        self.core.finish()
     }
 }
 

@@ -331,6 +331,63 @@ fn corrupted_checkpoints_recover_from_fallback() {
     }
 }
 
+/// Fault-matrix extension for the length-field robustness fix: a bit
+/// flip landing in the header's `payload_len` (bytes 12..20) must read
+/// as a clean structural error — an inflated claim is `Truncated`, a
+/// deflated one leaves trailing bytes (`Corrupt`) — never a huge
+/// allocation or panic, and recovery from the rotated fallback still
+/// reproduces the uninterrupted run bit for bit.
+#[test]
+fn length_field_bitflips_recover_from_fallback() {
+    let (case, steps, seed) = MULTISTEP_CONFIGS[0]; // csp, 3 timesteps
+    let sim = tiny_multistep(
+        case,
+        steps,
+        seed,
+        TallyStrategy::Replicated,
+        RegroupPolicy::Off,
+    );
+    let options = DriverKind::History.options(1);
+    let baseline = sim.run(options);
+
+    for offset in 12..20 {
+        let label = format!("{case:?} bitflip@2:{offset}");
+        let (dir, store) = temp_store(&format!("lenflip_{offset}"));
+        let plan: FaultPlan = format!("bitflip@2:{offset},kill@2").parse().unwrap();
+        match run_with_checkpoints(&sim, options, &store, &plan).unwrap() {
+            SolveOutcome::Killed { after_step } => assert_eq!(after_step, 2, "{label}"),
+            SolveOutcome::Complete { .. } => panic!("{label}: kill did not fire"),
+        }
+
+        match run_with_checkpoints(&sim, options, &store, &FaultPlan::none()).unwrap() {
+            SolveOutcome::Complete {
+                report,
+                resumed_from,
+                recovery,
+            } => {
+                assert_eq!(
+                    resumed_from,
+                    Some(1),
+                    "{label}: must fall back to boundary 1"
+                );
+                match recovery {
+                    Some(Recovery::Fallback { primary_error }) => assert!(
+                        matches!(
+                            *primary_error,
+                            CheckpointError::Truncated | CheckpointError::Corrupt(_)
+                        ),
+                        "{label}: expected a structural error, got {primary_error}"
+                    ),
+                    other => panic!("{label}: expected fallback recovery, got {other:?}"),
+                }
+                assert_reports_bitwise(&report, &baseline, &label);
+            }
+            SolveOutcome::Killed { .. } => unreachable!("no faults planned"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Hard-error paths: a checkpoint from a different configuration, an
 /// unsupported format version, and corruption with no valid fallback
 /// are all surfaced as errors naming the cause — never absorbed.

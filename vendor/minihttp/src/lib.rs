@@ -1,0 +1,495 @@
+//! Minimal std-only HTTP/1.1 server (and test client) for the
+//! `neutral_serve` solve service.
+//!
+//! The build environment has no crates.io access, so instead of a hyper
+//! stack this vendors the smallest HTTP surface the workspace needs:
+//!
+//! - a blocking accept loop over [`std::net::TcpListener`] with one
+//!   thread per connection and HTTP/1.1 keep-alive,
+//! - request parsing (request line, headers, `Content-Length` bodies)
+//!   with hard size limits so a malformed peer cannot balloon memory,
+//! - a tiny response builder, and
+//! - a one-shot [`client`] used by the end-to-end tests and CI smoke.
+//!
+//! It deliberately does not implement chunked transfer encoding, TLS,
+//! pipelining, or HTTP/2 — the solve API needs none of them.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body in bytes.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection socket read timeout; a stalled peer frees its thread.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Decoded path component, without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `key` (`k=v` pairs split on `&`).
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (the reason phrase is derived from it).
+    pub status: u16,
+    /// Extra header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: vec![("content-type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Append a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        write!(out, "content-length: {}\r\n", self.body.len())?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Why reading the next request off a connection stopped.
+enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Box<Request>),
+    /// Clean end of stream before a request line (keep-alive close).
+    Closed,
+    /// Malformed input; the given response was the reject reason.
+    Bad(Response),
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    // Request line. EOF here is a normal keep-alive termination.
+    if read_head_line(reader, &mut line)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(ReadOutcome::Bad(Response::text(
+            400,
+            "malformed request line\n",
+        )));
+    };
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        query: query.to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    // Headers.
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        let n = read_head_line(reader, &mut line)?;
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::Bad(Response::text(
+                413,
+                "request head too large\n",
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Bad(Response::text(
+                400,
+                "malformed header line\n",
+            )));
+        };
+        req.headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Body.
+    if let Some(len) = req.header("content-length") {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(ReadOutcome::Bad(Response::text(
+                400,
+                "bad content-length\n",
+            )));
+        };
+        if len > MAX_BODY_BYTES {
+            return Ok(ReadOutcome::Bad(Response::text(
+                413,
+                "request body too large\n",
+            )));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(ReadOutcome::Request(Box::new(req)))
+}
+
+/// Read one CRLF-terminated head line into `buf` (trimmed); returns the
+/// raw byte count (0 at EOF).
+fn read_head_line(reader: &mut BufReader<TcpStream>, buf: &mut String) -> io::Result<usize> {
+    buf.clear();
+    let mut raw = Vec::with_capacity(80);
+    let n = reader
+        .by_ref()
+        .take(MAX_HEAD_BYTES as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n > MAX_HEAD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "head line too long",
+        ));
+    }
+    while raw.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+        raw.pop();
+    }
+    buf.push_str(&String::from_utf8_lossy(&raw));
+    Ok(n)
+}
+
+/// The request handler signature: pure function of the parsed request.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A bound, not-yet-serving HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral test port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self { listener, addr })
+    }
+
+    /// The bound socket address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve connections in background threads until the returned
+    /// handle's [`ServerHandle::shutdown`] is called.
+    pub fn spawn(self, handler: Handler) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.addr;
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in self.listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let handler = Arc::clone(&handler);
+                let conn_stop = Arc::clone(&accept_stop);
+                conns.retain(|h| !h.is_finished());
+                conns.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &handler, &conn_stop);
+                }));
+            }
+            for conn in conns {
+                let _ = conn.join();
+            }
+        });
+        ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_request(&mut reader)? {
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Bad(resp) => {
+                resp.write_to(&mut writer)?;
+                return Ok(());
+            }
+            ReadOutcome::Request(req) => {
+                let close = req
+                    .header("connection")
+                    .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+                let resp = handler(&req);
+                resp.write_to(&mut writer)?;
+                if close {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running [`Server`]; shuts the server down when told to
+/// (and on drop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join all threads.
+    pub fn shutdown(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A one-shot HTTP client (each call opens a fresh `Connection: close`
+/// connection) — enough for the e2e tests and CI smoke checks.
+pub mod client {
+    use super::*;
+
+    /// A parsed client-side response.
+    #[derive(Debug)]
+    pub struct ClientResponse {
+        /// Status code from the status line.
+        pub status: u16,
+        /// Lowercased header `(name, value)` pairs.
+        pub headers: Vec<(String, String)>,
+        /// Response body bytes.
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// First value of header `name` (case-insensitive).
+        #[must_use]
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str())
+        }
+
+        /// Body as UTF-8 (lossy).
+        #[must_use]
+        pub fn body_text(&self) -> String {
+            String::from_utf8_lossy(&self.body).into_owned()
+        }
+    }
+
+    /// Issue `method path` against `addr` with an optional body.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let body = body.unwrap_or(&[]);
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_end(&mut raw)?;
+        parse_response(&raw)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))
+    }
+
+    fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+        let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next()?;
+        let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        Some(ClientResponse {
+            status,
+            headers,
+            body: raw[head_end + 4..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> ServerHandle {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        server.spawn(Arc::new(|req: &Request| {
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/ping") => Response::text(200, "pong\n"),
+                ("POST", "/echo") => Response::text(200, req.body_text()),
+                ("GET", "/q") => {
+                    Response::text(200, req.query_param("k").unwrap_or("missing").to_string())
+                }
+                _ => Response::text(404, "not found\n"),
+            }
+        }))
+    }
+
+    #[test]
+    fn round_trip_get_post_and_404() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let r = client::request(addr, "GET", "/ping", None).unwrap();
+        assert_eq!((r.status, r.body_text().as_str()), (200, "pong\n"));
+        let r = client::request(addr, "POST", "/echo", Some(b"payload bytes")).unwrap();
+        assert_eq!((r.status, r.body_text().as_str()), (200, "payload bytes"));
+        let r = client::request(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(r.status, 404);
+        let r = client::request(addr, "GET", "/q?k=v42", None).unwrap();
+        assert_eq!(r.body_text(), "v42");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /echo HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut raw = Vec::new();
+        BufReader::new(stream).read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        assert_eq!(
+            client::request(addr, "GET", "/ping", None).unwrap().status,
+            200
+        );
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+}
