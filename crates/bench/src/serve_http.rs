@@ -90,6 +90,7 @@ impl SolveService {
             registry: Registry::new(RegistryConfig {
                 runners: cfg.runners,
                 chunk_delay: cfg.chunk_delay,
+                ..Default::default()
             }),
             threads,
         }
@@ -212,23 +213,10 @@ pub fn serve(service: Arc<SolveService>, addr: &str) -> std::io::Result<ServerHa
     Ok(server.spawn(handler))
 }
 
-/// The shared tally dump format: one `ix iy value` line per non-zero
-/// cell, values in `{:e}` form (Rust's float formatting round-trips
-/// exactly, so textual equality is bitwise equality — `neutral_cli
-/// --dump-tally` and `GET /solves/:id/tallies` produce byte-identical
-/// dumps for identical solves, which CI checks with `cmp`).
-pub fn write_tally_dump(
-    tally: &[f64],
-    nx: usize,
-    out: &mut impl std::io::Write,
-) -> std::io::Result<()> {
-    for (i, &v) in tally.iter().enumerate() {
-        if v != 0.0 {
-            writeln!(out, "{} {} {v:e}", i % nx, i / nx)?;
-        }
-    }
-    Ok(())
-}
+/// The shared tally dump writer now lives beside the registry (the fuzz
+/// suite's serve oracle uses it in-process); re-exported here for the
+/// CLI and the end-to-end tests.
+pub use neutral_core::registry::write_tally_dump;
 
 /// A parsed `POST /solves` body.
 #[derive(Debug)]

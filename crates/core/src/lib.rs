@@ -49,6 +49,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod counters;
 pub mod events;
+pub mod fuzz;
 pub mod history;
 pub mod over_events;
 pub mod over_particles;

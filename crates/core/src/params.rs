@@ -196,6 +196,7 @@ impl ProblemParams {
         };
         let mut explicit_regions = false;
         let mut first_key = true;
+        let mut scenario_seen = false;
         // `material` lines with omitted points/seed resolve against the
         // file's final `xs_points`/`seed` values, whatever the key order.
         struct RawMaterial {
@@ -358,6 +359,12 @@ impl ProblemParams {
                     // Start from a catalogue scenario; later keys override.
                     // Must come first, or it would silently clobber keys
                     // parsed before it.
+                    if scenario_seen {
+                        return Err(err(
+                            lineno,
+                            "duplicate `scenario` key (a params file starts from one scenario)",
+                        ));
+                    }
                     if !first_key {
                         return Err(err(
                             lineno,
@@ -369,6 +376,7 @@ impl ProblemParams {
                         crate::scenario::Scenario::from_name(&name).map_err(|e| err(lineno, e))?;
                     p = scenario.params(crate::config::ProblemScale::small(), file_seed);
                     explicit_regions = true;
+                    scenario_seen = true;
                 }
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
             }
@@ -400,7 +408,15 @@ impl ProblemParams {
         Ok(p)
     }
 
-    fn validate(&self) -> Result<(), ParamsError> {
+    /// Check the parameter set for the inconsistencies [`parse`]
+    /// rejects (inverted/out-of-domain rectangles, gapped material ids,
+    /// birth energy below cutoff, ...). Programmatic constructors — the
+    /// scenario catalogue and the fuzz generator — call this to
+    /// guarantee every set they hand out would also survive a
+    /// file round-trip.
+    ///
+    /// [`parse`]: ProblemParams::parse
+    pub fn validate(&self) -> Result<(), ParamsError> {
         let check = |ok: bool, msg: &str| if ok { Ok(()) } else { Err(err(0, msg)) };
         check(self.nx > 0 && self.ny > 0, "mesh must have cells")?;
         check(
@@ -456,6 +472,69 @@ impl ProblemParams {
             }
         }
         Ok(())
+    }
+
+    /// Serialize as a params file that [`ProblemParams::parse`] reads
+    /// back to an identical parameter set: every key explicit, every
+    /// material carrying its resolved points/seed (so nothing re-derives
+    /// against file-level defaults), floats in `{:e}` form (Rust float
+    /// formatting round-trips exactly — the text is a lossless encoding,
+    /// and `text → parse → to_params_text` is a fixpoint). The fuzzer's
+    /// corpus files and shrunk repro cases are written with this.
+    ///
+    /// The test-only `fault` plan is not serialized (fault injection
+    /// belongs to a harness, not a replayable scenario).
+    #[must_use]
+    pub fn to_params_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "nx {}", self.nx);
+        let _ = writeln!(s, "ny {}", self.ny);
+        let _ = writeln!(s, "width {:e}", self.width);
+        let _ = writeln!(s, "height {:e}", self.height);
+        let _ = writeln!(s, "density {:e}", self.density);
+        for (id, spec) in &self.materials {
+            let _ = writeln!(
+                s,
+                "material {id} {} {} {}",
+                spec.kind.name(),
+                spec.n_points,
+                spec.seed
+            );
+        }
+        for (r, rho, mat) in &self.regions {
+            let _ = writeln!(
+                s,
+                "region {:e} {:e} {:e} {:e} {rho:e} {mat}",
+                r.x0, r.x1, r.y0, r.y1
+            );
+        }
+        let _ = writeln!(
+            s,
+            "source {:e} {:e} {:e} {:e}",
+            self.source.x0, self.source.x1, self.source.y0, self.source.y1
+        );
+        let _ = writeln!(s, "particles {}", self.particles);
+        let _ = writeln!(s, "dt {:e}", self.dt);
+        let _ = writeln!(s, "timesteps {}", self.timesteps);
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "initial_energy {:e}", self.initial_energy);
+        let _ = writeln!(s, "xs_points {}", self.xs_points);
+        let _ = writeln!(s, "min_energy {:e}", self.min_energy);
+        let _ = writeln!(s, "weight_cutoff {:e}", self.weight_cutoff);
+        let model = match self.collision_model {
+            CollisionModel::Analogue => "analogue",
+            CollisionModel::ImplicitCapture => "implicit_capture",
+        };
+        let _ = writeln!(s, "collision_model {model}");
+        let _ = writeln!(s, "lookup_strategy {}", self.lookup_strategy.name());
+        let _ = writeln!(s, "tally_strategy {}", self.tally_strategy.name());
+        let _ = writeln!(s, "sort_policy {}", self.sort_policy.name());
+        let _ = writeln!(s, "regroup_policy {}", self.regroup_policy.name());
+        if let Some(path) = &self.checkpoint_file {
+            let _ = writeln!(s, "checkpoint_file {path}");
+        }
+        s
     }
 
     /// Change the master seed, re-deriving the table-generation seed of

@@ -46,6 +46,13 @@ pub struct RegistryConfig {
     /// it widens the window in which progress polling and mid-solve
     /// cancellation are observable on tiny problems.
     pub chunk_delay: Option<Duration>,
+    /// Deterministic fault injection (testing, mirroring the checkpoint
+    /// layer's [`crate::checkpoint::FaultPlan`] idiom): panic inside the
+    /// leased chunk whose solve has completed exactly this many
+    /// timesteps. Exercises the runner's unwind protection — the solve
+    /// must end `Failed`, its fingerprint must be released, and the
+    /// runner thread must survive to serve the next entry.
+    pub fault_panic_on_step: Option<usize>,
 }
 
 impl Default for RegistryConfig {
@@ -53,6 +60,7 @@ impl Default for RegistryConfig {
         Self {
             runners: 2,
             chunk_delay: None,
+            fault_panic_on_step: None,
         }
     }
 }
@@ -553,15 +561,27 @@ fn runner_loop(inner: &Inner) {
         };
 
         // One timestep chunk, outside the lock: other runners keep
-        // draining the queue while this solve advances.
-        task.core.step(&task.sim);
-        let done = task.core.is_done();
-        let spill = match &task.store {
-            Some(store) if done || task.core.steps_done() % task.checkpoint_every == 0 => {
-                store.save(&task.core.checkpoint()).err()
+        // draining the queue while this solve advances. The chunk is
+        // unwind-protected — a panic in transport (or injected via
+        // `fault_panic_on_step`) must not take the runner thread, and
+        // every solve queued behind it, down with the one bad solve.
+        let chunk = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inner.cfg.fault_panic_on_step == Some(task.core.steps_done()) {
+                panic!(
+                    "injected runner fault at timestep {}",
+                    task.core.steps_done()
+                );
             }
-            _ => None,
-        };
+            task.core.step(&task.sim);
+            let done = task.core.is_done();
+            let spill = match &task.store {
+                Some(store) if done || task.core.steps_done() % task.checkpoint_every == 0 => {
+                    store.save(&task.core.checkpoint()).err()
+                }
+                _ => None,
+            };
+            (done, spill)
+        }));
         if let Some(delay) = inner.cfg.chunk_delay {
             std::thread::sleep(delay);
         }
@@ -571,26 +591,73 @@ fn runner_loop(inner: &Inner) {
         st.stats.chunks_run += 1;
         let entry = st.entries.get_mut(&id).expect("running entry vanished");
         entry.steps_done = task.core.steps_done();
-        if let Some(err) = spill {
-            Inner::finalize(
-                &mut st,
-                id,
-                SolveState::Failed(format!("checkpoint spill: {err}")),
-            );
-        } else if entry.cancel_requested {
-            Inner::finalize(&mut st, id, SolveState::Cancelled);
-        } else if done {
-            let report = Arc::new(task.core.finish());
-            let entry = st.entries.get_mut(&id).expect("running entry vanished");
-            entry.result = Some(report);
-            Inner::finalize(&mut st, id, SolveState::Done);
-        } else {
-            entry.task = Some(task);
-            entry.state = SolveState::Queued;
-            st.queue.push_back(id);
+        match chunk {
+            Err(payload) => {
+                // The task is dropped in an unknown mid-chunk state; the
+                // fingerprint is released so an identical resubmission
+                // re-runs fresh instead of cache-hitting a corpse.
+                Inner::finalize(
+                    &mut st,
+                    id,
+                    SolveState::Failed(format!(
+                        "runner panicked mid-chunk: {}",
+                        panic_text(payload.as_ref())
+                    )),
+                );
+            }
+            Ok((_, Some(err))) => {
+                Inner::finalize(
+                    &mut st,
+                    id,
+                    SolveState::Failed(format!("checkpoint spill: {err}")),
+                );
+            }
+            Ok((done, None)) => {
+                if entry.cancel_requested {
+                    Inner::finalize(&mut st, id, SolveState::Cancelled);
+                } else if done {
+                    let report = Arc::new(task.core.finish());
+                    let entry = st.entries.get_mut(&id).expect("running entry vanished");
+                    entry.result = Some(report);
+                    Inner::finalize(&mut st, id, SolveState::Done);
+                } else {
+                    entry.task = Some(task);
+                    entry.state = SolveState::Queued;
+                    st.queue.push_back(id);
+                }
+            }
         }
         inner.cvar.notify_all();
     }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// The shared tally dump format: one `ix iy value` line per non-zero
+/// cell, values in `{:e}` form (Rust's float formatting round-trips
+/// exactly, so textual equality is bitwise equality — `neutral_cli
+/// --dump-tally` and `GET /solves/:id/tallies` produce byte-identical
+/// dumps for identical solves, which CI checks with `cmp` and the fuzz
+/// suite's serve oracle checks in-process).
+pub fn write_tally_dump(
+    tally: &[f64],
+    nx: usize,
+    out: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    for (i, &v) in tally.iter().enumerate() {
+        if v != 0.0 {
+            writeln!(out, "{} {} {v:e}", i % nx, i / nx)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -608,6 +675,7 @@ mod tests {
         Registry::new(RegistryConfig {
             runners,
             chunk_delay: Some(Duration::from_millis(30)),
+            ..Default::default()
         })
     }
 
@@ -745,5 +813,91 @@ mod tests {
         let status = registry.wait(third.id).unwrap();
         assert_eq!(status.state, SolveState::Done);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runner_panic_fails_solve_and_releases_fingerprint() {
+        // One runner, injected panic when a leased chunk would start
+        // its second timestep.
+        let registry = Registry::new(RegistryConfig {
+            runners: 1,
+            fault_panic_on_step: Some(1),
+            ..Default::default()
+        });
+        let receipt = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(7, 3),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(receipt.admission, Admission::Fresh);
+        let status = registry.wait(receipt.id).unwrap();
+        match &status.state {
+            SolveState::Failed(msg) => {
+                assert!(msg.contains("panicked mid-chunk"), "{msg}");
+                assert!(msg.contains("injected runner fault"), "{msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(
+            status.steps_done, 1,
+            "first chunk completed, second panicked"
+        );
+        assert!(registry.result(receipt.id).is_none());
+        assert_eq!(registry.stats().failed, 1);
+
+        // The fingerprint was released with the failure: an identical
+        // resubmission re-runs Fresh instead of cache-hitting (or
+        // coalescing onto) the corpse.
+        let again = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(7, 3),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert_eq!(again.admission, Admission::Fresh);
+        assert_ne!(again.id, receipt.id);
+        let status = registry.wait(again.id).unwrap();
+        assert!(
+            matches!(status.state, SolveState::Failed(_)),
+            "deterministic fault injection fails the re-run at the same step"
+        );
+        assert_eq!(registry.stats().cache_hits, 0);
+        assert_eq!(registry.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn runner_thread_survives_a_panicking_solve() {
+        // The panic is caught inside the (only) runner thread; queued
+        // work behind the poisoned solve must still be served.
+        let registry = Registry::new(RegistryConfig {
+            runners: 1,
+            fault_panic_on_step: Some(1),
+            ..Default::default()
+        });
+        let doomed = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(23, 4),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        // A single-timestep solve finishes at steps_done == 1 and is
+        // never leased at the faulted step.
+        let fine = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(24, 1),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        assert!(matches!(
+            registry.wait(doomed.id).unwrap().state,
+            SolveState::Failed(_)
+        ));
+        let status = registry.wait(fine.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        let report = registry.result(fine.id).expect("done solve has a result");
+        assert!(report.counters.total_events() > 0);
+        assert_eq!(registry.stats().completed, 1);
+        assert_eq!(registry.stats().failed, 1);
     }
 }

@@ -1,15 +1,17 @@
 //! Support library for the `neutral-integration` test package.
 //!
 //! The actual integration tests live in `tests/tests/*.rs`; this crate
-//! provides shared fixtures plus [`Gen`], a tiny deterministic random
-//! generator driving the hand-rolled property tests (the environment has
-//! no crates.io access, so `proptest` is replaced by this counter-based
-//! harness — shrinking is traded for perfectly reproducible cases).
+//! provides shared fixtures. The deterministic property-test harness
+//! ([`Gen`], [`for_cases`]) and the driver-family/physics-comparison
+//! vocabulary ([`DriverKind`], [`physics_counters`], [`rel_diff`]) now
+//! live in [`neutral_core::fuzz`] — the generative fuzzer is built on
+//! them — and are re-exported here so the suites keep one import path.
 
 use neutral_core::prelude::*;
-use neutral_rng::{CounterStream, Threefry2x64};
 
 pub mod golden;
+
+pub use neutral_core::fuzz::{for_cases, physics_counters, rel_diff, DriverKind, Gen};
 
 /// Standard tiny-scale fixture used across the integration suite.
 pub fn tiny(case: TestCase, seed: u64) -> Simulation {
@@ -31,18 +33,6 @@ pub fn tiny_with_tally(case: TestCase, seed: u64, strategy: TallyStrategy) -> Si
 /// every other policy reproduces them byte-identically.
 pub const MULTISTEP_CONFIGS: [(TestCase, usize, u64); 2] =
     [(TestCase::Csp, 3, 41), (TestCase::Scatter, 2, 43)];
-
-/// Counters with the work/decision meters masked out: reducing search
-/// work (`cs_search_steps`) and choosing when to cluster the flush
-/// (`clustered_flushes`) are exactly what the sort/regroup stages are
-/// for — they move between policies without any physics change, so the
-/// policy-equality contracts exclude them.
-#[must_use]
-pub fn physics_counters(mut c: EventCounters) -> EventCounters {
-    c.cs_search_steps = 0;
-    c.clustered_flushes = 0;
-    c
-}
 
 /// Build a tiny-scale, multi-timestep simulation with an explicit tally
 /// strategy and regroup policy — the fixture shape of the regroup suite
@@ -88,145 +78,4 @@ pub fn test_thread_counts() -> Vec<usize> {
         }
     }
     counts
-}
-
-/// The four driver families of the golden/equivalence suites, with run
-/// options parameterised by worker count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DriverKind {
-    /// Sequential history loop (Over Particles, AoS, one worker).
-    History,
-    /// Parallel Over Particles (AoS, explicit scheduler).
-    OverParticles,
-    /// Breadth-first Over Events.
-    OverEvents,
-    /// Over Particles on the SoA layout.
-    Soa,
-}
-
-impl DriverKind {
-    /// All four, in golden-fixture order.
-    pub const ALL: [DriverKind; 4] = [
-        DriverKind::History,
-        DriverKind::OverParticles,
-        DriverKind::OverEvents,
-        DriverKind::Soa,
-    ];
-
-    /// Stable name used in fixture files.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            DriverKind::History => "history",
-            DriverKind::OverParticles => "over_particles",
-            DriverKind::OverEvents => "over_events",
-            DriverKind::Soa => "soa",
-        }
-    }
-
-    /// Run options driving this family on `workers` workers. `History`
-    /// ignores the worker count (it is the one-worker baseline).
-    #[must_use]
-    pub fn options(self, workers: usize) -> RunOptions {
-        let scheduled = Execution::Scheduled {
-            threads: workers,
-            schedule: Schedule::Dynamic { chunk: 16 },
-        };
-        match self {
-            DriverKind::History => RunOptions {
-                execution: Execution::Sequential,
-                ..Default::default()
-            },
-            DriverKind::OverParticles => RunOptions {
-                execution: scheduled,
-                ..Default::default()
-            },
-            DriverKind::OverEvents => RunOptions {
-                scheme: Scheme::OverEvents,
-                execution: scheduled,
-                ..Default::default()
-            },
-            DriverKind::Soa => RunOptions {
-                layout: Layout::Soa,
-                execution: scheduled,
-                ..Default::default()
-            },
-        }
-    }
-}
-
-/// Relative difference |a-b| / max(|a|, floor).
-pub fn rel_diff(a: f64, b: f64) -> f64 {
-    (a - b).abs() / a.abs().max(1e-30)
-}
-
-/// Deterministic random-input generator for property tests, backed by the
-/// workspace's own counter-based RNG. A failing case is reproduced by its
-/// case index alone.
-pub struct Gen {
-    rng: Threefry2x64,
-    counter: u64,
-}
-
-impl Gen {
-    /// One generator per property case; `seed` is the case index.
-    #[must_use]
-    pub fn new(seed: u64) -> Self {
-        Self {
-            rng: Threefry2x64::new([seed, 0x9e37_79b9_7f4a_7c15]),
-            counter: 0,
-        }
-    }
-
-    /// Uniform in `[0, 1)`.
-    pub fn f64_unit(&mut self) -> f64 {
-        let mut stream = CounterStream::new(&self.rng, 0);
-        stream.next_f64(&mut self.counter)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.f64_unit()
-    }
-
-    /// Log-uniform in `[lo, hi)` (both positive).
-    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        lo * (hi / lo).powf(self.f64_unit())
-    }
-
-    /// Uniform integer in `[lo, hi)`.
-    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
-        assert!(lo < hi);
-        lo + (self.f64_unit() * (hi - lo) as f64) as usize
-    }
-
-    /// Uniform `u64` over the full range.
-    pub fn u64_any(&mut self) -> u64 {
-        (self.f64_unit() * 2.0f64.powi(32)) as u64
-            ^ ((self.f64_unit() * 2.0f64.powi(32)) as u64) << 32
-    }
-}
-
-/// Run `body` over `cases` deterministic generator instances, labelling
-/// panics with the failing case index.
-pub fn for_cases(cases: u64, mut body: impl FnMut(&mut Gen)) {
-    for case in 0..cases {
-        let mut g = Gen::new(case);
-        // Any panic inside `body` reports `case` via the unwind message of
-        // the assert that fired; print the index for quick reproduction.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut g)));
-        if let Err(e) = result {
-            panic!("property failed at case {case}: {}", panic_message(&e));
-        }
-    }
-}
-
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = e.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = e.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_owned()
-    }
 }

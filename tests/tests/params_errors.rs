@@ -101,6 +101,43 @@ fn scenario_conflicts_are_rejected() {
 }
 
 #[test]
+fn duplicate_scenario_keys_are_rejected() {
+    // A second `scenario` would silently restart the whole setup,
+    // discarding everything the first one configured.
+    let e = fail("scenario csp\nscenario shielded_slab\n");
+    assert_eq!(e.line, 2);
+    assert!(e.message.contains("duplicate `scenario`"), "{}", e.message);
+
+    // Even a repeat of the *same* scenario is rejected — one file, one
+    // starting point. The duplicate diagnosis wins over the
+    // not-first-key one so the message names the actual mistake.
+    let e = fail("scenario csp\nnx 16\nscenario csp\n");
+    assert_eq!(e.line, 3);
+    assert!(e.message.contains("duplicate `scenario`"), "{}", e.message);
+}
+
+#[test]
+fn trailing_garbage_after_a_value_is_rejected() {
+    // Every key enforces its arity, so stray tokens on a line are hard
+    // errors naming the key and line, never silently ignored.
+    for (text, line) in [
+        ("nx 10 20\n", 1),
+        ("nx 10\nseed 1 extra\n", 2),
+        ("scenario csp extra\n", 1),
+        ("source 0.4 0.6 0.4 0.6 0.5\n", 1),
+        ("region 0.0 0.5 0.0 1.0 5.0 1 9\n", 1),
+    ] {
+        let e = fail(text);
+        assert_eq!(e.line, line, "{text:?}");
+        assert!(
+            e.message.contains("exactly") || e.message.contains("takes"),
+            "{text:?}: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
 fn geometry_and_physics_range_errors_are_actionable() {
     assert!(fail("width 0.0\n").message.contains("extent"));
     assert!(fail("density -1.0\n").message.contains("non-negative"));

@@ -152,8 +152,10 @@ enum ReadOutcome {
 fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
     let mut line = String::new();
     // Request line. EOF here is a normal keep-alive termination.
-    if read_head_line(reader, &mut line)? == 0 {
-        return Ok(ReadOutcome::Closed);
+    match read_head_line(reader, &mut line)? {
+        None => return Ok(ReadOutcome::Bad(head_too_large())),
+        Some(0) => return Ok(ReadOutcome::Closed),
+        Some(_) => {}
     }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
@@ -174,16 +176,15 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
     let mut head_bytes = line.len();
     loop {
         line.clear();
-        let n = read_head_line(reader, &mut line)?;
+        let Some(n) = read_head_line(reader, &mut line)? else {
+            return Ok(ReadOutcome::Bad(head_too_large()));
+        };
         if n == 0 || line.is_empty() {
             break;
         }
         head_bytes += n;
         if head_bytes > MAX_HEAD_BYTES {
-            return Ok(ReadOutcome::Bad(Response::text(
-                413,
-                "request head too large\n",
-            )));
+            return Ok(ReadOutcome::Bad(head_too_large()));
         }
         let Some((name, value)) = line.split_once(':') else {
             return Ok(ReadOutcome::Bad(Response::text(
@@ -194,7 +195,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
         req.headers
             .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    // Body.
+    // Body. Without chunked-encoding support a body-bearing method has
+    // no other way to frame its payload, so `Content-Length` is
+    // mandatory there — silently treating the body as empty would make
+    // the stray payload bytes parse as the next pipelined request.
     if let Some(len) = req.header("content-length") {
         let Ok(len) = len.parse::<usize>() else {
             return Ok(ReadOutcome::Bad(Response::text(
@@ -211,13 +215,27 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body)?;
         req.body = body;
+    } else if matches!(req.method.as_str(), "POST" | "PUT") {
+        return Ok(ReadOutcome::Bad(Response::text(
+            400,
+            "missing content-length\n",
+        )));
     }
     Ok(ReadOutcome::Request(Box::new(req)))
 }
 
+fn head_too_large() -> Response {
+    Response::text(413, "request head too large\n")
+}
+
 /// Read one CRLF-terminated head line into `buf` (trimmed); returns the
-/// raw byte count (0 at EOF).
-fn read_head_line(reader: &mut BufReader<TcpStream>, buf: &mut String) -> io::Result<usize> {
+/// raw byte count (0 at EOF), or `None` when a single line exceeds
+/// [`MAX_HEAD_BYTES`] — the caller answers that with a 413 instead of
+/// dropping the connection without a response.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+) -> io::Result<Option<usize>> {
     buf.clear();
     let mut raw = Vec::with_capacity(80);
     let n = reader
@@ -225,16 +243,13 @@ fn read_head_line(reader: &mut BufReader<TcpStream>, buf: &mut String) -> io::Re
         .take(MAX_HEAD_BYTES as u64 + 1)
         .read_until(b'\n', &mut raw)?;
     if n > MAX_HEAD_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "head line too long",
-        ));
+        return Ok(None);
     }
     while raw.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
         raw.pop();
     }
     buf.push_str(&String::from_utf8_lossy(&raw));
-    Ok(n)
+    Ok(Some(n))
 }
 
 /// The request handler signature: pure function of the parsed request.
@@ -477,6 +492,90 @@ mod tests {
         BufReader::new(stream).read_to_end(&mut raw).unwrap();
         let text = String::from_utf8_lossy(&raw);
         assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+        server.shutdown();
+    }
+
+    /// Send `raw` over one fresh connection and return everything the
+    /// server wrote back before closing.
+    fn raw_exchange(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        stream.flush().unwrap();
+        let mut out = Vec::new();
+        BufReader::new(stream).read_to_end(&mut out).unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn oversized_single_head_line_rejected_with_413() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        // One request line longer than the whole head budget: the
+        // server must answer 413, not drop the connection silently.
+        // Sized to exactly what the server reads before rejecting, so
+        // the close is a clean FIN (no unread bytes → no RST racing
+        // the response past the client).
+        let mut raw = Vec::from(&b"GET /"[..]);
+        raw.resize(MAX_HEAD_BYTES + 1, b'a');
+        let text = raw_exchange(addr, &raw);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_cumulative_headers_rejected_with_413() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        // Each header line is small, but together they blow the
+        // budget. 256 lines of exactly 64 raw bytes cross the 16 KiB
+        // limit on the last line sent, so the server consumes every
+        // byte before answering (clean FIN, as above).
+        let mut raw = Vec::from(&b"GET /ping HTTP/1.1\r\n"[..]);
+        for i in 0..256 {
+            let line = format!("x-pad-{i:04}: {:050}\r\n", 0);
+            assert_eq!(line.len(), 64);
+            raw.extend_from_slice(line.as_bytes());
+        }
+        let text = raw_exchange(addr, &raw);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_rejected_with_400() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let text = raw_exchange(addr, b"GARBAGE\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        assert!(text.contains("malformed request line"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_without_content_length_rejected_with_400() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        let text = raw_exchange(addr, b"POST /echo HTTP/1.1\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        assert!(text.contains("missing content-length"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_reused_after_handler_4xx() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        // A handler-level 404 must not poison the keep-alive
+        // connection: the second request on the same stream still gets
+        // served.
+        let text = raw_exchange(
+            addr,
+            b"GET /nope HTTP/1.1\r\n\r\n\
+              GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(text.starts_with("HTTP/1.1 404"), "got: {text}");
+        assert!(text.contains("HTTP/1.1 200"), "got: {text}");
+        assert!(text.contains("pong"), "got: {text}");
         server.shutdown();
     }
 
