@@ -12,6 +12,7 @@
 //!             [--timesteps N]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //!             [--checkpoint FILE] [--fault SPEC]
+//!             [--shards N] [--shard-fault SPEC]
 //! ```
 //!
 //! `--scenario` runs a workload from the scenario catalogue
@@ -26,6 +27,15 @@
 //! `--fault SPEC` (e.g. `kill@2` or `torn@1,bitflip@2`) deterministically
 //! injects checkpoint-layer failures for testing the recovery path; it
 //! requires `--checkpoint`.
+//!
+//! `--shards N` splits every timestep into N fault-isolated shards
+//! (DESIGN.md §18); results are bitwise identical to the unsharded run
+//! for any N. An atomic tally is upgraded to replicated (sharding rides
+//! on the deterministic merge). With `--checkpoint FILE`, shard retries
+//! reload their census-boundary inputs from `FILE.shard<k>` stores.
+//! `--shard-fault SPEC` (e.g. `kill@1` or `hang@0:2,corrupt@1`)
+//! deterministically injects shard failures to exercise the
+//! retry/quarantine path; it requires `--shards` ≥ 2.
 
 use neutral_core::params::ProblemParams;
 use neutral_core::prelude::*;
@@ -45,6 +55,8 @@ struct CliArgs {
     dump_tally: Option<String>,
     checkpoint: Option<String>,
     fault: Option<FaultPlan>,
+    shards: Option<usize>,
+    shard_fault: Option<ShardFaultPlan>,
 }
 
 fn scenario_catalogue() -> String {
@@ -95,6 +107,8 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut dump_tally = None;
     let mut checkpoint = None;
     let mut fault = None;
+    let mut shards = None;
+    let mut shard_fault = None;
     let mut threads: Option<usize> = None;
     let mut schedule: Option<Schedule> = None;
     let mut privatized = false;
@@ -216,6 +230,25 @@ fn parse_args() -> Result<CliArgs, String> {
                         .parse::<FaultPlan>()?,
                 );
             }
+            "--shards" => {
+                i += 1;
+                let n: usize = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards N")?;
+                if n == 0 {
+                    return Err("--shards needs at least one shard".into());
+                }
+                shards = Some(n);
+            }
+            "--shard-fault" => {
+                i += 1;
+                shard_fault = Some(
+                    argv.get(i)
+                        .ok_or("--shard-fault SPEC (e.g. kill@1 or hang@0:2,corrupt@1)")?
+                        .parse::<ShardFaultPlan>()?,
+                );
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if params_file.replace(file.to_owned()).is_some() {
@@ -261,6 +294,8 @@ fn parse_args() -> Result<CliArgs, String> {
         dump_tally,
         checkpoint,
         fault,
+        shards,
+        shard_fault,
     })
 }
 
@@ -326,6 +361,32 @@ fn main() -> ExitCode {
     if let Some(timesteps) = args.timesteps {
         problem.n_timesteps = timesteps;
     }
+    // CLI flags override the params file's shard keys.
+    let shards = args.shards.unwrap_or(params.shards).max(1);
+    let shard_fault_plan = args
+        .shard_fault
+        .clone()
+        .unwrap_or_else(|| params.shard_fault.clone());
+    let mut options = args.options;
+    if shards > 1 {
+        // Sharding rides on the deterministic lane merge: upgrade the
+        // non-deterministic atomic default (the same upgrade
+        // neutral_serve applies for multi-threaded chunks) and fold the
+        // per-thread-privatized execution back to the shared scheduled
+        // path (shards privatize per lane already).
+        if problem.transport.tally_strategy == TallyStrategy::Atomic {
+            println!("shards: upgrading atomic tally to replicated (deterministic merge required)");
+            problem.transport.tally_strategy = TallyStrategy::Replicated;
+        }
+        if let Execution::ScheduledPrivatized { threads, schedule } = options.execution {
+            println!("shards: --privatized folded to the scheduled execution");
+            options.execution = Execution::Scheduled { threads, schedule };
+        }
+    }
+    if !shard_fault_plan.is_empty() && shards < 2 {
+        eprintln!("error: --shard-fault requires --shards >= 2 (or a `shards` params key)");
+        return ExitCode::FAILURE;
+    }
     println!(
         "neutral: {}x{} mesh, {} particles, {} material(s), {} timestep(s), dt {:.2e} s, seed {}",
         problem.mesh.nx(),
@@ -337,8 +398,8 @@ fn main() -> ExitCode {
         problem.seed,
     );
     println!(
-        "options: {:?}, lookup: {}, tally: {}, sort: {}, regroup: {}",
-        args.options,
+        "options: {:?}, lookup: {}, tally: {}, sort: {}, regroup: {}, shards: {shards}",
+        options,
         problem.transport.xs_search.name(),
         problem.transport.tally_strategy.name(),
         problem.transport.sort_policy.name(),
@@ -352,42 +413,80 @@ fn main() -> ExitCode {
         eprintln!("error: --fault requires --checkpoint (or a `checkpoint_file` params key)");
         return ExitCode::FAILURE;
     }
+    if !fault_plan.is_empty() && shards > 1 {
+        eprintln!(
+            "error: --fault drives unsharded checkpointed solves; use --shard-fault with --shards"
+        );
+        return ExitCode::FAILURE;
+    }
 
-    let sim = Simulation::new(problem);
-    let report = match &checkpoint_path {
-        None => sim.run(args.options),
-        Some(path) => {
-            let store = CheckpointStore::new(path);
-            match run_with_checkpoints(&sim, args.options, &store, &fault_plan) {
-                Ok(SolveOutcome::Complete {
-                    report,
-                    resumed_from,
-                    recovery,
-                }) => {
-                    match (resumed_from, recovery) {
-                        (Some(step), Some(Recovery::Primary)) => {
-                            println!("checkpoint: resumed from {path} at timestep {step}");
-                        }
-                        (Some(step), Some(Recovery::Fallback { primary_error })) => {
-                            println!(
-                                "checkpoint: primary invalid ({primary_error}); \
-                                 resumed from fallback at timestep {step}"
-                            );
-                        }
-                        _ => println!("checkpoint: no prior state at {path}, fresh solve"),
-                    }
-                    report
-                }
-                Ok(SolveOutcome::Killed { after_step }) => {
-                    println!(
-                        "checkpoint: injected kill after timestep {after_step}; \
-                         rerun with --checkpoint {path} to resume"
-                    );
-                    return ExitCode::SUCCESS;
-                }
+    let sim = std::sync::Arc::new(Simulation::new(problem));
+    let report = if shards > 1 {
+        let mut config = ShardConfig::new(shards);
+        config.fault_plan = shard_fault_plan;
+        config.checkpoint_base = checkpoint_path.clone().map(std::path::PathBuf::from);
+        if let Some(base) = &checkpoint_path {
+            println!("shards: retry inputs spill to {base}.shard<k>");
+        }
+        let mut solve = ShardedSolve::new(&sim, options, config);
+        loop {
+            match solve.step(&sim) {
+                Ok(true) => {}
+                Ok(false) => break,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
+                }
+            }
+        }
+        let stats = solve.stats();
+        println!(
+            "shards: {shards} shards, {} attempts ({} retried, {} requeued)",
+            stats.attempts, stats.retries, stats.requeues
+        );
+        if stats.requeues > 0 {
+            println!(
+                "shards: recovered {} shard unit(s) via retry, bitwise identical",
+                stats.requeues
+            );
+        }
+        solve.finish()
+    } else {
+        match &checkpoint_path {
+            None => sim.run(options),
+            Some(path) => {
+                let store = CheckpointStore::new(path);
+                match run_with_checkpoints(&sim, options, &store, &fault_plan) {
+                    Ok(SolveOutcome::Complete {
+                        report,
+                        resumed_from,
+                        recovery,
+                    }) => {
+                        match (resumed_from, recovery) {
+                            (Some(step), Some(Recovery::Primary)) => {
+                                println!("checkpoint: resumed from {path} at timestep {step}");
+                            }
+                            (Some(step), Some(Recovery::Fallback { primary_error })) => {
+                                println!(
+                                    "checkpoint: primary invalid ({primary_error}); \
+                                 resumed from fallback at timestep {step}"
+                                );
+                            }
+                            _ => println!("checkpoint: no prior state at {path}, fresh solve"),
+                        }
+                        report
+                    }
+                    Ok(SolveOutcome::Killed { after_step }) => {
+                        println!(
+                            "checkpoint: injected kill after timestep {after_step}; \
+                         rerun with --checkpoint {path} to resume"
+                        );
+                        return ExitCode::SUCCESS;
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }

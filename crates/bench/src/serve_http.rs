@@ -38,6 +38,8 @@
 //! kernel vectorized         # scalar|vectorized
 //! checkpoint_file /tmp/s.ckpt   # optional spill (exclusive per live solve)
 //! checkpoint_every 2        # boundaries between spills (default 1)
+//! shards 4                  # fault-isolated shard units per timestep (default 1)
+//! shard_fault kill@1        # injected shard failures (testing; needs shards >= 2)
 //! ```
 //!
 //! Requests choose *physics and driver shape*, never thread counts: the
@@ -234,6 +236,8 @@ struct SolveSpec {
     kernel: Option<KernelStyle>,
     checkpoint_file: Option<String>,
     checkpoint_every: usize,
+    shards: usize,
+    shard_fault: ShardFaultPlan,
 }
 
 fn perr(line: usize, message: impl Into<String>) -> ParamsError {
@@ -257,6 +261,8 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
     let mut kernel = None;
     let mut checkpoint_file = None;
     let mut checkpoint_every = 1usize;
+    let mut shards = 1usize;
+    let mut shard_fault = ShardFaultPlan::default();
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -337,6 +343,15 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
                     }
                 })
             }
+            "shards" => {
+                shards = value
+                    .parse::<usize>()
+                    .map_err(|_| perr(lineno, format!("`{value}` is not a positive integer")))?;
+                if shards == 0 {
+                    return Err(perr(lineno, "shards needs at least one shard"));
+                }
+            }
+            "shard_fault" => shard_fault = value.parse::<ShardFaultPlan>().map_err(knob)?,
             "checkpoint_file" => checkpoint_file = Some(value.to_string()),
             "checkpoint_every" => {
                 checkpoint_every = value
@@ -363,6 +378,8 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
         kernel,
         checkpoint_file,
         checkpoint_every,
+        shards,
+        shard_fault,
     })
 }
 
@@ -413,9 +430,18 @@ fn build_submit(
     if let Some(kernel) = spec.kernel {
         options.kernel_style = kernel;
     }
+    if !spec.shard_fault.is_empty() && spec.shards < 2 {
+        return Err(perr(
+            0,
+            "`shard_fault` needs `shards` >= 2 (faults are injected per shard unit)",
+        ));
+    }
     let mut submit = SubmitRequest::new(problem, options);
     if let Some(path) = spec.checkpoint_file {
         submit = submit.checkpoint(path, spec.checkpoint_every);
+    }
+    if spec.shards > 1 {
+        submit = submit.sharded(spec.shards, spec.shard_fault);
     }
     Ok(submit)
 }
@@ -475,7 +501,8 @@ fn stats_response(stats: &RegistryStats) -> Response {
         200,
         format!(
             "{{\"submitted\":{},\"coalesced\":{},\"cache_hits\":{},\"solves_started\":{},\
-             \"chunks_run\":{},\"completed\":{},\"cancelled\":{},\"failed\":{}}}",
+             \"chunks_run\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
+             \"shard_retries\":{},\"shard_requeues\":{}}}",
             stats.submitted,
             stats.coalesced,
             stats.cache_hits,
@@ -484,6 +511,8 @@ fn stats_response(stats: &RegistryStats) -> Response {
             stats.completed,
             stats.cancelled,
             stats.failed,
+            stats.shard_retries,
+            stats.shard_requeues,
         ),
     )
 }
@@ -531,6 +560,36 @@ mod tests {
             upgraded.problem.transport.tally_strategy,
             TallyStrategy::Atomic
         );
+    }
+
+    #[test]
+    fn shard_keys_parse_and_are_validated() {
+        let spec = parse_solve_request("scenario csp\nshards 3\nshard_fault kill@1\n").unwrap();
+        assert_eq!(spec.shards, 3);
+        assert_eq!(spec.shard_fault.to_string(), "kill@1");
+
+        let err = parse_solve_request("scenario csp\nshards 0\n").unwrap_err();
+        assert!(err.to_string().contains("at least one shard"), "{err}");
+
+        let err = parse_solve_request("scenario csp\nshard_fault explode@1\n").unwrap_err();
+        assert!(err.to_string().contains("explode"), "{err}");
+
+        // A fault plan without a shard split to inject into is an error.
+        let err = build_submit(
+            parse_solve_request("scenario csp\nscale tiny\nshard_fault kill@1\n").unwrap(),
+            1,
+            Execution::Sequential,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("shards"), "{err}");
+
+        let submit = build_submit(
+            parse_solve_request("scenario csp\nscale tiny\nshards 2\n").unwrap(),
+            1,
+            Execution::Sequential,
+        )
+        .unwrap();
+        assert_eq!(submit.shards, 2);
     }
 
     #[test]

@@ -70,8 +70,108 @@ pub const VERSION: u32 = 1;
 /// Bytes before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;
 
-/// Serialized size of one particle record.
-const PARTICLE_RECORD_LEN: usize = 8 * 8 + 4 * 4 + 2 * 8 + 1;
+/// Serialized size of one particle record (shared with the shard-result
+/// codec in [`crate::shard`]).
+pub(crate) const PARTICLE_RECORD_LEN: usize = 8 * 8 + 4 * 4 + 2 * 8 + 1;
+
+/// Append one particle record in the checkpoint wire layout.
+pub(crate) fn put_particle(out: &mut Vec<u8>, p: &Particle) {
+    for v in [
+        p.x,
+        p.y,
+        p.omega_x,
+        p.omega_y,
+        p.energy,
+        p.weight,
+        p.dt_to_census,
+        p.mfp_to_collision,
+    ] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in [p.cellx, p.celly, p.xs_hints.absorb, p.xs_hints.scatter] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&p.key.to_le_bytes());
+    out.extend_from_slice(&p.rng_counter.to_le_bytes());
+    out.push(u8::from(p.dead));
+}
+
+/// Serialized size of one [`EventCounters`] block (15 integer counters
+/// plus the two energy residuals as `f64` bits).
+pub(crate) const COUNTERS_RECORD_LEN: usize = 17 * 8;
+
+/// Append one counters block in the checkpoint wire layout.
+pub(crate) fn put_counters(out: &mut Vec<u8>, c: &EventCounters) {
+    for v in [
+        c.collisions,
+        c.facets,
+        c.census,
+        c.absorptions,
+        c.scatters,
+        c.reflections,
+        c.deaths,
+        c.stuck,
+        c.tally_flushes,
+        c.cs_search_steps,
+        c.clustered_flushes,
+        c.cs_lookups,
+        c.batched_lookups,
+        c.density_reads,
+        c.material_switches,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&c.lost_energy_ev.to_bits().to_le_bytes());
+    out.extend_from_slice(&c.census_energy_ev.to_bits().to_le_bytes());
+}
+
+/// Read one counters block in the checkpoint wire layout.
+pub(crate) fn read_counters(r: &mut Reader<'_>) -> Result<EventCounters, CheckpointError> {
+    let mut counters = EventCounters {
+        collisions: r.u64()?,
+        facets: r.u64()?,
+        census: r.u64()?,
+        absorptions: r.u64()?,
+        scatters: r.u64()?,
+        reflections: r.u64()?,
+        deaths: r.u64()?,
+        stuck: r.u64()?,
+        tally_flushes: r.u64()?,
+        cs_search_steps: r.u64()?,
+        clustered_flushes: r.u64()?,
+        cs_lookups: r.u64()?,
+        batched_lookups: r.u64()?,
+        density_reads: r.u64()?,
+        material_switches: r.u64()?,
+        ..Default::default()
+    };
+    counters.lost_energy_ev = r.f64()?;
+    counters.census_energy_ev = r.f64()?;
+    Ok(counters)
+}
+
+/// Read one particle record in the checkpoint wire layout.
+pub(crate) fn read_particle(r: &mut Reader<'_>) -> Result<Particle, CheckpointError> {
+    Ok(Particle {
+        x: r.f64()?,
+        y: r.f64()?,
+        omega_x: r.f64()?,
+        omega_y: r.f64()?,
+        energy: r.f64()?,
+        weight: r.f64()?,
+        dt_to_census: r.f64()?,
+        mfp_to_collision: r.f64()?,
+        cellx: r.u32()?,
+        celly: r.u32()?,
+        xs_hints: XsHints {
+            absorb: r.u32()?,
+            scatter: r.u32()?,
+        },
+        key: r.u64()?,
+        rng_counter: r.u64()?,
+        dead: r.u8()? != 0,
+    })
+}
 
 /// FNV-1a 64-bit over a byte stream — the same hash the golden-tally
 /// fixtures lock with (`neutral-integration`'s `golden::fnv1a64`).
@@ -225,7 +325,6 @@ impl Checkpoint {
 
         let put_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
         let put_f64 = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
-        let put_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
 
         put_u64(&mut out, self.fingerprint);
         put_u64(&mut out, self.next_step as u64);
@@ -233,28 +332,7 @@ impl Checkpoint {
         put_u64(&mut out, self.elapsed.as_nanos() as u64);
         put_u64(&mut out, self.tally_footprint_bytes as u64);
 
-        let c = &self.counters;
-        for v in [
-            c.collisions,
-            c.facets,
-            c.census,
-            c.absorptions,
-            c.scatters,
-            c.reflections,
-            c.deaths,
-            c.stuck,
-            c.tally_flushes,
-            c.cs_search_steps,
-            c.clustered_flushes,
-            c.cs_lookups,
-            c.batched_lookups,
-            c.density_reads,
-            c.material_switches,
-        ] {
-            put_u64(&mut out, v);
-        }
-        put_f64(&mut out, c.lost_energy_ev);
-        put_f64(&mut out, c.census_energy_ev);
+        put_counters(&mut out, &self.counters);
 
         put_u64(&mut out, self.tally.len() as u64);
         for &v in &self.tally {
@@ -263,21 +341,7 @@ impl Checkpoint {
 
         put_u64(&mut out, self.particles.len() as u64);
         for p in &self.particles {
-            put_f64(&mut out, p.x);
-            put_f64(&mut out, p.y);
-            put_f64(&mut out, p.omega_x);
-            put_f64(&mut out, p.omega_y);
-            put_f64(&mut out, p.energy);
-            put_f64(&mut out, p.weight);
-            put_f64(&mut out, p.dt_to_census);
-            put_f64(&mut out, p.mfp_to_collision);
-            put_u32(&mut out, p.cellx);
-            put_u32(&mut out, p.celly);
-            put_u32(&mut out, p.xs_hints.absorb);
-            put_u32(&mut out, p.xs_hints.scatter);
-            put_u64(&mut out, p.key);
-            put_u64(&mut out, p.rng_counter);
-            out.push(u8::from(p.dead));
+            put_particle(&mut out, p);
         }
 
         debug_assert_eq!(out.len(), HEADER_LEN + payload_len);
@@ -337,26 +401,7 @@ impl Checkpoint {
         let elapsed = Duration::from_nanos(r.u64()?);
         let tally_footprint_bytes = r.u64()? as usize;
 
-        let mut counters = EventCounters {
-            collisions: r.u64()?,
-            facets: r.u64()?,
-            census: r.u64()?,
-            absorptions: r.u64()?,
-            scatters: r.u64()?,
-            reflections: r.u64()?,
-            deaths: r.u64()?,
-            stuck: r.u64()?,
-            tally_flushes: r.u64()?,
-            cs_search_steps: r.u64()?,
-            clustered_flushes: r.u64()?,
-            cs_lookups: r.u64()?,
-            batched_lookups: r.u64()?,
-            density_reads: r.u64()?,
-            material_switches: r.u64()?,
-            ..Default::default()
-        };
-        counters.lost_energy_ev = r.f64()?;
-        counters.census_energy_ev = r.f64()?;
+        let counters = read_counters(&mut r)?;
 
         let n_tally = r.u64()? as usize;
         // checked_mul: the count is corruption-controlled, and a wrapping
@@ -390,25 +435,7 @@ impl Checkpoint {
         }
         let mut particles = Vec::with_capacity(n_particles);
         for _ in 0..n_particles {
-            particles.push(Particle {
-                x: r.f64()?,
-                y: r.f64()?,
-                omega_x: r.f64()?,
-                omega_y: r.f64()?,
-                energy: r.f64()?,
-                weight: r.f64()?,
-                dt_to_census: r.f64()?,
-                mfp_to_collision: r.f64()?,
-                cellx: r.u32()?,
-                celly: r.u32()?,
-                xs_hints: XsHints {
-                    absorb: r.u32()?,
-                    scatter: r.u32()?,
-                },
-                key: r.u64()?,
-                rng_counter: r.u64()?,
-                dead: r.u8()? != 0,
-            });
+            particles.push(read_particle(&mut r)?);
         }
 
         if next_step > n_timesteps {
@@ -430,14 +457,19 @@ impl Checkpoint {
     }
 }
 
-/// Bounds-checked little-endian payload reader.
-struct Reader<'a> {
+/// Bounds-checked little-endian payload reader (shared with the
+/// shard-result codec in [`crate::shard`]).
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl Reader<'_> {
-    fn remaining(&self) -> usize {
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
@@ -454,19 +486,19 @@ impl Reader<'_> {
         Ok(s)
     }
 
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
-    fn f64(&mut self) -> Result<f64, CheckpointError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_bits(self.u64()?))
     }
 }
@@ -492,9 +524,43 @@ pub struct CheckpointStore {
 
 impl CheckpointStore {
     /// A store rooted at `path` (the primary checkpoint file; the
-    /// fallback and temporary files live next to it).
+    /// fallback and temporary files live next to it). Opening the store
+    /// sweeps stale `<path>.tmp.<pid>.<counter>` files left behind by a
+    /// writer killed between temp-write and rename — they are never
+    /// valid recovery sources (the rename into place had not happened),
+    /// so they only leak disk space.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        let store = Self { path: path.into() };
+        store.sweep_stale_temps();
+        store
+    }
+
+    /// Best-effort removal of writer-unique temp files next to the
+    /// primary. Only names with this store's exact `<file>.tmp.` prefix
+    /// are touched; unrelated siblings (including other stores' temps
+    /// and the `.prev` fallback) are left alone. Errors are swallowed:
+    /// a sweep failure must never block opening the store.
+    fn sweep_stale_temps(&self) {
+        let Some(name) = self.path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let prefix = format!("{name}.tmp.");
+        let dir = self
+            .path
+            .parent()
+            .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let stale = entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix));
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The primary checkpoint path.
@@ -1081,6 +1147,33 @@ mod tests {
         store.save_raw(&good[..25]).unwrap();
         std::fs::write(store.fallback_path(), &good[..10]).unwrap();
         assert!(matches!(store.load(), Err(CheckpointError::Truncated)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_writer_temps() {
+        let dir = std::env::temp_dir().join(format!("neutral_ckpt_sweep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let primary = dir.join("solve.ckpt");
+
+        // Plant what a writer killed between temp-write and rename leaves
+        // behind, plus siblings the sweep must NOT touch.
+        let stale_a = dir.join("solve.ckpt.tmp.1234.0");
+        let stale_b = dir.join("solve.ckpt.tmp.99.7");
+        let keep_prev = dir.join("solve.ckpt.prev");
+        let keep_other = dir.join("other.ckpt.tmp.1234.0");
+        for p in [&stale_a, &stale_b, &keep_prev, &keep_other] {
+            std::fs::write(p, b"stale").unwrap();
+        }
+        std::fs::write(&primary, b"primary").unwrap();
+
+        let store = CheckpointStore::new(&primary);
+        assert!(!stale_a.exists(), "stale temp should be swept on open");
+        assert!(!stale_b.exists(), "stale temp should be swept on open");
+        assert!(keep_prev.exists(), "fallback must survive the sweep");
+        assert!(keep_other.exists(), "other stores' temps must survive");
+        assert!(store.path().exists(), "primary must survive the sweep");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -29,6 +29,9 @@
 //! * **Serve == direct** — a solve submitted through the [`Registry`]
 //!   returns a report whose tally dump is byte-identical to the direct
 //!   in-process run (DESIGN.md §16).
+//! * **Shard invariance** — the solve split into {1, 2, 5} fault-isolated
+//!   shards merges bitwise identically to the unsharded run, and a shard
+//!   killed mid-flight and retried still reproduces it (DESIGN.md §18).
 //!
 //! A failing case is minimized axis by axis with [`shrink`] and emitted
 //! as a replayable params file ([`FuzzCase::to_params_text`]); the
@@ -422,7 +425,7 @@ impl FuzzCase {
     }
 }
 
-/// The five differential oracles of [`run_case`].
+/// The six differential oracles of [`run_case`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Oracle {
     /// Population/energy conservation with cutoff residual.
@@ -435,16 +438,20 @@ pub enum Oracle {
     CheckpointRoundTrip,
     /// The registry serves byte-identical results to a direct run.
     ServeDirect,
+    /// Shard counts {1, 2, 5} merge bitwise identically, and a killed
+    /// shard recovers identically through retry.
+    ShardInvariance,
 }
 
 impl Oracle {
-    /// All five, in reporting order.
-    pub const ALL: [Oracle; 5] = [
+    /// All six, in reporting order.
+    pub const ALL: [Oracle; 6] = [
         Oracle::Conservation,
         Oracle::CrossDriver,
         Oracle::WorkerInvariance,
         Oracle::CheckpointRoundTrip,
         Oracle::ServeDirect,
+        Oracle::ShardInvariance,
     ];
 
     /// Stable lowercase name for reports and corpus tooling.
@@ -456,6 +463,7 @@ impl Oracle {
             Oracle::WorkerInvariance => "worker_invariance",
             Oracle::CheckpointRoundTrip => "checkpoint_roundtrip",
             Oracle::ServeDirect => "serve_direct",
+            Oracle::ShardInvariance => "shard_invariance",
         }
     }
 }
@@ -610,7 +618,70 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
         });
     }
 
+    // Oracle 6: sharded execution is invisible in the results. Atomic
+    // tallies sit outside the deterministic-merge contract sharding is
+    // built on (the generator never samples them; a hand-written corpus
+    // case could).
+    if sim.problem().transport.tally_strategy == TallyStrategy::Atomic {
+        out.skipped.push(Oracle::ShardInvariance);
+    } else if let Err(e) = shard_invariance(case, base) {
+        out.failures.push(OracleFailure {
+            oracle: Oracle::ShardInvariance,
+            detail: e,
+        });
+    }
+
     out
+}
+
+/// Run the case's driver sharded {1, 2, 5} ways and demand each merge be
+/// bitwise identical to the unsharded `direct` run; then kill shard 1's
+/// first attempt and demand the retried solve still reproduce it (with
+/// the retry actually visible in the stats — a fault that silently never
+/// fired would vacuously pass).
+fn shard_invariance(case: &FuzzCase, direct: &RunReport) -> Result<(), String> {
+    use crate::shard::{ShardConfig, ShardedSolve};
+
+    let options = case.driver.options(BASE_WORKERS);
+    let sim = std::sync::Arc::new(Simulation::new(case.params.build()));
+    let run = |config: ShardConfig| -> Result<(RunReport, crate::shard::ShardStats), String> {
+        let mut solve = ShardedSolve::new(&sim, options, config);
+        loop {
+            match solve.step(&sim) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(format!("sharded step: {e}")),
+            }
+        }
+        let stats = solve.stats();
+        Ok((solve.finish(), stats))
+    };
+
+    // The acceptance counts {1, 2, 5}, plus whatever the case's own
+    // `shards` key asks for (corpus cases pin specific splits).
+    let mut counts = vec![1usize, 2, 5];
+    if !counts.contains(&case.params.shards) {
+        counts.push(case.params.shards);
+    }
+    for n_shards in counts {
+        let mut config = ShardConfig::new(n_shards);
+        config.backoff = std::time::Duration::ZERO;
+        let (report, _) = run(config)?;
+        check_reports_bitwise(&format!("unsharded vs {n_shards} shards"), direct, &report)?;
+    }
+
+    let mut config = ShardConfig::new(2);
+    config.backoff = std::time::Duration::ZERO;
+    config.fault_plan = "kill@1".parse().expect("static fault grammar");
+    let (report, stats) = run(config)?;
+    check_reports_bitwise("unsharded vs killed-then-retried shard", direct, &report)?;
+    if stats.retries != 1 || stats.requeues != 1 {
+        return Err(format!(
+            "injected shard kill not exercised: {} retries, {} requeues (expected 1 each)",
+            stats.retries, stats.requeues
+        ));
+    }
+    Ok(())
 }
 
 /// Cut the solve at its middle census boundary, serialize the

@@ -58,6 +58,7 @@ pub mod particle;
 pub mod registry;
 pub mod scenario;
 pub mod scheduler;
+pub mod shard;
 pub mod sim;
 pub mod soa;
 pub mod validate;
@@ -81,6 +82,10 @@ pub mod prelude {
     };
     pub use crate::scenario::Scenario;
     pub use crate::scheduler::Schedule;
+    pub use crate::shard::{
+        ShardConfig, ShardError, ShardFault, ShardFaultKind, ShardFaultPlan, ShardPlan, ShardStats,
+        ShardedSolve,
+    };
     pub use crate::sim::{
         Execution, Layout, RunOptions, RunReport, Scheme, Simulation, Solve, SolveCore,
     };

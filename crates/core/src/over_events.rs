@@ -291,11 +291,16 @@ pub struct EventState {
     /// Window size the state was built for; [`windows`] always cuts at
     /// this boundary, so the window count can never drift from `wins`.
     chunk: usize,
+    /// Global index of the first particle (non-zero only when this state
+    /// serves a shard's slice of a larger population — see
+    /// [`EventState::ensure_with_base`]).
+    base0: u32,
 }
 
 impl EventState {
-    /// State for `n` particles cut into `chunk`-sized windows.
-    fn new(n: usize, chunk: usize) -> Self {
+    /// State for `n` particles cut into `chunk`-sized windows, the first
+    /// particle sitting at global index `base0`.
+    fn new(n: usize, chunk: usize, base0: u32) -> Self {
         assert!(chunk > 0, "window chunk must be positive");
         let n_windows = if n == 0 { 0 } else { n.div_ceil(chunk) };
         Self {
@@ -310,11 +315,12 @@ impl EventState {
             status: vec![Status::Active; n],
             wins: (0..n_windows)
                 .map(|w| WindowState {
-                    base: (w * chunk) as u32,
+                    base: base0 + (w * chunk) as u32,
                     ..WindowState::default()
                 })
                 .collect(),
             chunk,
+            base0,
         }
     }
 
@@ -323,11 +329,28 @@ impl EventState {
     /// state. This is the seam the multi-timestep loop calls every step:
     /// after the first step it is a pure borrow.
     pub fn ensure(slot: &mut Option<EventState>, n: usize, chunk: usize) -> &mut EventState {
+        Self::ensure_with_base(slot, n, chunk, 0)
+    }
+
+    /// As [`EventState::ensure`], but for a population that is a shard's
+    /// contiguous slice of a larger one starting at global index `base0`.
+    /// Window identity bases must be *global* particle indices: the init
+    /// kernel derives each window's `permuted` flag by comparing particle
+    /// keys (global birth indices) against `base + i`, and a shard whose
+    /// windows claimed local bases would falsely flag identity-ordered
+    /// storage as permuted and take a different (rank-sorting) flush arm
+    /// than the unsharded run.
+    pub fn ensure_with_base(
+        slot: &mut Option<EventState>,
+        n: usize,
+        chunk: usize,
+        base0: u32,
+    ) -> &mut EventState {
         let fits = slot
             .as_ref()
-            .is_some_and(|s| s.status.len() == n && s.chunk == chunk);
+            .is_some_and(|s| s.status.len() == n && s.chunk == chunk && s.base0 == base0);
         if !fits {
-            *slot = Some(EventState::new(n, chunk));
+            *slot = Some(EventState::new(n, chunk, base0));
         }
         slot.as_mut().expect("just ensured")
     }
@@ -590,25 +613,68 @@ pub fn run_over_events_lanes<R: CbRng>(
     state: &mut Option<EventState>,
     order: Option<&[u32]>,
 ) -> (EventCounters, KernelTimings) {
+    let part = neutral_mesh::LanePartition::new(particles.len(), accum.n_lanes());
+    let (partials, timings) = run_over_events_lanes_partitioned(
+        particles, ctx, accum, style, n_threads, schedule, state, order, part, 0,
+    );
+    let mut counters = EventCounters::merge_deterministic(&partials);
+    counters.census_energy_ev = match order {
+        Some(ord) => crate::particle::total_weighted_energy_ordered(particles, ord),
+        None => crate::particle::total_weighted_energy(particles),
+    };
+    (counters, timings)
+}
+
+/// The round loop of [`run_over_events_lanes`] over an *explicit*
+/// partition, returning the raw per-lane counters instead of the
+/// deterministic merge — the Over-Events arm of the sharding seam.
+///
+/// Each lane's counters accumulate **scalar, per lane, across every
+/// pass** (chronological within the lane), and only the caller runs the
+/// one pairwise reduction across lanes. That decomposition is what a
+/// shard — which sees only its own lanes, and whose round loop may run
+/// fewer rounds than the whole population's — can reproduce exactly:
+/// combined with the zero-drain flush no-op in `tally_kernel` and the
+/// global window bases of [`EventState::ensure_with_base`], a lane's
+/// counter partial is a pure function of that lane's particles. `base0`
+/// is the global index of `particles[0]` (`0` when unsharded). Census
+/// energy is left to the caller.
+#[allow(clippy::too_many_arguments)] // the solve's full configuration surface
+pub fn run_over_events_lanes_partitioned<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut neutral_mesh::TallyAccum,
+    style: KernelStyle,
+    n_threads: usize,
+    schedule: crate::scheduler::Schedule,
+    state: &mut Option<EventState>,
+    order: Option<&[u32]>,
+    part: neutral_mesh::LanePartition,
+    base0: u32,
+) -> (Vec<EventCounters>, KernelTimings) {
     use crate::scheduler::parallel_for_owned;
-    use neutral_mesh::{LanePartition, LaneSink};
+    use neutral_mesh::LaneSink;
 
     let n = particles.len();
-    let part = LanePartition::new(n, accum.n_lanes());
+    assert_eq!(part.n_items, n, "partition must cover the population");
+    if let Some(ord) = order {
+        assert_eq!(ord.len(), n, "order must be a permutation");
+    }
     let chunk = part.lane_size;
     let schedule = schedule.lane_granular();
     let mut views: Vec<LaneSink<'_>> = accum.lane_views();
     views.truncate(part.n_lanes);
 
-    let st = EventState::ensure(state, n, chunk);
+    let st = EventState::ensure_with_base(state, n, chunk, base0);
     let mut timings = KernelTimings::default();
-    let mut counters = EventCounters::default();
+    let mut lane_counters = vec![EventCounters::default(); part.n_lanes.max(1)];
 
-    // Apply `kernel` to every window, one worker per window, and merge
-    // the per-window counters deterministically in window (= lane) order.
+    // Apply `kernel` to every window, one worker per window, returning
+    // the per-window (= per-lane) counters in window order.
     let run_pass = |particles: &mut [Particle],
                     st: &mut EventState,
-                    kernel: &(dyn Fn(&mut Window<'_>) -> EventCounters + Sync)| {
+                    kernel: &(dyn Fn(&mut Window<'_>) -> EventCounters + Sync)|
+     -> Vec<EventCounters> {
         let mut states: Vec<(Window<'_>, EventCounters)> = windows(particles, st)
             .into_iter()
             .map(|w| (w, EventCounters::default()))
@@ -616,15 +682,15 @@ pub fn run_over_events_lanes<R: CbRng>(
         parallel_for_owned(n_threads, schedule, &mut states, |_, (w, c)| {
             *c = kernel(w);
         });
-        let partials: Vec<EventCounters> = states.iter().map(|(_, c)| *c).collect();
-        EventCounters::merge_deterministic(&partials)
+        states.iter().map(|(_, c)| *c).collect()
     };
     // As `run_pass`, but pairing window `i` with lane sink `i` for the
     // tally-flush kernel.
     let run_tally_pass = |particles: &mut [Particle],
                           st: &mut EventState,
                           views: &mut [LaneSink<'_>],
-                          list: FlushList| {
+                          list: FlushList|
+     -> Vec<EventCounters> {
         let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
             windows(particles, st)
                 .into_iter()
@@ -634,13 +700,20 @@ pub fn run_over_events_lanes<R: CbRng>(
         parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
             *c = tally_kernel(w, v, list, ctx.cfg.sort_policy);
         });
-        let partials: Vec<EventCounters> = states.iter().map(|(_, _, c)| *c).collect();
-        EventCounters::merge_deterministic(&partials)
+        states.iter().map(|(_, _, c)| *c).collect()
+    };
+    let accumulate = |lane_counters: &mut [EventCounters], partials: &[EventCounters]| {
+        for (lc, p) in lane_counters.iter_mut().zip(partials) {
+            lc.merge(p);
+        }
     };
 
     // --- init kernel.
     let t0 = Instant::now();
-    counters.merge(&run_pass(particles, &mut *st, &|w| init_kernel(w, ctx)));
+    accumulate(
+        &mut lane_counters,
+        &run_pass(particles, &mut *st, &|w| init_kernel(w, ctx)),
+    );
     timings.init = t0.elapsed();
 
     // --- breadth-first rounds (same loop as `run_over_events`).
@@ -648,15 +721,13 @@ pub fn run_over_events_lanes<R: CbRng>(
     loop {
         timings.rounds += 1;
         if timings.rounds > max_rounds {
-            let mut stuck = 0;
             for (i, s) in st.status.iter_mut().enumerate() {
                 if *s == Status::Active {
                     *s = Status::Dead;
                     particles[i].dead = true;
-                    stuck += 1;
+                    lane_counters[i / chunk].stuck += 1;
                 }
             }
-            counters.stuck += stuck;
             break;
         }
 
@@ -666,48 +737,49 @@ pub fn run_over_events_lanes<R: CbRng>(
             KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
         });
         timings.decide += t.elapsed();
-        if decide.collisions == 0 {
+        // The decide kernels abuse the collisions field to carry the
+        // still-active count; it is read here, never accumulated.
+        if decide.iter().map(|c| c.collisions).sum::<u64>() == 0 {
             break;
         }
 
         let t = Instant::now();
-        counters.merge(&run_pass(particles, &mut *st, &|w| {
-            collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
-        }));
+        accumulate(
+            &mut lane_counters,
+            &run_pass(particles, &mut *st, &|w| {
+                collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
+            }),
+        );
         timings.collision += t.elapsed();
 
         let t = Instant::now();
-        counters.merge(&run_pass(particles, &mut *st, &|w| {
-            facet_kernel(w, ctx, style)
-        }));
+        accumulate(
+            &mut lane_counters,
+            &run_pass(particles, &mut *st, &|w| facet_kernel(w, ctx, style)),
+        );
         timings.facet += t.elapsed();
 
         let t = Instant::now();
-        counters.merge(&run_tally_pass(
-            particles,
-            &mut *st,
-            &mut views,
-            FlushList::Round,
-        ));
+        accumulate(
+            &mut lane_counters,
+            &run_tally_pass(particles, &mut *st, &mut views, FlushList::Round),
+        );
         timings.tally += t.elapsed();
     }
 
     // --- census kernel + final flush.
     let t = Instant::now();
-    counters.merge(&run_pass(particles, &mut *st, &|w| census_kernel(w, ctx)));
-    counters.merge(&run_tally_pass(
-        particles,
-        &mut *st,
-        &mut views,
-        FlushList::Census,
-    ));
+    accumulate(
+        &mut lane_counters,
+        &run_pass(particles, &mut *st, &|w| census_kernel(w, ctx)),
+    );
+    accumulate(
+        &mut lane_counters,
+        &run_tally_pass(particles, &mut *st, &mut views, FlushList::Census),
+    );
     timings.census += t.elapsed();
 
-    counters.census_energy_ev = match order {
-        Some(ord) => crate::particle::total_weighted_energy_ordered(particles, ord),
-        None => crate::particle::total_weighted_energy(particles),
-    };
-    (counters, timings)
+    (lane_counters, timings)
 }
 
 /// Populate the per-particle cache arrays and build the initial
@@ -1381,9 +1453,6 @@ fn tally_kernel<T: TallySink>(
             }
             SortPolicy::Off | SortPolicy::ByEnergyBand => false,
         };
-    if cluster {
-        c.clustered_flushes += 1;
-    }
 
     // The heuristic's observation window: deposits drained and adjacent
     // cell changes in this flush's final order (exact distinct-cell count
@@ -1472,13 +1541,28 @@ fn tally_kernel<T: TallySink>(
         }
     }
 
-    if list == FlushList::Round {
-        *last_flush_deposits = deposits;
-        *last_flush_cell_runs = cell_runs;
+    // A flush that drained nothing is a complete no-op: no clustered-pass
+    // count, no heuristic-stats update, no probe-countdown movement. This
+    // keeps every per-window flush state a pure function of the window's
+    // *own* deposit history — never of how many rounds *other* windows
+    // kept the global loop alive — which is what lets a shard, whose
+    // local round loop may exit earlier than the whole population's,
+    // reproduce each lane's counters bitwise (see `crate::shard`). Empty
+    // rounds only happen to windows with no active particles, so the
+    // retained "last flush" stats still describe the last flush that
+    // moved any energy.
+    if c.tally_flushes > 0 {
         if cluster {
-            *probe_countdown = AUTO_PROBE_INTERVAL;
-        } else if *probe_countdown > 0 {
-            *probe_countdown -= 1;
+            c.clustered_flushes += 1;
+        }
+        if list == FlushList::Round {
+            *last_flush_deposits = deposits;
+            *last_flush_cell_runs = cell_runs;
+            if cluster {
+                *probe_countdown = AUTO_PROBE_INTERVAL;
+            } else if *probe_countdown > 0 {
+                *probe_countdown -= 1;
+            }
         }
     }
     c
@@ -1565,7 +1649,7 @@ mod tests {
             let mut particles = spawn_particles(&problem);
             let n = particles.len();
             let tally = AtomicTally::new(problem.mesh.num_cells());
-            let mut st = EventState::new(n, n.max(1));
+            let mut st = EventState::new(n, n.max(1), 0);
             let mut ws = windows(&mut particles, &mut st);
             let w = &mut ws[0];
             init_kernel(w, &c);
@@ -1667,7 +1751,7 @@ mod tests {
 
         // Init alone exposes the bound: one past the last alive slot for
         // the fragmented window, the live prefix for the packed one.
-        let mut st = EventState::new(n, n.max(1));
+        let mut st = EventState::new(n, n.max(1), 0);
         let mut probe = plain.clone();
         let mut ws = windows(&mut probe, &mut st);
         init_kernel(&mut ws[0], &c);

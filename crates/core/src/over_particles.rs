@@ -170,8 +170,42 @@ pub fn run_lanes<R: CbRng>(
     schedule: Schedule,
     order: Option<&[u32]>,
 ) -> EventCounters {
-    assert!(n_threads > 0, "need at least one thread");
     let part = LanePartition::new(particles.len(), accum.n_lanes());
+    let partials = run_lanes_partitioned(particles, ctx, accum, n_threads, schedule, order, part);
+    let mut merged = EventCounters::merge_deterministic(&partials);
+    merged.census_energy_ev = match order {
+        Some(ord) => total_weighted_energy_ordered(particles, ord),
+        None => total_weighted_energy(particles),
+    };
+    merged
+}
+
+/// The lane loop of [`run_lanes`] over an *explicit* partition, returning
+/// the raw per-lane counters instead of the deterministic merge.
+///
+/// This is the sharding seam: a shard holds a contiguous run of the
+/// global lane space, so it must process its particles with the *global*
+/// `lane_size` (a tail shard's local `LanePartition::new` would compute a
+/// smaller one) and hand its per-lane partials — tally lanes via
+/// [`TallyAccum::lane_partial`], counters via this return value — to the
+/// coordinator, which replays the global pairwise merges. The census
+/// energy field of each partial is left untouched (zero): the caller owns
+/// that fold.
+pub fn run_lanes_partitioned<R: CbRng>(
+    particles: &mut [Particle],
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut TallyAccum,
+    n_threads: usize,
+    schedule: Schedule,
+    order: Option<&[u32]>,
+    part: LanePartition,
+) -> Vec<EventCounters> {
+    assert!(n_threads > 0, "need at least one thread");
+    assert_eq!(
+        part.n_items,
+        particles.len(),
+        "partition must cover the slice"
+    );
     if let Some(ord) = order {
         assert_eq!(ord.len(), particles.len(), "order must be a permutation");
     }
@@ -208,13 +242,7 @@ pub fn run_lanes<R: CbRng>(
         },
     );
 
-    let partials: Vec<EventCounters> = states.iter().map(|(_, c)| *c).collect();
-    let mut merged = EventCounters::merge_deterministic(&partials);
-    merged.census_energy_ev = match order {
-        Some(ord) => total_weighted_energy_ordered(particles, ord),
-        None => total_weighted_energy(particles),
-    };
-    merged
+    states.iter().map(|(_, c)| *c).collect()
 }
 
 #[cfg(test)]

@@ -49,6 +49,10 @@
 //! # checkpoint/restart (optional)
 //! checkpoint_file run.ckpt     # enable checkpointed solves at this path
 //! fault kill@2                 # inject faults (testing; see FaultPlan)
+//!
+//! # sharded execution (optional; DESIGN.md §18)
+//! shards 4                     # split each solve into 4 fault-isolated shards
+//! shard_fault kill@1           # inject shard faults (testing; see ShardFaultPlan)
 //! ```
 //!
 //! Any key may be omitted; defaults reproduce the paper's `csp` problem at
@@ -59,6 +63,7 @@ use crate::config::{
     CollisionModel, LookupStrategy, Problem, RegroupPolicy, SortPolicy, TallyStrategy,
     TransportConfig,
 };
+use crate::shard::ShardFaultPlan;
 use neutral_mesh::{MaterialId, Rect, StructuredMesh2D};
 use neutral_xs::{constants, MaterialKind, MaterialSet, MaterialSpec};
 use std::fmt;
@@ -155,6 +160,13 @@ pub struct ProblemParams {
     /// Deterministic fault-injection schedule for the checkpoint layer
     /// (testing/verification; empty = no faults).
     pub fault: FaultPlan,
+    /// Shard count for fault-isolated sharded solves (DESIGN.md §18);
+    /// 1 = ordinary unsharded execution. Purely an execution concern:
+    /// results are bitwise identical for any value.
+    pub shards: usize,
+    /// Deterministic shard-level fault-injection schedule
+    /// (testing/verification; empty = no faults).
+    pub shard_fault: ShardFaultPlan,
 }
 
 impl Default for ProblemParams {
@@ -183,6 +195,8 @@ impl Default for ProblemParams {
             regroup_policy: RegroupPolicy::default(),
             checkpoint_file: None,
             fault: FaultPlan::none(),
+            shards: 1,
+            shard_fault: ShardFaultPlan::default(),
         }
     }
 }
@@ -282,6 +296,10 @@ impl ProblemParams {
                 "checkpoint_file" => p.checkpoint_file = Some(one(&rest)?),
                 "fault" => {
                     p.fault = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                "shards" => p.shards = parse_usize(&one(&rest)?)?,
+                "shard_fault" => {
+                    p.shard_fault = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "collision_model" => {
                     p.collision_model = match one(&rest)?.as_str() {
@@ -436,6 +454,7 @@ impl ProblemParams {
             "weight cutoff must be in [0, 1)",
         )?;
         check(self.xs_points >= 2, "cross-section table needs >= 2 points")?;
+        check(self.shards >= 1, "need at least one shard")?;
         let inside =
             |r: &Rect| r.x0 >= 0.0 && r.x1 <= self.width && r.y0 >= 0.0 && r.y1 <= self.height;
         check(inside(&self.source), "source region outside the domain")?;
@@ -482,8 +501,10 @@ impl ProblemParams {
     /// and `text → parse → to_params_text` is a fixpoint). The fuzzer's
     /// corpus files and shrunk repro cases are written with this.
     ///
-    /// The test-only `fault` plan is not serialized (fault injection
-    /// belongs to a harness, not a replayable scenario).
+    /// The test-only `fault` and `shard_fault` plans are not serialized
+    /// (fault injection belongs to a harness, not a replayable
+    /// scenario); `shards` is emitted only when it differs from the
+    /// default of 1.
     #[must_use]
     pub fn to_params_text(&self) -> String {
         use std::fmt::Write;
@@ -533,6 +554,9 @@ impl ProblemParams {
         let _ = writeln!(s, "regroup_policy {}", self.regroup_policy.name());
         if let Some(path) = &self.checkpoint_file {
             let _ = writeln!(s, "checkpoint_file {path}");
+        }
+        if self.shards != 1 {
+            let _ = writeln!(s, "shards {}", self.shards);
         }
         s
     }
@@ -908,6 +932,27 @@ region 0.5 1.0 0.0 1.0 5.0 2
         let e = ProblemParams::parse("nx 10\nscenario csp\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("first key"));
+    }
+
+    #[test]
+    fn parses_shard_keys() {
+        let p = ProblemParams::parse("shards 4\nshard_fault kill@1,hang@2:3\n").unwrap();
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.shard_fault.to_string(), "kill@1,hang@2:3");
+        // `shards` round-trips through the serializer; the harness-only
+        // fault plan does not (like `fault`).
+        let text = p.to_params_text();
+        assert!(text.contains("shards 4"));
+        assert!(!text.contains("shard_fault"));
+        let back = ProblemParams::parse(&text).unwrap();
+        assert_eq!(back.shards, 4);
+        // The default of 1 stays implicit.
+        assert!(!ProblemParams::default().to_params_text().contains("shards"));
+        // Zero shards is inconsistent, bad grammar is a parse error.
+        assert!(ProblemParams::parse("shards 0\n").is_err());
+        let e = ProblemParams::parse("shard_fault explode@1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("explode"));
     }
 
     #[test]

@@ -28,13 +28,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::checkpoint::{config_fingerprint, CheckpointStore};
-use crate::config::Problem;
-use crate::sim::{RunOptions, RunReport, Simulation, SolveCore};
+use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError, CheckpointStore};
+use crate::config::{Problem, TallyStrategy};
+use crate::shard::{ShardConfig, ShardError, ShardFaultPlan, ShardStats, ShardedSolve};
+use crate::sim::{Execution, RunOptions, RunReport, Simulation, SolveCore};
 
 /// Configuration for a [`Registry`].
 #[derive(Debug, Clone)]
@@ -53,6 +55,20 @@ pub struct RegistryConfig {
     /// must end `Failed`, its fingerprint must be released, and the
     /// runner thread must survive to serve the next entry.
     pub fault_panic_on_step: Option<usize>,
+    /// Deterministic fault injection, the hang variant of
+    /// [`fault_panic_on_step`](Self::fault_panic_on_step): the leased
+    /// chunk whose solve has completed exactly this many timesteps
+    /// stalls instead of advancing. Only meaningful together with
+    /// [`step_deadline`](Self::step_deadline) — without a deadline the
+    /// injected hang blocks its runner forever, which is exactly the
+    /// failure mode the deadline exists to contain.
+    pub fault_hang_on_step: Option<usize>,
+    /// Wall-clock budget for one timestep chunk. When set, each chunk
+    /// runs on a supervised thread; a chunk that exceeds the budget
+    /// fails its solve with a named deadline cause (the stuck thread is
+    /// cancelled and abandoned) while the runner moves on to the next
+    /// queued entry. `None` (the default) trusts chunks to finish.
+    pub step_deadline: Option<Duration>,
 }
 
 impl Default for RegistryConfig {
@@ -61,6 +77,8 @@ impl Default for RegistryConfig {
             runners: 2,
             chunk_delay: None,
             fault_panic_on_step: None,
+            fault_hang_on_step: None,
+            step_deadline: None,
         }
     }
 }
@@ -82,6 +100,13 @@ pub struct SubmitRequest {
     /// Save a checkpoint every this many completed timesteps (only
     /// meaningful with `checkpoint_file`; clamped to ≥ 1).
     pub checkpoint_every: usize,
+    /// Shard count for fault-isolated sharded execution (DESIGN.md
+    /// §18); 1 = ordinary unsharded chunks. Purely an execution
+    /// concern — results are bitwise identical for any value, so the
+    /// fingerprint cache stays sound across shard counts.
+    pub shards: usize,
+    /// Deterministic shard-fault schedule (testing; empty = no faults).
+    pub shard_fault: ShardFaultPlan,
 }
 
 impl SubmitRequest {
@@ -93,6 +118,8 @@ impl SubmitRequest {
             options,
             checkpoint_file: None,
             checkpoint_every: 1,
+            shards: 1,
+            shard_fault: ShardFaultPlan::default(),
         }
     }
 
@@ -101,6 +128,15 @@ impl SubmitRequest {
     pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
         self.checkpoint_file = Some(path.into());
         self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Split each timestep chunk into `shards` fault-isolated shards,
+    /// optionally with an injected fault schedule.
+    #[must_use]
+    pub fn sharded(mut self, shards: usize, fault: ShardFaultPlan) -> Self {
+        self.shards = shards.max(1);
+        self.shard_fault = fault;
         self
     }
 }
@@ -248,13 +284,79 @@ pub struct RegistryStats {
     pub cancelled: u64,
     /// Solves that aborted with an error.
     pub failed: u64,
+    /// Failed shard attempts that were retried (sharded solves).
+    pub shard_retries: u64,
+    /// `(step, shard)` units that succeeded only after requeueing
+    /// (sharded solves).
+    pub shard_requeues: u64,
+}
+
+/// The per-solve stepping engine: an ordinary whole-population
+/// [`SolveCore`], or a [`ShardedSolve`] when the submission asked for
+/// fault-isolated shards. Both advance one census-boundary chunk per
+/// lease and expose the same checkpoint/finish surface; the sharded
+/// variant's step can also *fail* (a quarantined shard), which the
+/// runner turns into a named `Failed` state.
+enum TaskCore {
+    Single(Box<SolveCore>),
+    Sharded(Box<ShardedSolve>),
+}
+
+impl TaskCore {
+    fn step(&mut self, sim: &Arc<Simulation>) -> Result<(), ShardError> {
+        match self {
+            TaskCore::Single(core) => {
+                core.step(sim);
+                Ok(())
+            }
+            TaskCore::Sharded(solve) => solve.step(sim).map(|_| ()),
+        }
+    }
+
+    fn steps_done(&self) -> usize {
+        match self {
+            TaskCore::Single(core) => core.steps_done(),
+            TaskCore::Sharded(solve) => solve.steps_done(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            TaskCore::Single(core) => core.is_done(),
+            TaskCore::Sharded(solve) => solve.is_done(),
+        }
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        match self {
+            TaskCore::Single(core) => core.checkpoint(),
+            TaskCore::Sharded(solve) => solve.checkpoint(),
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        match self {
+            TaskCore::Single(core) => core.finish(),
+            TaskCore::Sharded(solve) => solve.finish(),
+        }
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        match self {
+            TaskCore::Single(_) => None,
+            TaskCore::Sharded(solve) => Some(solve.stats()),
+        }
+    }
 }
 
 struct SolveTask {
     sim: Arc<Simulation>,
-    core: SolveCore,
+    core: TaskCore,
     store: Option<CheckpointStore>,
     checkpoint_every: usize,
+    /// Shard-stat snapshot after the previous chunk, so each chunk
+    /// contributes only its delta to the registry-wide counters.
+    shard_stats_seen: ShardStats,
 }
 
 struct Entry {
@@ -363,6 +465,19 @@ impl Registry {
     /// population are built *outside* the registry lock and the new
     /// entry is queued.
     pub fn submit(&self, req: SubmitRequest) -> Result<SubmitReceipt, SubmitError> {
+        let mut req = req;
+        if req.shards > 1 {
+            // Sharded execution needs the deterministic merge; silently
+            // upgrade the atomic default like `neutral_serve` does for
+            // multi-threaded chunks. Applied *before* fingerprinting so
+            // the cache address matches what actually runs.
+            if req.problem.transport.tally_strategy == TallyStrategy::Atomic {
+                req.problem.transport.tally_strategy = TallyStrategy::Replicated;
+            }
+            if let Execution::ScheduledPrivatized { threads, schedule } = req.options.execution {
+                req.options.execution = Execution::Scheduled { threads, schedule };
+            }
+        }
         let fingerprint = config_fingerprint(&req.problem);
         let n_timesteps = req.problem.n_timesteps;
         let mesh_nx = req.problem.mesh.nx();
@@ -427,12 +542,23 @@ impl Registry {
 
         // Build outside the lock: particle spawn + lookup-structure prep.
         let sim = Arc::new(Simulation::new(req.problem));
-        let core = SolveCore::new(&sim, req.options);
+        let core = if req.shards > 1 {
+            let mut config = ShardConfig::new(req.shards);
+            config.fault_plan = req.shard_fault.clone();
+            // Shard retries reload from `<checkpoint_file>.shard<k>`
+            // stores when the solve spills at all — no collision with
+            // the solve-level file itself.
+            config.checkpoint_base = req.checkpoint_file.clone();
+            TaskCore::Sharded(Box::new(ShardedSolve::new(&sim, req.options, config)))
+        } else {
+            TaskCore::Single(Box::new(SolveCore::new(&sim, req.options)))
+        };
         let task = Box::new(SolveTask {
             sim,
             core,
             store: req.checkpoint_file.as_ref().map(CheckpointStore::new),
             checkpoint_every: req.checkpoint_every.max(1),
+            shard_stats_seen: ShardStats::default(),
         });
 
         let mut st = self.lock();
@@ -538,10 +664,63 @@ impl Drop for Registry {
     }
 }
 
+/// What one leased timestep chunk did to its solve.
+enum ChunkVerdict {
+    /// The chunk ran; the solve advanced one timestep (and possibly
+    /// failed to spill its checkpoint).
+    Advanced {
+        done: bool,
+        spill: Option<CheckpointError>,
+    },
+    /// A sharded chunk exhausted a shard's retry budget (or its shard
+    /// checkpoints went bad); the solve cannot make progress.
+    ShardFailed(ShardError),
+    /// The chunk panicked mid-transport.
+    Panicked(String),
+    /// The chunk blew through the configured step deadline and was
+    /// abandoned mid-flight.
+    DeadlineExceeded(Duration),
+}
+
+/// Execute one timestep chunk of `task`, unwind-protected. `cancel` is
+/// observed by the injected hang fault so a deadline supervisor can
+/// release the stuck thread.
+fn run_chunk(cfg: &RegistryConfig, task: &mut SolveTask, cancel: &AtomicBool) -> ChunkVerdict {
+    let chunk = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let step = task.core.steps_done();
+        if cfg.fault_panic_on_step == Some(step) {
+            panic!("injected runner fault at timestep {step}");
+        }
+        if cfg.fault_hang_on_step == Some(step) {
+            while !cancel.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Cancelled by the deadline supervisor: the verdict is
+            // never observed, the thread just needs to exit.
+            return ChunkVerdict::Panicked("injected hang cancelled".to_owned());
+        }
+        if let Err(e) = task.core.step(&task.sim) {
+            return ChunkVerdict::ShardFailed(e);
+        }
+        let done = task.core.is_done();
+        let spill = match &task.store {
+            Some(store) if done || task.core.steps_done().is_multiple_of(task.checkpoint_every) => {
+                store.save(&task.core.checkpoint()).err()
+            }
+            _ => None,
+        };
+        ChunkVerdict::Advanced { done, spill }
+    }));
+    match chunk {
+        Ok(verdict) => verdict,
+        Err(payload) => ChunkVerdict::Panicked(panic_text(payload.as_ref())),
+    }
+}
+
 fn runner_loop(inner: &Inner) {
     loop {
         // Lease the next runnable entry's task.
-        let (id, mut task) = {
+        let (id, task) = {
             let mut st = inner.state.lock().expect("registry state poisoned");
             loop {
                 if st.shutdown {
@@ -565,54 +744,109 @@ fn runner_loop(inner: &Inner) {
         // unwind-protected — a panic in transport (or injected via
         // `fault_panic_on_step`) must not take the runner thread, and
         // every solve queued behind it, down with the one bad solve.
-        let chunk = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if inner.cfg.fault_panic_on_step == Some(task.core.steps_done()) {
-                panic!(
-                    "injected runner fault at timestep {}",
-                    task.core.steps_done()
-                );
+        // With a `step_deadline`, the chunk additionally runs on a
+        // supervised thread so a wedged chunk can be timed out; on
+        // timeout the task is lost with its thread (`None` below) and
+        // the solve fails with a named deadline cause.
+        let (verdict, mut task) = match inner.cfg.step_deadline {
+            None => {
+                let mut task = task;
+                let verdict = run_chunk(&inner.cfg, &mut task, &AtomicBool::new(false));
+                (verdict, Some(task))
             }
-            task.core.step(&task.sim);
-            let done = task.core.is_done();
-            let spill = match &task.store {
-                Some(store) if done || task.core.steps_done() % task.checkpoint_every == 0 => {
-                    store.save(&task.core.checkpoint()).err()
+            Some(deadline) => {
+                let cancel = Arc::new(AtomicBool::new(false));
+                let (tx, rx) = mpsc::channel();
+                let worker = {
+                    let cfg = inner.cfg.clone();
+                    let cancel = Arc::clone(&cancel);
+                    let mut task = task;
+                    std::thread::spawn(move || {
+                        let verdict = run_chunk(&cfg, &mut task, &cancel);
+                        let _ = tx.send((verdict, task));
+                    })
+                };
+                match rx.recv_timeout(deadline) {
+                    Ok((verdict, task)) => {
+                        let _ = worker.join();
+                        (verdict, Some(task))
+                    }
+                    Err(_) => {
+                        // Cancel and abandon the stuck thread; it holds
+                        // the (now unreachable) task, so the solve can
+                        // only fail.
+                        cancel.store(true, Ordering::Relaxed);
+                        (ChunkVerdict::DeadlineExceeded(deadline), None)
+                    }
                 }
-                _ => None,
-            };
-            (done, spill)
-        }));
+            }
+        };
         if let Some(delay) = inner.cfg.chunk_delay {
             std::thread::sleep(delay);
         }
 
+        // Account shard retry/requeue work done by this chunk (delta
+        // against the previous chunk's snapshot), even when the chunk
+        // ultimately failed.
+        let shard_delta = task.as_mut().and_then(|task| {
+            task.core.shard_stats().map(|now| {
+                let seen = task.shard_stats_seen;
+                task.shard_stats_seen = now;
+                (now.retries - seen.retries, now.requeues - seen.requeues)
+            })
+        });
+
         // Hand the lease back and decide what happens next.
         let mut st = inner.state.lock().expect("registry state poisoned");
         st.stats.chunks_run += 1;
+        if let Some((retries, requeues)) = shard_delta {
+            st.stats.shard_retries += retries;
+            st.stats.shard_requeues += requeues;
+        }
         let entry = st.entries.get_mut(&id).expect("running entry vanished");
-        entry.steps_done = task.core.steps_done();
-        match chunk {
-            Err(payload) => {
-                // The task is dropped in an unknown mid-chunk state; the
-                // fingerprint is released so an identical resubmission
-                // re-runs fresh instead of cache-hitting a corpse.
+        if let Some(task) = &task {
+            entry.steps_done = task.core.steps_done();
+        }
+        match verdict {
+            ChunkVerdict::Panicked(detail) => {
+                // The task is dropped (or marooned on its abandoned
+                // thread) in an unknown mid-chunk state; the fingerprint
+                // is released so an identical resubmission re-runs fresh
+                // instead of cache-hitting a corpse.
+                Inner::finalize(
+                    &mut st,
+                    id,
+                    SolveState::Failed(format!("runner panicked mid-chunk: {detail}")),
+                );
+            }
+            ChunkVerdict::ShardFailed(err) => {
+                Inner::finalize(
+                    &mut st,
+                    id,
+                    SolveState::Failed(format!("sharded solve failed: {err}")),
+                );
+            }
+            ChunkVerdict::DeadlineExceeded(deadline) => {
                 Inner::finalize(
                     &mut st,
                     id,
                     SolveState::Failed(format!(
-                        "runner panicked mid-chunk: {}",
-                        panic_text(payload.as_ref())
+                        "step deadline exceeded: chunk still running after {} ms",
+                        deadline.as_millis()
                     )),
                 );
             }
-            Ok((_, Some(err))) => {
+            ChunkVerdict::Advanced {
+                spill: Some(err), ..
+            } => {
                 Inner::finalize(
                     &mut st,
                     id,
                     SolveState::Failed(format!("checkpoint spill: {err}")),
                 );
             }
-            Ok((done, None)) => {
+            ChunkVerdict::Advanced { done, spill: None } => {
+                let task = task.take().expect("advanced chunk returned its task");
                 if entry.cancel_requested {
                     Inner::finalize(&mut st, id, SolveState::Cancelled);
                 } else if done {
@@ -864,6 +1098,145 @@ mod tests {
         );
         assert_eq!(registry.stats().cache_hits, 0);
         assert_eq!(registry.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn sharded_submission_matches_unsharded_bitwise() {
+        // A sharded solve through the registry — including one injected
+        // kill that must be retried — serves the exact bytes of the
+        // ordinary unsharded path, with the retry visible in /stats.
+        let registry = Registry::new(RegistryConfig::default());
+        // The bitwise reference is the *upgraded* configuration the
+        // registry actually runs (atomic → replicated; the atomic merge
+        // order is not part of the deterministic contract).
+        let mut reference = tiny_problem(31, 3);
+        reference.transport.tally_strategy = TallyStrategy::Replicated;
+        let direct = Simulation::new(reference).run(RunOptions::default());
+        let receipt = registry
+            .submit(
+                SubmitRequest::new(tiny_problem(31, 3), RunOptions::default())
+                    .sharded(3, "kill@1".parse().unwrap()),
+            )
+            .unwrap();
+        let status = registry.wait(receipt.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        let served = registry.result(receipt.id).unwrap();
+        assert_eq!(served.tally, direct.tally);
+        assert_eq!(served.counters, direct.counters);
+        let stats = registry.stats();
+        assert_eq!(stats.shard_retries, 1);
+        assert_eq!(stats.shard_requeues, 1);
+        // The atomic default was upgraded to a deterministic strategy
+        // *before* fingerprinting: an unsharded resubmission of the
+        // upgraded problem cache-hits the sharded result.
+        let mut upgraded = tiny_problem(31, 3);
+        upgraded.transport.tally_strategy = TallyStrategy::Replicated;
+        let again = registry
+            .submit(SubmitRequest::new(upgraded, RunOptions::default()))
+            .unwrap();
+        assert_eq!(again.admission, Admission::CacheHit);
+        assert_eq!(again.id, receipt.id);
+    }
+
+    #[test]
+    fn quarantined_shard_fails_solve_without_stalling_others() {
+        // A persistently-faulting shard exhausts its retries and fails
+        // its own solve with a named cause; a healthy solve queued
+        // behind it on the single runner is still served.
+        let registry = Registry::new(RegistryConfig {
+            runners: 1,
+            ..Default::default()
+        });
+        let doomed = registry
+            .submit(
+                SubmitRequest::new(tiny_problem(33, 4), RunOptions::default())
+                    .sharded(2, "panic@0:99".parse().unwrap()),
+            )
+            .unwrap();
+        let fine = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(34, 2),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        let status = registry.wait(doomed.id).unwrap();
+        match &status.state {
+            SolveState::Failed(msg) => {
+                assert!(msg.contains("sharded solve failed"), "{msg}");
+                assert!(msg.contains("quarantined"), "{msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(registry.result(doomed.id).is_none());
+        let status = registry.wait(fine.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        let stats = registry.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.shard_retries >= 1, "{stats:?}");
+        assert_eq!(stats.shard_requeues, 0);
+    }
+
+    #[test]
+    fn hung_chunk_fails_on_step_deadline_and_runner_moves_on() {
+        // An injected hang at the second chunk trips the step deadline:
+        // the solve fails with a named timeout cause and the (single)
+        // runner survives to serve the next entry.
+        let registry = Registry::new(RegistryConfig {
+            runners: 1,
+            step_deadline: Some(Duration::from_millis(200)),
+            fault_hang_on_step: Some(1),
+            ..Default::default()
+        });
+        let doomed = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(35, 3),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        // A single-timestep solve never reaches the faulted step.
+        let fine = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(36, 1),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        let status = registry.wait(doomed.id).unwrap();
+        match &status.state {
+            SolveState::Failed(msg) => {
+                assert!(msg.contains("step deadline exceeded"), "{msg}");
+                assert!(msg.contains("200 ms"), "{msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(status.steps_done, 1, "first chunk finished, second hung");
+        let status = registry.wait(fine.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        assert_eq!(registry.stats().failed, 1);
+        assert_eq!(registry.stats().completed, 1);
+    }
+
+    #[test]
+    fn fast_chunks_pass_under_a_step_deadline() {
+        // The supervised path is transparent when chunks behave: same
+        // results as the direct run, solve Done.
+        let registry = Registry::new(RegistryConfig {
+            runners: 2,
+            step_deadline: Some(Duration::from_secs(60)),
+            ..Default::default()
+        });
+        let receipt = registry
+            .submit(SubmitRequest::new(
+                tiny_problem(37, 3),
+                RunOptions::default(),
+            ))
+            .unwrap();
+        let status = registry.wait(receipt.id).unwrap();
+        assert_eq!(status.state, SolveState::Done);
+        let served = registry.result(receipt.id).unwrap();
+        let direct = Simulation::new(tiny_problem(37, 3)).run(RunOptions::default());
+        assert_eq!(served.tally, direct.tally);
+        assert_eq!(served.counters, direct.counters);
     }
 
     #[test]

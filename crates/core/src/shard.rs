@@ -1,0 +1,1261 @@
+//! Sharded solves with fault-tolerant shard execution (DESIGN.md §18).
+//!
+//! A sharded solve cuts the population's **global lane space** into
+//! contiguous shard ranges and runs each timestep of each shard as an
+//! independent, stateless attempt on its own worker thread: the attempt
+//! receives a clone of the shard's census-boundary particles, rebuilds
+//! all transport state from scratch, runs the partitioned lane drivers
+//! with the *global* lane geometry, and hands back a serialized
+//! `ShardResult` (per-lane tally partials, per-lane counters, post-step
+//! particle records). The coordinator then replays exactly the reductions
+//! an unsharded [`crate::sim::SolveCore`] would run — the pairwise lane
+//! merge of [`neutral_mesh::accum::merge_lanes_pairwise`], the
+//! deterministic counter merge, and the key-order census-energy fold —
+//! so the merged tallies, counters and final particle records are
+//! **bitwise identical to the unsharded run for any shard count**.
+//!
+//! On top of that determinism sits the fault model: a per-shard
+//! supervisor with a heartbeat deadline, deterministic fault injection
+//! ([`ShardFaultPlan`]: `kill@S`, `hang@S`, `corrupt@S`, `panic@S`),
+//! bounded retry with exponential backoff re-running a failed shard from
+//! its census-boundary input (optionally reloaded through a per-shard
+//! [`CheckpointStore`], exercising the crash-safe on-disk protocol), and
+//! quarantine with a named [`ShardError`] once retries are exhausted.
+//! Because attempts are stateless and their inputs are census-boundary
+//! snapshots, a retried shard reproduces the clean run's bits exactly.
+
+use crate::checkpoint::{
+    config_fingerprint, fnv1a64, put_counters, put_particle, read_counters, read_particle,
+    Checkpoint, CheckpointError, CheckpointStore, Reader, COUNTERS_RECORD_LEN, PARTICLE_RECORD_LEN,
+};
+use crate::counters::EventCounters;
+use crate::history::TransportCtx;
+use crate::over_events::run_over_events_lanes_partitioned;
+use crate::over_particles::run_lanes_partitioned;
+use crate::particle::{regroup_particles_parallel, spawn_particles, Particle};
+use crate::sim::{execution_workers, Execution, Layout, RunOptions, RunReport, Scheme, Simulation};
+use crate::soa::{run_lanes_soa_partitioned, ParticleSoA};
+use neutral_mesh::accum::{merge_lanes_pairwise, DEFAULT_LANES};
+use neutral_mesh::{LanePartition, TallyAccum};
+use std::fmt;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How the global lane space of a solve is cut into shards.
+///
+/// Shard boundaries always fall on **lane** boundaries: each shard owns a
+/// contiguous run of whole lanes, and with them the contiguous particle
+/// range those lanes cover. Because the lane decomposition is the unit of
+/// every deterministic reduction (tally merge, counter merge, regroup
+/// blocks), lane-aligned shards can each reproduce their lanes' partial
+/// results bit-for-bit and the coordinator can replay the global merges
+/// unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPlan {
+    /// The global lane partition of the whole population — identical to
+    /// the one an unsharded solve would compute.
+    pub part: LanePartition,
+    /// Number of shards the lane space is cut into.
+    pub n_shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan `n_shards` shards over a population of `n_items` particles,
+    /// using the same fixed global lane count an unsharded solve uses.
+    #[must_use]
+    pub fn new(n_items: usize, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        Self {
+            part: LanePartition::new(n_items, DEFAULT_LANES),
+            n_shards,
+        }
+    }
+
+    /// The global lanes shard `shard` owns (may be empty when there are
+    /// more shards than lanes).
+    #[must_use]
+    pub fn lane_range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.n_shards, "shard index out of range");
+        let l = self.part.n_lanes;
+        (shard * l / self.n_shards)..((shard + 1) * l / self.n_shards)
+    }
+
+    /// The global particle positions shard `shard` owns — the particles
+    /// of its lanes. Particle keys in this range are global birth
+    /// indices; they are the RNG stream identities and never re-based.
+    #[must_use]
+    pub fn particle_range(&self, shard: usize) -> Range<usize> {
+        let lanes = self.lane_range(shard);
+        let lo = (lanes.start * self.part.lane_size).min(self.part.n_items);
+        let hi = (lanes.end * self.part.lane_size).min(self.part.n_items);
+        lo..hi
+    }
+}
+
+/// A fault the harness injects into shard attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The attempt thread dies silently without reporting a result.
+    Kill,
+    /// The attempt stops making progress (and misses its heartbeat
+    /// deadline) without exiting.
+    Hang,
+    /// The attempt reports a result whose bytes were corrupted in flight
+    /// (detected by the result checksum).
+    Corrupt,
+    /// The attempt panics; the panic is caught and reported.
+    Panic,
+}
+
+impl fmt::Display for ShardFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardFaultKind::Kill => "kill",
+            ShardFaultKind::Hang => "hang",
+            ShardFaultKind::Corrupt => "corrupt",
+            ShardFaultKind::Panic => "panic",
+        })
+    }
+}
+
+impl FromStr for ShardFaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "kill" => Ok(ShardFaultKind::Kill),
+            "hang" => Ok(ShardFaultKind::Hang),
+            "corrupt" => Ok(ShardFaultKind::Corrupt),
+            "panic" => Ok(ShardFaultKind::Panic),
+            other => Err(format!(
+                "unknown shard fault kind {other:?} (expected kill|hang|corrupt|panic)"
+            )),
+        }
+    }
+}
+
+/// One injected shard fault: `kind@shard[:count]` — affect the next
+/// `count` attempts of `shard` (default 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardFault {
+    /// What goes wrong.
+    pub kind: ShardFaultKind,
+    /// Which shard it strikes.
+    pub shard: usize,
+    /// How many attempts of that shard it strikes (across the whole
+    /// solve) before burning out.
+    pub count: usize,
+}
+
+impl fmt::Display for ShardFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 1 {
+            write!(f, "{}@{}", self.kind, self.shard)
+        } else {
+            write!(f, "{}@{}:{}", self.kind, self.shard, self.count)
+        }
+    }
+}
+
+impl FromStr for ShardFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("bad shard fault {s:?} (expected kind@shard[:count])");
+        let (kind, rest) = s.split_once('@').ok_or_else(bad)?;
+        let kind = kind.parse()?;
+        let (shard, count) = match rest.split_once(':') {
+            None => (rest, 1),
+            Some((shard, count)) => (shard, count.parse::<usize>().map_err(|_| bad())?),
+        };
+        let shard = shard.parse::<usize>().map_err(|_| bad())?;
+        if count == 0 {
+            return Err(format!(
+                "shard fault {s:?} has count 0 — it would never fire"
+            ));
+        }
+        Ok(ShardFault { kind, shard, count })
+    }
+}
+
+/// A comma-separated list of injected shard faults, e.g.
+/// `kill@1,corrupt@0:2`. The empty plan injects nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardFaultPlan {
+    faults: Vec<ShardFault>,
+}
+
+impl ShardFaultPlan {
+    /// A plan holding `faults`.
+    #[must_use]
+    pub fn new(faults: Vec<ShardFault>) -> Self {
+        Self { faults }
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults of the plan.
+    #[must_use]
+    pub fn faults(&self) -> &[ShardFault] {
+        &self.faults
+    }
+
+    /// Consume one charge of the first unexhausted fault aimed at
+    /// `shard`, returning its kind.
+    fn take(&mut self, shard: usize) -> Option<ShardFaultKind> {
+        let fault = self
+            .faults
+            .iter_mut()
+            .find(|f| f.shard == shard && f.count > 0)?;
+        fault.count -= 1;
+        Some(fault.kind)
+    }
+}
+
+impl fmt::Display for ShardFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ShardFaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim().is_empty() {
+            return Ok(Self::default());
+        }
+        let faults = s
+            .split(',')
+            .map(|part| part.trim().parse())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { faults })
+    }
+}
+
+/// Why a shard attempt (or the whole shard) failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The shard's worker died without reporting a result.
+    Killed {
+        /// The shard that failed.
+        shard: usize,
+    },
+    /// The shard missed its heartbeat deadline and was abandoned.
+    Hung {
+        /// The shard that failed.
+        shard: usize,
+    },
+    /// The shard reported a result that failed checksum or consistency
+    /// validation.
+    Corrupt {
+        /// The shard that failed.
+        shard: usize,
+        /// What the validation rejected.
+        detail: String,
+    },
+    /// The shard's worker panicked.
+    Panicked {
+        /// The shard that failed.
+        shard: usize,
+        /// The panic payload, when printable.
+        detail: String,
+    },
+    /// The shard exhausted its retry budget and was quarantined; the
+    /// solve fails with the last attempt's cause.
+    Quarantined {
+        /// The quarantined shard.
+        shard: usize,
+        /// Total attempts made (first try + retries).
+        attempts: usize,
+        /// Why the final attempt failed.
+        cause: Box<ShardError>,
+    },
+    /// A per-shard checkpoint save/load failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Killed { shard } => {
+                write!(f, "shard {shard} worker died without reporting a result")
+            }
+            ShardError::Hung { shard } => {
+                write!(f, "shard {shard} missed its heartbeat deadline")
+            }
+            ShardError::Corrupt { shard, detail } => {
+                write!(f, "shard {shard} returned a corrupt result: {detail}")
+            }
+            ShardError::Panicked { shard, detail } => {
+                write!(f, "shard {shard} panicked: {detail}")
+            }
+            ShardError::Quarantined {
+                shard,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "shard {shard} quarantined after {attempts} attempts: {cause}"
+            ),
+            ShardError::Checkpoint(e) => write!(f, "shard checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Configuration of a sharded solve's execution and fault handling.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of shards to cut the lane space into (≥ 1).
+    pub n_shards: usize,
+    /// Retries allowed per failed shard attempt before quarantine
+    /// (total attempts = `max_retries + 1`).
+    pub max_retries: usize,
+    /// Base backoff slept before retry `a` (doubling each retry);
+    /// `Duration::ZERO` disables backoff.
+    pub backoff: Duration,
+    /// How long a shard may go without heartbeat progress before it is
+    /// declared hung and abandoned.
+    pub heartbeat_timeout: Duration,
+    /// Deterministic fault injection plan (empty = no faults).
+    pub fault_plan: ShardFaultPlan,
+    /// When set, each shard checkpoints its census-boundary input to
+    /// `<base>.shard<k>` through the crash-safe [`CheckpointStore`]
+    /// protocol, and retries reload from disk instead of memory.
+    pub checkpoint_base: Option<PathBuf>,
+}
+
+impl ShardConfig {
+    /// A configuration with `n_shards` shards and default fault
+    /// handling: 3 retries, 10 ms base backoff, 10 s heartbeat deadline,
+    /// no injected faults, no on-disk shard checkpoints.
+    #[must_use]
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            n_shards,
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_secs(10),
+            fault_plan: ShardFaultPlan::default(),
+            checkpoint_base: None,
+        }
+    }
+}
+
+/// Counters of the fault-handling machinery, exposed through the solve
+/// registry's `/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard attempts launched (including retries).
+    pub attempts: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// `(step, shard)` units that succeeded only after at least one
+    /// retry — i.e. work that had to be re-queued.
+    pub requeues: u64,
+    /// Shards that exhausted their retry budget and were quarantined.
+    pub quarantined: u64,
+}
+
+impl ShardStats {
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.requeues += other.requeues;
+        self.quarantined += other.quarantined;
+    }
+}
+
+/// The serialized unit a shard attempt hands back to the coordinator:
+/// per-lane tally partials, per-lane counters (census energy left to the
+/// coordinator's fold), and the post-step particle records. Always
+/// round-tripped through bytes — shard attempts behave like remote
+/// processes, which both exercises the codec on every step and gives the
+/// `corrupt` fault a realistic surface.
+#[derive(Debug)]
+struct ShardResult {
+    shard: u64,
+    step: u64,
+    base0: u64,
+    cells: u64,
+    footprint: u64,
+    lane_counters: Vec<EventCounters>,
+    lane_tallies: Vec<Vec<f64>>,
+    particles: Vec<Particle>,
+}
+
+const SHARD_MAGIC: &[u8; 8] = b"NEUTSHRD";
+const SHARD_VERSION: u32 = 1;
+/// magic + version + payload length.
+const SHARD_HEADER_LEN: usize = 8 + 4 + 8;
+
+impl ShardResult {
+    fn to_bytes(&self) -> Vec<u8> {
+        let n_lanes = self.lane_counters.len();
+        let payload_len = 6 * 8
+            + n_lanes * (COUNTERS_RECORD_LEN + self.cells as usize * 8)
+            + 8
+            + self.particles.len() * PARTICLE_RECORD_LEN;
+        let mut out = Vec::with_capacity(SHARD_HEADER_LEN + payload_len + 8);
+        out.extend_from_slice(SHARD_MAGIC);
+        out.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+
+        for v in [
+            self.shard,
+            self.step,
+            self.base0,
+            self.cells,
+            self.footprint,
+            n_lanes as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for c in &self.lane_counters {
+            put_counters(&mut out, c);
+        }
+        for lane in &self.lane_tallies {
+            for v in lane {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.particles.len() as u64).to_le_bytes());
+        for p in &self.particles {
+            put_particle(&mut out, p);
+        }
+
+        debug_assert_eq!(out.len(), SHARD_HEADER_LEN + payload_len);
+        let checksum = fnv1a64(out.iter().copied());
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < SHARD_HEADER_LEN + 8 {
+            return Err("truncated shard result".to_owned());
+        }
+        if &buf[..8] != SHARD_MAGIC {
+            return Err("bad shard result magic".to_owned());
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != SHARD_VERSION {
+            return Err(format!("unsupported shard result version {version}"));
+        }
+        let payload_len = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let total_wide = SHARD_HEADER_LEN as u128 + payload_len as u128 + 8;
+        if buf.len() as u128 != total_wide {
+            return Err("shard result length mismatch".to_owned());
+        }
+        let total = buf.len();
+        let expected = u64::from_le_bytes(buf[total - 8..].try_into().unwrap());
+        let found = fnv1a64(buf[..total - 8].iter().copied());
+        if expected != found {
+            return Err(format!(
+                "shard result checksum mismatch (expected {expected:#018x}, found {found:#018x})"
+            ));
+        }
+
+        let mut r = Reader::new(&buf[SHARD_HEADER_LEN..total - 8]);
+        let fail = |e: CheckpointError| e.to_string();
+        let shard = r.u64().map_err(fail)?;
+        let step = r.u64().map_err(fail)?;
+        let base0 = r.u64().map_err(fail)?;
+        let cells = r.u64().map_err(fail)?;
+        let footprint = r.u64().map_err(fail)?;
+        let n_lanes = r.u64().map_err(fail)? as usize;
+
+        let lane_bytes = n_lanes
+            .checked_mul(COUNTERS_RECORD_LEN + cells as usize * 8)
+            .filter(|&b| b <= r.remaining())
+            .ok_or_else(|| format!("lane count {n_lanes} exceeds payload"))?;
+        let _ = lane_bytes;
+        let mut lane_counters = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            lane_counters.push(read_counters(&mut r).map_err(fail)?);
+        }
+        let mut lane_tallies = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            let mut lane = Vec::with_capacity(cells as usize);
+            for _ in 0..cells {
+                lane.push(r.f64().map_err(fail)?);
+            }
+            lane_tallies.push(lane);
+        }
+        let n_particles = r.u64().map_err(fail)? as usize;
+        if n_particles
+            .checked_mul(PARTICLE_RECORD_LEN)
+            .is_none_or(|b| b != r.remaining())
+        {
+            return Err(format!(
+                "particle count {n_particles} inconsistent with payload size"
+            ));
+        }
+        let mut particles = Vec::with_capacity(n_particles);
+        for _ in 0..n_particles {
+            particles.push(read_particle(&mut r).map_err(fail)?);
+        }
+
+        Ok(Self {
+            shard,
+            step,
+            base0,
+            cells,
+            footprint,
+            lane_counters,
+            lane_tallies,
+            particles,
+        })
+    }
+}
+
+/// Everything one shard attempt needs, owned so the attempt thread is
+/// `'static` and can be abandoned if it hangs.
+struct AttemptTask {
+    sim: Arc<Simulation>,
+    options: RunOptions,
+    particles: Vec<Particle>,
+    step: usize,
+    shard: usize,
+    /// Global lane size — a tail shard must NOT recompute this locally.
+    lane_size: usize,
+    /// Lanes this shard owns.
+    n_lanes: usize,
+    /// Global particle index of `particles[0]`.
+    base0: usize,
+    cells: usize,
+    heartbeat: Arc<AtomicU64>,
+}
+
+/// One stateless shard attempt: census-boundary dt reset, shard-local
+/// regroup with the global lane size, identity-map rebuild, one step of
+/// the scheme's partitioned lane driver, serialization. Pure function of
+/// its inputs — re-running it reproduces the same bytes.
+fn run_attempt(task: AttemptTask) -> Vec<u8> {
+    let AttemptTask {
+        sim,
+        options,
+        mut particles,
+        step,
+        shard,
+        lane_size,
+        n_lanes,
+        base0,
+        cells,
+        heartbeat,
+    } = task;
+    let problem = sim.problem();
+    let ctx = TransportCtx {
+        mesh: &problem.mesh,
+        materials: &problem.materials,
+        rng: sim.rng(),
+        cfg: &problem.transport,
+    };
+    let (workers, schedule) = execution_workers(options.execution);
+    if step > 0 {
+        for p in particles.iter_mut().filter(|p| !p.dead) {
+            p.dt_to_census = problem.dt;
+        }
+        // The census-boundary regroup permutes within lane blocks only,
+        // and this shard's lanes are whole global lanes — so regrouping
+        // the shard slice with the GLOBAL lane size produces exactly the
+        // global regroup's arrangement of these positions.
+        let mut scratches = Vec::new();
+        regroup_particles_parallel(
+            &mut particles,
+            problem.transport.regroup_policy,
+            problem.mesh.nx(),
+            lane_size,
+            workers,
+            schedule,
+            &mut scratches,
+        );
+    }
+    heartbeat.fetch_add(1, Ordering::Relaxed);
+
+    // Keys are global birth indices; the local identity map indexes them
+    // relative to the shard's base. Deriving `permuted` from the actual
+    // storage order (rather than carrying it across steps) matches the
+    // checkpoint/restart semantics, which are proven bitwise-neutral.
+    let base = base0 as u64;
+    let permuted = particles
+        .iter()
+        .enumerate()
+        .any(|(pos, p)| p.key != base + pos as u64);
+    let mut order = Vec::new();
+    if permuted {
+        order = vec![0u32; particles.len()];
+        for (pos, p) in particles.iter().enumerate() {
+            order[(p.key - base) as usize] = pos as u32;
+        }
+    }
+    let order_ref = permuted.then_some(order.as_slice());
+    let part = LanePartition {
+        n_items: particles.len(),
+        lane_size,
+        n_lanes,
+    };
+    let mut accum = TallyAccum::new(problem.transport.tally_strategy, cells, n_lanes.max(1));
+
+    let mut lane_counters = match options.scheme {
+        Scheme::OverEvents => {
+            let mut state = None;
+            let (counters, _timings) = run_over_events_lanes_partitioned(
+                &mut particles,
+                &ctx,
+                &mut accum,
+                options.kernel_style,
+                workers,
+                schedule,
+                &mut state,
+                order_ref,
+                part,
+                base0 as u32,
+            );
+            counters
+        }
+        Scheme::OverParticles => match options.layout {
+            Layout::Aos => run_lanes_partitioned(
+                &mut particles,
+                &ctx,
+                &mut accum,
+                workers,
+                schedule,
+                order_ref,
+                part,
+            ),
+            layout @ (Layout::Soa | Layout::SoaEventStepped) => {
+                let mut soa = ParticleSoA::default();
+                soa.copy_from_aos(&particles);
+                let mut arenas = Vec::new();
+                let counters = run_lanes_soa_partitioned(
+                    &mut soa,
+                    &ctx,
+                    &mut accum,
+                    workers,
+                    schedule,
+                    layout == Layout::SoaEventStepped,
+                    &mut arenas,
+                    order_ref,
+                    part,
+                );
+                soa.write_aos(&mut particles);
+                counters
+            }
+        },
+    };
+    // Empty populations can yield fewer (or one placeholder) counter
+    // slots; normalize to exactly one per owned lane.
+    lane_counters.resize(n_lanes, EventCounters::default());
+    lane_counters.truncate(n_lanes);
+    heartbeat.fetch_add(1, Ordering::Relaxed);
+
+    let lane_tallies = (0..n_lanes).map(|l| accum.lane_partial(l)).collect();
+    let result = ShardResult {
+        shard: shard as u64,
+        step: step as u64,
+        base0: base,
+        cells: cells as u64,
+        footprint: accum.footprint_bytes() as u64,
+        lane_counters,
+        lane_tallies,
+        particles,
+    };
+    let bytes = result.to_bytes();
+    heartbeat.fetch_add(1, Ordering::Relaxed);
+    bytes
+}
+
+/// A resumable solve executed as independent, supervised shards whose
+/// merged results are bitwise identical to an unsharded
+/// [`crate::sim::SolveCore`] run (see the module docs for the fault
+/// model).
+pub struct ShardedSolve {
+    options: RunOptions,
+    config: ShardConfig,
+    fingerprint: u64,
+    n_timesteps: usize,
+    plan: ShardPlan,
+    /// Census-boundary particles per shard, physical storage order.
+    shards: Vec<Vec<Particle>>,
+    counters: EventCounters,
+    tally: Vec<f64>,
+    tally_footprint: usize,
+    initial_energy_ev: f64,
+    step: usize,
+    elapsed: Duration,
+    stats: ShardStats,
+    stores: Option<Vec<CheckpointStore>>,
+}
+
+impl ShardedSolve {
+    /// Start a fresh sharded solve of `sim`'s problem.
+    ///
+    /// Panics if the configured tally strategy is not deterministic or
+    /// the execution is `ScheduledPrivatized` — sharding is defined on
+    /// the lane-decomposed drivers only (callers such as the CLI upgrade
+    /// atomic configurations to `replicated` before getting here).
+    #[must_use]
+    pub fn new(sim: &Simulation, options: RunOptions, config: ShardConfig) -> Self {
+        assert!(config.n_shards >= 1, "need at least one shard");
+        let problem = sim.problem();
+        assert!(
+            problem.transport.tally_strategy.is_deterministic(),
+            "sharded solves require a deterministic tally strategy"
+        );
+        assert!(
+            !matches!(options.execution, Execution::ScheduledPrivatized { .. }),
+            "sharded solves require a lane-decomposed execution"
+        );
+        let particles = spawn_particles(problem);
+        let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
+        problem.materials.prepare(problem.transport.xs_search);
+        let plan = ShardPlan::new(particles.len(), config.n_shards);
+        let mut shards: Vec<Vec<Particle>> = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            shards.push(particles[plan.particle_range(shard)].to_vec());
+        }
+        let fingerprint = config_fingerprint(problem);
+        let stores = config.checkpoint_base.as_ref().map(|base| {
+            (0..config.n_shards)
+                .map(|shard| {
+                    let mut path = base.as_os_str().to_owned();
+                    path.push(format!(".shard{shard}"));
+                    CheckpointStore::new(PathBuf::from(path))
+                })
+                .collect()
+        });
+        Self {
+            options,
+            fingerprint,
+            n_timesteps: problem.n_timesteps,
+            plan,
+            shards,
+            counters: EventCounters::default(),
+            tally: vec![0.0; problem.mesh.num_cells()],
+            tally_footprint: 0,
+            initial_energy_ev,
+            step: 0,
+            elapsed: Duration::ZERO,
+            stats: ShardStats::default(),
+            stores,
+            config,
+        }
+    }
+
+    /// Whether every timestep has been executed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.step >= self.n_timesteps
+    }
+
+    /// Timesteps completed so far.
+    #[must_use]
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Total timesteps of the solve.
+    #[must_use]
+    pub fn n_timesteps(&self) -> usize {
+        self.n_timesteps
+    }
+
+    /// The shard plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Fault-handling counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The fingerprint a shard's on-disk checkpoint carries: the config
+    /// fingerprint mixed with the shard's coordinates, so a shard file
+    /// can never resume the wrong shard (or the wrong shard count).
+    #[must_use]
+    pub fn shard_fingerprint(&self, shard: usize) -> u64 {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&self.fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&(shard as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.plan.n_shards as u64).to_le_bytes());
+        fnv1a64(bytes.into_iter())
+    }
+
+    /// Execute the next timestep: supervise every shard (with retry on
+    /// failure), then replay the unsharded reductions over the shard
+    /// results. Returns `Ok(false)` (doing nothing) once all timesteps
+    /// have run; a quarantined shard surfaces as
+    /// [`ShardError::Quarantined`] and leaves the solve at the failed
+    /// census boundary.
+    pub fn step(&mut self, sim: &Arc<Simulation>) -> Result<bool, ShardError> {
+        debug_assert_eq!(
+            config_fingerprint(sim.problem()),
+            self.fingerprint,
+            "ShardedSolve stepped against a different simulation"
+        );
+        if self.is_done() {
+            return Ok(false);
+        }
+        let start = Instant::now();
+        self.save_shard_checkpoints()?;
+        let mut results = Vec::with_capacity(self.plan.n_shards);
+        for shard in 0..self.plan.n_shards {
+            if self.plan.lane_range(shard).is_empty() {
+                continue;
+            }
+            let result = self.run_shard_with_retry(sim, shard)?;
+            results.push((shard, result));
+        }
+        self.merge_step(results);
+        self.elapsed += start.elapsed();
+        self.step += 1;
+        Ok(true)
+    }
+
+    /// Snapshot the complete resumable state at the current census
+    /// boundary, identical in shape to an unsharded solve's checkpoint
+    /// (the particle concatenation IS the unsharded physical order).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            fingerprint: self.fingerprint,
+            next_step: self.step,
+            n_timesteps: self.n_timesteps,
+            elapsed: self.elapsed,
+            tally_footprint_bytes: self.tally_footprint,
+            counters: self.counters,
+            tally: self.tally.clone(),
+            particles: self.shards.concat(),
+        }
+    }
+
+    /// Finish the solve and build the report. The concatenated shard
+    /// populations, merged counters and merged tally are bitwise
+    /// identical to the unsharded run's. (`kernel_timings` is `None` for
+    /// sharded runs; timings are diagnostics, excluded from the bitwise
+    /// contract.)
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        let particles = self.shards.concat();
+        let alive = particles.iter().filter(|p| !p.dead).count();
+        RunReport {
+            elapsed: self.elapsed,
+            counters: self.counters,
+            tally: self.tally,
+            kernel_timings: None,
+            alive,
+            initial_energy_ev: self.initial_energy_ev,
+            tally_footprint_bytes: self.tally_footprint,
+            timesteps: self.step,
+        }
+    }
+
+    /// Write each shard's census-boundary input through its crash-safe
+    /// store (when configured) so retries can prove durable recovery.
+    fn save_shard_checkpoints(&self) -> Result<(), ShardError> {
+        let Some(stores) = &self.stores else {
+            return Ok(());
+        };
+        for (shard, store) in stores.iter().enumerate() {
+            if self.plan.lane_range(shard).is_empty() {
+                continue;
+            }
+            let ckpt = Checkpoint {
+                fingerprint: self.shard_fingerprint(shard),
+                next_step: self.step,
+                n_timesteps: self.n_timesteps,
+                elapsed: Duration::ZERO,
+                tally_footprint_bytes: 0,
+                counters: EventCounters::default(),
+                tally: Vec::new(),
+                particles: self.shards[shard].clone(),
+            };
+            store.save(&ckpt).map_err(ShardError::Checkpoint)?;
+        }
+        Ok(())
+    }
+
+    /// The input population for an attempt of `shard`: the in-memory
+    /// census-boundary snapshot, or — on retries with stores configured —
+    /// the snapshot reloaded through the on-disk protocol.
+    fn attempt_input(&self, shard: usize, retry: bool) -> Result<Vec<Particle>, ShardError> {
+        if retry {
+            if let Some(stores) = &self.stores {
+                let (ckpt, _recovery) = stores[shard].load().map_err(ShardError::Checkpoint)?;
+                if ckpt.fingerprint != self.shard_fingerprint(shard) || ckpt.next_step != self.step
+                {
+                    return Err(ShardError::Corrupt {
+                        shard,
+                        detail: "shard checkpoint does not match this shard/step".to_owned(),
+                    });
+                }
+                return Ok(ckpt.particles);
+            }
+        }
+        Ok(self.shards[shard].clone())
+    }
+
+    fn run_shard_with_retry(
+        &mut self,
+        sim: &Arc<Simulation>,
+        shard: usize,
+    ) -> Result<ShardResult, ShardError> {
+        let max_retries = self.config.max_retries;
+        let mut last_error = None;
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                let backoff = self.config.backoff * 2u32.pow((attempt as u32 - 1).min(16));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            let input = self.attempt_input(shard, attempt > 0)?;
+            let fault = self.config.fault_plan.take(shard);
+            self.stats.attempts += 1;
+            match self.supervise(sim, shard, input, fault) {
+                Ok(result) => {
+                    if attempt > 0 {
+                        self.stats.requeues += 1;
+                    }
+                    return Ok(result);
+                }
+                Err(e) => {
+                    if attempt < max_retries {
+                        self.stats.retries += 1;
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        self.stats.quarantined += 1;
+        Err(ShardError::Quarantined {
+            shard,
+            attempts: max_retries + 1,
+            cause: Box::new(last_error.expect("at least one attempt ran")),
+        })
+    }
+
+    /// Run one attempt of `shard` on its own thread under heartbeat
+    /// supervision. `fault`, when set, is injected into the attempt.
+    fn supervise(
+        &self,
+        sim: &Arc<Simulation>,
+        shard: usize,
+        particles: Vec<Particle>,
+        fault: Option<ShardFaultKind>,
+    ) -> Result<ShardResult, ShardError> {
+        let range = self.plan.particle_range(shard);
+        let lanes = self.plan.lane_range(shard);
+        let task = AttemptTask {
+            sim: Arc::clone(sim),
+            options: self.options,
+            particles,
+            step: self.step,
+            shard,
+            lane_size: self.plan.part.lane_size,
+            n_lanes: lanes.len(),
+            base0: range.start,
+            cells: self.tally.len(),
+            heartbeat: Arc::new(AtomicU64::new(0)),
+        };
+        let heartbeat = Arc::clone(&task.heartbeat);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel_attempt = Arc::clone(&cancel);
+        let (tx, rx) = mpsc::channel::<Result<Vec<u8>, ShardError>>();
+
+        let handle = std::thread::spawn(move || {
+            match fault {
+                // A killed worker: exit without reporting anything — the
+                // supervisor sees the channel close.
+                Some(ShardFaultKind::Kill) => return,
+                // A wedged worker: no progress, no exit (until the
+                // supervisor abandons the attempt and cancels it).
+                Some(ShardFaultKind::Hang) => {
+                    while !cancel_attempt.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    return;
+                }
+                _ => {}
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if fault == Some(ShardFaultKind::Panic) {
+                    panic!("injected shard panic");
+                }
+                run_attempt(task)
+            }));
+            let message = match outcome {
+                Ok(mut bytes) => {
+                    if fault == Some(ShardFaultKind::Corrupt) {
+                        let mid = bytes.len() / 2;
+                        bytes[mid] ^= 0xFF;
+                    }
+                    Ok(bytes)
+                }
+                Err(payload) => Err(ShardError::Panicked {
+                    shard,
+                    detail: panic_detail(payload.as_ref()),
+                }),
+            };
+            let _ = tx.send(message);
+        });
+
+        let poll = (self.config.heartbeat_timeout / 4)
+            .clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let mut last_beat = 0;
+        let mut last_progress = Instant::now();
+        let verdict = loop {
+            match rx.recv_timeout(poll) {
+                Ok(Ok(bytes)) => break self.decode(shard, &bytes),
+                Ok(Err(e)) => break Err(e),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let beat = heartbeat.load(Ordering::Relaxed);
+                    if beat != last_beat {
+                        last_beat = beat;
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() >= self.config.heartbeat_timeout {
+                        // Abandon the wedged thread: cancel lets an
+                        // injected hang exit; a genuinely stuck thread
+                        // leaks, which is the price of not blocking the
+                        // whole solve on it.
+                        cancel.store(true, Ordering::Relaxed);
+                        break Err(ShardError::Hung { shard });
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    break Err(ShardError::Killed { shard });
+                }
+            }
+        };
+        if !matches!(verdict, Err(ShardError::Hung { .. })) {
+            let _ = handle.join();
+        }
+        verdict
+    }
+
+    /// Deserialize and validate a shard's reported result.
+    fn decode(&self, shard: usize, bytes: &[u8]) -> Result<ShardResult, ShardError> {
+        let corrupt = |detail: String| ShardError::Corrupt { shard, detail };
+        let result = ShardResult::from_bytes(bytes).map_err(corrupt)?;
+        let range = self.plan.particle_range(shard);
+        let lanes = self.plan.lane_range(shard);
+        if result.shard != shard as u64
+            || result.step != self.step as u64
+            || result.base0 != range.start as u64
+        {
+            return Err(corrupt(
+                "result identity does not match this shard/step".to_owned(),
+            ));
+        }
+        if result.cells != self.tally.len() as u64 || result.lane_counters.len() != lanes.len() {
+            return Err(corrupt(
+                "result geometry does not match the shard plan".to_owned(),
+            ));
+        }
+        if result.particles.len() != range.len() {
+            return Err(corrupt(format!(
+                "result holds {} particles, shard owns {}",
+                result.particles.len(),
+                range.len()
+            )));
+        }
+        let base = range.start as u64;
+        let mut seen = vec![false; range.len()];
+        for p in &result.particles {
+            let k = p.key.wrapping_sub(base) as usize;
+            if k >= seen.len() || seen[k] {
+                return Err(corrupt(format!(
+                    "particle keys are not a permutation of the shard's range (key {})",
+                    p.key
+                )));
+            }
+            seen[k] = true;
+        }
+        Ok(result)
+    }
+
+    /// Replay, over the shard results of one step, exactly the
+    /// reductions the unsharded solve runs: the global pairwise lane
+    /// merge into the running tally, the deterministic counter merge in
+    /// global lane order, and the census-energy fold in key order.
+    fn merge_step(&mut self, results: Vec<(usize, ShardResult)>) {
+        let n_lanes = self.plan.part.n_lanes;
+        let mut lane_counters = Vec::with_capacity(n_lanes);
+        let mut lane_tallies: Vec<&Vec<f64>> = Vec::with_capacity(n_lanes);
+        for (_, r) in &results {
+            lane_counters.extend(r.lane_counters.iter().copied());
+            lane_tallies.extend(r.lane_tallies.iter());
+        }
+        debug_assert_eq!(lane_counters.len(), n_lanes);
+        let mut step_counters = EventCounters::merge_deterministic(&lane_counters);
+        let merged = merge_lanes_pairwise(n_lanes, &|lane| lane_tallies[lane].clone());
+        for (acc, v) in self.tally.iter_mut().zip(&merged) {
+            *acc += v;
+        }
+
+        // One sequential fold across the whole population in key order —
+        // bitwise the fold the unsharded drivers run (key order equals
+        // physical order whenever nothing is permuted).
+        let mut census = 0.0f64;
+        for (shard, r) in &results {
+            let base = self.plan.particle_range(*shard).start as u64;
+            let mut pos_by_key = vec![0u32; r.particles.len()];
+            for (pos, p) in r.particles.iter().enumerate() {
+                pos_by_key[(p.key - base) as usize] = pos as u32;
+            }
+            for &pos in &pos_by_key {
+                let p = &r.particles[pos as usize];
+                if !p.dead {
+                    census += p.weighted_energy();
+                }
+            }
+        }
+        step_counters.census_energy_ev = census;
+
+        self.counters.merge(&step_counters);
+        // The residual is a snapshot, not a sum across steps.
+        self.counters.census_energy_ev = step_counters.census_energy_ev;
+        self.tally_footprint = results.iter().map(|(_, r)| r.footprint as usize).sum();
+        for (shard, r) in results {
+            self.shards[shard] = r.particles;
+        }
+    }
+}
+
+/// Render a caught panic payload for error reporting.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_round_trips() {
+        let plan: ShardFaultPlan = "kill@1,corrupt@0:2,hang@3".parse().unwrap();
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(
+            plan.faults()[1],
+            ShardFault {
+                kind: ShardFaultKind::Corrupt,
+                shard: 0,
+                count: 2
+            }
+        );
+        assert_eq!(plan.to_string(), "kill@1,corrupt@0:2,hang@3");
+        assert_eq!(plan.to_string().parse::<ShardFaultPlan>().unwrap(), plan);
+        assert!(ShardFaultPlan::from_str("").unwrap().is_empty());
+        assert!("explode@1".parse::<ShardFaultPlan>().is_err());
+        assert!("kill@x".parse::<ShardFaultPlan>().is_err());
+        assert!("kill@1:0".parse::<ShardFaultPlan>().is_err());
+    }
+
+    #[test]
+    fn fault_plan_charges_burn_out() {
+        let mut plan: ShardFaultPlan = "kill@2:2".parse().unwrap();
+        assert_eq!(plan.take(0), None);
+        assert_eq!(plan.take(2), Some(ShardFaultKind::Kill));
+        assert_eq!(plan.take(2), Some(ShardFaultKind::Kill));
+        assert_eq!(plan.take(2), None);
+    }
+
+    #[test]
+    fn shard_plan_partitions_lanes_and_particles() {
+        for n_items in [0usize, 1, 31, 100, 1000, 4096] {
+            for n_shards in [1usize, 2, 3, 5, 32, 40] {
+                let plan = ShardPlan::new(n_items, n_shards);
+                let mut lanes_seen = 0;
+                let mut items_seen = 0;
+                for shard in 0..n_shards {
+                    let lanes = plan.lane_range(shard);
+                    let items = plan.particle_range(shard);
+                    assert_eq!(lanes.start, lanes_seen, "lanes must be contiguous");
+                    assert_eq!(items.start.min(n_items), items_seen.min(n_items));
+                    lanes_seen = lanes.end;
+                    items_seen = items.end;
+                }
+                assert_eq!(lanes_seen, plan.part.n_lanes, "lanes must be covered");
+                assert_eq!(items_seen, n_items, "particles must be covered");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_result_codec_round_trips_and_detects_corruption() {
+        let particles = vec![Particle {
+            x: 0.5,
+            y: 0.25,
+            omega_x: 1.0,
+            omega_y: 0.0,
+            energy: 1.0e6,
+            weight: 2.0,
+            dt_to_census: 0.1,
+            mfp_to_collision: 3.0,
+            cellx: 1,
+            celly: 2,
+            xs_hints: neutral_xs::XsHints::default(),
+            key: 7,
+            rng_counter: 42,
+            dead: false,
+        }];
+        let result = ShardResult {
+            shard: 1,
+            step: 3,
+            base0: 7,
+            cells: 2,
+            footprint: 64,
+            lane_counters: vec![EventCounters {
+                collisions: 11,
+                lost_energy_ev: 0.5,
+                ..EventCounters::default()
+            }],
+            lane_tallies: vec![vec![1.25, -3.5]],
+            particles,
+        };
+        let bytes = result.to_bytes();
+        let back = ShardResult::from_bytes(&bytes).unwrap();
+        assert_eq!(back.shard, 1);
+        assert_eq!(back.step, 3);
+        assert_eq!(back.lane_counters, result.lane_counters);
+        assert_eq!(back.lane_tallies, result.lane_tallies);
+        assert_eq!(back.particles.len(), 1);
+        assert_eq!(back.particles[0].key, 7);
+
+        let mut torn = bytes.clone();
+        torn.truncate(bytes.len() - 3);
+        assert!(ShardResult::from_bytes(&torn).is_err());
+
+        let mut flipped = bytes;
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        let err = ShardResult::from_bytes(&flipped).unwrap_err();
+        assert!(err.contains("checksum"), "got: {err}");
+    }
+}

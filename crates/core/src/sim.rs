@@ -256,7 +256,7 @@ impl TransportState {
 /// Worker count and schedule implied by an [`Execution`] — used for the
 /// stages (like the census-boundary regroup) that run through the lane
 /// scheduler outside the main drivers.
-fn execution_workers(execution: Execution) -> (usize, Schedule) {
+pub(crate) fn execution_workers(execution: Execution) -> (usize, Schedule) {
     match execution {
         Execution::Sequential => (1, Schedule::Static { chunk: None }),
         Execution::Rayon => (rayon::current_num_threads(), Schedule::Dynamic { chunk: 1 }),
@@ -294,6 +294,13 @@ impl Simulation {
     #[must_use]
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The per-problem RNG (keyed by the problem seed). Shard attempts
+    /// clone this so every shard draws from the same counter-based
+    /// streams an unsharded run would.
+    pub(crate) fn rng(&self) -> &Threefry2x64 {
+        &self.rng
     }
 
     /// Run the configured number of timesteps with `options`, returning

@@ -639,42 +639,10 @@ pub fn run_lanes_soa<R: CbRng>(
     order: Option<&[u32]>,
 ) -> EventCounters {
     let part = LanePartition::new(soa.len(), accum.n_lanes());
-    if let Some(ord) = order {
-        assert_eq!(ord.len(), soa.len(), "order must be a permutation");
-    }
-    let mut counters = {
-        let chunks = soa.chunks_mut(part.lane_size);
-        let mut states: Vec<(usize, SoAChunkMut<'_>, LaneSink<'_>, EventCounters)> = chunks
-            .into_iter()
-            .zip(accum.lane_views())
-            .enumerate()
-            .map(|(lane, (chunk, view))| (lane, chunk, view, EventCounters::default()))
-            .collect();
-        // One reusable arena per *worker*, not per lane: workers claim
-        // many lanes, and the staging lanes carry no cross-lane meaning.
-        if arenas.len() < n_threads {
-            arenas.resize_with(n_threads, ScratchArena::new);
-        }
-        parallel_for_owned_scratch(
-            schedule.lane_granular(),
-            &mut states,
-            &mut arenas[..n_threads],
-            |_, (lane, chunk, sink, local), arena| {
-                let chunk_order = order.map(|ord| {
-                    let range = part.range(*lane);
-                    let base = range.start as u32;
-                    (&ord[range], base)
-                });
-                if stepped {
-                    track_soa_chunk_stepped(chunk, ctx, sink, local, chunk_order);
-                } else {
-                    track_soa_chunk(chunk, ctx, sink, local, arena, chunk_order);
-                }
-            },
-        );
-        let partials: Vec<EventCounters> = states.iter().map(|(_, _, _, c)| *c).collect();
-        EventCounters::merge_deterministic(&partials)
-    };
+    let partials = run_lanes_soa_partitioned(
+        soa, ctx, accum, n_threads, schedule, stepped, arenas, order, part,
+    );
+    let mut counters = EventCounters::merge_deterministic(&partials);
     counters.census_energy_ev = match order {
         Some(ord) => ord
             .iter()
@@ -688,6 +656,63 @@ pub fn run_lanes_soa<R: CbRng>(
             .sum(),
     };
     counters
+}
+
+/// The lane loop of [`run_lanes_soa`] over an *explicit* partition,
+/// returning the raw per-lane counters instead of the deterministic
+/// merge — the SoA arm of the sharding seam (see
+/// `over_particles::run_lanes_partitioned` for why a shard cannot
+/// recompute the partition locally). Census energy is left to the caller.
+#[allow(clippy::too_many_arguments)] // the solve's full configuration surface
+pub fn run_lanes_soa_partitioned<R: CbRng>(
+    soa: &mut ParticleSoA,
+    ctx: &TransportCtx<'_, R>,
+    accum: &mut TallyAccum,
+    n_threads: usize,
+    schedule: Schedule,
+    stepped: bool,
+    arenas: &mut Vec<ScratchArena>,
+    order: Option<&[u32]>,
+    part: LanePartition,
+) -> Vec<EventCounters> {
+    assert_eq!(
+        part.n_items,
+        soa.len(),
+        "partition must cover the population"
+    );
+    if let Some(ord) = order {
+        assert_eq!(ord.len(), soa.len(), "order must be a permutation");
+    }
+    let chunks = soa.chunks_mut(part.lane_size);
+    let mut states: Vec<(usize, SoAChunkMut<'_>, LaneSink<'_>, EventCounters)> = chunks
+        .into_iter()
+        .zip(accum.lane_views())
+        .enumerate()
+        .map(|(lane, (chunk, view))| (lane, chunk, view, EventCounters::default()))
+        .collect();
+    // One reusable arena per *worker*, not per lane: workers claim
+    // many lanes, and the staging lanes carry no cross-lane meaning.
+    if arenas.len() < n_threads {
+        arenas.resize_with(n_threads, ScratchArena::new);
+    }
+    parallel_for_owned_scratch(
+        schedule.lane_granular(),
+        &mut states,
+        &mut arenas[..n_threads],
+        |_, (lane, chunk, sink, local), arena| {
+            let chunk_order = order.map(|ord| {
+                let range = part.range(*lane);
+                let base = range.start as u32;
+                (&ord[range], base)
+            });
+            if stepped {
+                track_soa_chunk_stepped(chunk, ctx, sink, local, chunk_order);
+            } else {
+                track_soa_chunk(chunk, ctx, sink, local, arena, chunk_order);
+            }
+        },
+    );
+    states.iter().map(|(_, _, _, c)| *c).collect()
 }
 
 #[cfg(test)]

@@ -292,7 +292,12 @@ pub fn pairwise_sum(values: &[f64]) -> f64 {
 /// leaf `l` is `leaf(l)`, internal nodes add element-wise. The tree shape
 /// depends only on `n_lanes`, so the result is a pure function of the
 /// lane partials. Peak memory is `O(log n_lanes)` meshes.
-fn merge_lanes_pairwise(n_lanes: usize, leaf: &impl Fn(usize) -> Vec<f64>) -> Vec<f64> {
+///
+/// Exported so a cross-shard coordinator can replay the exact reduction
+/// an unsharded [`TallyAccum::merge`] would run, with leaves drawn from
+/// whichever shard owns each lane (see `neutral_core::shard`).
+#[must_use]
+pub fn merge_lanes_pairwise(n_lanes: usize, leaf: &impl Fn(usize) -> Vec<f64>) -> Vec<f64> {
     fn node(lo: usize, hi: usize, leaf: &impl Fn(usize) -> Vec<f64>) -> Vec<f64> {
         if hi - lo == 1 {
             return leaf(lo);
@@ -623,6 +628,39 @@ impl TallyAccum {
     pub fn footprint_bytes(&self) -> usize {
         self.inner().footprint_bytes()
     }
+
+    /// Dense partial of lane `lane`: the per-cell sums that lane's
+    /// deposit sequence produced, independent of backend blocking. For
+    /// `Replicated` this is the lane's private mesh; for `Privatized`
+    /// it is the owned block plus spill entries re-densified (both hold
+    /// each cell's adds in chronological order, so the materialised
+    /// partial is bitwise what a dense lane would hold). This is the
+    /// serialisation unit of sharded solves: feeding these partials to
+    /// [`merge_lanes_pairwise`] reproduces [`TallyAccum::merge`] bit
+    /// for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Atomic` backend, whose shared mesh has no
+    /// well-defined per-lane decomposition.
+    #[must_use]
+    pub fn lane_partial(&self, lane: usize) -> Vec<f64> {
+        match self {
+            TallyAccum::Atomic(_) => {
+                panic!("lane partials are only defined for deterministic tally strategies")
+            }
+            TallyAccum::Replicated(a) => a.lanes[lane].clone(),
+            TallyAccum::Privatized(a) => {
+                let mut out = vec![0.0; a.cells];
+                let start = (lane * a.block_size).min(a.cells);
+                out[start..start + a.owned[lane].len()].copy_from_slice(&a.owned[lane]);
+                for (&cell, &value) in &a.spill[lane] {
+                    out[cell as usize] = value;
+                }
+                out
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -759,6 +797,32 @@ mod tests {
                     .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "{strategy:?}"
             );
+        }
+    }
+
+    /// Re-merging materialised lane partials through the exported
+    /// pairwise tree must reproduce `merge()` bitwise — the contract
+    /// the sharded executor's cross-shard reduction stands on.
+    #[test]
+    fn lane_partials_remerge_bitwise() {
+        let cells = 37;
+        let lanes = 5;
+        for strategy in [TallyStrategy::Replicated, TallyStrategy::Privatized] {
+            let mut accum = TallyAccum::new(strategy, cells, lanes);
+            {
+                let mut views = accum.lane_views();
+                for (l, view) in views.iter_mut().enumerate() {
+                    for i in 0..200 {
+                        let cell = (l * 17 + i * 13) % cells;
+                        view.add(cell, 0.1 + ((l * 31 + i * 7) % 100) as f64 * 1.7e-3);
+                    }
+                }
+            }
+            let merged = accum.merge();
+            let remerged = merge_lanes_pairwise(lanes, &|l| accum.lane_partial(l));
+            for (c, (a, b)) in merged.iter().zip(&remerged).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{strategy:?} cell {c}");
+            }
         }
     }
 

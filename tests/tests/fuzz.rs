@@ -5,7 +5,7 @@
 //! 1. **Generator contracts** — same seed/index reproduce the same case
 //!    byte for byte; the params serialization round-trips losslessly.
 //! 2. **Live battery** — a handful of freshly generated cases pass all
-//!    five oracles, and the committed corpus under `tests/corpus/`
+//!    six oracles, and the committed corpus under `tests/corpus/`
 //!    (fuzz-found, shrunk, frozen forever) replays green.
 //! 3. **Broken-oracle tests** — every oracle is fed a seeded mutation
 //!    it *must* catch. A comparator that silently passes corrupted
@@ -311,7 +311,7 @@ fn shrinker_emits_minimal_replayable_case() {
     );
 }
 
-/// The five oracle names are stable (corpus tooling and CI grep on
+/// The six oracle names are stable (corpus tooling and CI grep on
 /// them) and every oracle is reachable from a generated case.
 #[test]
 fn oracle_battery_is_complete() {
@@ -323,7 +323,8 @@ fn oracle_battery_is_complete() {
             "cross_driver",
             "worker_invariance",
             "checkpoint_roundtrip",
-            "serve_direct"
+            "serve_direct",
+            "shard_invariance"
         ]
     );
     // A multi-timestep case skips nothing.

@@ -5,19 +5,27 @@
 //! stack this vendors the smallest HTTP surface the workspace needs:
 //!
 //! - a blocking accept loop over [`std::net::TcpListener`] with one
-//!   thread per connection and HTTP/1.1 keep-alive,
+//!   thread per connection, a bounded concurrent-connection cap
+//!   (over-cap peers get an immediate `503` with a `Retry-After`
+//!   hint instead of an unbounded thread pile-up), and HTTP/1.1
+//!   keep-alive,
 //! - request parsing (request line, headers, `Content-Length` bodies)
 //!   with hard size limits so a malformed peer cannot balloon memory,
 //! - a tiny response builder, and
 //! - a one-shot [`client`] used by the end-to-end tests and CI smoke.
 //!
+//! Shutdown drains cleanly: the read half of every open connection is
+//! shut down so idle keep-alive threads wake immediately, while
+//! in-flight responses still complete before their threads are joined.
+//!
 //! It deliberately does not implement chunked transfer encoding, TLS,
 //! pipelining, or HTTP/2 — the solve API needs none of them.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -27,6 +35,10 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Per-connection socket read timeout; a stalled peer frees its thread.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default cap on concurrently served connections.
+const DEFAULT_MAX_CONNECTIONS: usize = 64;
+/// `Retry-After` hint (seconds) sent with over-capacity 503 rejects.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -259,6 +271,62 @@ pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
+    max_connections: usize,
+}
+
+/// The open-connection table: admission counting for the concurrency
+/// cap, plus a read-half kill switch for prompt shutdown drains.
+#[derive(Default)]
+struct ConnTable {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    fn active(&self) -> usize {
+        self.streams.lock().expect("conn table lock").len()
+    }
+
+    /// Register a served connection; the stored clone shares the fd, so
+    /// shutting its read half down wakes the serving thread's read.
+    fn insert(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams
+                .lock()
+                .expect("conn table lock")
+                .insert(id, clone);
+        }
+        id
+    }
+
+    fn remove(&self, id: u64) {
+        self.streams.lock().expect("conn table lock").remove(&id);
+    }
+
+    /// Shut down the read half of every open connection. Idle
+    /// keep-alive reads return EOF immediately; in-flight responses
+    /// still go out on the intact write half.
+    fn shutdown_reads(&self) {
+        for stream in self.streams.lock().expect("conn table lock").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// Answer an over-capacity peer with `503` + `Retry-After` and close.
+/// The pending request is drained first (with a short timeout bounding
+/// the accept thread's stall) so the close is a clean FIN — dropping
+/// unread request bytes would turn it into an RST that can race the
+/// 503 response past the peer.
+fn reject_over_capacity(stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let _ = read_request(&mut reader);
+    Response::text(503, "server at connection capacity, retry shortly\n")
+        .with_header("retry-after", &RETRY_AFTER_SECS.to_string())
+        .write_to(&mut writer)
 }
 
 impl Server {
@@ -266,7 +334,20 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        Ok(Self { listener, addr })
+        Ok(Self {
+            listener,
+            addr,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        })
+    }
+
+    /// Cap the number of concurrently served connections (minimum 1);
+    /// peers past the cap are answered `503` + `Retry-After` and
+    /// closed rather than queued behind an unbounded thread spawn.
+    #[must_use]
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap.max(1);
+        self
     }
 
     /// The bound socket address.
@@ -279,8 +360,11 @@ impl Server {
     /// handle's [`ServerHandle::shutdown`] is called.
     pub fn spawn(self, handler: Handler) -> ServerHandle {
         let stop = Arc::new(AtomicBool::new(false));
+        let open = Arc::new(ConnTable::default());
         let addr = self.addr;
         let accept_stop = Arc::clone(&stop);
+        let accept_open = Arc::clone(&open);
+        let max_connections = self.max_connections;
         let accept = std::thread::spawn(move || {
             let mut conns: Vec<JoinHandle<()>> = Vec::new();
             for stream in self.listener.incoming() {
@@ -288,11 +372,20 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                conns.retain(|h| !h.is_finished());
+                if accept_open.active() >= max_connections {
+                    // Reject on the accept thread: cheap, and it keeps
+                    // the thread count bounded by the cap.
+                    let _ = reject_over_capacity(stream);
+                    continue;
+                }
+                let token = accept_open.insert(&stream);
                 let handler = Arc::clone(&handler);
                 let conn_stop = Arc::clone(&accept_stop);
-                conns.retain(|h| !h.is_finished());
+                let conn_open = Arc::clone(&accept_open);
                 conns.push(std::thread::spawn(move || {
                     let _ = serve_connection(stream, &handler, &conn_stop);
+                    conn_open.remove(token);
                 }));
             }
             for conn in conns {
@@ -302,6 +395,7 @@ impl Server {
         ServerHandle {
             addr,
             stop,
+            open,
             accept: Some(accept),
         }
     }
@@ -340,6 +434,7 @@ fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) -> 
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    open: Arc<ConnTable>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -350,12 +445,17 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, wake the accept loop, and join all threads.
+    /// Stop accepting, wake the accept loop, drain open connections,
+    /// and join all threads. Idle keep-alive connections are woken by
+    /// shutting their read halves down (EOF, not an error), so the
+    /// drain is prompt; responses already in flight still complete on
+    /// the intact write halves.
     pub fn shutdown(&mut self) {
         if let Some(accept) = self.accept.take() {
             self.stop.store(true, Ordering::SeqCst);
             // Unblock the accept() call with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
+            self.open.shutdown_reads();
             let _ = accept.join();
         }
     }
@@ -577,6 +677,79 @@ mod tests {
         assert!(text.contains("HTTP/1.1 200"), "got: {text}");
         assert!(text.contains("pong"), "got: {text}");
         server.shutdown();
+    }
+
+    /// Open a keep-alive connection, issue `GET /ping`, and block until
+    /// the full response has arrived (the connection stays open, so the
+    /// serving thread stays counted against the cap).
+    fn open_pinned_connection(addr: SocketAddr) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        stream.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 256];
+        while !seen.windows(5).any(|w| w == b"pong\n") {
+            let n = stream.read(&mut buf).unwrap();
+            assert_ne!(n, 0, "server closed a keep-alive connection");
+            seen.extend_from_slice(&buf[..n]);
+        }
+        stream
+    }
+
+    #[test]
+    fn over_cap_connection_gets_503_with_retry_after() {
+        let server = Server::bind("127.0.0.1:0").unwrap().max_connections(1);
+        let mut server = server.spawn(Arc::new(|_req: &Request| Response::text(200, "pong\n")));
+        let addr = server.addr();
+
+        // The pinned connection occupies the single slot...
+        let pinned = open_pinned_connection(addr);
+
+        // ...so the next connection is turned away at the door.
+        let r = client::request(addr, "GET", "/ping", None).unwrap();
+        assert_eq!(r.status, 503, "expected over-capacity reject");
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert!(r.body_text().contains("capacity"), "{}", r.body_text());
+
+        // Releasing the slot restores service (the accept loop prunes
+        // the finished thread on the next accept, so poll briefly).
+        drop(pinned);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let r = client::request(addr, "GET", "/ping", None).unwrap();
+            if r.status == 200 {
+                break;
+            }
+            assert_eq!(r.status, 503);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cap never released after the pinned connection closed"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_idle_keepalive_connections_promptly() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        // An idle keep-alive connection parks its serving thread in a
+        // blocking read; shutdown must wake and join it well before the
+        // 30 s socket read timeout, without erroring the peer.
+        let mut pinned = open_pinned_connection(addr);
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}, drain is not prompt",
+            t0.elapsed()
+        );
+        // The drained connection sees a clean close, not a reset.
+        let mut rest = Vec::new();
+        pinned.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
     }
 
     #[test]
