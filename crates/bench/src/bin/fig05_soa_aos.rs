@@ -6,18 +6,41 @@
 //! particle in 1-2 adjacent cache lines while SoA touches one line per
 //! field and uses a single element from each (§VI-D).
 //!
-//! This binary measures *three* layouts through the same physics:
-//! AoS, SoA gathered once per history (which Rust's `noalias` slices make
-//! nearly penalty-free — a reproduction finding), and SoA with
-//! event-granular gather/scatter (`SoaEventStepped`), which reproduces
-//! the C code's aliasing-forced memory behaviour and therefore the
-//! paper's penalty.
+//! Since the column migration (DESIGN.md §19) the [`ParticleSoA`]
+//! columns are the *canonical* storage inside every solve, so the three
+//! layouts this binary measures are now:
+//!
+//! * `Layout::Soa` — the column core read in place by the chunked
+//!   history driver. No gather/scatter step exists on this path any
+//!   more; this row measures the storage the whole codebase runs on.
+//! * `Layout::Aos` — the record-at-a-time history driver behind the one
+//!   remaining AoS seam: records are materialised from the columns once
+//!   per *timestep*, transported, and scattered back. This row carries
+//!   the seam cost the migration confined to the timestep boundary.
+//! * `Layout::SoaEventStepped` — columns with event-granular
+//!   load/store of the working state, reproducing the C code's
+//!   aliasing-forced memory behaviour and therefore the paper's SoA
+//!   penalty.
+//!
+//! `--quick` runs a seconds-scale smoke sweep (used by CI); `--json PATH`
+//! additionally writes the measurements as a machine-readable
+//! [`neutral_bench::report::BenchReport`].
 
+use neutral_bench::report::{BenchRecord, BenchReport};
 use neutral_bench::*;
 use neutral_core::prelude::*;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let mut report = BenchReport::new("fig05_soa_aos");
+    report.note(format!(
+        "scale={}x{} mesh, particle_div={}, reps={}, seed={}",
+        args.scale.mesh_cells,
+        args.scale.mesh_cells,
+        args.scale.particle_divisor,
+        args.reps,
+        args.seed
+    ));
     banner(
         "Figure 5",
         "SoA vs AoS particle layout, Over Particles",
@@ -26,8 +49,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for case in TestCase::ALL {
-        let time = |layout| {
-            run_median(
+        let mut time = |layout: Layout| {
+            let r = run_median(
                 case,
                 RunOptions {
                     layout,
@@ -35,9 +58,17 @@ fn main() {
                     ..Default::default()
                 },
                 &args,
-            )
-            .elapsed
-            .as_secs_f64()
+            );
+            report.push(
+                BenchRecord::new(format!("op/{}/{}", case.name(), layout.name()))
+                    .config("part", "layouts")
+                    .config("case", case.name())
+                    .config("driver", "over_particles")
+                    .config("layout", layout.name())
+                    .metric("elapsed_s", r.elapsed.as_secs_f64())
+                    .metric("events_per_s", r.events_per_second()),
+            );
+            r.elapsed.as_secs_f64()
         };
         let ta = time(Layout::Aos);
         let ts = time(Layout::Soa);
@@ -54,10 +85,10 @@ fn main() {
     print_table(
         &[
             "problem",
-            "AoS (s)",
-            "SoA cached (s)",
+            "AoS seam (s)",
+            "SoA columns (s)",
             "SoA stepped (s)",
-            "cached/AoS",
+            "columns/AoS",
             "stepped/AoS",
         ],
         &rows,
@@ -65,8 +96,16 @@ fn main() {
     println!(
         "\nPaper shape: SoA slower than AoS everywhere. The event-stepped SoA\n\
          column reproduces that penalty (state forced through memory every\n\
-         event, as C aliasing forces); the register-cached SoA column shows\n\
-         Rust's noalias guarantees mostly eliminate it — a reproduction\n\
-         finding recorded in EXPERIMENTS.md."
+         event, as C aliasing forces). The columns row is the canonical\n\
+         storage every driver now reads in place; the AoS row pays the one\n\
+         remaining record-materialisation seam at each timestep boundary —\n\
+         so columns/AoS at or below 1.0 means the migration's per-step\n\
+         gather/scatter really is gone (BENCH_PR10.json records the A/B\n\
+         against the pre-migration tree)."
     );
+
+    if let Some(path) = &args.json {
+        report.write(path).expect("write --json report");
+        println!("\nmachine-readable report written to {path}");
+    }
 }

@@ -13,7 +13,10 @@
 //! [`SortPolicy`], on the deterministic replicated-tally path whose
 //! separated flush dominates the seed profile — every cell of the sweep
 //! computes bitwise identical physics, so the columns compare speed
-//! only. Part 3 sweeps the between-timestep regroup subsystem
+//! only. Part 2b sweeps the kernel-backend seam (DESIGN.md §19):
+//! scalar vs auto-vectorized vs explicit SIMD on the compaction-stress
+//! and collision-heavy shapes. Part 3 sweeps the between-timestep
+//! regroup subsystem
 //! (DESIGN.md §14) on multi-timestep scenarios. Part 4 models the KNL's
 //! AVX-512 advantage with the architecture model's vector-efficiency
 //! term.
@@ -30,26 +33,26 @@ use neutral_perf::calibrate::ModelParams;
 use neutral_perf::model::predict;
 
 fn kernel_row(case: TestCase, args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>> {
-    let run = |style| {
+    let run = |backend| {
         run_median(
             case,
             RunOptions {
                 scheme: Scheme::OverEvents,
-                kernel_style: style,
+                backend,
                 execution: Execution::Rayon,
                 ..Default::default()
             },
             args,
         )
     };
-    let scalar_report = run(KernelStyle::Scalar);
-    let vector_report = run(KernelStyle::Vectorized);
+    let scalar_report = run(Backend::Scalar);
+    let vector_report = run(Backend::Vectorized);
     for (name, r) in [("scalar", &scalar_report), ("vectorized", &vector_report)] {
         report.push(
             BenchRecord::new(format!("oe/{}/{name}", case.name()))
                 .config("part", "kernel_styles")
                 .config("case", case.name())
-                .config("kernel_style", name)
+                .config("backend", name)
                 .metric("elapsed_s", r.elapsed.as_secs_f64())
                 .metric("events_per_s", r.events_per_second()),
         );
@@ -86,7 +89,7 @@ fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<Strin
     let mut rows = Vec::new();
     let measure = |label: &str,
                    problem: &mut Problem,
-                   style: KernelStyle,
+                   backend: Backend,
                    policy: SortPolicy,
                    rows: &mut Vec<Vec<String>>,
                    report: &mut BenchReport| {
@@ -95,17 +98,14 @@ fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<Strin
             problem,
             RunOptions {
                 scheme: Scheme::OverEvents,
-                kernel_style: style,
+                backend,
                 execution: Execution::Rayon,
                 ..Default::default()
             },
             args.reps,
         );
         let t = r.kernel_timings.expect("OE reports timings");
-        let style_name = match style {
-            KernelStyle::Scalar => "scalar",
-            KernelStyle::Vectorized => "vectorized",
-        };
+        let style_name = backend.name();
         rows.push(vec![
             label.to_owned(),
             style_name.to_owned(),
@@ -120,7 +120,7 @@ fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<Strin
                 .config("part", "coherence")
                 .config("case", label)
                 .config("driver", "over_events")
-                .config("kernel_style", style_name)
+                .config("backend", style_name)
                 .config("tally", "replicated")
                 .config("sort", policy.name())
                 .metric("elapsed_s", r.elapsed.as_secs_f64())
@@ -136,7 +136,7 @@ fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<Strin
             measure(
                 case.name(),
                 &mut problem,
-                KernelStyle::Scalar,
+                Backend::Scalar,
                 policy,
                 &mut rows,
                 report,
@@ -145,15 +145,70 @@ fn coherence_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<Strin
     }
     let mut problem = Scenario::CoreEscape.build(args.scale, args.seed);
     problem.transport.tally_strategy = TallyStrategy::Replicated;
-    for style in [KernelStyle::Scalar, KernelStyle::Vectorized] {
+    for backend in [Backend::Scalar, Backend::Vectorized] {
         for policy in SortPolicy::ALL {
             measure(
                 "core_escape",
                 &mut problem,
-                style,
+                backend,
                 policy,
                 &mut rows,
                 report,
+            );
+        }
+    }
+    rows
+}
+
+/// Part 2b: the kernel-backend sweep (DESIGN.md §19) — every
+/// [`Backend`] on the compaction-stress shape (`core_escape`, the
+/// round-count-heavy scenario where the decide kernel dominates) and on
+/// the collision-heavy `scatter` case, on the deterministic
+/// replicated-tally path. All three backends compute bitwise-identical
+/// physics (tests/tests/backend.rs enforces it), so the columns compare
+/// instruction selection only: auto-vectorised vs explicit AVX2 vs the
+/// scalar baseline.
+fn backend_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let cases: [(&str, Problem); 2] = [
+        (
+            "core_escape",
+            Scenario::CoreEscape.build(args.scale, args.seed),
+        ),
+        ("scatter", TestCase::Scatter.build(args.scale, args.seed)),
+    ];
+    for (label, base_problem) in cases {
+        for backend in Backend::ALL {
+            let mut problem = base_problem.clone();
+            problem.transport.tally_strategy = TallyStrategy::Replicated;
+            let r = median_run(
+                &problem,
+                RunOptions {
+                    scheme: Scheme::OverEvents,
+                    backend,
+                    execution: Execution::Rayon,
+                    ..Default::default()
+                },
+                args.reps,
+            );
+            let t = r.kernel_timings.expect("OE reports timings");
+            rows.push(vec![
+                label.to_owned(),
+                backend.name().to_owned(),
+                format!("{:.3}", r.elapsed.as_secs_f64()),
+                format!("{:.3}", t.decide.as_secs_f64()),
+                format!("{:.3e}", r.events_per_second()),
+            ]);
+            report.push(
+                BenchRecord::new(format!("backend/{label}/{}", backend.name()))
+                    .config("part", "backends")
+                    .config("case", label)
+                    .config("driver", "over_events")
+                    .config("backend", backend.name())
+                    .config("tally", "replicated")
+                    .metric("elapsed_s", r.elapsed.as_secs_f64())
+                    .metric("decide_s", t.decide.as_secs_f64())
+                    .metric("events_per_s", r.events_per_second()),
             );
         }
     }
@@ -184,7 +239,7 @@ fn regroup_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>
         }),
     ];
     for (label, base_problem) in cases {
-        for style in [KernelStyle::Scalar, KernelStyle::Vectorized] {
+        for backend in [Backend::Scalar, Backend::Vectorized] {
             for policy in RegroupPolicy::ALL {
                 let mut problem = base_problem.clone();
                 problem.transport.tally_strategy = TallyStrategy::Replicated;
@@ -193,16 +248,13 @@ fn regroup_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>
                     &problem,
                     RunOptions {
                         scheme: Scheme::OverEvents,
-                        kernel_style: style,
+                        backend,
                         execution: Execution::Rayon,
                         ..Default::default()
                     },
                     args.reps,
                 );
-                let style_name = match style {
-                    KernelStyle::Scalar => "scalar",
-                    KernelStyle::Vectorized => "vectorized",
-                };
+                let style_name = backend.name();
                 rows.push(vec![
                     label.to_owned(),
                     style_name.to_owned(),
@@ -216,7 +268,7 @@ fn regroup_rows(args: &HarnessArgs, report: &mut BenchReport) -> Vec<Vec<String>
                         .config("part", "regroup")
                         .config("case", label)
                         .config("driver", "over_events")
-                        .config("kernel_style", style_name)
+                        .config("backend", style_name)
                         .config("tally", "replicated")
                         .config("regroup", policy.name())
                         .metric("elapsed_s", r.elapsed.as_secs_f64())
@@ -278,6 +330,17 @@ fn main() {
     println!(
         "  (physics is bitwise identical across every row of a problem; the\n\
          \x20  coherence suite in tests/tests/coherence.rs enforces it)"
+    );
+
+    println!("\n-- backend sweep: scalar vs auto-vectorized vs explicit SIMD --");
+    let rows = backend_rows(&args, &mut report);
+    print_table(
+        &["problem", "backend", "time (s)", "decide (s)", "events/s"],
+        &rows,
+    );
+    println!(
+        "  (all three backends compute bitwise-identical physics;\n\
+         \x20  tests/tests/backend.rs enforces it)"
     );
 
     println!("\n-- regroup sweep: between-timestep physical regrouping (multi-timestep) --");

@@ -9,7 +9,7 @@
 //!             [--tally atomic|replicated|privatized]
 //!             [--sort off|by_cell|by_energy_band|auto]
 //!             [--regroup off|by_cell|by_energy_band|by_alive]
-//!             [--timesteps N]
+//!             [--backend scalar|vectorized|simd] [--timesteps N]
 //!             [--privatized] [--sequential] [--dump-tally FILE]
 //!             [--checkpoint FILE] [--fault SPEC]
 //!             [--shards N] [--shard-fault SPEC]
@@ -19,6 +19,11 @@
 //! (`neutral_core::scenario`) — `--scenario help` lists it. With neither
 //! a file nor a scenario, the built-in default (a small csp) runs. The
 //! tally dump is a plain-text `ix iy value` triple per non-empty cell.
+//!
+//! `--backend` picks the Over-Events kernel backend (DESIGN.md §19),
+//! overriding the params file's `backend` key; all three compute
+//! bitwise-identical results. `--vectorized` is the historical
+//! shorthand for `--backend vectorized`.
 //!
 //! `--checkpoint FILE` enables the checkpoint/restart subsystem: a
 //! crash-safe checkpoint is written to FILE at every census boundary,
@@ -47,6 +52,7 @@ struct CliArgs {
     scale: ProblemScale,
     seed: Option<u64>,
     options: RunOptions,
+    backend: Option<Backend>,
     lookup: Option<LookupStrategy>,
     tally: Option<TallyStrategy>,
     sort: Option<SortPolicy>,
@@ -99,6 +105,7 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut scale_flag: Option<ProblemScale> = None;
     let mut seed = None;
     let mut options = RunOptions::default();
+    let mut backend = None;
     let mut lookup = None;
     let mut tally = None;
     let mut sort = None;
@@ -213,7 +220,15 @@ fn parse_args() -> Result<CliArgs, String> {
             }
             "--privatized" => privatized = true,
             "--sequential" => options.execution = Execution::Sequential,
-            "--vectorized" => options.kernel_style = KernelStyle::Vectorized,
+            "--vectorized" => backend = Some(Backend::Vectorized),
+            "--backend" => {
+                i += 1;
+                backend = Some(
+                    argv.get(i)
+                        .ok_or("--backend scalar|vectorized|simd")?
+                        .parse::<Backend>()?,
+                );
+            }
             "--dump-tally" => {
                 i += 1;
                 dump_tally = Some(argv.get(i).ok_or("--dump-tally FILE")?.clone());
@@ -286,6 +301,7 @@ fn parse_args() -> Result<CliArgs, String> {
         scale: scale_flag.unwrap_or_else(ProblemScale::small),
         seed,
         options,
+        backend,
         lookup,
         tally,
         sort,
@@ -368,6 +384,8 @@ fn main() -> ExitCode {
         .clone()
         .unwrap_or_else(|| params.shard_fault.clone());
     let mut options = args.options;
+    // `--backend` overrides the params file's `backend` key.
+    options.backend = args.backend.unwrap_or(params.backend);
     if shards > 1 {
         // Sharding rides on the deterministic lane merge: upgrade the
         // non-deterministic atomic default (the same upgrade

@@ -233,7 +233,7 @@ struct SolveSpec {
     regroup: Option<RegroupPolicy>,
     scheme: Option<Scheme>,
     layout: Option<Layout>,
-    kernel: Option<KernelStyle>,
+    backend: Option<Backend>,
     checkpoint_file: Option<String>,
     checkpoint_every: usize,
     shards: usize,
@@ -258,7 +258,7 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
     let mut regroup = None;
     let mut scheme = None;
     let mut layout = None;
-    let mut kernel = None;
+    let mut backend = None;
     let mut checkpoint_file = None;
     let mut checkpoint_every = 1usize;
     let mut shards = 1usize;
@@ -331,18 +331,8 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
                     }
                 })
             }
-            "kernel" => {
-                kernel = Some(match value {
-                    "scalar" => KernelStyle::Scalar,
-                    "vectorized" => KernelStyle::Vectorized,
-                    other => {
-                        return Err(perr(
-                            lineno,
-                            format!("kernel scalar|vectorized, got `{other}`"),
-                        ))
-                    }
-                })
-            }
+            // `kernel` is the knob's former spelling, kept as an alias.
+            "backend" | "kernel" => backend = Some(value.parse::<Backend>().map_err(knob)?),
             "shards" => {
                 shards = value
                     .parse::<usize>()
@@ -375,7 +365,7 @@ fn parse_solve_request(text: &str) -> Result<SolveSpec, ParamsError> {
         regroup,
         scheme,
         layout,
-        kernel,
+        backend,
         checkpoint_file,
         checkpoint_every,
         shards,
@@ -419,6 +409,9 @@ fn build_submit(
     }
     let mut options = RunOptions {
         execution,
+        // Scenario params may record a kernel backend; the submission's
+        // `backend` knob overrides it below.
+        backend: params.backend,
         ..RunOptions::default()
     };
     if let Some(scheme) = spec.scheme {
@@ -427,8 +420,8 @@ fn build_submit(
     if let Some(layout) = spec.layout {
         options.layout = layout;
     }
-    if let Some(kernel) = spec.kernel {
-        options.kernel_style = kernel;
+    if let Some(backend) = spec.backend {
+        options.backend = backend;
     }
     if !spec.shard_fault.is_empty() && spec.shards < 2 {
         return Err(perr(

@@ -121,6 +121,67 @@ impl std::fmt::Display for SortPolicy {
     }
 }
 
+/// Which kernel backend the Over-Events drivers dispatch to (DESIGN.md
+/// §19): one value per implementation of the crate's kernel-backend
+/// trait, the seam the paper's §VI-G scalar/vectorised comparison
+/// generalises into.
+///
+/// Every backend computes the same per-lane expressions in the same
+/// order — no FMA contraction, no reassociation — so all three are
+/// **bitwise identical** on every golden fixture; only the instruction
+/// selection (and therefore the speed) changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Straightforward per-particle loops with early predicate exits.
+    #[default]
+    Scalar,
+    /// Restructured loops: branch-light arithmetic passes over whole
+    /// windows (auto-vectorisable), followed by short scalar fix-up
+    /// passes for the inherently branchy work (RNG, table walks, cell
+    /// updates) — the paper's §VI-G restructuring.
+    Vectorized,
+    /// Explicit-SIMD distance pass (`core::arch` AVX2 on `x86_64`),
+    /// runtime feature-detected; hosts without AVX2 fall back to the
+    /// scalar expressions lane for lane, bitwise identically.
+    Simd,
+}
+
+impl Backend {
+    /// All backends, in benchmarking order.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Vectorized, Backend::Simd];
+
+    /// Stable lower-case name (parameter files, CLI flags, figure output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Vectorized => "vectorized",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Backend::Scalar),
+            "vectorized" => Ok(Backend::Vectorized),
+            "simd" => Ok(Backend::Simd),
+            other => Err(format!(
+                "unknown backend `{other}` (scalar|vectorized|simd)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How the particle population is **physically regrouped** at each census
 /// boundary of a multi-timestep run (DESIGN.md §14).
 ///

@@ -186,9 +186,26 @@ pub fn facet_distance(
         (f64::INFINITY, Facet::YHigh)
     };
     if dx <= dy {
-        (dx.max(0.0), fx)
+        (clamp_nonneg(dx), fx)
     } else {
-        (dy.max(0.0), fy)
+        (clamp_nonneg(dy), fy)
+    }
+}
+
+/// `d.max(0.0)` with a pinned `+0.0` on the `-0.0` tie (a particle
+/// exactly on its cell edge travelling inward). `f64::max` lowers to
+/// `llvm.maxnum`, whose zero-sign result on equal operands is
+/// codegen-dependent — debug and release builds disagree — while the
+/// AVX2 `vmaxpd(d, 0.0)` of the explicit-SIMD distance pass always
+/// returns its second operand (`+0.0`). The explicit compare pins every
+/// build, every driver, and every backend to the vector semantics (a
+/// NaN also maps to `0.0` on both paths).
+#[inline(always)]
+pub fn clamp_nonneg(d: f64) -> f64 {
+    if d > 0.0 {
+        d
+    } else {
+        0.0
     }
 }
 
@@ -199,14 +216,45 @@ pub fn facet_distance(
 #[inline]
 #[must_use]
 pub fn next_event(p: &Particle, sigma_t_per_m: f64, bounds: (f64, f64, f64, f64)) -> NextEvent {
-    let speed = speed_m_per_s(p.energy);
-    let d_census = speed * p.dt_to_census;
+    next_event_parts(
+        p.x,
+        p.y,
+        p.omega_x,
+        p.omega_y,
+        p.energy,
+        p.dt_to_census,
+        p.mfp_to_collision,
+        sigma_t_per_m,
+        bounds,
+    )
+}
+
+/// [`next_event`] over the individual particle fields — the form the
+/// column-storage kernels call so the decision never gathers a whole
+/// [`Particle`] record. Same expressions in the same order, so both
+/// entry points compute identical bits.
+#[allow(clippy::too_many_arguments)] // mirrors the particle fields read
+#[inline]
+#[must_use]
+pub fn next_event_parts(
+    x: f64,
+    y: f64,
+    omega_x: f64,
+    omega_y: f64,
+    energy: f64,
+    dt_to_census: f64,
+    mfp_to_collision: f64,
+    sigma_t_per_m: f64,
+    bounds: (f64, f64, f64, f64),
+) -> NextEvent {
+    let speed = speed_m_per_s(energy);
+    let d_census = speed * dt_to_census;
     let d_coll = if sigma_t_per_m > 0.0 {
-        p.mfp_to_collision / sigma_t_per_m
+        mfp_to_collision / sigma_t_per_m
     } else {
         f64::INFINITY
     };
-    let (d_facet, facet) = facet_distance(p.x, p.y, p.omega_x, p.omega_y, bounds);
+    let (d_facet, facet) = facet_distance(x, y, omega_x, omega_y, bounds);
     if d_census <= d_coll && d_census <= d_facet {
         NextEvent::Census(d_census)
     } else if d_facet <= d_coll {
@@ -251,11 +299,40 @@ pub fn energy_deposition(
 /// event timers: `mfp -= d * sigma_t`, `dt -= d / v`.
 #[inline]
 pub fn move_particle(p: &mut Particle, distance: f64, sigma_t_per_m: f64) {
-    p.x += distance * p.omega_x;
-    p.y += distance * p.omega_y;
-    p.mfp_to_collision = (p.mfp_to_collision - distance * sigma_t_per_m).max(0.0);
-    let speed = speed_m_per_s(p.energy);
-    p.dt_to_census = (p.dt_to_census - distance / speed).max(0.0);
+    move_particle_parts(
+        &mut p.x,
+        &mut p.y,
+        &mut p.mfp_to_collision,
+        &mut p.dt_to_census,
+        p.omega_x,
+        p.omega_y,
+        p.energy,
+        distance,
+        sigma_t_per_m,
+    );
+}
+
+/// [`move_particle`] over the individual particle fields — the form the
+/// column-storage kernels call so the move touches only the four columns
+/// it writes. Same expressions in the same order as [`move_particle`].
+#[allow(clippy::too_many_arguments)] // mirrors the particle fields touched
+#[inline]
+pub fn move_particle_parts(
+    x: &mut f64,
+    y: &mut f64,
+    mfp_to_collision: &mut f64,
+    dt_to_census: &mut f64,
+    omega_x: f64,
+    omega_y: f64,
+    energy: f64,
+    distance: f64,
+    sigma_t_per_m: f64,
+) {
+    *x += distance * omega_x;
+    *y += distance * omega_y;
+    *mfp_to_collision = (*mfp_to_collision - distance * sigma_t_per_m).max(0.0);
+    let speed = speed_m_per_s(energy);
+    *dt_to_census = (*dt_to_census - distance / speed).max(0.0);
 }
 
 /// Resolve a collision event at the particle's current position.
@@ -382,17 +459,44 @@ pub fn handle_facet(
     mesh: &StructuredMesh2D,
     counters: &mut EventCounters,
 ) -> bool {
+    handle_facet_parts(
+        &mut p.omega_x,
+        &mut p.omega_y,
+        &mut p.cellx,
+        &mut p.celly,
+        facet,
+        mesh,
+        counters,
+    )
+}
+
+/// [`handle_facet`] over the individual fields, for the SoA column
+/// drivers: a facet event touches only the cell index (crossing) or one
+/// direction cosine (reflection), so the column kernels pass just those
+/// lanes instead of gathering the whole particle. Same expressions in
+/// the same order as the record form — bitwise identical results.
+#[inline]
+#[allow(clippy::too_many_arguments)] // exploded Particle fields
+pub fn handle_facet_parts(
+    omega_x: &mut f64,
+    omega_y: &mut f64,
+    cellx: &mut u32,
+    celly: &mut u32,
+    facet: Facet,
+    mesh: &StructuredMesh2D,
+    counters: &mut EventCounters,
+) -> bool {
     counters.facets += 1;
-    let (nx, ny, reflected) = mesh.cross_facet(p.cellx as usize, p.celly as usize, facet);
+    let (nx, ny, reflected) = mesh.cross_facet(*cellx as usize, *celly as usize, facet);
     if reflected {
         counters.reflections += 1;
         match facet {
-            Facet::XLow | Facet::XHigh => p.omega_x = -p.omega_x,
-            Facet::YLow | Facet::YHigh => p.omega_y = -p.omega_y,
+            Facet::XLow | Facet::XHigh => *omega_x = -*omega_x,
+            Facet::YLow | Facet::YHigh => *omega_y = -*omega_y,
         }
     } else {
-        p.cellx = nx as u32;
-        p.celly = ny as u32;
+        *cellx = nx as u32;
+        *celly = ny as u32;
     }
     reflected
 }

@@ -70,12 +70,13 @@ pub mod prelude {
         config_fingerprint, run_with_checkpoints, Checkpoint, CheckpointError, CheckpointStore,
         Fault, FaultPlan, Recovery, SolveOutcome,
     };
+    pub use crate::config::Backend;
     pub use crate::config::{
         CollisionModel, LookupStrategy, LowWeightPolicy, Problem, ProblemScale, RegroupPolicy,
         SortPolicy, TallyStrategy, TestCase, TransportConfig, XsSearch,
     };
     pub use crate::counters::EventCounters;
-    pub use crate::over_events::{KernelStyle, KernelTimings};
+    pub use crate::over_events::{force_simd_fallback, KernelStyle, KernelTimings};
     pub use crate::registry::{
         Admission, Registry, RegistryConfig, RegistryStats, SolveState, SolveStatus, SubmitError,
         SubmitReceipt, SubmitRequest,

@@ -4,9 +4,13 @@
 //!
 //! Properties the paper attributes to this scheme, all reproduced here:
 //!
-//! * tight, vectorisable loops — kernels exist in a [`KernelStyle::Scalar`]
-//!   and a [`KernelStyle::Vectorized`] form (restructured branch-light
-//!   loops the auto-vectoriser can digest, §VI-G);
+//! * tight, vectorisable loops — the round kernels are written against
+//!   the [`KernelBackend`] seam, with one implementation per way of
+//!   writing them: [`Backend::Scalar`] per-particle loops,
+//!   [`Backend::Vectorized`] restructured branch-light loops the
+//!   auto-vectoriser can digest (§VI-G), and [`Backend::Simd`] explicit
+//!   `core::arch` vectors as the third proof point — all three bitwise
+//!   identical;
 //! * no register caching — the state the Over-Particles loop keeps in
 //!   registers (microscopic cross sections, local number density) lives in
 //!   per-particle arrays and is streamed from memory every round;
@@ -26,29 +30,101 @@ use crate::arena::ScratchArena;
 use crate::config::SortPolicy;
 use crate::counters::EventCounters;
 use crate::events::{
-    energy_deposition, handle_collision, handle_facet, move_particle, next_event,
-    resolve_micro_xs_many, NextEvent, TallySink,
+    clamp_nonneg, energy_deposition, handle_collision, handle_facet_parts, move_particle,
+    move_particle_parts, next_event_parts, resolve_micro_xs, resolve_micro_xs_many, NextEvent,
+    TallySink,
 };
 use crate::history::TransportCtx;
-use crate::particle::Particle;
+use crate::soa::{ParticleSoA, SoAChunkMut};
 use neutral_mesh::tally::AtomicTally;
 use neutral_mesh::{Facet, StructuredMesh2D};
 use neutral_rng::{CbRng, CounterStream};
 use neutral_xs::constants::speed_m_per_s;
-use neutral_xs::{macroscopic_per_m, number_density, MaterialId, MicroXs};
+use neutral_xs::{macroscopic_per_m, number_density, MaterialId, MicroXs, XsHints};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
-/// How the event kernels are written (paper §VI-G).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum KernelStyle {
-    /// Straightforward per-particle loops with early predicate exits.
-    #[default]
-    Scalar,
-    /// Restructured loops: branch-light arithmetic passes over the whole
-    /// array (auto-vectorisable), followed by short scalar fix-up passes
-    /// for the inherently branchy work (RNG, table walks, cell updates).
-    Vectorized,
+pub use crate::config::Backend;
+
+/// Former name of the kernel-backend knob, kept as an alias so existing
+/// call sites (and the `kernel_style` params spelling) keep compiling.
+pub type KernelStyle = Backend;
+
+/// The kernel-backend seam (DESIGN.md §19): one implementation per way
+/// of writing the per-round kernels. The trait carries exactly the two
+/// decisions that differ between backends — how the distance/selection
+/// kernel is written, and whether the collision/facet kernels hoist
+/// their movement + deposit arithmetic into a branch-light pre-pass —
+/// so every other kernel (init, tally flush, census) is shared code.
+///
+/// **Contract:** every implementation must compute the same per-lane
+/// expressions in the same order as [`ScalarBackend`] — no FMA
+/// contraction, no reassociation, no fast-math — so all backends
+/// produce bitwise-identical trajectories, tallies and counters on
+/// every fixture. The explicit-SIMD backend must degrade to the scalar
+/// expressions (lane for lane) on hosts without the required CPU
+/// features.
+pub(crate) trait KernelBackend: Sync {
+    /// Distance calculation + event selection for one window round.
+    fn decide(&self, w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters;
+
+    /// Whether the collision/facet kernels run their vectorisable
+    /// movement + deposit pre-pass (branch-light, over the tagged set)
+    /// instead of folding that arithmetic into the branchy per-event
+    /// body. Both placements compute identical bits.
+    fn prepass(&self) -> bool;
+}
+
+/// The seed's per-particle loops with early predicate exits.
+pub(crate) struct ScalarBackend;
+
+/// The §VI-G restructuring: whole-window arithmetic passes the
+/// auto-vectoriser can digest, plus short scalar fix-up passes.
+pub(crate) struct VectorizedBackend;
+
+/// Explicit `core::arch` SIMD (AVX2 on `x86_64`), runtime
+/// feature-detected with a bitwise-identical scalar fallback.
+pub(crate) struct SimdBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn decide(&self, w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+        decide_kernel_scalar(w, mesh)
+    }
+
+    fn prepass(&self) -> bool {
+        false
+    }
+}
+
+impl KernelBackend for VectorizedBackend {
+    fn decide(&self, w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+        decide_kernel_vectorized(w, mesh)
+    }
+
+    fn prepass(&self) -> bool {
+        true
+    }
+}
+
+impl KernelBackend for SimdBackend {
+    fn decide(&self, w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+        decide_kernel_simd(w, mesh)
+    }
+
+    fn prepass(&self) -> bool {
+        true
+    }
+}
+
+impl Backend {
+    /// The backend's kernel implementation.
+    pub(crate) fn kernel(self) -> &'static dyn KernelBackend {
+        match self {
+            Backend::Scalar => &ScalarBackend,
+            Backend::Vectorized => &VectorizedBackend,
+            Backend::Simd => &SimdBackend,
+        }
+    }
 }
 
 /// Wall-clock time spent in each kernel, summed over rounds.
@@ -363,9 +439,13 @@ impl EventState {
     }
 }
 
-/// A disjoint mutable window across the particle list and all state arrays.
-struct Window<'a> {
-    particles: &'a mut [Particle],
+/// A disjoint mutable window across the particle columns and all state
+/// arrays. `p` is the window's slice of every [`ParticleSoA`] field
+/// column — the canonical particle storage; no AoS record exists inside
+/// the round kernels (branchy handlers gather one particle into a
+/// register bundle via [`SoAChunkMut::load`] and scatter it back).
+pub(crate) struct Window<'a> {
+    p: SoAChunkMut<'a>,
     micro_a: &'a mut [f64],
     micro_s: &'a mut [f64],
     n_dens: &'a mut [f64],
@@ -378,10 +458,10 @@ struct Window<'a> {
     ws: &'a mut WindowState,
 }
 
-fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Window<'a>> {
+fn windows<'a>(soa: &'a mut ParticleSoA, st: &'a mut EventState) -> Vec<Window<'a>> {
     let chunk = st.chunk;
     struct Rest<'a> {
-        particles: &'a mut [Particle],
+        cols: SoAChunkMut<'a>,
         micro_a: &'a mut [f64],
         micro_s: &'a mut [f64],
         n_dens: &'a mut [f64],
@@ -393,7 +473,7 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
         status: &'a mut [Status],
     }
     let mut rest = Rest {
-        particles,
+        cols: soa.view_mut(),
         micro_a: &mut st.micro_a,
         micro_s: &mut st.micro_s,
         n_dens: &mut st.n_dens,
@@ -406,17 +486,17 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
     };
     assert_eq!(
         st.wins.len(),
-        if rest.particles.is_empty() {
+        if rest.cols.is_empty() {
             0
         } else {
-            rest.particles.len().div_ceil(chunk)
+            rest.cols.len().div_ceil(chunk)
         },
         "particle list changed length since EventState::new"
     );
     let mut out = Vec::with_capacity(st.wins.len());
     for ws in &mut st.wins {
-        let cut = chunk.min(rest.particles.len());
-        let (p0, p1) = rest.particles.split_at_mut(cut);
+        let cut = chunk.min(rest.cols.len());
+        let (p0, p1) = rest.cols.split_at_mut(cut);
         let (a0, a1) = rest.micro_a.split_at_mut(cut);
         let (s0, s1) = rest.micro_s.split_at_mut(cut);
         let (n0, n1) = rest.n_dens.split_at_mut(cut);
@@ -427,7 +507,7 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
         let (t0, t1) = rest.tag.split_at_mut(cut);
         let (st0, st1) = rest.status.split_at_mut(cut);
         out.push(Window {
-            particles: p0,
+            p: p0,
             micro_a: a0,
             micro_s: s0,
             n_dens: n0,
@@ -440,7 +520,7 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
             ws,
         });
         rest = Rest {
-            particles: p1,
+            cols: p1,
             micro_a: a1,
             micro_s: s1,
             n_dens: n1,
@@ -452,7 +532,7 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
             status: st1,
         };
     }
-    debug_assert!(rest.particles.is_empty());
+    debug_assert!(rest.cols.is_empty());
     out
 }
 
@@ -464,14 +544,15 @@ fn windows<'a>(particles: &'a mut [Particle], st: &'a mut EventState) -> Vec<Win
 /// allocated once per solve. Returns the merged event counters and the
 /// per-kernel timings.
 pub fn run_over_events<R: CbRng>(
-    particles: &mut [Particle],
+    soa: &mut ParticleSoA,
     ctx: &TransportCtx<'_, R>,
     tally: &AtomicTally,
-    style: KernelStyle,
+    backend: Backend,
     parallel: bool,
     state: &mut Option<EventState>,
 ) -> (EventCounters, KernelTimings) {
-    let n = particles.len();
+    let kb = backend.kernel();
+    let n = soa.len();
     let chunk = if parallel {
         (n / (rayon::current_num_threads() * 8)).max(256)
     } else {
@@ -483,7 +564,7 @@ pub fn run_over_events<R: CbRng>(
 
     // --- init kernel: populate the per-particle cache arrays.
     let t0 = Instant::now();
-    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
+    counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
         init_kernel(w, ctx)
     }));
     timings.init = t0.elapsed();
@@ -498,7 +579,7 @@ pub fn run_over_events<R: CbRng>(
             for (i, s) in st.status.iter_mut().enumerate() {
                 if *s == Status::Active {
                     *s = Status::Dead;
-                    particles[i].dead = true;
+                    soa.dead[i] = true;
                     stuck += 1;
                 }
             }
@@ -508,10 +589,7 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 1: distances + event selection.
         let t = Instant::now();
-        let decide = for_windows(particles, &mut *st, parallel, |w| match style {
-            KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
-            KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
-        });
+        let decide = for_windows(soa, &mut *st, parallel, |w| kb.decide(w, ctx.mesh));
         timings.decide += t.elapsed();
         // `decide` abuses a counter struct: collisions field carries the
         // number of still-active particles this round.
@@ -522,21 +600,21 @@ pub fn run_over_events<R: CbRng>(
 
         // Kernel 2: collisions.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
-            collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
+        counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
+            collision_kernel(w, ctx, kb, ctx.cfg.sort_policy)
         }));
         timings.collision += t.elapsed();
 
         // Kernel 3: facets.
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
-            facet_kernel(w, ctx, style)
+        counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
+            facet_kernel(w, ctx, kb)
         }));
         timings.facet += t.elapsed();
 
         // Kernel 4: the separated atomic tally flush (§VI-G).
         let t = Instant::now();
-        counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
+        counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
             tally_kernel(w, &mut { tally }, FlushList::Round, ctx.cfg.sort_policy)
         }));
         timings.tally += t.elapsed();
@@ -544,23 +622,23 @@ pub fn run_over_events<R: CbRng>(
 
     // --- census kernel (Listing 2: handled once, after the event loop).
     let t = Instant::now();
-    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
+    counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
         census_kernel(w, ctx)
     }));
     // Flush the census deposits.
-    counters.merge(&for_windows(particles, &mut *st, parallel, |w| {
+    counters.merge(&for_windows(soa, &mut *st, parallel, |w| {
         tally_kernel(w, &mut { tally }, FlushList::Census, ctx.cfg.sort_policy)
     }));
     timings.census += t.elapsed();
 
-    counters.census_energy_ev = crate::particle::total_weighted_energy(particles);
+    counters.census_energy_ev = crate::soa::total_weighted_energy_soa(soa);
     (counters, timings)
 }
 
 /// Apply `kernel` to every window, sequentially or in parallel, merging the
 /// per-window counters.
 fn for_windows<F>(
-    particles: &mut [Particle],
+    soa: &mut ParticleSoA,
     st: &mut EventState,
     parallel: bool,
     kernel: F,
@@ -568,7 +646,7 @@ fn for_windows<F>(
 where
     F: Fn(&mut Window<'_>) -> EventCounters + Sync,
 {
-    let ws = windows(particles, st);
+    let ws = windows(soa, st);
     if parallel {
         ws.into_par_iter()
             .map(|mut w| kernel(&mut w))
@@ -604,23 +682,23 @@ where
 /// identical to the unregrouped run.
 #[allow(clippy::too_many_arguments)] // the solve's full configuration surface
 pub fn run_over_events_lanes<R: CbRng>(
-    particles: &mut [Particle],
+    soa: &mut ParticleSoA,
     ctx: &TransportCtx<'_, R>,
     accum: &mut neutral_mesh::TallyAccum,
-    style: KernelStyle,
+    backend: Backend,
     n_threads: usize,
     schedule: crate::scheduler::Schedule,
     state: &mut Option<EventState>,
     order: Option<&[u32]>,
 ) -> (EventCounters, KernelTimings) {
-    let part = neutral_mesh::LanePartition::new(particles.len(), accum.n_lanes());
+    let part = neutral_mesh::LanePartition::new(soa.len(), accum.n_lanes());
     let (partials, timings) = run_over_events_lanes_partitioned(
-        particles, ctx, accum, style, n_threads, schedule, state, order, part, 0,
+        soa, ctx, accum, backend, n_threads, schedule, state, order, part, 0,
     );
     let mut counters = EventCounters::merge_deterministic(&partials);
     counters.census_energy_ev = match order {
-        Some(ord) => crate::particle::total_weighted_energy_ordered(particles, ord),
-        None => crate::particle::total_weighted_energy(particles),
+        Some(ord) => crate::soa::total_weighted_energy_soa_ordered(soa, ord),
+        None => crate::soa::total_weighted_energy_soa(soa),
     };
     (counters, timings)
 }
@@ -641,10 +719,10 @@ pub fn run_over_events_lanes<R: CbRng>(
 /// energy is left to the caller.
 #[allow(clippy::too_many_arguments)] // the solve's full configuration surface
 pub fn run_over_events_lanes_partitioned<R: CbRng>(
-    particles: &mut [Particle],
+    soa: &mut ParticleSoA,
     ctx: &TransportCtx<'_, R>,
     accum: &mut neutral_mesh::TallyAccum,
-    style: KernelStyle,
+    backend: Backend,
     n_threads: usize,
     schedule: crate::scheduler::Schedule,
     state: &mut Option<EventState>,
@@ -655,7 +733,8 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
     use crate::scheduler::parallel_for_owned;
     use neutral_mesh::LaneSink;
 
-    let n = particles.len();
+    let kb = backend.kernel();
+    let n = soa.len();
     assert_eq!(part.n_items, n, "partition must cover the population");
     if let Some(ord) = order {
         assert_eq!(ord.len(), n, "order must be a permutation");
@@ -671,11 +750,11 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
 
     // Apply `kernel` to every window, one worker per window, returning
     // the per-window (= per-lane) counters in window order.
-    let run_pass = |particles: &mut [Particle],
+    let run_pass = |soa: &mut ParticleSoA,
                     st: &mut EventState,
                     kernel: &(dyn Fn(&mut Window<'_>) -> EventCounters + Sync)|
      -> Vec<EventCounters> {
-        let mut states: Vec<(Window<'_>, EventCounters)> = windows(particles, st)
+        let mut states: Vec<(Window<'_>, EventCounters)> = windows(soa, st)
             .into_iter()
             .map(|w| (w, EventCounters::default()))
             .collect();
@@ -686,17 +765,16 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
     };
     // As `run_pass`, but pairing window `i` with lane sink `i` for the
     // tally-flush kernel.
-    let run_tally_pass = |particles: &mut [Particle],
+    let run_tally_pass = |soa: &mut ParticleSoA,
                           st: &mut EventState,
                           views: &mut [LaneSink<'_>],
                           list: FlushList|
      -> Vec<EventCounters> {
-        let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> =
-            windows(particles, st)
-                .into_iter()
-                .zip(views.iter_mut())
-                .map(|(w, v)| (w, v, EventCounters::default()))
-                .collect();
+        let mut states: Vec<(Window<'_>, &mut LaneSink<'_>, EventCounters)> = windows(soa, st)
+            .into_iter()
+            .zip(views.iter_mut())
+            .map(|(w, v)| (w, v, EventCounters::default()))
+            .collect();
         parallel_for_owned(n_threads, schedule, &mut states, |_, (w, v, c)| {
             *c = tally_kernel(w, v, list, ctx.cfg.sort_policy);
         });
@@ -712,7 +790,7 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
     let t0 = Instant::now();
     accumulate(
         &mut lane_counters,
-        &run_pass(particles, &mut *st, &|w| init_kernel(w, ctx)),
+        &run_pass(soa, &mut *st, &|w| init_kernel(w, ctx)),
     );
     timings.init = t0.elapsed();
 
@@ -724,7 +802,7 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
             for (i, s) in st.status.iter_mut().enumerate() {
                 if *s == Status::Active {
                     *s = Status::Dead;
-                    particles[i].dead = true;
+                    soa.dead[i] = true;
                     lane_counters[i / chunk].stuck += 1;
                 }
             }
@@ -732,10 +810,7 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
         }
 
         let t = Instant::now();
-        let decide = run_pass(particles, &mut *st, &|w| match style {
-            KernelStyle::Scalar => decide_kernel_scalar(w, ctx.mesh),
-            KernelStyle::Vectorized => decide_kernel_vectorized(w, ctx.mesh),
-        });
+        let decide = run_pass(soa, &mut *st, &|w| kb.decide(w, ctx.mesh));
         timings.decide += t.elapsed();
         // The decide kernels abuse the collisions field to carry the
         // still-active count; it is read here, never accumulated.
@@ -746,8 +821,8 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
         let t = Instant::now();
         accumulate(
             &mut lane_counters,
-            &run_pass(particles, &mut *st, &|w| {
-                collision_kernel(w, ctx, style, ctx.cfg.sort_policy)
+            &run_pass(soa, &mut *st, &|w| {
+                collision_kernel(w, ctx, kb, ctx.cfg.sort_policy)
             }),
         );
         timings.collision += t.elapsed();
@@ -755,14 +830,14 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
         let t = Instant::now();
         accumulate(
             &mut lane_counters,
-            &run_pass(particles, &mut *st, &|w| facet_kernel(w, ctx, style)),
+            &run_pass(soa, &mut *st, &|w| facet_kernel(w, ctx, kb)),
         );
         timings.facet += t.elapsed();
 
         let t = Instant::now();
         accumulate(
             &mut lane_counters,
-            &run_tally_pass(particles, &mut *st, &mut views, FlushList::Round),
+            &run_tally_pass(soa, &mut *st, &mut views, FlushList::Round),
         );
         timings.tally += t.elapsed();
     }
@@ -771,11 +846,11 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
     let t = Instant::now();
     accumulate(
         &mut lane_counters,
-        &run_pass(particles, &mut *st, &|w| census_kernel(w, ctx)),
+        &run_pass(soa, &mut *st, &|w| census_kernel(w, ctx)),
     );
     accumulate(
         &mut lane_counters,
-        &run_tally_pass(particles, &mut *st, &mut views, FlushList::Census),
+        &run_tally_pass(soa, &mut *st, &mut views, FlushList::Census),
     );
     timings.census += t.elapsed();
 
@@ -790,7 +865,7 @@ pub fn run_over_events_lanes_partitioned<R: CbRng>(
 /// window per timestep) allocate nothing once the arena has warmed up.
 fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> EventCounters {
     let mut c = EventCounters::default();
-    let n = w.particles.len();
+    let n = w.p.len();
     let WindowState {
         arena: a,
         active,
@@ -823,25 +898,27 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
     // First flush gathers data, second may probe (see AUTO_PROBE_INTERVAL).
     *probe_countdown = 1;
     for i in 0..n {
-        let p = &w.particles[i];
         // Identity rank of the slot: the particle's key (= birth index).
         // Equal to `base + i` exactly when the storage is unpermuted.
-        rank.push(p.key as u32);
-        *permuted |= p.key != u64::from(*base) + i as u64;
+        let key = w.p.key[i];
+        rank.push(key as u32);
+        *permuted |= key != u64::from(*base) + i as u64;
         // A previous timestep's runaway guard abandons histories without
         // flushing them; a reused state must not leak those deposits.
         w.pending[i] = 0.0;
-        if p.dead {
+        if w.p.dead[i] {
             w.status[i] = Status::Dead;
             continue;
         }
         w.status[i] = Status::Active;
-        w.mat[i] = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+        w.mat[i] = ctx
+            .mesh
+            .material(w.p.cellx[i] as usize, w.p.celly[i] as usize);
         active.push(i as u32);
-        a.energies.push(p.energy);
+        a.energies.push(w.p.energy[i]);
         a.mats.push(w.mat[i]);
-        a.hints_absorb.push(p.xs_hints.absorb);
-        a.hints_scatter.push(p.xs_hints.scatter);
+        a.hints_absorb.push(w.p.absorb_hint[i]);
+        a.hints_scatter.push(w.p.scatter_hint[i]);
     }
     *live = active.len();
     // Sweep bound: one past the last initially-active slot. A `by_alive`
@@ -868,11 +945,13 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
         let i = i as usize;
         w.micro_a[i] = a.out_absorb[j];
         w.micro_s[i] = a.out_scatter[j];
-        let p = &mut w.particles[i];
-        p.xs_hints.absorb = a.hints_absorb[j];
-        p.xs_hints.scatter = a.hints_scatter[j];
+        w.p.absorb_hint[i] = a.hints_absorb[j];
+        w.p.scatter_hint[i] = a.hints_scatter[j];
         c.density_reads += 1;
-        w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+        w.n_dens[i] = number_density(
+            ctx.mesh
+                .density(w.p.cellx[i] as usize, w.p.celly[i] as usize),
+        );
     }
     c
 }
@@ -880,7 +959,7 @@ fn init_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Event
 /// Scalar event selection under the hybrid dispatch: a predicate sweep
 /// on near-full windows (the seed behaviour bit for bit), the compacted
 /// index list once the population has thinned. Both arms call the same
-/// [`next_event`] physics per live particle in ascending order; the
+/// [`next_event_parts`] physics per live particle in ascending order; the
 /// list arm additionally streams the tagged indices into the round's
 /// collision/facet lists, which is what shrinks every downstream
 /// kernel's trip count.
@@ -900,8 +979,8 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
     } = &mut *w.ws;
     let (sweep, scan) = (*sweep, *scan);
     let status = &mut *w.status;
-    let (particles, micro_a, micro_s, n_dens, tag, dist) = (
-        &*w.particles,
+    let (cols, micro_a, micro_s, n_dens, tag, dist) = (
+        &w.p,
         &*w.micro_a,
         &*w.micro_s,
         &*w.n_dens,
@@ -914,10 +993,19 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
     macro_rules! body {
         ($i:expr, $sweeping:expr) => {{
             let i = $i;
-            let p = &particles[i];
             let sigma_t = macroscopic_per_m(micro_a[i] + micro_s[i], n_dens[i]);
-            let bounds = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
-            match next_event(p, sigma_t, bounds) {
+            let bounds = mesh.cell_bounds(cols.cellx[i] as usize, cols.celly[i] as usize);
+            match next_event_parts(
+                cols.x[i],
+                cols.y[i],
+                cols.omega_x[i],
+                cols.omega_y[i],
+                cols.energy[i],
+                cols.dt_to_census[i],
+                cols.mfp_to_collision[i],
+                sigma_t,
+                bounds,
+            ) {
                 NextEvent::Census(_) => {
                     status[i] = Status::AtCensus;
                     tag[i] = Tag::None;
@@ -968,6 +1056,20 @@ fn decide_kernel_scalar(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCou
 /// divergent alive-mask of fig. 8) — then a short scalar pass assigns
 /// tags. The physics is identical to the scalar kernel.
 fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+    decide_kernel_wide(w, mesh, false)
+}
+
+/// Shared body of the two wide backends: the same two-pass structure,
+/// with the sweep arm of pass 1 optionally dispatched to the explicit
+/// AVX2 distance pass (`explicit_simd`). The AVX2 pass and the scalar
+/// expressions compute identical bits (see [`avx2`]), so the runtime
+/// feature fallback — and the `< 4`-lane remainder — are invisible in
+/// every tally and counter.
+fn decide_kernel_wide(
+    w: &mut Window<'_>,
+    mesh: &StructuredMesh2D,
+    explicit_simd: bool,
+) -> EventCounters {
     w.ws.begin_round(w.status);
     let WindowState {
         arena: a,
@@ -1000,44 +1102,88 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
     // unswitched on the dispatch mode so the sweep arm stays the seed's
     // dense loop.
     {
-        let (particles, micro_a, micro_s, n_dens) =
-            (&*w.particles, &*w.micro_a, &*w.micro_s, &*w.n_dens);
+        let (cols, micro_a, micro_s, n_dens) = (&w.p, &*w.micro_a, &*w.micro_s, &*w.n_dens);
         macro_rules! pass1 {
             ($j:expr, $i:expr) => {{
                 let (j, i) = ($j, $i);
-                let p = &particles[i];
-                let speed = speed_m_per_s(p.energy);
+                let speed = speed_m_per_s(cols.energy[i]);
                 let sigma_t = macroscopic_per_m(micro_a[i] + micro_s[i], n_dens[i]);
-                d_census[j] = speed * p.dt_to_census;
+                d_census[j] = speed * cols.dt_to_census[i];
                 d_coll[j] = if sigma_t > 0.0 {
-                    p.mfp_to_collision / sigma_t
+                    cols.mfp_to_collision[i] / sigma_t
                 } else {
                     f64::INFINITY
                 };
-                let (x0, x1, y0, y1) = mesh.cell_bounds(p.cellx as usize, p.celly as usize);
-                let dx = if p.omega_x > 0.0 {
-                    (x1 - p.x) / p.omega_x
-                } else if p.omega_x < 0.0 {
-                    (x0 - p.x) / p.omega_x
+                let (x0, x1, y0, y1) =
+                    mesh.cell_bounds(cols.cellx[i] as usize, cols.celly[i] as usize);
+                let (x, ox) = (cols.x[i], cols.omega_x[i]);
+                let dx = if ox > 0.0 {
+                    (x1 - x) / ox
+                } else if ox < 0.0 {
+                    (x0 - x) / ox
                 } else {
                     f64::INFINITY
                 };
-                let dy = if p.omega_y > 0.0 {
-                    (y1 - p.y) / p.omega_y
-                } else if p.omega_y < 0.0 {
-                    (y0 - p.y) / p.omega_y
+                let (y, oy) = (cols.y[i], cols.omega_y[i]);
+                let dy = if oy > 0.0 {
+                    (y1 - y) / oy
+                } else if oy < 0.0 {
+                    (y0 - y) / oy
                 } else {
                     f64::INFINITY
                 };
                 facet_is_x[j] = dx <= dy;
-                d_facet[j] = if dx <= dy { dx.max(0.0) } else { dy.max(0.0) };
+                d_facet[j] = if dx <= dy {
+                    clamp_nonneg(dx)
+                } else {
+                    clamp_nonneg(dy)
+                };
             }};
         }
         if sweep {
-            for j in 0..m {
+            let mut j0 = 0;
+            #[cfg(target_arch = "x86_64")]
+            if explicit_simd && avx2_active() {
+                // SAFETY: AVX2 support was just confirmed at runtime; the
+                // pass touches lanes `[0, return)` of slices all at least
+                // `m` long, and every gathered cell index is in range for
+                // the mesh's edge arrays (cellx < nx, celly < ny).
+                j0 = unsafe {
+                    avx2::distance_pass(
+                        &cols.energy[..],
+                        &cols.dt_to_census[..],
+                        &cols.mfp_to_collision[..],
+                        &cols.x[..],
+                        &cols.y[..],
+                        &cols.omega_x[..],
+                        &cols.omega_y[..],
+                        &cols.cellx[..],
+                        &cols.celly[..],
+                        mesh.edges_x(),
+                        mesh.edges_y(),
+                        micro_a,
+                        micro_s,
+                        n_dens,
+                        d_census,
+                        d_coll,
+                        d_facet,
+                        facet_is_x,
+                        m,
+                    )
+                };
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = explicit_simd;
+            // Scalar remainder (or the whole sweep when AVX2 is absent):
+            // lane-for-lane the same expressions as the vector pass.
+            for j in j0..m {
                 pass1!(j, j);
             }
         } else {
+            // List mode visits scattered lanes — a gather-dominated shape
+            // explicit vectors do not improve; the scalar expressions
+            // keep the bits pinned.
+            let _ = explicit_simd;
             for (j, &iu) in active.iter().enumerate() {
                 pass1!(j, iu as usize);
             }
@@ -1047,7 +1193,7 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
     // Pass 2: tag assignment (scalar fix-up), unswitched the same way.
     let mut c = EventCounters::default();
     {
-        let (particles, tag, dist) = (&*w.particles, &mut *w.tag, &mut *w.dist);
+        let (cols, tag, dist) = (&w.p, &mut *w.tag, &mut *w.dist);
         macro_rules! pass2 {
             ($j:expr, $i:expr, $sweeping:expr) => {{
                 let (j, i) = ($j, $i);
@@ -1058,14 +1204,13 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
                     *live -= 1;
                     *needs_compact = true;
                 } else if d_facet[j] <= d_coll[j] {
-                    let p = &particles[i];
                     let f = if facet_is_x[j] {
-                        if p.omega_x >= 0.0 {
+                        if cols.omega_x[i] >= 0.0 {
                             Facet::XHigh
                         } else {
                             Facet::XLow
                         }
-                    } else if p.omega_y >= 0.0 {
+                    } else if cols.omega_y[i] >= 0.0 {
                         Facet::YHigh
                     } else {
                         Facet::YLow
@@ -1103,10 +1248,184 @@ fn decide_kernel_vectorized(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> Even
     c
 }
 
+/// Event selection for the explicit-SIMD backend: the AVX2 distance
+/// pass when the host supports it, the scalar expressions lane for
+/// lane otherwise. Both arms compute identical bits.
+fn decide_kernel_simd(w: &mut Window<'_>, mesh: &StructuredMesh2D) -> EventCounters {
+    decide_kernel_wide(w, mesh, true)
+}
+
+/// Whether the explicit-SIMD backend may actually issue AVX2: runtime
+/// CPU detection, minus the test override.
+#[cfg(target_arch = "x86_64")]
+fn avx2_active() -> bool {
+    !SIMD_FALLBACK_FORCED.load(std::sync::atomic::Ordering::Relaxed)
+        && std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Test override: pretend the host lacks AVX2, so [`Backend::Simd`]
+/// exercises its scalar fallback path.
+#[cfg(target_arch = "x86_64")]
+static SIMD_FALLBACK_FORCED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Force (or stop forcing) the explicit-SIMD backend onto its scalar
+/// fallback path, as if the host CPU lacked AVX2. The fallback computes
+/// identical bits by contract; this hook exists so tests can prove it on
+/// hosts that *do* have AVX2. No-op on non-x86_64 targets (the fallback
+/// is the only path there).
+pub fn force_simd_fallback(forced: bool) {
+    #[cfg(target_arch = "x86_64")]
+    SIMD_FALLBACK_FORCED.store(forced, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = forced;
+}
+
+/// The explicit AVX2 distance pass of [`Backend::Simd`].
+///
+/// **Bit-identity contract** (DESIGN.md §19): every lane computes the
+/// exact expression sequence of the scalar `pass1!` body, mapped
+/// op-for-op onto 4-wide IEEE-754 correctly-rounded vector arithmetic:
+///
+/// * `speed = ((2.0 * e) * EV_TO_J / NEUTRON_MASS_KG).sqrt()` — mul,
+///   mul, div, sqrt; all correctly rounded, no FMA contraction;
+/// * `sigma_t = ((micro_a + micro_s) * BARN_M2) * n_dens`;
+/// * the sign-of-omega facet selects become compare + blend; the lanes
+///   not selected may compute `inf`/NaN garbage (e.g. division by a
+///   zero direction component), exactly like the untaken scalar branch
+///   would have, and the blend discards them;
+/// * [`clamp_nonneg`]`(dx)` maps to `_mm256_max_pd(dx, 0.0)`: both
+///   return the second operand (`+0.0`) on a NaN or `±0.0` tie — the
+///   scalar helper exists precisely to pin that tie, because a plain
+///   `f64::max` leaves the zero's sign to codegen;
+/// * cell bounds come from `_mm256_i32gather_pd` over the mesh's edge
+///   arrays — the same memory `cell_bounds` reads, minus the per-lane
+///   tuple construction.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+    use neutral_xs::constants::{BARN_M2, EV_TO_J, NEUTRON_MASS_KG};
+
+    /// Fill the candidate-distance lanes `[0, floor(m / 4) * 4)` from
+    /// contiguous particle columns (sweep mode: lane `j` is particle
+    /// `j`), returning the first unprocessed lane for the scalar
+    /// remainder loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime, every input
+    /// slice must hold at least `m` elements, and every `cellx`/`celly`
+    /// value must index a valid mesh cell (so the edge gathers stay in
+    /// bounds).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn distance_pass(
+        energy: &[f64],
+        dt_to_census: &[f64],
+        mfp_to_collision: &[f64],
+        x: &[f64],
+        y: &[f64],
+        omega_x: &[f64],
+        omega_y: &[f64],
+        cellx: &[u32],
+        celly: &[u32],
+        edges_x: &[f64],
+        edges_y: &[f64],
+        micro_a: &[f64],
+        micro_s: &[f64],
+        n_dens: &[f64],
+        d_census: &mut [f64],
+        d_coll: &mut [f64],
+        d_facet: &mut [f64],
+        facet_is_x: &mut [bool],
+        m: usize,
+    ) -> usize {
+        let blocks = m / 4 * 4;
+        let two = _mm256_set1_pd(2.0);
+        let ev_to_j = _mm256_set1_pd(EV_TO_J);
+        let inv_mass = _mm256_set1_pd(NEUTRON_MASS_KG);
+        let barn = _mm256_set1_pd(BARN_M2);
+        let zero = _mm256_setzero_pd();
+        let inf = _mm256_set1_pd(f64::INFINITY);
+        let mut j = 0;
+        while j < blocks {
+            // speed = ((2.0 * e) * EV_TO_J / NEUTRON_MASS_KG).sqrt()
+            let e = _mm256_loadu_pd(energy.as_ptr().add(j));
+            let speed = _mm256_sqrt_pd(_mm256_div_pd(
+                _mm256_mul_pd(_mm256_mul_pd(two, e), ev_to_j),
+                inv_mass,
+            ));
+            // sigma_t = ((micro_a + micro_s) * BARN_M2) * n_dens
+            let micro = _mm256_add_pd(
+                _mm256_loadu_pd(micro_a.as_ptr().add(j)),
+                _mm256_loadu_pd(micro_s.as_ptr().add(j)),
+            );
+            let sigma_t = _mm256_mul_pd(
+                _mm256_mul_pd(micro, barn),
+                _mm256_loadu_pd(n_dens.as_ptr().add(j)),
+            );
+            let dcen = _mm256_mul_pd(speed, _mm256_loadu_pd(dt_to_census.as_ptr().add(j)));
+            // d_coll = sigma_t > 0 ? mfp / sigma_t : inf (the untaken
+            // division yields inf/NaN and is blended away).
+            let sig_pos = _mm256_cmp_pd::<_CMP_GT_OQ>(sigma_t, zero);
+            let dcol = _mm256_blendv_pd(
+                inf,
+                _mm256_div_pd(_mm256_loadu_pd(mfp_to_collision.as_ptr().add(j)), sigma_t),
+                sig_pos,
+            );
+            // Cell bounds: gather (edge[i], edge[i + 1]) pairs per axis.
+            let ix = _mm_set_epi32(
+                cellx[j + 3] as i32,
+                cellx[j + 2] as i32,
+                cellx[j + 1] as i32,
+                cellx[j] as i32,
+            );
+            let iy = _mm_set_epi32(
+                celly[j + 3] as i32,
+                celly[j + 2] as i32,
+                celly[j + 1] as i32,
+                celly[j] as i32,
+            );
+            let x0 = _mm256_i32gather_pd::<8>(edges_x.as_ptr(), ix);
+            let x1 = _mm256_i32gather_pd::<8>(edges_x.as_ptr().add(1), ix);
+            let y0 = _mm256_i32gather_pd::<8>(edges_y.as_ptr(), iy);
+            let y1 = _mm256_i32gather_pd::<8>(edges_y.as_ptr().add(1), iy);
+            // dx = ox > 0 ? (x1-x)/ox : ox < 0 ? (x0-x)/ox : inf
+            let xv = _mm256_loadu_pd(x.as_ptr().add(j));
+            let oxv = _mm256_loadu_pd(omega_x.as_ptr().add(j));
+            let tx_hi = _mm256_div_pd(_mm256_sub_pd(x1, xv), oxv);
+            let tx_lo = _mm256_div_pd(_mm256_sub_pd(x0, xv), oxv);
+            let ox_pos = _mm256_cmp_pd::<_CMP_GT_OQ>(oxv, zero);
+            let ox_neg = _mm256_cmp_pd::<_CMP_LT_OQ>(oxv, zero);
+            let dx = _mm256_blendv_pd(_mm256_blendv_pd(inf, tx_lo, ox_neg), tx_hi, ox_pos);
+            let yv = _mm256_loadu_pd(y.as_ptr().add(j));
+            let oyv = _mm256_loadu_pd(omega_y.as_ptr().add(j));
+            let ty_hi = _mm256_div_pd(_mm256_sub_pd(y1, yv), oyv);
+            let ty_lo = _mm256_div_pd(_mm256_sub_pd(y0, yv), oyv);
+            let oy_pos = _mm256_cmp_pd::<_CMP_GT_OQ>(oyv, zero);
+            let oy_neg = _mm256_cmp_pd::<_CMP_LT_OQ>(oyv, zero);
+            let dy = _mm256_blendv_pd(_mm256_blendv_pd(inf, ty_lo, oy_neg), ty_hi, oy_pos);
+            // facet_is_x = dx <= dy; d_facet = max(selected, 0.0)
+            let is_x = _mm256_cmp_pd::<_CMP_LE_OQ>(dx, dy);
+            let dfac = _mm256_blendv_pd(_mm256_max_pd(dy, zero), _mm256_max_pd(dx, zero), is_x);
+            _mm256_storeu_pd(d_census.as_mut_ptr().add(j), dcen);
+            _mm256_storeu_pd(d_coll.as_mut_ptr().add(j), dcol);
+            _mm256_storeu_pd(d_facet.as_mut_ptr().add(j), dfac);
+            let bits = _mm256_movemask_pd(is_x);
+            facet_is_x[j] = bits & 1 != 0;
+            facet_is_x[j + 1] = bits & 2 != 0;
+            facet_is_x[j + 2] = bits & 4 != 0;
+            facet_is_x[j + 3] = bits & 8 != 0;
+            j += 4;
+        }
+        blocks
+    }
+}
+
 fn collision_kernel<R: CbRng>(
     w: &mut Window<'_>,
     ctx: &TransportCtx<'_, R>,
-    style: KernelStyle,
+    kb: &dyn KernelBackend,
     policy: SortPolicy,
 ) -> EventCounters {
     let mut c = EventCounters::default();
@@ -1137,8 +1456,10 @@ fn collision_kernel<R: CbRng>(
     // unionized/hashed backends). Per-lane results are independent and
     // scattered back by index, so the physics is order-blind.
     let sort_lanes = batch && policy == SortPolicy::ByEnergyBand;
+    // One virtual call per kernel, not per particle (see facet_kernel).
+    let prepass = kb.prepass();
 
-    if style == KernelStyle::Vectorized {
+    if prepass {
         // Vectorisable pre-pass: movement + deposit arithmetic for all
         // colliding particles, hoisted out of the branchy handler
         // (unswitched on the dispatch mode, like decide).
@@ -1150,12 +1471,22 @@ fn collision_kernel<R: CbRng>(
                     absorb_barns: w.micro_a[i],
                     scatter_barns: w.micro_s[i],
                 };
-                let p = &mut w.particles[i];
                 let d = w.dist[i];
-                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-                w.pending_cell[i] = p.cell_index(nx) as u32;
+                w.pending[i] +=
+                    energy_deposition(w.p.energy[i], w.p.weight[i], d, w.n_dens[i], micro);
+                w.pending_cell[i] = (w.p.celly[i] as usize * nx + w.p.cellx[i] as usize) as u32;
                 let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-                move_particle(p, d, sigma_t);
+                move_particle_parts(
+                    &mut w.p.x[i],
+                    &mut w.p.y[i],
+                    &mut w.p.mfp_to_collision[i],
+                    &mut w.p.dt_to_census[i],
+                    w.p.omega_x[i],
+                    w.p.omega_y[i],
+                    w.p.energy[i],
+                    d,
+                    sigma_t,
+                );
             }};
         }
         if sweep {
@@ -1185,22 +1516,24 @@ fn collision_kernel<R: CbRng>(
             absorb_barns: w.micro_a[i],
             scatter_barns: w.micro_s[i],
         };
-        if style == KernelStyle::Scalar {
-            let p = &mut w.particles[i];
+        // Gather the lane into a register bundle once: the branchy RNG
+        // handler below mutates most fields, and a single load/store pair
+        // per colliding particle beats fifteen strided column touches.
+        let mut p = w.p.load(i);
+        if !prepass {
             let d = w.dist[i];
             w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
             w.pending_cell[i] = p.cell_index(nx) as u32;
             let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-            move_particle(p, d, sigma_t);
+            move_particle(&mut p, d, sigma_t);
         }
-        let p = &mut w.particles[i];
         let mut stream = CounterStream::new(ctx.rng, p.key);
         // Capture this particle's cutoff loss separately so the `f64`
         // accumulation below can run in ascending index order whatever
         // order produced it.
         let outer_lost = c.lost_energy_ev;
         c.lost_energy_ev = 0.0;
-        let died = handle_collision(p, &mut stream, micro, ctx.cfg, &mut c);
+        let died = handle_collision(&mut p, &mut stream, micro, ctx.cfg, &mut c);
         if died {
             deaths.push((rank[i], c.lost_energy_ev));
             w.status[i] = Status::Dead;
@@ -1215,11 +1548,12 @@ fn collision_kernel<R: CbRng>(
             a.hints_absorb.push(p.xs_hints.absorb);
             a.hints_scatter.push(p.xs_hints.scatter);
         } else {
-            let micro = crate::history::lookup_micro(p, ctx, w.mat[i], &mut c);
+            let micro = crate::history::lookup_micro(&mut p, ctx, w.mat[i], &mut c);
             w.micro_a[i] = micro.absorb_barns;
             w.micro_s[i] = micro.scatter_barns;
         }
         c.lost_energy_ev = outer_lost;
+        w.p.store(i, &p);
     }
 
     // Deterministic `f64` reduction: lost energy sums in identity (rank)
@@ -1238,7 +1572,7 @@ fn collision_kernel<R: CbRng>(
         // deterministic, so `cs_search_steps` is reproducible.
         a.sort_keys.clear();
         for &iu in &a.idx {
-            let band = crate::particle::energy_band(w.particles[iu as usize].energy);
+            let band = crate::particle::energy_band(w.p.energy[iu as usize]);
             a.sort_keys.push((band, iu));
         }
         crate::arena::radix_sort_pairs(&mut a.sort_keys, &mut a.sort_tmp);
@@ -1246,12 +1580,11 @@ fn collision_kernel<R: CbRng>(
         for k in 0..a.sort_keys.len() {
             let iu = a.sort_keys[k].1;
             let i = iu as usize;
-            let p = &w.particles[i];
             a.idx.push(iu);
-            a.energies.push(p.energy);
+            a.energies.push(w.p.energy[i]);
             a.mats.push(w.mat[i]);
-            a.hints_absorb.push(p.xs_hints.absorb);
-            a.hints_scatter.push(p.xs_hints.scatter);
+            a.hints_absorb.push(w.p.absorb_hint[i]);
+            a.hints_scatter.push(w.p.scatter_hint[i]);
         }
     }
 
@@ -1278,9 +1611,8 @@ fn collision_kernel<R: CbRng>(
             let i = iu as usize;
             w.micro_a[i] = a.out_absorb[j];
             w.micro_s[i] = a.out_scatter[j];
-            let p = &mut w.particles[i];
-            p.xs_hints.absorb = a.hints_absorb[j];
-            p.xs_hints.scatter = a.hints_scatter[j];
+            w.p.absorb_hint[i] = a.hints_absorb[j];
+            w.p.scatter_hint[i] = a.hints_scatter[j];
         }
     }
     c
@@ -1289,15 +1621,19 @@ fn collision_kernel<R: CbRng>(
 fn facet_kernel<R: CbRng>(
     w: &mut Window<'_>,
     ctx: &TransportCtx<'_, R>,
-    style: KernelStyle,
+    kb: &dyn KernelBackend,
 ) -> EventCounters {
     let mut c = EventCounters::default();
     let nx = ctx.mesh.nx();
     let sweep = w.ws.sweep;
     let scan = w.ws.scan;
     let facet_list = &w.ws.facet;
+    // One virtual call per kernel, not per particle: the flag is
+    // loop-invariant, and an indirect call inside the per-event loops
+    // would defeat their unswitching.
+    let prepass = kb.prepass();
 
-    if style == KernelStyle::Vectorized {
+    if prepass {
         // Vectorisable pre-pass: movement + deposit for all facet-bound
         // particles (unswitched on the dispatch mode, like decide).
         macro_rules! prepass {
@@ -1308,12 +1644,22 @@ fn facet_kernel<R: CbRng>(
                     absorb_barns: w.micro_a[i],
                     scatter_barns: w.micro_s[i],
                 };
-                let p = &mut w.particles[i];
                 let d = w.dist[i];
-                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-                w.pending_cell[i] = p.cell_index(nx) as u32;
+                w.pending[i] +=
+                    energy_deposition(w.p.energy[i], w.p.weight[i], d, w.n_dens[i], micro);
+                w.pending_cell[i] = (w.p.celly[i] as usize * nx + w.p.cellx[i] as usize) as u32;
                 let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-                move_particle(p, d, sigma_t);
+                move_particle_parts(
+                    &mut w.p.x[i],
+                    &mut w.p.y[i],
+                    &mut w.p.mfp_to_collision[i],
+                    &mut w.p.dt_to_census[i],
+                    w.p.omega_x[i],
+                    w.p.omega_y[i],
+                    w.p.energy[i],
+                    d,
+                    sigma_t,
+                );
             }};
         }
         if sweep {
@@ -1334,30 +1680,66 @@ fn facet_kernel<R: CbRng>(
         ($i:expr, $facet:expr) => {{
             let i = $i;
             let facet = $facet;
-            if style == KernelStyle::Scalar {
+            if !prepass {
                 let micro = MicroXs {
                     absorb_barns: w.micro_a[i],
                     scatter_barns: w.micro_s[i],
                 };
-                let p = &mut w.particles[i];
                 let d = w.dist[i];
-                w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-                w.pending_cell[i] = p.cell_index(nx) as u32;
+                w.pending[i] +=
+                    energy_deposition(w.p.energy[i], w.p.weight[i], d, w.n_dens[i], micro);
+                w.pending_cell[i] = (w.p.celly[i] as usize * nx + w.p.cellx[i] as usize) as u32;
                 let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-                move_particle(p, d, sigma_t);
+                move_particle_parts(
+                    &mut w.p.x[i],
+                    &mut w.p.y[i],
+                    &mut w.p.mfp_to_collision[i],
+                    &mut w.p.dt_to_census[i],
+                    w.p.omega_x[i],
+                    w.p.omega_y[i],
+                    w.p.energy[i],
+                    d,
+                    sigma_t,
+                );
             }
-            let p = &mut w.particles[i];
-            handle_facet(p, facet, ctx.mesh, &mut c);
+            // A facet event touches only the cell index (crossing) or one
+            // direction cosine (reflection): resolve it on the columns
+            // directly. Gathering the whole fifteen-field particle here —
+            // the collision kernel's strategy — would touch every column
+            // for a two-field update, and facets outnumber collisions on
+            // the streaming-heavy shapes.
+            handle_facet_parts(
+                &mut w.p.omega_x[i],
+                &mut w.p.omega_y[i],
+                &mut w.p.cellx[i],
+                &mut w.p.celly[i],
+                facet,
+                ctx.mesh,
+                &mut c,
+            );
             c.density_reads += 1;
-            w.n_dens[i] = number_density(ctx.mesh.density(p.cellx as usize, p.celly as usize));
+            let (cx, cy) = (w.p.cellx[i] as usize, w.p.celly[i] as usize);
+            w.n_dens[i] = number_density(ctx.mesh.density(cx, cy));
             // Crossing into a different material invalidates the cached
             // microscopic cross sections (same order of operations as the
             // history loop, so the counters and hints stay identical).
-            let mat = ctx.mesh.material(p.cellx as usize, p.celly as usize);
+            let mat = ctx.mesh.material(cx, cy);
             if mat != w.mat[i] {
                 w.mat[i] = mat;
                 c.material_switches += 1;
-                let micro = crate::history::lookup_micro(p, ctx, mat, &mut c);
+                let mut hints = XsHints {
+                    absorb: w.p.absorb_hint[i],
+                    scatter: w.p.scatter_hint[i],
+                };
+                let micro = resolve_micro_xs(
+                    ctx.materials.library(mat),
+                    ctx.cfg.xs_search,
+                    w.p.energy[i],
+                    &mut hints,
+                    &mut c,
+                );
+                w.p.absorb_hint[i] = hints.absorb;
+                w.p.scatter_hint[i] = hints.scatter;
                 w.micro_a[i] = micro.absorb_barns;
                 w.micro_s[i] = micro.scatter_barns;
             }
@@ -1595,14 +1977,23 @@ fn census_kernel<R: CbRng>(w: &mut Window<'_>, ctx: &TransportCtx<'_, R>) -> Eve
             absorb_barns: w.micro_a[i],
             scatter_barns: w.micro_s[i],
         };
-        let p = &mut w.particles[i];
-        let speed = speed_m_per_s(p.energy);
-        let d = speed * p.dt_to_census;
-        w.pending[i] += energy_deposition(p.energy, p.weight, d, w.n_dens[i], micro);
-        w.pending_cell[i] = p.cell_index(nx) as u32;
+        let speed = speed_m_per_s(w.p.energy[i]);
+        let d = speed * w.p.dt_to_census[i];
+        w.pending[i] += energy_deposition(w.p.energy[i], w.p.weight[i], d, w.n_dens[i], micro);
+        w.pending_cell[i] = (w.p.celly[i] as usize * nx + w.p.cellx[i] as usize) as u32;
         let sigma_t = macroscopic_per_m(micro.total_barns(), w.n_dens[i]);
-        move_particle(p, d, sigma_t);
-        p.dt_to_census = 0.0;
+        move_particle_parts(
+            &mut w.p.x[i],
+            &mut w.p.y[i],
+            &mut w.p.mfp_to_collision[i],
+            &mut w.p.dt_to_census[i],
+            w.p.omega_x[i],
+            w.p.omega_y[i],
+            w.p.energy[i],
+            d,
+            sigma_t,
+        );
+        w.p.dt_to_census[i] = 0.0;
         c.census += 1;
     }
     c
@@ -1613,7 +2004,7 @@ mod tests {
     use super::*;
     use crate::config::{ProblemScale, TestCase};
     use crate::over_particles::run_sequential;
-    use crate::particle::spawn_particles;
+    use crate::particle::{spawn_particles, Particle};
     use neutral_mesh::tally::SequentialTally;
     use neutral_rng::Threefry2x64;
 
@@ -1646,7 +2037,7 @@ mod tests {
         for case in [TestCase::Scatter, TestCase::Csp] {
             let (problem, rng) = fixture(case);
             let c = ctx(&problem, &rng);
-            let mut particles = spawn_particles(&problem);
+            let mut particles = ParticleSoA::from_aos(&spawn_particles(&problem));
             let n = particles.len();
             let tally = AtomicTally::new(problem.mesh.num_cells());
             let mut st = EventState::new(n, n.max(1), 0);
@@ -1695,8 +2086,8 @@ mod tests {
                 if decide.collisions == 0 {
                     break;
                 }
-                collision_kernel(w, &c, KernelStyle::Scalar, SortPolicy::Off);
-                facet_kernel(w, &c, KernelStyle::Scalar);
+                collision_kernel(w, &c, &ScalarBackend, SortPolicy::Off);
+                facet_kernel(w, &c, &ScalarBackend);
                 tally_kernel(w, &mut { &tally }, FlushList::Round, SortPolicy::Off);
                 let live_now = (0..n).filter(|&i| w.status[i] == Status::Active).count();
                 assert_eq!(w.ws.live, live_now, "{case:?} round {round}: live count");
@@ -1752,13 +2143,13 @@ mod tests {
         // Init alone exposes the bound: one past the last alive slot for
         // the fragmented window, the live prefix for the packed one.
         let mut st = EventState::new(n, n.max(1), 0);
-        let mut probe = plain.clone();
+        let mut probe = ParticleSoA::from_aos(&plain);
         let mut ws = windows(&mut probe, &mut st);
         init_kernel(&mut ws[0], &c);
         assert_eq!(ws[0].ws.scan, plain_bound, "fragmented scan bound");
         assert!(alive < plain_bound, "fragmentation leaves holes in scan");
         drop(ws);
-        let mut probe = packed.clone();
+        let mut probe = ParticleSoA::from_aos(&packed);
         let mut ws = windows(&mut probe, &mut st);
         init_kernel(&mut ws[0], &c);
         assert_eq!(ws[0].ws.scan, alive, "packed scan == live prefix");
@@ -1768,8 +2159,10 @@ mod tests {
         // (per cell) and counters, with trajectories matching by key.
         let run = |particles: &mut Vec<Particle>| {
             let tally = AtomicTally::new(problem.mesh.num_cells());
+            let mut soa = ParticleSoA::from_aos(particles);
             let (counters, _t) =
-                run_over_events(particles, &c, &tally, KernelStyle::Scalar, false, &mut None);
+                run_over_events(&mut soa, &c, &tally, KernelStyle::Scalar, false, &mut None);
+            soa.write_aos(particles);
             let bits: Vec<u64> = tally.snapshot().iter().map(|v| v.to_bits()).collect();
             (counters, bits)
         };
@@ -1795,20 +2188,15 @@ mod tests {
             let mut op_tally = SequentialTally::new(problem.mesh.num_cells());
             let op_counters = run_sequential(&mut op_particles, &c, &mut op_tally);
 
-            for style in [KernelStyle::Scalar, KernelStyle::Vectorized] {
+            for style in Backend::ALL {
                 for parallel in [false, true] {
-                    let mut oe_particles = spawn_particles(&problem);
+                    let mut oe_soa = ParticleSoA::from_aos(&spawn_particles(&problem));
                     let oe_tally = AtomicTally::new(problem.mesh.num_cells());
-                    let (oe_counters, _t) = run_over_events(
-                        &mut oe_particles,
-                        &c,
-                        &oe_tally,
-                        style,
-                        parallel,
-                        &mut None,
-                    );
+                    let (oe_counters, _t) =
+                        run_over_events(&mut oe_soa, &c, &oe_tally, style, parallel, &mut None);
                     assert_eq!(
-                        op_particles, oe_particles,
+                        op_particles,
+                        oe_soa.to_aos(),
                         "{case:?}/{style:?}/parallel={parallel}: trajectories"
                     );
                     assert_eq!(op_counters.collisions, oe_counters.collisions);
@@ -1837,10 +2225,10 @@ mod tests {
         let mut op_tally = SequentialTally::new(problem.mesh.num_cells());
         run_sequential(&mut op_particles, &c, &mut op_tally);
 
-        let mut oe_particles = spawn_particles(&problem);
+        let mut oe_soa = ParticleSoA::from_aos(&spawn_particles(&problem));
         let oe_tally = AtomicTally::new(problem.mesh.num_cells());
         run_over_events(
-            &mut oe_particles,
+            &mut oe_soa,
             &c,
             &oe_tally,
             KernelStyle::Scalar,
@@ -1864,7 +2252,7 @@ mod tests {
     fn timings_are_populated() {
         let (problem, rng) = fixture(TestCase::Csp);
         let c = ctx(&problem, &rng);
-        let mut particles = spawn_particles(&problem);
+        let mut particles = ParticleSoA::from_aos(&spawn_particles(&problem));
         let tally = AtomicTally::new(problem.mesh.num_cells());
         let (_counters, t) = run_over_events(
             &mut particles,
@@ -1885,7 +2273,7 @@ mod tests {
         let (mut problem, rng) = fixture(TestCase::Stream);
         problem.transport.max_events_per_history = 3;
         let c = ctx(&problem, &rng);
-        let mut particles = spawn_particles(&problem);
+        let mut particles = ParticleSoA::from_aos(&spawn_particles(&problem));
         let tally = AtomicTally::new(problem.mesh.num_cells());
         let (counters, _) = run_over_events(
             &mut particles,
@@ -1896,7 +2284,10 @@ mod tests {
             &mut None,
         );
         assert!(counters.stuck > 0);
-        assert!(particles.iter().all(|p| p.dead || p.dt_to_census == 0.0));
+        assert!(particles
+            .to_aos()
+            .iter()
+            .all(|p| p.dead || p.dt_to_census == 0.0));
     }
 
     /// A reused `EventState` must behave exactly like a fresh one on
@@ -1909,14 +2300,16 @@ mod tests {
             let (problem, rng) = fixture(case);
             let c = ctx(&problem, &rng);
             let run2 = |reuse: bool| {
-                let mut particles = spawn_particles(&problem);
+                let mut particles = ParticleSoA::from_aos(&spawn_particles(&problem));
                 let tally = AtomicTally::new(problem.mesh.num_cells());
                 let mut slot: Option<EventState> = None;
                 let mut counters = EventCounters::default();
                 for step in 0..2 {
                     if step > 0 {
-                        for p in particles.iter_mut().filter(|p| !p.dead) {
-                            p.dt_to_census = problem.dt;
+                        for i in 0..particles.len() {
+                            if !particles.dead[i] {
+                                particles.dt_to_census[i] = problem.dt;
+                            }
                         }
                     }
                     let mut fresh: Option<EventState> = None;
@@ -1944,6 +2337,122 @@ mod tests {
         }
     }
 
+    /// Lane-for-lane bit identity of the AVX2 distance pass against the
+    /// scalar `pass1!` expressions, on a battery of adversarial lanes:
+    /// zero direction components (the untaken-branch garbage blends),
+    /// a particle exactly on its cell edge travelling inward (`-0.0`
+    /// through the `max(d, 0.0)` tie), zero total cross section (the
+    /// infinity select), and a zero-energy lane (zero speed).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_distance_pass_matches_scalar_expressions() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        use neutral_xs::constants::speed_m_per_s;
+        let (problem, _rng) = fixture(TestCase::Csp);
+        let mesh = &problem.mesh;
+        let m = 11; // two full blocks + a 3-lane remainder (untouched)
+        let (x0e, _, y0e, _) = mesh.cell_bounds(1, 1);
+        let energy: Vec<f64> = (0..m)
+            .map(|i| [1.0, 0.0, 1e6, 2.35e3, 0.025, 14.1e6, 7.5, 1e-5][i % 8])
+            .collect();
+        let omega_x: Vec<f64> = (0..m)
+            .map(|i| [0.7, -0.7, 0.0, 1.0, -1.0, 0.3, 0.0, -0.5][i % 8])
+            .collect();
+        let omega_y: Vec<f64> = (0..m)
+            .map(|i| [0.3, 0.0, 1.0, 0.0, -0.2, -0.9, -1.0, 0.5][i % 8])
+            .collect();
+        // Lane 4 sits exactly on its low-x edge with omega_x < 0:
+        // (x0 - x) / ox = +0.0 / -1.0 = -0.0 into the max(d, 0.0) tie.
+        let x: Vec<f64> = (0..m)
+            .map(|i| if i == 4 { x0e } else { x0e + 0.01 })
+            .collect();
+        let y: Vec<f64> = (0..m)
+            .map(|i| if i == 6 { y0e } else { y0e + 0.02 })
+            .collect();
+        let cellx = vec![1u32; m];
+        let celly = vec![1u32; m];
+        let dt: Vec<f64> = (0..m).map(|i| 1e-7 * (i as f64 + 1.0)).collect();
+        let mfp: Vec<f64> = (0..m).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let micro_a: Vec<f64> = (0..m).map(|i| if i % 5 == 2 { 0.0 } else { 3.2 }).collect();
+        let micro_s: Vec<f64> = (0..m).map(|i| if i % 5 == 2 { 0.0 } else { 9.8 }).collect();
+        let n_dens: Vec<f64> = (0..m)
+            .map(|i| if i % 5 == 2 { 0.0 } else { 4.1e28 })
+            .collect();
+
+        let mut d_census = vec![0.0f64; m];
+        let mut d_coll = vec![0.0f64; m];
+        let mut d_facet = vec![0.0f64; m];
+        let mut facet_is_x = vec![false; m];
+        // SAFETY: AVX2 confirmed above; all slices are m long; cell
+        // indices are interior mesh cells.
+        let processed = unsafe {
+            avx2::distance_pass(
+                &energy,
+                &dt,
+                &mfp,
+                &x,
+                &y,
+                &omega_x,
+                &omega_y,
+                &cellx,
+                &celly,
+                mesh.edges_x(),
+                mesh.edges_y(),
+                &micro_a,
+                &micro_s,
+                &n_dens,
+                &mut d_census,
+                &mut d_coll,
+                &mut d_facet,
+                &mut facet_is_x,
+                m,
+            )
+        };
+        assert_eq!(processed, 8, "two full 4-lane blocks");
+
+        for i in 0..processed {
+            let speed = speed_m_per_s(energy[i]);
+            let sigma_t = macroscopic_per_m(micro_a[i] + micro_s[i], n_dens[i]);
+            let r_census = speed * dt[i];
+            let r_coll = if sigma_t > 0.0 {
+                mfp[i] / sigma_t
+            } else {
+                f64::INFINITY
+            };
+            let (bx0, bx1, by0, by1) = mesh.cell_bounds(cellx[i] as usize, celly[i] as usize);
+            let dx = if omega_x[i] > 0.0 {
+                (bx1 - x[i]) / omega_x[i]
+            } else if omega_x[i] < 0.0 {
+                (bx0 - x[i]) / omega_x[i]
+            } else {
+                f64::INFINITY
+            };
+            let dy = if omega_y[i] > 0.0 {
+                (by1 - y[i]) / omega_y[i]
+            } else if omega_y[i] < 0.0 {
+                (by0 - y[i]) / omega_y[i]
+            } else {
+                f64::INFINITY
+            };
+            let r_is_x = dx <= dy;
+            let r_facet = if dx <= dy {
+                clamp_nonneg(dx)
+            } else {
+                clamp_nonneg(dy)
+            };
+            assert_eq!(
+                d_census[i].to_bits(),
+                r_census.to_bits(),
+                "lane {i}: d_census"
+            );
+            assert_eq!(d_coll[i].to_bits(), r_coll.to_bits(), "lane {i}: d_coll");
+            assert_eq!(d_facet[i].to_bits(), r_facet.to_bits(), "lane {i}: d_facet");
+            assert_eq!(facet_is_x[i], r_is_x, "lane {i}: facet_is_x");
+        }
+    }
+
     /// Even a runaway-guard abort leaves no pending deposits behind (the
     /// guard fires at the top of a round, after the previous round's
     /// flush), and a reused state after such an abort still matches a
@@ -1956,7 +2465,7 @@ mod tests {
         problem.transport.max_events_per_history = 6;
         let c = ctx(&problem, &rng);
         let run2 = |reuse: bool| {
-            let mut particles = spawn_particles(&problem);
+            let mut particles = ParticleSoA::from_aos(&spawn_particles(&problem));
             let tally = AtomicTally::new(problem.mesh.num_cells());
             let mut slot: Option<EventState> = None;
             for step in 0..2 {
@@ -1966,8 +2475,10 @@ mod tests {
                         0.0,
                         "an aborted solve must not leave pending deposits"
                     );
-                    for p in particles.iter_mut().filter(|p| !p.dead) {
-                        p.dt_to_census = problem.dt;
+                    for i in 0..particles.len() {
+                        if !particles.dead[i] {
+                            particles.dt_to_census[i] = problem.dt;
+                        }
                     }
                 }
                 let mut fresh: Option<EventState> = None;

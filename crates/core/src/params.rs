@@ -45,6 +45,8 @@
 //! tally_strategy atomic        # or replicated | privatized
 //! sort_policy off              # or by_cell | by_energy_band | auto
 //! regroup_policy off           # or by_cell | by_energy_band | by_alive
+//! backend scalar               # or vectorized | simd (DESIGN.md §19;
+//!                              # `kernel_style` is accepted as an alias)
 //!
 //! # checkpoint/restart (optional)
 //! checkpoint_file run.ckpt     # enable checkpointed solves at this path
@@ -60,7 +62,7 @@
 
 use crate::checkpoint::FaultPlan;
 use crate::config::{
-    CollisionModel, LookupStrategy, Problem, RegroupPolicy, SortPolicy, TallyStrategy,
+    Backend, CollisionModel, LookupStrategy, Problem, RegroupPolicy, SortPolicy, TallyStrategy,
     TransportConfig,
 };
 use crate::shard::ShardFaultPlan;
@@ -154,6 +156,11 @@ pub struct ProblemParams {
     pub sort_policy: SortPolicy,
     /// Between-timestep physical regrouping (DESIGN.md §14).
     pub regroup_policy: RegroupPolicy,
+    /// Over-Events kernel backend (DESIGN.md §19). Purely an execution
+    /// concern — all backends compute bitwise-identical results — but a
+    /// params file records it so a benchmark run is replayable from its
+    /// file alone.
+    pub backend: Backend,
     /// Checkpoint file path; `Some` enables checkpointed solves
     /// (crash-safe writes at every census boundary, resume on restart).
     pub checkpoint_file: Option<String>,
@@ -193,6 +200,7 @@ impl Default for ProblemParams {
             tally_strategy: TallyStrategy::default(),
             sort_policy: SortPolicy::default(),
             regroup_policy: RegroupPolicy::default(),
+            backend: Backend::default(),
             checkpoint_file: None,
             fault: FaultPlan::none(),
             shards: 1,
@@ -292,6 +300,11 @@ impl ProblemParams {
                 }
                 "regroup_policy" => {
                     p.regroup_policy = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
+                }
+                // `kernel_style` is the historical name of the knob (it
+                // predates the backend seam); both spell the same key.
+                "backend" | "kernel_style" => {
+                    p.backend = one(&rest)?.parse().map_err(|e: String| err(lineno, e))?;
                 }
                 "checkpoint_file" => p.checkpoint_file = Some(one(&rest)?),
                 "fault" => {
@@ -552,6 +565,7 @@ impl ProblemParams {
         let _ = writeln!(s, "tally_strategy {}", self.tally_strategy.name());
         let _ = writeln!(s, "sort_policy {}", self.sort_policy.name());
         let _ = writeln!(s, "regroup_policy {}", self.regroup_policy.name());
+        let _ = writeln!(s, "backend {}", self.backend.name());
         if let Some(path) = &self.checkpoint_file {
             let _ = writeln!(s, "checkpoint_file {path}");
         }
@@ -772,6 +786,30 @@ region 0.5 1.0 0.0 0.5 7.0
         let e = ProblemParams::parse("nx 4\nregroup_policy shuffle\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("shuffle"));
+    }
+
+    #[test]
+    fn parses_backend() {
+        for (name, expect) in [
+            ("scalar", Backend::Scalar),
+            ("vectorized", Backend::Vectorized),
+            ("simd", Backend::Simd),
+        ] {
+            let p = ProblemParams::parse(&format!("backend {name}\n")).unwrap();
+            assert_eq!(p.backend, expect);
+            // `kernel_style` spells the same key.
+            let alias = ProblemParams::parse(&format!("kernel_style {name}\n")).unwrap();
+            assert_eq!(alias.backend, expect);
+        }
+        // Round-trips through the serializer (the alias normalizes).
+        let p = ProblemParams::parse("kernel_style simd\n").unwrap();
+        let text = p.to_params_text();
+        assert!(text.contains("backend simd"));
+        assert_eq!(ProblemParams::parse(&text).unwrap().backend, Backend::Simd);
+        // Unknown value: line-numbered, names the offender.
+        let e = ProblemParams::parse("nx 4\nbackend turbo\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("turbo"));
     }
 
     #[test]

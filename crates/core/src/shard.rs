@@ -616,11 +616,15 @@ fn run_attempt(task: AttemptTask) -> Vec<u8> {
     let mut lane_counters = match options.scheme {
         Scheme::OverEvents => {
             let mut state = None;
+            // The event driver reads particle columns; the AoS records
+            // here are the shard's census-transfer serialization format.
+            let mut soa = ParticleSoA::default();
+            soa.copy_from_aos(&particles);
             let (counters, _timings) = run_over_events_lanes_partitioned(
-                &mut particles,
+                &mut soa,
                 &ctx,
                 &mut accum,
-                options.kernel_style,
+                options.backend,
                 workers,
                 schedule,
                 &mut state,
@@ -628,6 +632,7 @@ fn run_attempt(task: AttemptTask) -> Vec<u8> {
                 part,
                 base0 as u32,
             );
+            soa.write_aos(&mut particles);
             counters
         }
         Scheme::OverParticles => match options.layout {

@@ -12,12 +12,14 @@ use crate::config::{Problem, RegroupPolicy};
 use crate::counters::EventCounters;
 use crate::history::TransportCtx;
 use crate::over_events::{
-    run_over_events, run_over_events_lanes, EventState, KernelStyle, KernelTimings,
+    run_over_events, run_over_events_lanes, Backend, EventState, KernelTimings,
 };
 use crate::over_particles::{run_lanes, run_rayon, run_scheduled, run_sequential, ScheduledTally};
-use crate::particle::{regroup_particles_parallel, spawn_particles, Particle};
+use crate::particle::{spawn_particles, Particle};
 use crate::scheduler::Schedule;
-use crate::soa::{run_lanes_soa, run_rayon_soa, run_rayon_soa_stepped, ParticleSoA};
+use crate::soa::{
+    regroup_soa_parallel, run_lanes_soa, run_rayon_soa, run_rayon_soa_stepped, ParticleSoA,
+};
 use crate::validate::{population_balance, EnergyBalance};
 use neutral_mesh::accum::DEFAULT_LANES;
 use neutral_mesh::tally::{AtomicTally, PrivatizedTally, SequentialTally};
@@ -49,6 +51,17 @@ pub enum Layout {
     /// register caching — the memory behaviour that produced the paper's
     /// SoA penalty (see `soa::run_rayon_soa_stepped`).
     SoaEventStepped,
+}
+
+impl Layout {
+    /// Stable lower-case name (benchmark reports, figure output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Aos => "aos",
+            Layout::Soa => "soa",
+            Layout::SoaEventStepped => "soa_stepped",
+        }
+    }
 }
 
 /// Threading and tally configuration of a run.
@@ -85,8 +98,8 @@ pub struct RunOptions {
     pub layout: Layout,
     /// Threading + tally configuration.
     pub execution: Execution,
-    /// Kernel style for Over Events (§VI-G).
-    pub kernel_style: KernelStyle,
+    /// Kernel backend for Over Events (§VI-G; DESIGN.md §19).
+    pub backend: Backend,
 }
 
 impl Default for RunOptions {
@@ -95,7 +108,7 @@ impl Default for RunOptions {
             scheme: Scheme::OverParticles,
             layout: Layout::Aos,
             execution: Execution::Rayon,
-            kernel_style: KernelStyle::Scalar,
+            backend: Backend::Scalar,
         }
     }
 }
@@ -160,11 +173,18 @@ impl RunReport {
 
 /// Per-solve transport state that persists **across timesteps** (ROADMAP
 /// "arena reuse across timesteps"): the event-driver state arrays and
-/// per-window arenas, the SoA column buffers and per-worker arenas, the
+/// per-window arenas, the per-worker arenas of the SoA chunk driver, the
 /// regroup scratch, and the identity map of a regrouped population. One
 /// instance is created per [`Simulation::run`] call and threaded through
 /// every step, so multi-timestep solves stop rebuilding `EventState`,
 /// `WindowState` arenas and SoA chunk trackers per call.
+///
+/// The particle columns themselves are NOT here: [`SolveCore`] owns the
+/// canonical [`ParticleSoA`] directly and every driver reads it in
+/// place. The only AoS buffer left is `aos` below — a scratch for the
+/// legacy record-at-a-time drivers, materialised per step at their
+/// entry seam and scattered back after (the inverse of the old design,
+/// where the columns were the per-step copy).
 #[derive(Default)]
 struct TransportState {
     /// Reusable state of the lane-decomposed event driver (windows cut
@@ -173,9 +193,10 @@ struct TransportState {
     /// Reusable state of the legacy shared-atomic event driver (windows
     /// cut by thread count — a different chunk, hence a separate slot).
     oe_plain: Option<EventState>,
-    /// Reusable SoA column buffers, re-gathered from the (possibly
-    /// regrouped) AoS master each step.
-    soa: ParticleSoA,
+    /// Reusable AoS record buffer for the record-at-a-time
+    /// (`Layout::Aos`) history drivers, re-materialised from the
+    /// canonical columns each step.
+    aos: Vec<Particle>,
     /// Per-worker arenas of the lane-decomposed SoA driver.
     soa_arenas: Vec<ScratchArena>,
     /// Per-worker staging of the between-timestep regroup permutation
@@ -193,11 +214,6 @@ struct TransportState {
 }
 
 impl TransportState {
-    /// The identity-order walk the drivers should use, if any.
-    fn order(&self) -> Option<&[u32]> {
-        self.permuted.then_some(self.order.as_slice())
-    }
-
     /// Regroup the population for the next timestep and refresh the
     /// identity map. Lane blocks match the tally-lane partition the lane
     /// drivers use, so lane membership (and with it the bitwise-merge
@@ -207,15 +223,15 @@ impl TransportState {
     /// identical for any worker count.
     fn regroup(
         &mut self,
-        particles: &mut [Particle],
+        soa: &mut ParticleSoA,
         policy: RegroupPolicy,
         nx: usize,
         workers: usize,
         schedule: Schedule,
     ) {
-        let part = LanePartition::new(particles.len(), DEFAULT_LANES);
-        if regroup_particles_parallel(
-            particles,
+        let part = LanePartition::new(soa.len(), DEFAULT_LANES);
+        if regroup_soa_parallel(
+            soa,
             policy,
             nx,
             part.lane_size,
@@ -226,9 +242,9 @@ impl TransportState {
             self.permuted = true;
         }
         if self.permuted {
-            self.order.resize(particles.len(), 0);
-            for (pos, p) in particles.iter().enumerate() {
-                self.order[p.key as usize] = pos as u32;
+            self.order.resize(soa.len(), 0);
+            for (pos, &key) in soa.key.iter().enumerate() {
+                self.order[key as usize] = pos as u32;
             }
         }
     }
@@ -326,7 +342,7 @@ impl Simulation {
     #[allow(clippy::too_many_arguments)] // internal step dispatcher
     fn run_step(
         &self,
-        particles: &mut [Particle],
+        soa: &mut ParticleSoA,
         ctx: &TransportCtx<'_, Threefry2x64>,
         options: RunOptions,
         tally_vec: &mut [f64],
@@ -349,7 +365,7 @@ impl Simulation {
             && !matches!(options.execution, Execution::ScheduledPrivatized { .. })
         {
             return self.run_step_lanes(
-                particles,
+                soa,
                 ctx,
                 options,
                 tally_vec,
@@ -364,10 +380,10 @@ impl Simulation {
                 *tally_footprint = tally.footprint_bytes();
                 let parallel = !matches!(options.execution, Execution::Sequential);
                 let (counters, timings) = run_over_events(
-                    particles,
+                    soa,
                     ctx,
                     &tally,
-                    options.kernel_style,
+                    options.backend,
                     parallel,
                     &mut state.oe_plain,
                 );
@@ -376,65 +392,73 @@ impl Simulation {
                 counters
             }
             Scheme::OverParticles => match (options.layout, options.execution) {
+                // The record-at-a-time history drivers are the one
+                // remaining AoS consumer: materialise records from the
+                // canonical columns at this seam, run, scatter back.
                 (Layout::Aos, Execution::Sequential) => {
                     let mut tally = SequentialTally::new(cells);
                     *tally_footprint = cells * 8;
-                    let counters = run_sequential(particles, ctx, &mut tally);
+                    let aos = &mut state.aos;
+                    soa.to_aos_into(aos);
+                    let counters = run_sequential(aos, ctx, &mut tally);
+                    soa.copy_from_aos(aos);
                     accumulate(tally_vec, tally.values());
                     counters
                 }
                 (Layout::Aos, Execution::Rayon) => {
                     let tally = AtomicTally::new(cells);
                     *tally_footprint = tally.footprint_bytes();
-                    let counters = run_rayon(particles, ctx, &tally);
+                    let aos = &mut state.aos;
+                    soa.to_aos_into(aos);
+                    let counters = run_rayon(aos, ctx, &tally);
+                    soa.copy_from_aos(aos);
                     accumulate(tally_vec, &tally.snapshot());
                     counters
                 }
                 (Layout::Aos, Execution::Scheduled { threads, schedule }) => {
                     let tally = AtomicTally::new(cells);
                     *tally_footprint = tally.footprint_bytes();
-                    let counters = run_scheduled(
-                        particles,
-                        ctx,
-                        ScheduledTally::Atomic(&tally),
-                        threads,
-                        schedule,
-                    );
+                    let aos = &mut state.aos;
+                    soa.to_aos_into(aos);
+                    let counters =
+                        run_scheduled(aos, ctx, ScheduledTally::Atomic(&tally), threads, schedule);
+                    soa.copy_from_aos(aos);
                     accumulate(tally_vec, &tally.snapshot());
                     counters
                 }
                 (Layout::Aos, Execution::ScheduledPrivatized { threads, schedule }) => {
                     let mut tally = PrivatizedTally::new(threads, cells);
                     *tally_footprint = tally.footprint_bytes();
+                    let aos = &mut state.aos;
+                    soa.to_aos_into(aos);
                     let counters = run_scheduled(
-                        particles,
+                        aos,
                         ctx,
                         ScheduledTally::Privatized(&mut tally),
                         threads,
                         schedule,
                     );
+                    soa.copy_from_aos(aos);
                     accumulate(tally_vec, &tally.merge());
                     counters
                 }
                 (layout @ (Layout::Soa | Layout::SoaEventStepped), execution) => {
                     // SoA is driven through the Rayon chunked drivers; the
                     // explicit-scheduler combinations are an AoS study in
-                    // the paper.
+                    // the paper. The chunk driver reads the canonical
+                    // columns in place — no gather/scatter step remains.
                     assert!(
                         matches!(execution, Execution::Rayon | Execution::Sequential),
                         "SoA layouts support Sequential/Rayon execution"
                     );
                     let tally = AtomicTally::new(cells);
                     *tally_footprint = tally.footprint_bytes();
-                    let soa = &mut state.soa;
-                    soa.copy_from_aos(particles);
                     let chunk = crate::over_particles::rayon_chunk_size(soa.len());
                     let counters = if layout == Layout::Soa {
                         run_rayon_soa(soa, ctx, &tally, chunk)
                     } else {
                         run_rayon_soa_stepped(soa, ctx, &tally, chunk)
                     };
-                    soa.write_aos(particles);
                     accumulate(tally_vec, &tally.snapshot());
                     counters
                 }
@@ -451,7 +475,7 @@ impl Simulation {
     #[allow(clippy::too_many_arguments)] // internal step dispatcher
     fn run_step_lanes(
         &self,
-        particles: &mut [Particle],
+        soa: &mut ParticleSoA,
         ctx: &TransportCtx<'_, Threefry2x64>,
         options: RunOptions,
         tally_vec: &mut [f64],
@@ -476,7 +500,7 @@ impl Simulation {
         // so the merge order — and therefore the merged bits — are the
         // same for ANY number of workers; workers beyond the lane count
         // simply find no lane to claim (see neutral_mesh::accum).
-        let part = LanePartition::new(particles.len(), DEFAULT_LANES);
+        let part = LanePartition::new(soa.len(), DEFAULT_LANES);
         let mut accum = TallyAccum::new(strategy, cells, part.n_lanes);
 
         let counters = match options.scheme {
@@ -488,10 +512,10 @@ impl Simulation {
                     ..
                 } = state;
                 let (counters, timings) = run_over_events_lanes(
-                    particles,
+                    soa,
                     ctx,
                     &mut accum,
-                    options.kernel_style,
+                    options.backend,
                     workers,
                     schedule,
                     oe_lanes,
@@ -502,18 +526,33 @@ impl Simulation {
             }
             Scheme::OverParticles => match options.layout {
                 Layout::Aos => {
-                    run_lanes(particles, ctx, &mut accum, workers, schedule, state.order())
+                    // Record-at-a-time seam: materialise, run, scatter back.
+                    let TransportState {
+                        aos,
+                        order,
+                        permuted,
+                        ..
+                    } = &mut *state;
+                    soa.to_aos_into(aos);
+                    let counters = run_lanes(
+                        aos,
+                        ctx,
+                        &mut accum,
+                        workers,
+                        schedule,
+                        permuted.then_some(order.as_slice()),
+                    );
+                    soa.copy_from_aos(aos);
+                    counters
                 }
                 layout @ (Layout::Soa | Layout::SoaEventStepped) => {
                     let TransportState {
-                        soa,
                         soa_arenas,
                         order,
                         permuted,
                         ..
                     } = state;
-                    soa.copy_from_aos(particles);
-                    let counters = run_lanes_soa(
+                    run_lanes_soa(
                         soa,
                         ctx,
                         &mut accum,
@@ -522,9 +561,7 @@ impl Simulation {
                         layout == Layout::SoaEventStepped,
                         soa_arenas,
                         permuted.then_some(order.as_slice()),
-                    );
-                    soa.write_aos(particles);
-                    counters
+                    )
                 }
             },
         };
@@ -551,7 +588,11 @@ pub struct SolveCore {
     /// construction (it also stamps every checkpoint).
     fingerprint: u64,
     n_timesteps: usize,
-    particles: Vec<Particle>,
+    /// The canonical particle storage: one column per field, shared in
+    /// place by every driver. AoS [`Particle`] records exist only at the
+    /// serialization edges (checkpoints, shard census transfer, the
+    /// legacy record-at-a-time drivers' scratch).
+    soa: ParticleSoA,
     state: TransportState,
     counters: EventCounters,
     kernel_timings: Option<KernelTimings>,
@@ -570,14 +611,14 @@ impl SolveCore {
     #[must_use]
     pub fn new(sim: &Simulation, options: RunOptions) -> Self {
         let problem = &sim.problem;
-        let particles = spawn_particles(problem);
-        let initial_energy_ev = particles.len() as f64 * problem.initial_energy_ev;
+        let soa = ParticleSoA::from_aos(&spawn_particles(problem));
+        let initial_energy_ev = soa.len() as f64 * problem.initial_energy_ev;
         problem.materials.prepare(problem.transport.xs_search);
         Self {
             options,
             fingerprint: config_fingerprint(problem),
             n_timesteps: problem.n_timesteps,
-            particles,
+            soa,
             state: TransportState::default(),
             counters: EventCounters::default(),
             kernel_timings: None,
@@ -648,7 +689,7 @@ impl SolveCore {
             options,
             fingerprint: expected,
             n_timesteps: problem.n_timesteps,
-            particles: checkpoint.particles.clone(),
+            soa: ParticleSoA::from_aos(&checkpoint.particles),
             state,
             counters: checkpoint.counters,
             kernel_timings: None,
@@ -679,10 +720,11 @@ impl SolveCore {
     }
 
     /// The current particle records (current storage order) — the state a
-    /// checkpoint would capture.
+    /// checkpoint would capture. Materialised from the canonical columns
+    /// on each call (a serialization edge, not a hot path).
     #[must_use]
-    pub fn particles(&self) -> &[Particle] {
-        &self.particles
+    pub fn particles(&self) -> Vec<Particle> {
+        self.soa.to_aos()
     }
 
     /// Execute the next timestep against `sim` — which must be the
@@ -706,8 +748,10 @@ impl SolveCore {
         };
         let start = Instant::now();
         if self.step > 0 {
-            for p in self.particles.iter_mut().filter(|p| !p.dead) {
-                p.dt_to_census = problem.dt;
+            for i in 0..self.soa.len() {
+                if !self.soa.dead[i] {
+                    self.soa.dt_to_census[i] = problem.dt;
+                }
             }
             // The census boundary: physically regroup the survivors
             // (regroup time is charged to the solve — it is part of the
@@ -715,7 +759,7 @@ impl SolveCore {
             // run through the lane scheduler.
             let (workers, schedule) = execution_workers(self.options.execution);
             self.state.regroup(
-                &mut self.particles,
+                &mut self.soa,
                 problem.transport.regroup_policy,
                 problem.mesh.nx(),
                 workers,
@@ -723,7 +767,7 @@ impl SolveCore {
             );
         }
         let step_counters = sim.run_step(
-            &mut self.particles,
+            &mut self.soa,
             &ctx,
             self.options,
             &mut self.tally,
@@ -753,7 +797,7 @@ impl SolveCore {
             tally_footprint_bytes: self.tally_footprint,
             counters: self.counters,
             tally: self.tally.clone(),
-            particles: self.particles.clone(),
+            particles: self.soa.to_aos(),
         }
     }
 
@@ -762,7 +806,7 @@ impl SolveCore {
     /// to call whenever [`SolveCore::is_done`]).
     #[must_use]
     pub fn finish(self) -> RunReport {
-        let alive = self.particles.iter().filter(|p| !p.dead).count();
+        let alive = self.soa.dead.iter().filter(|&&d| !d).count();
         // Per-step population balance: step k processes the histories that
         // were alive at its start, so census + deaths + stuck across the
         // whole run equals n_particles plus one extra census per survivor
@@ -770,7 +814,7 @@ impl SolveCore {
         debug_assert!(
             !self.is_done()
                 || self.n_timesteps > 1
-                || population_balance(self.particles.len() as u64, &self.counters)
+                || population_balance(self.soa.len() as u64, &self.counters)
         );
         RunReport {
             elapsed: self.elapsed,
@@ -856,9 +900,9 @@ impl<'a> Solve<'a> {
     }
 
     /// The current particle records (current storage order) — the state a
-    /// checkpoint would capture.
+    /// checkpoint would capture (see [`SolveCore::particles`]).
     #[must_use]
-    pub fn particles(&self) -> &[Particle] {
+    pub fn particles(&self) -> Vec<Particle> {
         self.core.particles()
     }
 

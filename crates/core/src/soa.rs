@@ -10,12 +10,12 @@
 //! costs SoA its performance), track it entirely in registers, and `store`
 //! it back.
 
-use crate::arena::{radix_sort_pairs, ScratchArena};
-use crate::config::SortPolicy;
+use crate::arena::{apply_permutation_in_place, radix_sort_pairs, ScratchArena};
+use crate::config::{RegroupPolicy, SortPolicy};
 use crate::counters::EventCounters;
 use crate::events::{resolve_micro_xs_many, TallySink};
 use crate::history::{step_particle_uncached, track_to_census_primed, StepOutcome, TransportCtx};
-use crate::particle::Particle;
+use crate::particle::{energy_band, Particle};
 use crate::scheduler::{parallel_for_owned_scratch, Schedule};
 use neutral_mesh::tally::AtomicTally;
 use neutral_mesh::{LanePartition, LaneSink, TallyAccum};
@@ -128,6 +128,17 @@ impl ParticleSoA {
         }
     }
 
+    /// Gather every particle into `out`, replacing its contents — the
+    /// reusable-buffer counterpart of [`ParticleSoA::to_aos`] for the
+    /// serialization edges that convert every step.
+    pub fn to_aos_into(&self, out: &mut Vec<Particle>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.load(i));
+        }
+    }
+
     /// Number of particles.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -186,12 +197,10 @@ impl ParticleSoA {
         self.dead[i] = p.dead;
     }
 
-    /// Split the population into disjoint mutable chunk views of at most
-    /// `chunk` particles each.
-    pub fn chunks_mut(&mut self, chunk: usize) -> Vec<SoAChunkMut<'_>> {
-        assert!(chunk > 0);
-        let mut out = Vec::new();
-        let mut view = SoAChunkMut {
+    /// A mutable column view of the whole population (the root the
+    /// chunked and windowed views split from).
+    pub(crate) fn view_mut(&mut self) -> SoAChunkMut<'_> {
+        SoAChunkMut {
             x: &mut self.x,
             y: &mut self.y,
             omega_x: &mut self.omega_x,
@@ -207,7 +216,15 @@ impl ParticleSoA {
             key: &mut self.key,
             rng_counter: &mut self.rng_counter,
             dead: &mut self.dead,
-        };
+        }
+    }
+
+    /// Split the population into disjoint mutable chunk views of at most
+    /// `chunk` particles each.
+    pub fn chunks_mut(&mut self, chunk: usize) -> Vec<SoAChunkMut<'_>> {
+        assert!(chunk > 0);
+        let mut out = Vec::new();
+        let mut view = self.view_mut();
         while view.len() > chunk {
             let (head, tail) = view.split_at_mut(chunk);
             out.push(head);
@@ -222,21 +239,21 @@ impl ParticleSoA {
 
 /// A disjoint mutable window over every field array of a [`ParticleSoA`].
 pub struct SoAChunkMut<'a> {
-    x: &'a mut [f64],
-    y: &'a mut [f64],
-    omega_x: &'a mut [f64],
-    omega_y: &'a mut [f64],
-    energy: &'a mut [f64],
-    weight: &'a mut [f64],
-    dt_to_census: &'a mut [f64],
-    mfp_to_collision: &'a mut [f64],
-    cellx: &'a mut [u32],
-    celly: &'a mut [u32],
-    absorb_hint: &'a mut [u32],
-    scatter_hint: &'a mut [u32],
-    key: &'a mut [u64],
-    rng_counter: &'a mut [u64],
-    dead: &'a mut [bool],
+    pub(crate) x: &'a mut [f64],
+    pub(crate) y: &'a mut [f64],
+    pub(crate) omega_x: &'a mut [f64],
+    pub(crate) omega_y: &'a mut [f64],
+    pub(crate) energy: &'a mut [f64],
+    pub(crate) weight: &'a mut [f64],
+    pub(crate) dt_to_census: &'a mut [f64],
+    pub(crate) mfp_to_collision: &'a mut [f64],
+    pub(crate) cellx: &'a mut [u32],
+    pub(crate) celly: &'a mut [u32],
+    pub(crate) absorb_hint: &'a mut [u32],
+    pub(crate) scatter_hint: &'a mut [u32],
+    pub(crate) key: &'a mut [u64],
+    pub(crate) rng_counter: &'a mut [u64],
+    pub(crate) dead: &'a mut [bool],
 }
 
 impl<'a> SoAChunkMut<'a> {
@@ -252,7 +269,7 @@ impl<'a> SoAChunkMut<'a> {
         self.x.is_empty()
     }
 
-    fn split_at_mut(self, mid: usize) -> (SoAChunkMut<'a>, SoAChunkMut<'a>) {
+    pub(crate) fn split_at_mut(self, mid: usize) -> (SoAChunkMut<'a>, SoAChunkMut<'a>) {
         macro_rules! split {
             ($field:ident) => {{
                 self.$field.split_at_mut(mid)
@@ -355,6 +372,151 @@ impl<'a> SoAChunkMut<'a> {
         self.rng_counter[i] = p.rng_counter;
         self.dead[i] = p.dead;
     }
+}
+
+/// Total weighted energy of a column population (eV) — the column
+/// counterpart of [`crate::particle::total_weighted_energy`]. Same fold
+/// order over the same lanes, so the result is bitwise identical to the
+/// AoS fold over the equivalent records.
+#[must_use]
+pub fn total_weighted_energy_soa(soa: &ParticleSoA) -> f64 {
+    (0..soa.len())
+        .filter(|&i| !soa.dead[i])
+        .map(|i| soa.weight[i] * soa.energy[i])
+        .sum()
+}
+
+/// [`total_weighted_energy_soa`] accumulated in identity (`key`) order
+/// via the regroup identity map (`order[k]` = physical position of key
+/// `k`) — the column counterpart of
+/// [`crate::particle::total_weighted_energy_ordered`].
+#[must_use]
+pub fn total_weighted_energy_soa_ordered(soa: &ParticleSoA, order: &[u32]) -> f64 {
+    order
+        .iter()
+        .map(|&pos| pos as usize)
+        .filter(|&i| !soa.dead[i])
+        .map(|i| soa.weight[i] * soa.energy[i])
+        .sum()
+}
+
+/// Column counterpart of [`crate::particle::regroup_particles_parallel`]
+/// (DESIGN.md §14): within each tally-lane block of `lane_size`
+/// particles, stably permute every field column into the grouping
+/// `policy` asks for, dead particles always last. The group keys, the
+/// stable radix sort and the did-anything-move check are the exact
+/// expressions of the AoS regroup, and one shared lane permutation is
+/// applied to all fifteen columns — so a column population regroups into
+/// bitwise the same arrangement the AoS path produces for the same
+/// records. Returns `true` if any particle actually moved.
+pub fn regroup_soa_parallel(
+    soa: &mut ParticleSoA,
+    policy: RegroupPolicy,
+    nx: usize,
+    lane_size: usize,
+    workers: usize,
+    schedule: Schedule,
+    scratches: &mut Vec<ScratchArena>,
+) -> bool {
+    if policy == RegroupPolicy::Off || soa.is_empty() {
+        return false;
+    }
+    let lane_size = lane_size.max(1);
+    let workers = if workers <= 1 || soa.len() <= lane_size {
+        1
+    } else {
+        workers
+    };
+    if scratches.len() < workers {
+        scratches.resize_with(workers, ScratchArena::new);
+    }
+    let mut lanes: Vec<(SoAChunkMut<'_>, bool)> = soa
+        .chunks_mut(lane_size)
+        .into_iter()
+        .map(|lane| (lane, false))
+        .collect();
+    parallel_for_owned_scratch(
+        schedule.lane_granular(),
+        &mut lanes,
+        &mut scratches[..workers],
+        |_, (lane, moved), scratch| {
+            *moved = regroup_soa_block(lane, policy, nx, scratch);
+        },
+    );
+    lanes.iter().any(|&(_, moved)| moved)
+}
+
+/// Regroup one lane block of columns in place (the per-lane body of
+/// [`regroup_soa_parallel`]); returns `true` if any particle moved.
+fn regroup_soa_block(
+    lane: &mut SoAChunkMut<'_>,
+    policy: RegroupPolicy,
+    nx: usize,
+    scratch: &mut ScratchArena,
+) -> bool {
+    scratch.sort_keys.clear();
+    for i in 0..lane.len() {
+        let group = match policy {
+            RegroupPolicy::Off => unreachable!("rejected by the entry points"),
+            RegroupPolicy::ByAlive => u32::from(lane.dead[i]),
+            RegroupPolicy::ByCell => {
+                if lane.dead[i] {
+                    u32::MAX
+                } else {
+                    (lane.celly[i] as usize * nx + lane.cellx[i] as usize) as u32
+                }
+            }
+            RegroupPolicy::ByEnergyBand => {
+                if lane.dead[i] {
+                    u32::MAX
+                } else {
+                    energy_band(lane.energy[i])
+                }
+            }
+        };
+        scratch.sort_keys.push((group, i as u32));
+    }
+    // Stable by construction (payloads are insertion indices), so
+    // equal-group particles keep ascending key order within the lane.
+    radix_sort_pairs(&mut scratch.sort_keys, &mut scratch.sort_tmp);
+    if scratch
+        .sort_keys
+        .iter()
+        .enumerate()
+        .all(|(k, &(_, src))| src as usize == k)
+    {
+        return false;
+    }
+    // The cycle walk consumes the permutation buffer, so it is refilled
+    // per column from the sorted keys — fifteen cheap `u32` refills
+    // instead of fifteen whole-column staging buffers.
+    macro_rules! permute {
+        ($($field:ident),* $(,)?) => {$({
+            scratch.perm.clear();
+            scratch
+                .perm
+                .extend(scratch.sort_keys.iter().map(|&(_, src)| src));
+            apply_permutation_in_place(&mut lane.$field[..], &mut scratch.perm);
+        })*};
+    }
+    permute!(
+        x,
+        y,
+        omega_x,
+        omega_y,
+        energy,
+        weight,
+        dt_to_census,
+        mfp_to_collision,
+        cellx,
+        celly,
+        absorb_hint,
+        scatter_hint,
+        key,
+        rng_counter,
+        dead,
+    );
+    true
 }
 
 /// Track one SoA chunk to census: one batched lane-block lookup over the

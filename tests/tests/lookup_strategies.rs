@@ -96,7 +96,7 @@ fn all_drivers_agree_for_every_strategy() {
                 },
                 RunOptions {
                     scheme: Scheme::OverEvents,
-                    kernel_style: KernelStyle::Vectorized,
+                    backend: Backend::Vectorized,
                     execution: Execution::Rayon,
                     ..Default::default()
                 },

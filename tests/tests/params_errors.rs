@@ -156,6 +156,37 @@ fn geometry_and_physics_range_errors_are_actionable() {
 }
 
 #[test]
+fn backend_key_errors_are_line_numbered_and_actionable() {
+    // Unknown backend values name the offender, list the menu, and
+    // carry the line — under both spellings of the key.
+    for key in ["backend", "kernel_style"] {
+        let e = fail(&format!("nx 10\n{key} turbo\n"));
+        assert_eq!(e.line, 2, "{key}");
+        assert!(e.message.contains("turbo"), "{key}: {}", e.message);
+        assert!(
+            e.message.contains("scalar|vectorized|simd"),
+            "error must list the valid backends: {}",
+            e.message
+        );
+        // Arity is enforced like every other key.
+        let e = fail(&format!("{key} scalar simd\n"));
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("exactly one value"), "{}", e.message);
+    }
+    // The happy path round-trips through the fixpoint serializer with
+    // the alias normalized to the canonical spelling.
+    let p = ProblemParams::parse("kernel_style vectorized\n").unwrap();
+    assert_eq!(p.backend, Backend::Vectorized);
+    let text = p.to_params_text();
+    assert!(text.contains("backend vectorized"), "{text}");
+    assert!(!text.contains("kernel_style"), "{text}");
+    assert_eq!(
+        ProblemParams::parse(&text).unwrap().backend,
+        Backend::Vectorized
+    );
+}
+
+#[test]
 fn checkpoint_file_key_parses_and_enforces_arity() {
     let p = ProblemParams::parse("checkpoint_file run.ckpt\n").unwrap();
     assert_eq!(p.checkpoint_file.as_deref(), Some("run.ckpt"));

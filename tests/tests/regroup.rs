@@ -208,8 +208,9 @@ fn permute_then_run_equals_run() {
                     run_lanes(particles, &ctx, &mut accum, workers, schedule, order)
                 }
                 DriverKind::OverEvents => {
+                    let mut soa = ParticleSoA::from_aos(particles);
                     let (c, _) = run_over_events_lanes(
-                        particles,
+                        &mut soa,
                         &ctx,
                         &mut accum,
                         KernelStyle::Scalar,
@@ -218,6 +219,7 @@ fn permute_then_run_equals_run() {
                         &mut None,
                         order,
                     );
+                    soa.write_aos(particles);
                     c
                 }
                 DriverKind::Soa => {

@@ -88,7 +88,7 @@ fn every_execution_mode_matches_sequential() {
                     "over-events-vectorized",
                     RunOptions {
                         scheme: Scheme::OverEvents,
-                        kernel_style: KernelStyle::Vectorized,
+                        backend: Backend::Vectorized,
                         execution: Execution::Rayon,
                         ..Default::default()
                     },
